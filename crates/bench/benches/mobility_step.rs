@@ -1,0 +1,61 @@
+//! Per-step cost of the two mobility models.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use senn_geom::{Point, Rect};
+use senn_mobility::{HostMobility, RandomWaypoint, RoadMover, RoadMoverConfig, WaypointConfig};
+use senn_network::{generate_network, GeneratorConfig, NodeLocator};
+
+fn mobility(c: &mut Criterion) {
+    let side = 3_200.0;
+    let area = Rect::new(Point::ORIGIN, Point::new(side, side));
+    let net = generate_network(&GeneratorConfig::city(side, 5));
+    let locator = NodeLocator::new(&net);
+
+    let mut group = c.benchmark_group("mobility_step");
+    for hosts in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("free", hosts), &hosts, |b, &hosts| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let mut movers: Vec<HostMobility> = (0..hosts)
+                .map(|i| {
+                    HostMobility::Free(RandomWaypoint::new(
+                        Point::new((i % 50) as f64 * 60.0, (i / 50) as f64 * 60.0),
+                        WaypointConfig::new(area, 13.4),
+                        &mut rng,
+                    ))
+                })
+                .collect();
+            b.iter(|| {
+                for m in &mut movers {
+                    m.step(None, 1.0, &mut rng);
+                }
+                black_box(movers[0].position())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("road", hosts), &hosts, |b, &hosts| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            let mut movers: Vec<HostMobility> = (0..hosts)
+                .map(|i| {
+                    let start = Point::new((i % 50) as f64 * 60.0, (i / 50) as f64 * 60.0);
+                    let node = locator.nearest(start).unwrap();
+                    HostMobility::Road(RoadMover::new(&net, node, RoadMoverConfig::new(13.4)))
+                })
+                .collect();
+            b.iter(|| {
+                for m in &mut movers {
+                    m.step(Some(&net), 1.0, &mut rng);
+                }
+                black_box(movers[0].position())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = mobility
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Certain-region coverage test: the paper's polygonization (for vertex
+//! counts 8–32, the ablation DESIGN.md calls out) vs the exact disk-union
+//! arrangement vs the single-disk fast path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use senn_bench::BenchRng;
+use senn_geom::{Circle, DiskRegion, Point, PolygonRegion};
+
+fn scenario(disks: usize, seed: u64) -> (Vec<Circle>, Vec<Circle>) {
+    let mut rng = BenchRng::new(seed);
+    let sources: Vec<Circle> = (0..disks)
+        .map(|_| {
+            Circle::new(
+                Point::new(rng.next_f64() * 10.0, rng.next_f64() * 10.0),
+                1.0 + rng.next_f64() * 2.0,
+            )
+        })
+        .collect();
+    let candidates: Vec<Circle> = (0..64)
+        .map(|_| {
+            Circle::new(
+                Point::new(rng.next_f64() * 10.0, rng.next_f64() * 10.0),
+                0.3 + rng.next_f64() * 1.5,
+            )
+        })
+        .collect();
+    (sources, candidates)
+}
+
+fn coverage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_coverage");
+    for disks in [2usize, 4, 8, 16] {
+        let (sources, candidates) = scenario(disks, disks as u64 * 31);
+        for vertices in [8usize, 16, 24, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("polygon_{vertices}v"), disks),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let region = PolygonRegion::from_circles(&sources, vertices);
+                        let mut covered = 0;
+                        for cand in &candidates {
+                            if region.covers_circle(cand) {
+                                covered += 1;
+                            }
+                        }
+                        black_box(covered)
+                    })
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("exact_arcs", disks), &(), |b, _| {
+            b.iter(|| {
+                let region = DiskRegion::from_circles(&sources);
+                let mut covered = 0;
+                for cand in &candidates {
+                    if region.covers_circle(cand) {
+                        covered += 1;
+                    }
+                }
+                black_box(covered)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("single_disk_lemma", disks), &(), |b, _| {
+            // Lemma 3.2 fast path: test each candidate against each disk
+            // alone (no union) — cheap but verifies fewer candidates.
+            b.iter(|| {
+                let mut covered = 0;
+                for cand in &candidates {
+                    if sources.iter().any(|s| s.contains_circle(cand)) {
+                        covered += 1;
+                    }
+                }
+                black_box(covered)
+            })
+        });
+    }
+    group.finish();
+
+    // Report the acceptance-rate side of the ablation: how many candidates
+    // each representation certifies (quality, not speed).
+    let (sources, candidates) = scenario(8, 99);
+    let exact = DiskRegion::from_circles(&sources);
+    let exact_n = candidates.iter().filter(|c| exact.covers_circle(c)).count();
+    for vertices in [8usize, 16, 24, 32] {
+        let poly = PolygonRegion::from_circles(&sources, vertices);
+        let n = candidates.iter().filter(|c| poly.covers_circle(c)).count();
+        println!("[region_coverage] {vertices}-gon certifies {n}/{exact_n} of what exact does");
+    }
+    let single = candidates
+        .iter()
+        .filter(|c| sources.iter().any(|s| s.contains_circle(c)))
+        .count();
+    println!("[region_coverage] single-disk test certifies {single}/{exact_n}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = coverage
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! INN vs EINN (Figure 17's kernel): wall time and node accesses of the
+//! server-side kNN search, with the ablation of each pruning rule.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use senn_bench::{random_points, random_tree, BenchRng};
+use senn_geom::Point;
+use senn_rtree::SearchBounds;
+
+fn knn_variants(c: &mut Criterion) {
+    let side = 10_000.0;
+    let n = 20_000;
+    let tree = random_tree(n, side, 42);
+    let pts = random_points(n, side, 42);
+    let mut group = c.benchmark_group("rtree_knn");
+
+    for k in [5usize, 10, 20] {
+        // Precompute, per query point, the "verified prefix" a SENN client
+        // would hold: the first k-2 NNs (lower bound) and the k-th distance
+        // (upper bound).
+        let mut rng = BenchRng::new(7);
+        let queries: Vec<(Point, SearchBounds)> = (0..64)
+            .map(|_| {
+                let q = rng.point(side);
+                let mut d: Vec<f64> = pts.iter().map(|p| q.dist(*p)).collect();
+                d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let bounds = SearchBounds {
+                    lower: Some(d[k - 2]),
+                    upper: Some(d[k - 1]),
+                };
+                (q, bounds)
+            })
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("inn", k), &k, |b, &k| {
+            let mut qi = 0;
+            b.iter(|| {
+                let (q, _) = queries[qi % queries.len()];
+                qi += 1;
+                black_box(tree.knn(q, k))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("einn_both_bounds", k), &k, |b, _| {
+            let mut qi = 0;
+            b.iter(|| {
+                let (q, bounds) = queries[qi % queries.len()];
+                qi += 1;
+                black_box(tree.knn_bounded(q, 2, bounds))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("einn_lower_only", k), &k, |b, _| {
+            let mut qi = 0;
+            b.iter(|| {
+                let (q, bounds) = queries[qi % queries.len()];
+                qi += 1;
+                let lb = SearchBounds {
+                    lower: bounds.lower,
+                    upper: None,
+                };
+                black_box(tree.knn_bounded(q, 2, lb))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("einn_upper_only", k), &k, |b, &k| {
+            let mut qi = 0;
+            b.iter(|| {
+                let (q, bounds) = queries[qi % queries.len()];
+                qi += 1;
+                let ub = SearchBounds {
+                    lower: None,
+                    upper: bounds.upper,
+                };
+                black_box(tree.knn_bounded(q, k, ub))
+            })
+        });
+    }
+    group.finish();
+
+    // Also report the access counts once (Criterion measures time; the
+    // paper's Figure 17 metric is accesses — printed for EXPERIMENTS.md).
+    let mut rng = BenchRng::new(9);
+    let mut inn_total = 0u64;
+    let mut einn_total = 0u64;
+    let k = 10usize;
+    let rounds = 200;
+    for _ in 0..rounds {
+        let q = rng.point(side);
+        let mut d: Vec<f64> = pts.iter().map(|p| q.dist(*p)).collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (_, a) = tree.knn(q, k);
+        inn_total += a;
+        let bounds = SearchBounds {
+            lower: Some(d[k - 2]),
+            upper: Some(d[k - 1]),
+        };
+        let (_, a) = tree.knn_bounded(q, 2, bounds);
+        einn_total += a;
+    }
+    println!(
+        "[rtree_knn] mean node accesses over {rounds} queries (k={k}): INN {:.1}, EINN {:.1} ({:.0}% saved)",
+        inn_total as f64 / rounds as f64,
+        einn_total as f64 / rounds as f64,
+        (1.0 - einn_total as f64 / inn_total as f64) * 100.0
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = knn_variants
+}
+criterion_main!(benches);

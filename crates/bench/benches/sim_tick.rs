@@ -1,0 +1,67 @@
+//! End-to-end simulator throughput on the scaled Los Angeles world, plus
+//! the grid-vs-naive peer-discovery ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use senn_bench::random_points;
+use senn_geom::{Point, Rect};
+use senn_sim::{HostGrid, ParamSet, SimConfig, SimParams, Simulator};
+
+fn sim_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_tick");
+    group.bench_function("la_2x2_one_minute", |b| {
+        b.iter(|| {
+            let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+            params.t_execution_hours = 1.0 / 60.0;
+            let mut cfg = SimConfig::new(params, 7);
+            cfg.warmup_frac = 0.0;
+            let mut sim = Simulator::new(cfg);
+            black_box(sim.run().queries)
+        })
+    });
+    group.bench_function("la_30x30_scaled400_one_minute", |b| {
+        b.iter(|| {
+            let mut params = SimParams::thirty_by_thirty(ParamSet::LosAngeles).scaled_down(400.0);
+            params.t_execution_hours = 1.0 / 60.0;
+            let mut cfg = SimConfig::new(params, 7);
+            cfg.warmup_frac = 0.0;
+            let mut sim = Simulator::new(cfg);
+            black_box(sim.run().queries)
+        })
+    });
+
+    // Peer-discovery ablation: grid vs naive linear scan at LA density.
+    let side = 3218.7;
+    let bounds = Rect::new(Point::ORIGIN, Point::new(side, side));
+    let positions = random_points(463, side, 13);
+    group.bench_function("peer_discovery_grid", |b| {
+        b.iter(|| {
+            let grid = HostGrid::build(bounds, 200.0, &positions);
+            let mut total = 0usize;
+            for (i, p) in positions.iter().enumerate().take(64) {
+                total += grid.within(*p, 200.0, i as u32).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("peer_discovery_naive", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (i, p) in positions.iter().enumerate().take(64) {
+                total += positions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, o)| j != i && p.dist(*o) <= 200.0)
+                    .count();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sim_tick
+}
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Runs a single custom simulation scenario and prints its metrics.
+//!
+//! ```text
+//! simulate --set la --area 2 [--hosts N] [--pois N] [--tx M] [--cache N]
+//!          [--mph V] [--minutes T] [--k K | --kmax K] [--free] [--lru]
+//!          [--accept-uncertain] [--seed S] [--scale D]
+//! ```
+//!
+//! Unspecified values come from the paper's Table 3/4 defaults for the
+//! chosen set and area.
+
+use senn_sim::{CachePolicy, KChoice, MovementMode, ParamSet, SimConfig, SimParams, Simulator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut set = ParamSet::LosAngeles;
+    let mut area30 = false;
+    let mut scale: f64 = 100.0;
+    let mut seed: u64 = 20060403;
+    let mut overrides: Vec<(String, String)> = Vec::new();
+    let mut mode = MovementMode::RoadNetwork;
+    let mut cache_policy = CachePolicy::MostRecent;
+    let mut accept_uncertain = false;
+    let mut k_choice: Option<KChoice> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| die("missing value")).clone()
+        };
+        match args[i].as_str() {
+            "--set" => {
+                set = match take(&mut i).as_str() {
+                    "la" | "LA" => ParamSet::LosAngeles,
+                    "rv" | "RV" | "riverside" => ParamSet::Riverside,
+                    "syn" | "SYN" | "synthetic" => ParamSet::Synthetic,
+                    other => die(&format!("unknown set {other} (la/rv/syn)")),
+                }
+            }
+            "--area" => {
+                area30 = match take(&mut i).as_str() {
+                    "2" => false,
+                    "30" => true,
+                    other => die(&format!("unknown area {other} (2 or 30 miles)")),
+                }
+            }
+            "--scale" => scale = parse(&take(&mut i)),
+            "--seed" => seed = parse(&take(&mut i)),
+            "--free" => mode = MovementMode::FreeMovement,
+            "--lru" => cache_policy = CachePolicy::Lru,
+            "--accept-uncertain" => accept_uncertain = true,
+            "--k" => k_choice = Some(KChoice::Fixed(parse(&take(&mut i)))),
+            "--kmax" => k_choice = Some(KChoice::Uniform(1, parse(&take(&mut i)))),
+            key @ ("--hosts" | "--pois" | "--tx" | "--cache" | "--mph" | "--minutes") => {
+                let key = key.to_string();
+                let value = take(&mut i);
+                overrides.push((key, value));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: simulate [--set la|rv|syn] [--area 2|30] [--hosts N] [--pois N] \
+                     [--tx M] [--cache N] [--mph V] [--minutes T] [--k K|--kmax K] [--free] \
+                     [--lru] [--accept-uncertain] [--seed S] [--scale D]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    let mut params: SimParams = if area30 {
+        SimParams::thirty_by_thirty(set).scaled_down(scale)
+    } else {
+        SimParams::two_by_two(set)
+    };
+    for (key, value) in &overrides {
+        match key.as_str() {
+            "--hosts" => params.mh_number = parse(value),
+            "--pois" => params.poi_number = parse(value),
+            "--tx" => params.tx_range_m = parse(value),
+            "--cache" => params.c_size = parse(value),
+            "--mph" => params.m_velocity_mph = parse(value),
+            "--minutes" => params.t_execution_hours = parse::<f64>(value) / 60.0,
+            _ => unreachable!(),
+        }
+    }
+
+    let mut cfg = SimConfig::new(params, seed);
+    cfg.mode = mode;
+    cfg.cache_policy = cache_policy;
+    cfg.accept_uncertain = accept_uncertain;
+    if let Some(kc) = k_choice {
+        cfg.k_choice = kc;
+    }
+
+    println!(
+        "{} / {:.2}x{:.2} mi / {} hosts / {} POIs / tx {} m / C={} / {} mph / {:.0} min / {:?}",
+        set.name(),
+        params.area_miles,
+        params.area_miles,
+        params.mh_number,
+        params.poi_number,
+        params.tx_range_m,
+        params.c_size,
+        params.m_velocity_mph,
+        params.t_execution_hours * 60.0,
+        mode
+    );
+    let t0 = std::time::Instant::now();
+    let mut sim = Simulator::new(cfg);
+    let m = sim.run();
+    println!(
+        "simulated in {:.1}s wall clock\n",
+        t0.elapsed().as_secs_f64()
+    );
+
+    println!("queries               {:>10}", m.queries);
+    println!(
+        "  single-peer         {:>9.1} %",
+        m.single_peer_rate() * 100.0
+    );
+    println!(
+        "  multi-peer          {:>9.1} %",
+        m.multi_peer_rate() * 100.0
+    );
+    if m.accepted_uncertain > 0 {
+        println!(
+            "  accepted uncertain  {:>9.1} %  ({:.0}% of them exact, {:.1}% mean inflation)",
+            100.0 * m.accepted_uncertain as f64 / m.queries.max(1) as f64,
+            m.uncertain_exact_rate() * 100.0,
+            m.uncertain_mean_inflation() * 100.0
+        );
+    }
+    println!("  server (SQRR)       {:>9.1} %", m.sqrr() * 100.0);
+    if m.server > 0 {
+        println!(
+            "server pages/query    EINN {:>6.1}  vs  INN {:>6.1}  ({:.0}% saved)",
+            m.einn_pages_per_query(),
+            m.inn_pages_per_query(),
+            (1.0 - m.einn_accesses as f64 / m.inn_accesses.max(1) as f64) * 100.0
+        );
+    }
+    if m.server > 0 {
+        let total: u64 = m.heap_states.iter().sum();
+        if total > 0 {
+            let pct = |i: usize| 100.0 * m.heap_states[i] as f64 / total as f64;
+            println!(
+                "heap states at server queries: S1 {:.0}% S2 {:.0}% S3 {:.0}% S4 {:.0}% S5 {:.0}% S6 {:.0}%",
+                pct(0), pct(1), pct(2), pct(3), pct(4), pct(5)
+            );
+        }
+    }
+    println!(
+        "p2p overhead/query    {:.2} cache entries, {:.2} NN records",
+        m.peer_entries_per_query(),
+        m.peer_records_per_query()
+    );
+    let model = senn_sim::LatencyModel::default();
+    // Counterfactual: every query served by plain INN at the observed
+    // per-query page cost, no P2P traffic.
+    let pages_per_query = if m.server > 0 {
+        m.inn_pages_per_query().max(m.einn_pages_per_query())
+    } else {
+        8.0
+    };
+    let mut server_only = m.clone();
+    server_only.server = server_only.queries;
+    server_only.einn_accesses = (pages_per_query * m.queries as f64) as u64;
+    server_only.peer_entries_received = 0;
+    println!(
+        "mean latency/query    {:.1} ms  (vs {:.1} ms if every query went to the server)",
+        m.mean_latency_ms(&model),
+        server_only.mean_latency_ms(&model)
+    );
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad numeric value: {s}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

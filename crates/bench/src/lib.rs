@@ -1,0 +1,141 @@
+//! # senn-bench
+//!
+//! Shared world builders for the Criterion benchmarks and the
+//! `experiments` binary (which regenerates every figure of the paper —
+//! see `DESIGN.md` §4 for the experiment index).
+
+use senn_cache::CacheEntry;
+use senn_core::RTreeServer;
+use senn_geom::Point;
+use senn_network::{generate_network, GeneratorConfig, NetworkPois, NodeLocator, RoadNetwork};
+use senn_rtree::RStarTree;
+
+/// Deterministic xorshift stream for bench inputs.
+pub struct BenchRng(pub u64);
+
+impl BenchRng {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        BenchRng(seed | 1)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform point in a `side`-sized square.
+    pub fn point(&mut self, side: f64) -> Point {
+        Point::new(self.next_f64() * side, self.next_f64() * side)
+    }
+}
+
+/// Uniform random points in a square of the given side.
+pub fn random_points(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = BenchRng::new(seed);
+    (0..n).map(|_| rng.point(side)).collect()
+}
+
+/// An R\*-tree over `n` random points (payload = index).
+pub fn random_tree(n: usize, side: f64, seed: u64) -> RStarTree<u32> {
+    RStarTree::bulk_load(
+        random_points(n, side, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u32))
+            .collect(),
+    )
+}
+
+/// An R\*-tree-backed server over `n` random POIs.
+pub fn random_server(n: usize, side: f64, seed: u64) -> RTreeServer {
+    RTreeServer::new(
+        random_points(n, side, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, p)),
+    )
+}
+
+/// An honest peer cache entry: the `cache_k` true NNs of `loc` among
+/// `pois`.
+pub fn honest_peer(loc: Point, pois: &[Point], cache_k: usize) -> CacheEntry {
+    let mut by_d: Vec<(f64, usize)> = pois
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (loc.dist(*p), i))
+        .collect();
+    by_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    CacheEntry::from_sorted(
+        loc,
+        by_d.iter()
+            .take(cache_k)
+            .map(|&(_, i)| (i as u64, pois[i]))
+            .collect(),
+    )
+}
+
+/// A city network plus snapped POIs and locator, for network-kNN benches.
+pub struct NetworkWorld {
+    pub net: RoadNetwork,
+    pub pois: NetworkPois,
+    pub tree: RStarTree<u32>,
+    pub locator: NodeLocator,
+}
+
+/// Builds a [`NetworkWorld`] with the given size and POI count.
+pub fn network_world(side: f64, poi_count: usize, seed: u64) -> NetworkWorld {
+    let net = generate_network(&GeneratorConfig::city(side, seed));
+    let positions = random_points(poi_count, side, seed ^ 0xabc);
+    let pois = NetworkPois::snap(&net, positions.clone());
+    let tree = RStarTree::bulk_load(
+        positions
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u32))
+            .collect(),
+    );
+    let locator = NodeLocator::new(&net);
+    NetworkWorld {
+        net,
+        pois,
+        tree,
+        locator,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_are_deterministic() {
+        let a = random_points(10, 100.0, 5);
+        let b = random_points(10, 100.0, 5);
+        assert_eq!(a, b);
+        assert_eq!(random_tree(50, 100.0, 1).len(), 50);
+        assert_eq!(random_server(20, 100.0, 2).tree().len(), 20);
+    }
+
+    #[test]
+    fn honest_peer_is_sorted_prefix() {
+        let pois = random_points(30, 100.0, 9);
+        let loc = Point::new(50.0, 50.0);
+        let e = honest_peer(loc, &pois, 5);
+        assert_eq!(e.len(), 5);
+        for w in e.neighbors.windows(2) {
+            assert!(loc.dist(w[0].position) <= loc.dist(w[1].position) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn network_world_builds() {
+        let w = network_world(1500.0, 10, 3);
+        assert!(w.net.is_connected());
+        assert_eq!(w.pois.len(), 10);
+        assert_eq!(w.tree.len(), 10);
+    }
+}

@@ -1,0 +1,97 @@
+//! Deriving the branch-expanding pruning bounds from the heap state
+//! (Section 3.3).
+//!
+//! | State | Heap contents | Bounds |
+//! |---|---|---|
+//! | 1 | full, mixed | upper + lower |
+//! | 2 | full, only uncertain | upper only |
+//! | 3 | not full, mixed | lower only |
+//! | 4 | not full, only certain | lower only |
+//! | 5 | not full, only uncertain | none |
+//! | 6 | empty | none |
+
+use senn_rtree::SearchBounds;
+
+use crate::heap::{HeapState, ResultHeap};
+
+/// Computes the pruning bounds a mobile host forwards to the server for
+/// the residual kNN query, per the state table of Section 3.3.
+pub fn bounds_from_heap(heap: &ResultHeap) -> SearchBounds {
+    match heap.state() {
+        HeapState::FullMixed => SearchBounds {
+            upper: heap.worst_distance(),
+            lower: heap.last_certain_distance(),
+        },
+        HeapState::FullUncertain => SearchBounds {
+            upper: heap.worst_distance(),
+            lower: None,
+        },
+        HeapState::PartialMixed | HeapState::PartialCertain => SearchBounds {
+            upper: None,
+            lower: heap.last_certain_distance(),
+        },
+        HeapState::PartialUncertain | HeapState::Empty => SearchBounds::NONE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senn_cache::CachedNn;
+    use senn_geom::Point;
+
+    fn nn(id: u64) -> CachedNn {
+        CachedNn {
+            poi_id: id,
+            position: Point::new(id as f64, 0.0),
+        }
+    }
+
+    #[test]
+    fn state1_full_mixed_both_bounds() {
+        let mut h = ResultHeap::new(2);
+        h.insert_certain(nn(1), 1.0);
+        h.insert_uncertain(nn(2), 3.0);
+        let b = bounds_from_heap(&h);
+        assert_eq!(b.upper, Some(3.0));
+        assert_eq!(b.lower, Some(1.0));
+    }
+
+    #[test]
+    fn state2_full_uncertain_upper_only() {
+        let mut h = ResultHeap::new(2);
+        h.insert_uncertain(nn(1), 1.0);
+        h.insert_uncertain(nn(2), 3.0);
+        let b = bounds_from_heap(&h);
+        assert_eq!(b.upper, Some(3.0));
+        assert_eq!(b.lower, None);
+    }
+
+    #[test]
+    fn state3_partial_mixed_lower_only() {
+        let mut h = ResultHeap::new(5);
+        h.insert_certain(nn(1), 1.0);
+        h.insert_uncertain(nn(2), 3.0);
+        let b = bounds_from_heap(&h);
+        assert_eq!(b.upper, None);
+        assert_eq!(b.lower, Some(1.0));
+    }
+
+    #[test]
+    fn state4_partial_certain_lower_only() {
+        let mut h = ResultHeap::new(5);
+        h.insert_certain(nn(1), 1.0);
+        h.insert_certain(nn(2), 2.0);
+        let b = bounds_from_heap(&h);
+        assert_eq!(b.upper, None);
+        assert_eq!(b.lower, Some(2.0));
+    }
+
+    #[test]
+    fn states5_6_no_bounds() {
+        let mut h = ResultHeap::new(5);
+        assert!(bounds_from_heap(&h).is_none()); // state 6
+        h.insert_uncertain(nn(1), 1.0);
+        assert!(bounds_from_heap(&h).is_none()); // state 5
+    }
+}

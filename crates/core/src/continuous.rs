@@ -1,0 +1,260 @@
+//! Continuous kNN queries from a moving host (k-NNMP, multi-step search).
+//!
+//! The paper's motivating scenario is a car repeatedly asking for its
+//! nearest gas stations while driving. Between stops, the host's *own*
+//! most recent cached result is a peer cache at distance δ = how far the
+//! host has moved — so the same SENN verification answers the re-query
+//! locally until the host out-drives its cache (the multi-step reuse idea
+//! of Song & Roussopoulos discussed in the paper's related work).
+//!
+//! [`validity_radius`] gives a closed-form guarantee in the spirit of Tao
+//! et al.'s split points: starting from a cache with `c >= k` certain NNs,
+//! any re-query issued within `(r - d_k) / 2` of the cached location is
+//! certain to be answerable from the cache alone — `r` the cache's
+//! certain-area radius, `d_k` the distance to its k-th entry.
+
+use senn_cache::CacheEntry;
+use senn_geom::Point;
+
+use crate::senn::{Resolution, SennEngine, SennOutcome};
+use crate::server::SpatialServer;
+
+/// Maximum displacement from the cached query location within which a
+/// fresh kNN query is *guaranteed* to verify from this cache alone.
+///
+/// Derivation: at displacement `δ`, the k-th candidate's distance is at
+/// most `d_k + δ` (triangle inequality), and Lemma 3.2 needs
+/// `dist + δ <= r`; `d_k + 2δ <= r` suffices, i.e. `δ <= (r - d_k) / 2`.
+/// Returns 0 when the cache holds fewer than `k` entries.
+pub fn validity_radius(cache: &CacheEntry, k: usize) -> f64 {
+    if cache.len() < k || k == 0 {
+        return 0.0;
+    }
+    let r = cache.farthest_distance();
+    let d_k = cache.query_location.dist(cache.neighbors[k - 1].position);
+    ((r - d_k) / 2.0).max(0.0)
+}
+
+/// Statistics of a continuous query session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ContinuousStats {
+    /// Queries issued so far.
+    pub queries: u64,
+    /// Queries answered without the server (own cache and/or peers).
+    pub local: u64,
+    /// Queries that contacted the server.
+    pub server: u64,
+}
+
+/// A moving host's continuous kNN session: each call to
+/// [`ContinuousKnn::query`] reuses the previous answer as a peer cache.
+///
+/// ```
+/// use senn_core::{ContinuousKnn, RTreeServer, SennEngine};
+/// use senn_core::senn::SennConfig;
+/// use senn_geom::Point;
+///
+/// let pois: Vec<(u64, Point)> =
+///     (0..50).map(|i| (i, Point::new((i % 10) as f64 * 40.0, (i / 10) as f64 * 40.0))).collect();
+/// let server = RTreeServer::new(pois);
+/// let engine = SennEngine::new(SennConfig { server_fetch: 12, ..Default::default() });
+/// let mut session = ContinuousKnn::new(engine, 2);
+/// session.query(Point::new(100.0, 100.0), &[], &server); // server round-trip
+/// session.query(Point::new(103.0, 100.0), &[], &server); // reused locally
+/// assert_eq!(session.stats().server, 1);
+/// assert_eq!(session.stats().local, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ContinuousKnn {
+    engine: SennEngine,
+    k: usize,
+    cache: Option<CacheEntry>,
+    stats: ContinuousStats,
+}
+
+impl ContinuousKnn {
+    /// Creates a session. The engine's `server_fetch` (cache capacity)
+    /// controls how much look-ahead each server round-trip buys.
+    pub fn new(engine: SennEngine, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        ContinuousKnn {
+            engine,
+            k,
+            cache: None,
+            stats: ContinuousStats::default(),
+        }
+    }
+
+    /// The rolling own-cache entry, if any.
+    pub fn cache(&self) -> Option<&CacheEntry> {
+        self.cache.as_ref()
+    }
+
+    /// Session statistics.
+    pub fn stats(&self) -> ContinuousStats {
+        self.stats
+    }
+
+    /// Guaranteed-local radius around the last query position: within it,
+    /// the next [`Self::query`] will not contact the server.
+    pub fn guaranteed_radius(&self) -> f64 {
+        self.cache
+            .as_ref()
+            .map_or(0.0, |c| validity_radius(c, self.k))
+    }
+
+    /// Issues the kNN query at `position`, using the rolling own cache
+    /// plus any `extra_peers` in radio range, falling back to `server`.
+    pub fn query(
+        &mut self,
+        position: Point,
+        extra_peers: &[CacheEntry],
+        server: &dyn SpatialServer,
+    ) -> SennOutcome {
+        let mut peers: Vec<CacheEntry> = Vec::with_capacity(extra_peers.len() + 1);
+        if let Some(own) = &self.cache {
+            peers.push(own.clone());
+        }
+        peers.extend_from_slice(extra_peers);
+        let out = self.engine.query(position, self.k, &peers, server);
+        self.stats.queries += 1;
+        match out.resolution {
+            Resolution::Server => self.stats.server += 1,
+            _ => self.stats.local += 1,
+        }
+        // Roll the cache forward with everything certain we now know.
+        let cacheable: Vec<_> = out.cacheable().iter().map(|e| e.poi).collect();
+        if !cacheable.is_empty() {
+            self.cache = Some(CacheEntry::new(position, cacheable));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::senn::SennConfig;
+    use crate::server::RTreeServer;
+    use senn_cache::CachedNn;
+
+    fn world(n: usize, side: f64, seed: u64) -> (Vec<Point>, RTreeServer) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pois: Vec<Point> = (0..n)
+            .map(|_| Point::new(next() * side, next() * side))
+            .collect();
+        let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+        (pois, server)
+    }
+
+    #[test]
+    fn validity_radius_formula() {
+        // Cache at origin: NNs at 2, 4, 10 → for k=1: (10-2)/2 = 4.
+        let cache = CacheEntry::from_sorted(
+            Point::ORIGIN,
+            vec![
+                (0, Point::new(2.0, 0.0)),
+                (1, Point::new(0.0, 4.0)),
+                (2, Point::new(10.0, 0.0)),
+            ],
+        );
+        assert_eq!(validity_radius(&cache, 1), 4.0);
+        assert_eq!(validity_radius(&cache, 2), 3.0);
+        assert_eq!(validity_radius(&cache, 3), 0.0); // k-th IS the boundary
+        assert_eq!(validity_radius(&cache, 4), 0.0); // cache too small
+    }
+
+    #[test]
+    fn queries_within_validity_radius_never_hit_server() {
+        let (pois, server) = world(100, 1000.0, 5);
+        let engine = SennEngine::new(SennConfig {
+            server_fetch: 15,
+            ..Default::default()
+        });
+        let mut session = ContinuousKnn::new(engine, 3);
+        let start = Point::new(500.0, 500.0);
+        session.query(start, &[], &server); // seeds the cache (server)
+        assert_eq!(session.stats().server, 1);
+        let radius = session.guaranteed_radius();
+        assert!(radius > 0.0, "15-deep cache must buy some slack");
+        // Probe positions strictly inside the guaranteed radius.
+        for i in 0..16 {
+            let th = std::f64::consts::TAU * i as f64 / 16.0;
+            let p = Point::new(
+                start.x + radius * 0.95 * th.cos(),
+                start.y + radius * 0.95 * th.sin(),
+            );
+            let mut probe = session.clone();
+            let out = probe.query(p, &[], &server);
+            assert_ne!(
+                out.resolution,
+                Resolution::Server,
+                "query at {p:?} inside the validity radius hit the server"
+            );
+        }
+        let _ = pois;
+    }
+
+    #[test]
+    fn drive_along_line_amortizes_server_contacts() {
+        let (_, server) = world(300, 2000.0, 9);
+        let engine = SennEngine::new(SennConfig {
+            server_fetch: 20,
+            ..Default::default()
+        });
+        let mut session = ContinuousKnn::new(engine, 3);
+        // 200 steps of 5 m: a 1 km drive with a query every 5 m.
+        for i in 0..200 {
+            let p = Point::new(500.0 + i as f64 * 5.0, 1000.0);
+            session.query(p, &[], &server);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.queries, 200);
+        assert!(
+            stats.server < 40,
+            "multi-step reuse should answer most re-queries locally ({} server hits)",
+            stats.server
+        );
+        assert_eq!(stats.local + stats.server, stats.queries);
+    }
+
+    #[test]
+    fn results_always_correct_while_moving() {
+        let (pois, server) = world(120, 800.0, 21);
+        let engine = SennEngine::new(SennConfig {
+            server_fetch: 12,
+            ..Default::default()
+        });
+        let mut session = ContinuousKnn::new(engine, 4);
+        for i in 0..60 {
+            let p = Point::new(100.0 + i as f64 * 10.0, 400.0 + (i % 7) as f64 * 15.0);
+            let out = session.query(p, &[], &server);
+            let mut want: Vec<f64> = pois.iter().map(|t| p.dist(*t)).collect();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(out.results.len(), 4);
+            for (r, w) in out.results.iter().zip(&want) {
+                assert!((r.dist - w).abs() < 1e-9, "step {i}: {} vs {}", r.dist, w);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_world_stays_sane() {
+        let server = RTreeServer::new(Vec::<(u64, Point)>::new());
+        let engine = SennEngine::default();
+        let mut session = ContinuousKnn::new(engine, 2);
+        let out = session.query(Point::ORIGIN, &[], &server);
+        assert!(out.results.is_empty());
+        assert_eq!(session.guaranteed_radius(), 0.0);
+        let _ = CachedNn {
+            poi_id: 0,
+            position: Point::ORIGIN,
+        };
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # senn-core
+//!
+//! The paper's primary contribution: **sharing-based nearest-neighbor
+//! queries** (Section 3). A mobile host `Q` first tries to answer its kNN
+//! query from the cached results of peers in radio range, *locally
+//! verifying* which candidate POIs are guaranteed (certain) answers, and
+//! only contacts the remote spatial database for whatever remains — carrying
+//! pruning bounds that shrink the server-side R\*-tree search.
+//!
+//! Components, mapped to the paper:
+//!
+//! | Module | Paper |
+//! |---|---|
+//! | [`verify`] | Lemmas 3.1–3.7: single-peer certainty and rank rules |
+//! | [`heap`] | the result heap `H` (Table 1) and its six states (§3.3) |
+//! | [`single`] | `kNN_single` — single-peer verification (§3.2.1) |
+//! | [`multiple`] | `kNN_multiple` — multi-peer certain region `R_c` (§3.2.2, Lemma 3.8) |
+//! | [`bounds`] | branch-expanding upper/lower bounds (§3.3) |
+//! | [`senn`] | Algorithm 1 — the full SENN query |
+//! | [`snnn`] | Algorithm 2 — the network-distance SNNN query (§3.4) |
+//! | [`server`] | the spatial-database interface plus an R\*-tree adapter |
+//!
+//! The crate is pure logic: peers are passed in as [`PeerCacheEntry`]
+//! values, the database as a [`SpatialServer`] implementation; the
+//! simulator (`senn-sim`) wires both to real moving hosts.
+
+pub mod bounds;
+pub mod continuous;
+pub mod heap;
+pub mod multiple;
+pub mod range;
+pub mod senn;
+pub mod server;
+pub mod single;
+pub mod snnn;
+pub mod verify;
+
+pub use continuous::{validity_radius, ContinuousKnn, ContinuousStats};
+pub use heap::{HeapEntry, HeapState, ResultHeap};
+pub use range::{RangeOutcome, RangeServer};
+pub use senn::{Resolution, SennConfig, SennEngine, SennOutcome};
+pub use senn_cache::{CacheEntry as PeerCacheEntry, CachedNn};
+pub use senn_rtree::SearchBounds;
+pub use server::{RTreeServer, ServerResponse, SpatialServer};
+pub use snnn::{snnn_query, SnnnConfig, SnnnNeighbor, SnnnOutcome};

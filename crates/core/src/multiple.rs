@@ -1,0 +1,294 @@
+//! `kNN_multiple`: multi-peer NN verification (Section 3.2.2, Lemma 3.8).
+//!
+//! When no single peer can verify a candidate, the certain areas of *all*
+//! peers are merged into the certain region `R_c`; a candidate `n_i` is
+//! certain iff the circle around the querier through `n_i` is fully
+//! covered by `R_c`.
+//!
+//! The region can be represented two ways (see `senn-geom`):
+//! the paper's polygonization (inscribed polygons, conservative) or the
+//! exact disk-union arrangement (extension / ablation oracle). Both are
+//! monotone in the candidate's distance, so verification walks candidates
+//! in ascending distance and stops at the first failure.
+
+use senn_cache::{CacheEntry, CachedNn};
+use senn_geom::{Circle, DiskRegion, Point, PolygonRegion};
+
+use crate::heap::ResultHeap;
+
+/// How the certain region `R_c` is represented.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionMethod {
+    /// Inscribed-polygon approximation with the given vertex count — the
+    /// paper's polygonization + MapOverlay approach.
+    Polygonized {
+        /// Vertex count of each inscribed polygon.
+        vertices: usize,
+    },
+    /// Exact circle-arc arrangement (extension).
+    Exact,
+}
+
+impl Default for RegionMethod {
+    fn default() -> Self {
+        RegionMethod::Polygonized {
+            vertices: senn_geom::polygon::DEFAULT_POLYGONIZATION_VERTICES,
+        }
+    }
+}
+
+/// The merged certain region of a set of peers.
+pub enum CertainRegion {
+    /// The paper's polygonized representation.
+    Polygonized(PolygonRegion),
+    /// The exact disk-union representation (extension).
+    Exact(DiskRegion),
+}
+
+impl CertainRegion {
+    /// Builds `R_c` from every peer's certain-area disk (center: cached
+    /// query location, radius: distance to the farthest cached NN).
+    pub fn build(peers: &[CacheEntry], method: RegionMethod) -> Self {
+        let circles: Vec<Circle> = peers
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| Circle::new(p.query_location, p.farthest_distance()))
+            .collect();
+        match method {
+            RegionMethod::Polygonized { vertices } => {
+                CertainRegion::Polygonized(PolygonRegion::from_circles(&circles, vertices))
+            }
+            RegionMethod::Exact => CertainRegion::Exact(DiskRegion::from_circles(&circles)),
+        }
+    }
+
+    /// Lemma 3.8's test: is the circle centered at the query through the
+    /// candidate fully covered by the region?
+    pub fn covers_candidate(&self, query: Point, dist: f64) -> bool {
+        let c = Circle::new(query, dist);
+        match self {
+            CertainRegion::Polygonized(r) => r.covers_circle(&c),
+            CertainRegion::Exact(r) => r.covers_circle(&c),
+        }
+    }
+
+    /// Number of disks/polygons in the region.
+    pub fn len(&self) -> usize {
+        match self {
+            CertainRegion::Polygonized(r) => r.len(),
+            CertainRegion::Exact(r) => r.len(),
+        }
+    }
+
+    /// True when the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Runs the multi-peer verification: collects every cached POI of every
+/// peer as a candidate, sorts ascending by distance to the querier, and
+/// verifies each against `R_c` until the first failure (coverage is
+/// monotone in the radius). Returns the number of new certain entries.
+pub fn knn_multiple(
+    query: Point,
+    peers: &[CacheEntry],
+    method: RegionMethod,
+    heap: &mut ResultHeap,
+) -> usize {
+    if peers.is_empty() {
+        return 0;
+    }
+    let region = CertainRegion::build(peers, method);
+    if region.is_empty() {
+        return 0;
+    }
+    // Deduplicate candidates by POI id, keeping any position (positions of
+    // the same POI agree across honest caches).
+    let mut candidates: Vec<(f64, CachedNn)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for peer in peers {
+        for nn in &peer.neighbors {
+            if seen.insert(nn.poi_id) {
+                candidates.push((query.dist(nn.position), *nn));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    let mut new_certain = 0;
+    let mut verifying = true;
+    for (dist, poi) in candidates {
+        if verifying && region.covers_candidate(query, dist) {
+            let before = heap.certain_count();
+            heap.insert_certain(poi, dist);
+            if heap.certain_count() > before {
+                new_certain += 1;
+            }
+            if heap.is_certain_complete() {
+                break;
+            }
+        } else {
+            // Coverage is monotone: once one candidate fails, all farther
+            // candidates fail too.
+            verifying = false;
+            heap.insert_uncertain(poi, dist);
+        }
+    }
+    new_certain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(loc: Point, pois: &[(u64, f64, f64)]) -> CacheEntry {
+        CacheEntry::new(
+            loc,
+            pois.iter()
+                .map(|&(id, x, y)| CachedNn {
+                    poi_id: id,
+                    position: Point::new(x, y),
+                })
+                .collect(),
+        )
+    }
+
+    /// The Figure 7 scenario: a candidate verifiable only by merging the
+    /// certain areas of two peers.
+    fn figure_7_world() -> (Point, Vec<CacheEntry>, u64) {
+        let q = Point::new(0.0, 0.0);
+        // Peer P3 to the left, P4 to the right; the candidate n sits above
+        // the querier where the two disks overlap.
+        let candidate = (100u64, 0.0, 0.8);
+        let p3 = entry(
+            Point::new(-0.7, 0.0),
+            &[candidate, (101, -1.0, -0.9), (102, -2.05, 0.0)], // radius ≈ 1.35
+        );
+        let p4 = entry(
+            Point::new(0.7, 0.0),
+            &[candidate, (103, 1.0, -0.9), (104, 2.05, 0.0)], // radius ≈ 1.35
+        );
+        (q, vec![p3, p4], candidate.0)
+    }
+
+    #[test]
+    fn single_peer_cannot_verify_figure_7() {
+        let (q, peers, cand) = figure_7_world();
+        for peer in &peers {
+            let mut heap = ResultHeap::new(1);
+            crate::single::knn_single(q, peer, &mut heap);
+            assert!(
+                heap.certain().iter().all(|e| e.poi.poi_id != cand),
+                "single-peer verification should fail for the Fig. 7 candidate"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_region_verifies_figure_7() {
+        let (q, peers, cand) = figure_7_world();
+        for method in [
+            RegionMethod::Exact,
+            RegionMethod::Polygonized { vertices: 48 },
+        ] {
+            let mut heap = ResultHeap::new(1);
+            let added = knn_multiple(q, &peers, method, &mut heap);
+            assert!(added >= 1, "{method:?} failed to verify");
+            assert_eq!(heap.certain()[0].poi.poi_id, cand);
+        }
+    }
+
+    #[test]
+    fn polygonized_is_no_more_permissive_than_exact() {
+        // On a randomized family of worlds, whatever the polygonized region
+        // certifies, the exact region certifies too.
+        let mut s = 0x5eedu64 | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..40 {
+            let q = Point::new(next() * 10.0, next() * 10.0);
+            let peers: Vec<CacheEntry> = (0..3)
+                .map(|pi| {
+                    let loc = Point::new(next() * 10.0, next() * 10.0);
+                    let pois: Vec<(u64, f64, f64)> = (0..3)
+                        .map(|j| {
+                            (
+                                (pi * 10 + j) as u64,
+                                loc.x + next() * 6.0 - 3.0,
+                                loc.y + next() * 6.0 - 3.0,
+                            )
+                        })
+                        .collect();
+                    entry(loc, &pois)
+                })
+                .collect();
+            let mut heap_poly = ResultHeap::new(5);
+            let mut heap_exact = ResultHeap::new(5);
+            knn_multiple(
+                q,
+                &peers,
+                RegionMethod::Polygonized { vertices: 24 },
+                &mut heap_poly,
+            );
+            knn_multiple(q, &peers, RegionMethod::Exact, &mut heap_exact);
+            for e in heap_poly.certain() {
+                assert!(
+                    heap_exact
+                        .certain()
+                        .iter()
+                        .any(|x| x.poi.poi_id == e.poi.poi_id),
+                    "polygonized certified {} which exact did not",
+                    e.poi.poi_id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut heap = ResultHeap::new(2);
+        assert_eq!(
+            knn_multiple(Point::ORIGIN, &[], RegionMethod::default(), &mut heap),
+            0
+        );
+        let empty_peer = entry(Point::ORIGIN, &[]);
+        assert_eq!(
+            knn_multiple(
+                Point::ORIGIN,
+                &[empty_peer],
+                RegionMethod::default(),
+                &mut heap
+            ),
+            0
+        );
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn subsumes_single_peer_verification() {
+        // With one peer, multi-peer verification must verify exactly what
+        // Lemma 3.2 verifies (the region is that peer's single disk).
+        let q = Point::new(0.5, 0.0);
+        let peer = entry(
+            Point::ORIGIN,
+            &[(1, 0.6, 0.0), (2, 0.0, 1.5), (3, 2.0, 0.0)],
+        );
+        let mut heap_single = ResultHeap::new(3);
+        crate::single::knn_single(q, &peer, &mut heap_single);
+        let mut heap_multi = ResultHeap::new(3);
+        knn_multiple(
+            q,
+            std::slice::from_ref(&peer),
+            RegionMethod::Exact,
+            &mut heap_multi,
+        );
+        let ids =
+            |h: &ResultHeap| -> Vec<u64> { h.certain().iter().map(|e| e.poi.poi_id).collect() };
+        assert_eq!(ids(&heap_single), ids(&heap_multi));
+    }
+}

@@ -1,0 +1,281 @@
+//! Sharing-based **range queries** — the extension the paper names as
+//! future work ("we plan to extend our work to investigate other types of
+//! spatial queries, such as range and spatial join searches").
+//!
+//! A circular range query `(Q, r)` asks for *every* POI within distance
+//! `r` of `Q`. The peer-verification argument carries over directly:
+//!
+//! * If the query disk is covered by a single peer's certain-area disk
+//!   (`δ + r <= Dist(P, n_k)`, the range analogue of Lemma 3.2), that
+//!   peer's cache enumerates every POI in the query disk.
+//! * Otherwise, if the query disk is covered by the merged certain region
+//!   `R_c` (the Lemma 3.8 coverage test with the query disk in place of
+//!   the candidate circle), the union of the peer caches enumerates every
+//!   POI in it.
+//! * Otherwise the query goes to the server's R\*-tree disk search.
+
+use senn_cache::{CacheEntry, CachedNn};
+use senn_geom::{Circle, Point};
+
+use crate::multiple::CertainRegion;
+use crate::senn::{Resolution, SennEngine};
+use crate::server::SpatialServer;
+
+/// Result of a sharing-based range query.
+#[derive(Clone, Debug)]
+pub struct RangeOutcome {
+    /// Every POI within the radius, ascending by distance.
+    pub results: Vec<(CachedNn, f64)>,
+    /// How the query was resolved (`SinglePeer`, `MultiPeer` or `Server`).
+    pub resolution: Resolution,
+    /// Page accesses of the server search, when one happened.
+    pub server_accesses: Option<u64>,
+}
+
+/// A server capable of circular range queries.
+pub trait RangeServer {
+    /// Every POI within `radius` of `center`, plus page accesses.
+    fn range(&self, center: Point, radius: f64) -> (Vec<(CachedNn, f64)>, u64);
+}
+
+impl RangeServer for crate::server::RTreeServer {
+    fn range(&self, center: Point, radius: f64) -> (Vec<(CachedNn, f64)>, u64) {
+        let (hits, accesses) = self.tree().within_radius(center, radius);
+        let mut out: Vec<(CachedNn, f64)> = hits
+            .into_iter()
+            .map(|(p, id)| {
+                (
+                    CachedNn {
+                        poi_id: *id,
+                        position: p,
+                    },
+                    center.dist(p),
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        (out, accesses)
+    }
+}
+
+impl SennEngine {
+    /// Runs a sharing-based circular range query: peers first (single-peer
+    /// disk containment, then the merged certain region), server fallback.
+    pub fn range_query<S>(
+        &self,
+        query: Point,
+        radius: f64,
+        peers: &[CacheEntry],
+        server: &S,
+    ) -> RangeOutcome
+    where
+        S: SpatialServer + RangeServer,
+    {
+        assert!(radius >= 0.0, "range radius must be non-negative");
+        let usable: Vec<&CacheEntry> = peers.iter().filter(|p| !p.is_empty()).collect();
+
+        // Single peer: δ + r <= Dist(P, n_k).
+        let single = usable
+            .iter()
+            .find(|p| query.dist(p.query_location) + radius <= p.farthest_distance());
+        if let Some(peer) = single {
+            return RangeOutcome {
+                results: collect_in_radius(query, radius, std::slice::from_ref(*peer)),
+                resolution: Resolution::SinglePeer,
+                server_accesses: None,
+            };
+        }
+
+        // Multi peer: the query disk covered by R_c.
+        if !usable.is_empty() {
+            let owned: Vec<CacheEntry> = usable.iter().map(|p| (*p).clone()).collect();
+            let region = CertainRegion::build(&owned, self.config().region_method);
+            if !region.is_empty() && {
+                let disk = Circle::new(query, radius);
+                match &region {
+                    CertainRegion::Polygonized(r) => r.covers_circle(&disk),
+                    CertainRegion::Exact(r) => r.covers_circle(&disk),
+                }
+            } {
+                return RangeOutcome {
+                    results: collect_in_radius(query, radius, &owned),
+                    resolution: Resolution::MultiPeer,
+                    server_accesses: None,
+                };
+            }
+        }
+
+        let (results, accesses) = server.range(query, radius);
+        RangeOutcome {
+            results,
+            resolution: Resolution::Server,
+            server_accesses: Some(accesses),
+        }
+    }
+}
+
+/// All distinct cached POIs within `radius` of `query`, ascending.
+fn collect_in_radius(
+    query: Point,
+    radius: f64,
+    peers: &[impl std::borrow::Borrow<CacheEntry>],
+) -> Vec<(CachedNn, f64)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out: Vec<(CachedNn, f64)> = Vec::new();
+    for peer in peers {
+        for nn in &peer.borrow().neighbors {
+            let d = query.dist(nn.position);
+            if d <= radius && seen.insert(nn.poi_id) {
+                out.push((*nn, d));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RTreeServer;
+
+    fn world() -> (Vec<Point>, RTreeServer) {
+        let mut s = 0xbeefu64 | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pois: Vec<Point> = (0..80)
+            .map(|_| Point::new(next() * 200.0, next() * 200.0))
+            .collect();
+        let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+        (pois, server)
+    }
+
+    fn honest_peer(loc: Point, pois: &[Point], cache_k: usize) -> CacheEntry {
+        let mut by_d: Vec<(f64, usize)> = pois
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (loc.dist(*p), i))
+            .collect();
+        by_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        CacheEntry::from_sorted(
+            loc,
+            by_d.iter()
+                .take(cache_k)
+                .map(|&(_, i)| (i as u64, pois[i]))
+                .collect(),
+        )
+    }
+
+    fn brute(pois: &[Point], q: Point, r: f64) -> Vec<u64> {
+        let mut ids: Vec<u64> = pois
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.dist(**p) <= r)
+            .map(|(i, _)| i as u64)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn ids(out: &RangeOutcome) -> Vec<u64> {
+        let mut v: Vec<u64> = out.results.iter().map(|(n, _)| n.poi_id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn single_peer_answers_small_ranges() {
+        let (pois, server) = world();
+        let q = Point::new(100.0, 100.0);
+        let peer = honest_peer(Point::new(102.0, 101.0), &pois, 20);
+        let engine = SennEngine::default();
+        let r = peer.farthest_distance() - q.dist(peer.query_location) - 1.0;
+        assert!(r > 0.0, "scenario needs a usable radius");
+        let out = engine.range_query(q, r, std::slice::from_ref(&peer), &server);
+        assert_eq!(out.resolution, Resolution::SinglePeer);
+        assert_eq!(ids(&out), brute(&pois, q, r));
+        // Results sorted ascending.
+        for w in out.results.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn multi_peer_covers_wider_ranges() {
+        let (pois, server) = world();
+        let q = Point::new(100.0, 100.0);
+        // Two peers straddling the querier; neither alone covers r.
+        let p1 = honest_peer(Point::new(80.0, 100.0), &pois, 25);
+        let p2 = honest_peer(Point::new(120.0, 100.0), &pois, 25);
+        let engine = SennEngine::default();
+        // Pick a radius between the single-peer limit and the union limit.
+        let single_limit = [&p1, &p2]
+            .iter()
+            .map(|p| p.farthest_distance() - q.dist(p.query_location))
+            .fold(f64::MIN, f64::max);
+        let r = single_limit + 3.0;
+        let out = engine.range_query(q, r, &[p1, p2], &server);
+        if out.resolution != Resolution::Server {
+            assert_eq!(out.resolution, Resolution::MultiPeer);
+            assert_eq!(
+                ids(&out),
+                brute(&pois, q, r),
+                "multi-peer answer incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn server_fallback_matches_brute_force() {
+        let (pois, server) = world();
+        let engine = SennEngine::default();
+        let q = Point::new(50.0, 150.0);
+        let out = engine.range_query(q, 60.0, &[], &server);
+        assert_eq!(out.resolution, Resolution::Server);
+        assert!(out.server_accesses.unwrap() > 0);
+        assert_eq!(ids(&out), brute(&pois, q, 60.0));
+    }
+
+    #[test]
+    fn randomized_range_queries_always_exact() {
+        let (pois, server) = world();
+        let engine = SennEngine::default();
+        let mut s = 0x1234u64 | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..100 {
+            let q = Point::new(next() * 200.0, next() * 200.0);
+            let r = next() * 80.0;
+            let peers: Vec<CacheEntry> = (0..3)
+                .map(|_| {
+                    let loc = Point::new(next() * 200.0, next() * 200.0);
+                    honest_peer(loc, &pois, 5 + (next() * 20.0) as usize)
+                })
+                .collect();
+            let out = engine.range_query(q, r, &peers, &server);
+            assert_eq!(
+                ids(&out),
+                brute(&pois, q, r),
+                "resolution {:?}",
+                out.resolution
+            );
+        }
+    }
+
+    #[test]
+    fn zero_radius() {
+        let (pois, server) = world();
+        let engine = SennEngine::default();
+        let q = pois[0];
+        let out = engine.range_query(q, 0.0, &[], &server);
+        assert!(ids(&out).contains(&0));
+    }
+}

@@ -1,0 +1,571 @@
+//! Algorithm 1: the Sharing-based Euclidean distance Nearest Neighbor
+//! (SENN) query.
+//!
+//! ```text
+//! 1. query peers within communication range
+//! 2. sort their cached results by query-location distance  (Heuristic 3.3)
+//! 3. kNN_single over each peer                              (§3.2.1)
+//! 4. if incomplete: kNN_multiple over the merged region     (§3.2.2)
+//! 5. if H full and uncertain answers acceptable: return them
+//! 6. else: query the server with the pruning bounds         (§3.3)
+//! ```
+
+use senn_cache::CacheEntry;
+use senn_geom::{Point, EPS};
+use senn_rtree::SearchBounds;
+
+use crate::bounds::bounds_from_heap;
+use crate::heap::{HeapEntry, HeapState, ResultHeap};
+use crate::multiple::{knn_multiple, RegionMethod};
+use crate::server::SpatialServer;
+use crate::single::{knn_single_all, sort_peers_by_query_location};
+
+/// How a SENN query was resolved — the attribution behind the paper's
+/// "queries solved by single-peer / multi-peer / server" percentages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// All `k` NNs verified by sequential single-peer verification.
+    SinglePeer,
+    /// Completed only by the merged multi-peer certain region.
+    MultiPeer,
+    /// `H` was full and the host accepted the uncertain answer set.
+    AcceptedUncertain,
+    /// The residual query went to the spatial database server.
+    Server,
+    /// Peer phases ran but did not complete, and no server was consulted
+    /// (only produced by [`SennEngine::query_peers_only`]).
+    Unresolved,
+}
+
+/// Configuration of the SENN engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SennConfig {
+    /// Certain-region representation for `kNN_multiple`.
+    pub region_method: RegionMethod,
+    /// Accept a full heap of (possibly) uncertain answers instead of
+    /// contacting the server (Algorithm 1, line 15). The paper's simulation
+    /// requires exact answers, so the default is `false`.
+    pub accept_uncertain: bool,
+    /// When the server must be contacted, fetch at least this many NNs —
+    /// the paper's cache policy 2 ("query for as many NN as the cache
+    /// capacity allows"). `0` fetches exactly what the query needs.
+    pub server_fetch: usize,
+}
+
+/// The outcome of a SENN query.
+#[derive(Clone, Debug)]
+pub struct SennOutcome {
+    /// Final answer: up to `k` entries, certain entries first, each group
+    /// ascending by distance. After a server round-trip every entry is
+    /// certain.
+    pub results: Vec<HeapEntry>,
+    /// Additional certain NNs beyond `k` obtained from an over-fetching
+    /// server query (available for caching), ascending by distance.
+    pub extra_certain: Vec<HeapEntry>,
+    /// How the query was resolved.
+    pub resolution: Resolution,
+    /// The pruning bounds that were (or would have been) forwarded.
+    pub bounds: SearchBounds,
+    /// State of the result heap `H` after the peer phases (Section 3.3) —
+    /// `None` when the peer phases fully answered the query.
+    pub heap_state: Option<HeapState>,
+    /// R\*-tree node accesses of the server search, when one happened.
+    pub server_accesses: Option<u64>,
+}
+
+impl SennOutcome {
+    /// The certain prefix of the results.
+    pub fn certain(&self) -> &[HeapEntry] {
+        let n = self.results.iter().take_while(|e| e.certain).count();
+        &self.results[..n]
+    }
+
+    /// Every certain entry including over-fetched extras — what the host
+    /// should store in its cache.
+    pub fn cacheable(&self) -> Vec<HeapEntry> {
+        self.certain()
+            .iter()
+            .copied()
+            .chain(self.extra_certain.iter().copied())
+            .collect()
+    }
+}
+
+/// The SENN query engine (stateless; configuration only).
+///
+/// ```
+/// use senn_core::{PeerCacheEntry, RTreeServer, SennEngine, Resolution};
+/// use senn_geom::Point;
+///
+/// let server = RTreeServer::new(vec![
+///     (0, Point::new(10.0, 0.0)),
+///     (1, Point::new(40.0, 0.0)),
+///     (2, Point::new(90.0, 0.0)),
+/// ]);
+/// // A peer that cached all three POIs from (30, 0).
+/// let peer = PeerCacheEntry::from_sorted(
+///     Point::new(30.0, 0.0),
+///     vec![(1, Point::new(40.0, 0.0)), (0, Point::new(10.0, 0.0)), (2, Point::new(90.0, 0.0))],
+/// );
+/// let engine = SennEngine::default();
+/// let out = engine.query(Point::new(35.0, 0.0), 2, std::slice::from_ref(&peer), &server);
+/// assert_eq!(out.resolution, Resolution::SinglePeer);
+/// assert_eq!(out.results[0].poi.poi_id, 1);
+/// assert!(out.server_accesses.is_none());
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SennEngine {
+    config: SennConfig,
+}
+
+impl SennEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: SennConfig) -> Self {
+        SennEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SennConfig {
+        &self.config
+    }
+
+    /// Runs only the peer phases (steps 1–5): `kNN_single`, then
+    /// `kNN_multiple`, then optionally accept an uncertain full heap.
+    /// Returns [`Resolution::Unresolved`] when the server would be needed.
+    pub fn query_peers_only(&self, query: Point, k: usize, peers: &[CacheEntry]) -> SennOutcome {
+        let (heap, resolution) = self.peer_phases(query, k, peers);
+        let bounds = bounds_from_heap(&heap);
+        let heap_state = if resolution.is_some() {
+            None
+        } else {
+            Some(heap.state())
+        };
+        let results = heap.into_entries();
+        let extra_certain = if resolution.is_some() {
+            self.extend_certains(query, peers, &results)
+        } else {
+            Vec::new()
+        };
+        SennOutcome {
+            results,
+            extra_certain,
+            resolution: resolution.unwrap_or(Resolution::Unresolved),
+            bounds,
+            heap_state,
+            server_accesses: None,
+        }
+    }
+
+    /// Continues certifying POIs beyond the k-th for caching, up to the
+    /// configured `server_fetch` (cache capacity): the paper's client
+    /// caches "as many NN as its cache capacity allows", and the certain
+    /// set is a downward-closed prefix of the true ranking, so verification
+    /// can simply keep walking candidates in ascending distance until the
+    /// first failure.
+    fn extend_certains(
+        &self,
+        query: Point,
+        peers: &[CacheEntry],
+        results: &[HeapEntry],
+    ) -> Vec<HeapEntry> {
+        let limit = self.config.server_fetch.saturating_sub(results.len());
+        if limit == 0 || peers.is_empty() || results.iter().any(|e| !e.certain) {
+            // Only a fully-certain result set is a known prefix of the true
+            // ranking; accepted-uncertain answers cannot be extended.
+            return Vec::new();
+        }
+        let region = crate::multiple::CertainRegion::build(peers, self.config.region_method);
+        // Candidates beyond the current result set, ascending by distance.
+        let mut candidates: Vec<(f64, crate::heap::HeapEntry)> = Vec::new();
+        let mut seen: std::collections::HashSet<u64> =
+            results.iter().map(|e| e.poi.poi_id).collect();
+        for peer in peers {
+            for nn in &peer.neighbors {
+                if seen.insert(nn.poi_id) {
+                    let dist = query.dist(nn.position);
+                    candidates.push((
+                        dist,
+                        HeapEntry {
+                            poi: *nn,
+                            dist,
+                            certain: true,
+                        },
+                    ));
+                }
+            }
+        }
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut out = Vec::new();
+        for (dist, entry) in candidates {
+            if out.len() >= limit {
+                break;
+            }
+            // Certain via any single peer (Lemma 3.2) or the merged region
+            // (Lemma 3.8); certainty is monotone in the distance, so the
+            // first failure ends the extension.
+            let single_ok = peers.iter().any(|p| {
+                crate::verify::is_certain(
+                    query,
+                    p.query_location,
+                    p.farthest_distance(),
+                    entry.poi.position,
+                )
+            });
+            if single_ok || (!region.is_empty() && region.covers_candidate(query, dist)) {
+                out.push(entry);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Runs the full Algorithm 1 against `server`.
+    pub fn query(
+        &self,
+        query: Point,
+        k: usize,
+        peers: &[CacheEntry],
+        server: &dyn SpatialServer,
+    ) -> SennOutcome {
+        let (heap, resolution) = self.peer_phases(query, k, peers);
+        let bounds = bounds_from_heap(&heap);
+        if let Some(resolution) = resolution {
+            let results = heap.into_entries();
+            let extra_certain = self.extend_certains(query, peers, &results);
+            return SennOutcome {
+                results,
+                extra_certain,
+                resolution,
+                bounds,
+                heap_state: None,
+                server_accesses: None,
+            };
+        }
+        let heap_state = heap.state();
+
+        // Residual server query. With a lower bound `lb`, the server skips
+        // POIs strictly inside the verified circle — exactly the certain
+        // entries below `lb` — and re-reports boundary POIs, which the
+        // merge dedupes.
+        let strictly_below = match bounds.lower {
+            Some(lb) => heap.certain().iter().filter(|e| e.dist < lb - EPS).count(),
+            None => 0,
+        };
+        let need = k - strictly_below.min(k);
+        let fetch = need.max(self.config.server_fetch);
+        // The branch-expanding upper bound is a bound on the k-th NN; when
+        // the cache policy over-fetches beyond k ("query for as many NN as
+        // its cache capacity allows"), the extra results lie beyond it, so
+        // only the lower bound may be forwarded.
+        let wire_bounds = if fetch > need {
+            SearchBounds {
+                upper: None,
+                lower: bounds.lower,
+            }
+        } else {
+            bounds
+        };
+        let response = server.knn(query, fetch, wire_bounds);
+
+        // Merge: certains below the bound + authoritative server results
+        // form a complete certain prefix.
+        let mut merged: Vec<HeapEntry> = heap.certain().to_vec();
+        for (poi, dist) in response.pois {
+            if merged.iter().any(|e| e.poi.poi_id == poi.poi_id) {
+                continue;
+            }
+            merged.push(HeapEntry {
+                poi,
+                dist,
+                certain: true,
+            });
+        }
+        merged.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
+        let extra_certain = if merged.len() > k {
+            merged.split_off(k)
+        } else {
+            Vec::new()
+        };
+        SennOutcome {
+            results: merged,
+            extra_certain,
+            resolution: Resolution::Server,
+            bounds,
+            heap_state: Some(heap_state),
+            server_accesses: Some(response.node_accesses),
+        }
+    }
+
+    /// Steps 1–5 of Algorithm 1. Returns the heap and the resolution when
+    /// the peer phases completed the query.
+    fn peer_phases(
+        &self,
+        query: Point,
+        k: usize,
+        peers: &[CacheEntry],
+    ) -> (ResultHeap, Option<Resolution>) {
+        let mut sorted: Vec<CacheEntry> = peers.iter().filter(|p| !p.is_empty()).cloned().collect();
+        sort_peers_by_query_location(query, &mut sorted);
+        let mut heap = ResultHeap::new(k);
+        if knn_single_all(query, &sorted, &mut heap) {
+            return (heap, Some(Resolution::SinglePeer));
+        }
+        if !sorted.is_empty() {
+            knn_multiple(query, &sorted, self.config.region_method, &mut heap);
+            if heap.is_certain_complete() {
+                return (heap, Some(Resolution::MultiPeer));
+            }
+        }
+        if heap.is_full() && self.config.accept_uncertain {
+            return (heap, Some(Resolution::AcceptedUncertain));
+        }
+        (heap, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RTreeServer;
+    use senn_cache::CachedNn;
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Builds an honest peer cache: the `cache_k` true NNs of `loc`.
+    fn honest_peer(loc: Point, pois: &[Point], cache_k: usize) -> CacheEntry {
+        let mut by_d: Vec<(f64, usize)> = pois
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (loc.dist(*p), i))
+            .collect();
+        by_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        CacheEntry::from_sorted(
+            loc,
+            by_d.iter()
+                .take(cache_k)
+                .map(|&(_, i)| (i as u64, pois[i]))
+                .collect(),
+        )
+    }
+
+    fn true_knn(pois: &[Point], q: Point, k: usize) -> Vec<(f64, usize)> {
+        let mut by_d: Vec<(f64, usize)> = pois
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (q.dist(*p), i))
+            .collect();
+        by_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        by_d.truncate(k);
+        by_d
+    }
+
+    #[test]
+    fn collocated_peer_answers_without_server() {
+        let pois = vec![
+            Point::new(1.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(9.0, 0.0),
+        ];
+        let peer = honest_peer(Point::new(0.1, 0.0), &pois, 3);
+        let engine = SennEngine::default();
+        let out = engine.query_peers_only(Point::new(0.0, 0.0), 2, std::slice::from_ref(&peer));
+        assert_eq!(out.resolution, Resolution::SinglePeer);
+        assert_eq!(out.certain().len(), 2);
+        assert_eq!(out.certain()[0].poi.poi_id, 0);
+        assert_eq!(out.certain()[1].poi.poi_id, 1);
+    }
+
+    #[test]
+    fn no_peers_falls_through_to_server() {
+        let pois: Vec<Point> = (0..50)
+            .map(|i| Point::new(i as f64, (i % 7) as f64))
+            .collect();
+        let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+        let engine = SennEngine::default();
+        let q = Point::new(20.2, 3.3);
+        let out = engine.query(q, 5, &[], &server);
+        assert_eq!(out.resolution, Resolution::Server);
+        assert!(out.bounds.is_none());
+        assert!(out.server_accesses.unwrap() > 0);
+        let want = true_knn(&pois, q, 5);
+        assert_eq!(out.results.len(), 5);
+        for (r, (wd, wi)) in out.results.iter().zip(&want) {
+            assert_eq!(r.poi.poi_id, *wi as u64);
+            assert!((r.dist - wd).abs() < 1e-9);
+            assert!(r.certain);
+        }
+    }
+
+    #[test]
+    fn partial_verification_uses_bounds_and_completes() {
+        // One peer verifies a couple of NNs; the server fills the rest.
+        let mut rng = Rng(0x1234 | 1);
+        let pois: Vec<Point> = (0..200)
+            .map(|_| Point::new(rng.next() * 100.0, rng.next() * 100.0))
+            .collect();
+        let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+        let q = Point::new(50.0, 50.0);
+        let peer = honest_peer(Point::new(50.5, 50.2), &pois, 4);
+        let engine = SennEngine::default();
+        let out = engine.query(q, 8, std::slice::from_ref(&peer), &server);
+        assert_eq!(out.resolution, Resolution::Server);
+        assert!(
+            out.bounds.lower.is_some(),
+            "peer verification should yield a lower bound"
+        );
+        let want = true_knn(&pois, q, 8);
+        assert_eq!(out.results.len(), 8);
+        for (r, (wd, wi)) in out.results.iter().zip(&want) {
+            assert_eq!(r.poi.poi_id, *wi as u64, "rank mismatch");
+            assert!((r.dist - wd).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn accept_uncertain_short_circuits() {
+        let pois = vec![Point::new(5.0, 0.0), Point::new(6.0, 0.0)];
+        // A far peer: candidates are uncertain but fill the heap.
+        let peer = honest_peer(Point::new(30.0, 0.0), &pois, 2);
+        let engine = SennEngine::new(SennConfig {
+            accept_uncertain: true,
+            ..Default::default()
+        });
+        let out = engine.query_peers_only(Point::ORIGIN, 2, std::slice::from_ref(&peer));
+        assert_eq!(out.resolution, Resolution::AcceptedUncertain);
+        assert_eq!(out.results.len(), 2);
+        assert!(out.results.iter().all(|e| !e.certain));
+        assert_eq!(out.certain().len(), 0);
+    }
+
+    #[test]
+    fn server_overfetch_yields_cacheable_extras() {
+        let mut rng = Rng(0x77 | 1);
+        let pois: Vec<Point> = (0..100)
+            .map(|_| Point::new(rng.next() * 50.0, rng.next() * 50.0))
+            .collect();
+        let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+        let engine = SennEngine::new(SennConfig {
+            server_fetch: 10,
+            ..Default::default()
+        });
+        let q = Point::new(25.0, 25.0);
+        let out = engine.query(q, 3, &[], &server);
+        assert_eq!(out.results.len(), 3);
+        assert_eq!(out.extra_certain.len(), 7);
+        assert_eq!(out.cacheable().len(), 10);
+        let want = true_knn(&pois, q, 10);
+        for (c, (wd, _)) in out.cacheable().iter().zip(&want) {
+            assert!((c.dist - wd).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn oracle_randomized_worlds() {
+        // End-to-end soundness and completeness: with arbitrary honest
+        // peers, the final answer always equals the true kNN set.
+        let mut rng = Rng(0xabcdef | 1);
+        for trial in 0..60 {
+            let n = 20 + (rng.next() * 100.0) as usize;
+            let pois: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.next() * 100.0, rng.next() * 100.0))
+                .collect();
+            let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+            let q = Point::new(rng.next() * 100.0, rng.next() * 100.0);
+            let k = 1 + (rng.next() * 9.0) as usize;
+            let peer_count = (rng.next() * 5.0) as usize;
+            let peers: Vec<CacheEntry> = (0..peer_count)
+                .map(|_| {
+                    let loc = Point::new(
+                        q.x + rng.next() * 40.0 - 20.0,
+                        q.y + rng.next() * 40.0 - 20.0,
+                    );
+                    honest_peer(loc, &pois, 1 + (rng.next() * 9.0) as usize)
+                })
+                .collect();
+            let engine = SennEngine::default();
+            let out = engine.query(q, k, &peers, &server);
+            let want = true_knn(&pois, q, k);
+            assert_eq!(out.results.len(), k.min(n), "trial {trial}");
+            for (r, (wd, _)) in out.results.iter().zip(&want) {
+                assert!(
+                    (r.dist - wd).abs() < 1e-9,
+                    "trial {trial}: got dist {} want {} (resolution {:?})",
+                    r.dist,
+                    wd,
+                    out.resolution
+                );
+            }
+            // Certain entries really are certain.
+            for (i, r) in out.results.iter().enumerate() {
+                if r.certain {
+                    assert!(
+                        (r.dist - want[i].0).abs() < 1e-9,
+                        "trial {trial} certain rank {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peers_with_empty_caches_are_ignored() {
+        let empty = CacheEntry::new(Point::ORIGIN, vec![]);
+        let engine = SennEngine::default();
+        let out = engine.query_peers_only(Point::new(1.0, 1.0), 2, std::slice::from_ref(&empty));
+        assert_eq!(out.resolution, Resolution::Unresolved);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn duplicate_pois_across_peers_dedupe() {
+        let pois = vec![
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+        ];
+        let p1 = honest_peer(Point::new(0.2, 0.0), &pois, 3);
+        let p2 = honest_peer(Point::new(0.3, 0.1), &pois, 3);
+        let engine = SennEngine::default();
+        let out = engine.query_peers_only(Point::ORIGIN, 3, &[p1, p2]);
+        let mut ids: Vec<u64> = out.results.iter().map(|e| e.poi.poi_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), out.results.len(), "no POI appears twice");
+    }
+
+    #[test]
+    fn multi_peer_resolution_reported() {
+        // Fig. 7-style: only the merged region verifies the full set.
+        let q = Point::new(0.0, 0.0);
+        let cand = (100u64, 0.0, 0.8);
+        let mk = |loc: Point, extra: &[(u64, f64, f64)]| {
+            let mut v = vec![CachedNn {
+                poi_id: cand.0,
+                position: Point::new(cand.1, cand.2),
+            }];
+            v.extend(extra.iter().map(|&(id, x, y)| CachedNn {
+                poi_id: id,
+                position: Point::new(x, y),
+            }));
+            CacheEntry::new(loc, v)
+        };
+        let p3 = mk(
+            Point::new(-0.7, 0.0),
+            &[(101, -1.0, -0.9), (102, -2.05, 0.0)],
+        );
+        let p4 = mk(Point::new(0.7, 0.0), &[(103, 1.0, -0.9), (104, 2.05, 0.0)]);
+        let engine = SennEngine::default();
+        let out = engine.query_peers_only(q, 1, &[p3, p4]);
+        assert_eq!(out.resolution, Resolution::MultiPeer);
+        assert_eq!(out.certain()[0].poi.poi_id, 100);
+    }
+}

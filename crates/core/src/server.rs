@@ -1,0 +1,138 @@
+//! The remote spatial-database interface and an R\*-tree-backed
+//! implementation.
+//!
+//! When peer verification cannot complete a query, the mobile host
+//! forwards it (with any pruning bounds) over the point-to-point channel.
+//! The server runs EINN — the incremental best-first search extended with
+//! the bounds (Section 3.3) — and reports its node accesses so the
+//! simulator can compute the page access rate (PAR).
+
+use senn_cache::CachedNn;
+use senn_geom::Point;
+use senn_rtree::{RStarTree, SearchBounds};
+
+/// Result of a server-side kNN call.
+#[derive(Clone, Debug, Default)]
+pub struct ServerResponse {
+    /// POIs in ascending distance. Under a lower bound, POIs strictly
+    /// inside the verified circle are omitted (the client already holds
+    /// them); the boundary POI itself is re-reported and deduplicated by
+    /// the client.
+    pub pois: Vec<(CachedNn, f64)>,
+    /// R\*-tree node accesses the search performed.
+    pub node_accesses: u64,
+}
+
+/// A remote spatial database answering kNN queries.
+pub trait SpatialServer {
+    /// Returns up to `count` nearest POIs under the given pruning bounds.
+    fn knn(&self, query: Point, count: usize, bounds: SearchBounds) -> ServerResponse;
+
+    /// Total number of POIs the server indexes.
+    fn poi_count(&self) -> usize;
+}
+
+/// A [`SpatialServer`] backed by an [`RStarTree`] whose payloads are POI
+/// identifiers.
+pub struct RTreeServer {
+    tree: RStarTree<u64>,
+}
+
+impl RTreeServer {
+    /// Builds the server from `(id, position)` POIs via STR bulk loading.
+    pub fn new(pois: impl IntoIterator<Item = (u64, Point)>) -> Self {
+        let items: Vec<(Point, u64)> = pois.into_iter().map(|(id, p)| (p, id)).collect();
+        RTreeServer {
+            tree: RStarTree::bulk_load(items),
+        }
+    }
+
+    /// Access to the underlying tree (e.g. for integrity checks).
+    pub fn tree(&self) -> &RStarTree<u64> {
+        &self.tree
+    }
+
+    /// Moves POI `id` from `old_pos` to `new_pos` (e.g. a gas station
+    /// closing here and opening there). Returns false when no such POI
+    /// was indexed at `old_pos`.
+    pub fn relocate(&mut self, id: u64, old_pos: Point, new_pos: Point) -> bool {
+        if self.tree.remove(old_pos, |v| *v == id).is_none() {
+            return false;
+        }
+        self.tree.insert(new_pos, id);
+        true
+    }
+}
+
+impl SpatialServer for RTreeServer {
+    fn knn(&self, query: Point, count: usize, bounds: SearchBounds) -> ServerResponse {
+        let mut it = self.tree.nn_iter_bounded(query, bounds);
+        let pois: Vec<(CachedNn, f64)> = it
+            .by_ref()
+            .take(count)
+            .map(|n| {
+                (
+                    CachedNn {
+                        poi_id: *n.value,
+                        position: n.point,
+                    },
+                    n.dist,
+                )
+            })
+            .collect();
+        ServerResponse {
+            pois,
+            node_accesses: it.page_accesses(),
+        }
+    }
+
+    fn poi_count(&self) -> usize {
+        self.tree.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(n: usize) -> (RTreeServer, Vec<Point>) {
+        let mut s = 0xfeedu64 | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect();
+        (
+            RTreeServer::new(pts.iter().enumerate().map(|(i, p)| (i as u64, *p))),
+            pts,
+        )
+    }
+
+    #[test]
+    fn knn_returns_sorted_results() {
+        let (srv, pts) = server(200);
+        let q = Point::new(50.0, 50.0);
+        let resp = srv.knn(q, 5, SearchBounds::NONE);
+        assert_eq!(resp.pois.len(), 5);
+        assert!(resp.node_accesses > 0);
+        for w in resp.pois.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // First result is the true NN.
+        let best = pts.iter().map(|p| q.dist(*p)).fold(f64::INFINITY, f64::min);
+        assert!((resp.pois[0].1 - best).abs() < 1e-9);
+        assert_eq!(srv.poi_count(), 200);
+    }
+
+    #[test]
+    fn empty_server() {
+        let srv = RTreeServer::new(vec![]);
+        let resp = srv.knn(Point::ORIGIN, 3, SearchBounds::NONE);
+        assert!(resp.pois.is_empty());
+        assert_eq!(srv.poi_count(), 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Algorithm 2: the Sharing-based Network distance Nearest Neighbor
+//! (SNNN) query (Section 3.4).
+//!
+//! SNNN extends IER (Incremental Euclidean Restriction): run SENN for the
+//! `k` Euclidean NNs, compute their network distances on the host's local
+//! modeling graph, and keep pulling the next Euclidean NN (peers first,
+//! then server) while its Euclidean distance is within the current k-th
+//! network distance — sound because `ED <= ND` (the Euclidean lower-bound
+//! property).
+//!
+//! The network-distance kernel is injected as a closure so the algorithm
+//! stays independent of the graph representation; `senn-sim` wires it to
+//! `senn-network`'s A\* search. The closure must respect the lower-bound
+//! property (`nd(p) >= ED(query, p)`), which every real road network does.
+
+use senn_cache::{CacheEntry, CachedNn};
+use senn_geom::Point;
+
+use crate::senn::{Resolution, SennEngine};
+use crate::server::SpatialServer;
+
+/// Configuration of the SNNN search.
+#[derive(Clone, Copy, Debug)]
+pub struct SnnnConfig {
+    /// Safety cap on the number of extra Euclidean NNs pulled beyond `k`.
+    pub max_expansion: usize,
+}
+
+impl Default for SnnnConfig {
+    fn default() -> Self {
+        SnnnConfig { max_expansion: 256 }
+    }
+}
+
+/// One SNNN result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnnnNeighbor {
+    /// The POI.
+    pub poi: CachedNn,
+    /// Network distance from the query point.
+    pub network_dist: f64,
+    /// Euclidean distance from the query point.
+    pub euclid_dist: f64,
+}
+
+/// The outcome of an SNNN query.
+#[derive(Clone, Debug)]
+pub struct SnnnOutcome {
+    /// The `k` network-nearest POIs, ascending by network distance.
+    pub results: Vec<SnnnNeighbor>,
+    /// Number of SENN invocations performed (1 + expansions).
+    pub senn_calls: usize,
+    /// Total server node accesses across all SENN calls.
+    pub server_accesses: u64,
+    /// Resolution of each SENN call, in order.
+    pub resolutions: Vec<Resolution>,
+}
+
+/// Runs Algorithm 2.
+///
+/// `network_dist(p)` returns the network distance from the query point to
+/// a POI at `p`, or `None` when unreachable (treated as infinitely far).
+pub fn snnn_query<F>(
+    engine: &SennEngine,
+    query: Point,
+    k: usize,
+    peers: &[CacheEntry],
+    server: &dyn SpatialServer,
+    network_dist: F,
+    config: SnnnConfig,
+) -> SnnnOutcome
+where
+    F: Fn(Point) -> Option<f64>,
+{
+    let mut senn_calls = 0usize;
+    let mut server_accesses = 0u64;
+    let mut resolutions = Vec::new();
+
+    let mut run_senn = |kk: usize| {
+        senn_calls += 1;
+        let out = engine.query(query, kk, peers, server);
+        server_accesses += out.server_accesses.unwrap_or(0);
+        resolutions.push(out.resolution);
+        out
+    };
+
+    // Step 1: the k Euclidean NNs via SENN, ranked by network distance.
+    let initial = run_senn(k);
+    let mut results: Vec<SnnnNeighbor> = initial
+        .results
+        .iter()
+        .map(|e| SnnnNeighbor {
+            poi: e.poi,
+            network_dist: network_dist(e.poi.position).unwrap_or(f64::INFINITY),
+            euclid_dist: e.dist,
+        })
+        .collect();
+    results.sort_by(|a, b| a.network_dist.partial_cmp(&b.network_dist).unwrap());
+
+    if results.len() < k {
+        // Fewer than k POIs exist at all: done.
+        return SnnnOutcome {
+            results,
+            senn_calls,
+            server_accesses,
+            resolutions,
+        };
+    }
+
+    // Step 2: incremental Euclidean expansion until the next Euclidean NN
+    // falls beyond the network-distance search bound.
+    for i in 1..=config.max_expansion {
+        let s_bound = results[k - 1].network_dist;
+        if !s_bound.is_finite() {
+            // Some current candidates are unreachable: any POI can improve.
+            // Fall through with an infinite bound (expansion continues
+            // until POIs run out or the cap hits).
+        }
+        let expanded = run_senn(k + i);
+        if expanded.results.len() < k + i {
+            break; // the world has no more POIs
+        }
+        let next = expanded.results[k + i - 1];
+        if next.dist > s_bound {
+            break; // Euclidean lower bound exceeds the k-th network dist
+        }
+        if results.iter().any(|r| r.poi.poi_id == next.poi.poi_id) {
+            continue; // already ranked (ties can reorder across calls)
+        }
+        let nd = network_dist(next.poi.position).unwrap_or(f64::INFINITY);
+        if nd < s_bound {
+            results[k - 1] = SnnnNeighbor {
+                poi: next.poi,
+                network_dist: nd,
+                euclid_dist: next.dist,
+            };
+            results.sort_by(|a, b| a.network_dist.partial_cmp(&b.network_dist).unwrap());
+        }
+    }
+
+    SnnnOutcome {
+        results,
+        senn_calls,
+        server_accesses,
+        resolutions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::senn::SennConfig;
+    use crate::server::RTreeServer;
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Manhattan distance is a valid "network distance": it dominates the
+    /// Euclidean distance and models a dense grid of streets.
+    fn manhattan(q: Point) -> impl Fn(Point) -> Option<f64> {
+        move |p: Point| Some((p.x - q.x).abs() + (p.y - q.y).abs())
+    }
+
+    fn brute_network_knn(pois: &[Point], q: Point, k: usize) -> Vec<(f64, usize)> {
+        let nd = manhattan(q);
+        let mut v: Vec<(f64, usize)> = pois
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (nd(*p).unwrap(), i))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn snnn_matches_brute_force_manhattan() {
+        let mut rng = Rng(0x5151 | 1);
+        for trial in 0..30 {
+            let n = 15 + (rng.next() * 80.0) as usize;
+            let pois: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.next() * 100.0, rng.next() * 100.0))
+                .collect();
+            let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+            let q = Point::new(rng.next() * 100.0, rng.next() * 100.0);
+            let k = 1 + (rng.next() * 6.0) as usize;
+            let engine = SennEngine::default();
+            let out = snnn_query(
+                &engine,
+                q,
+                k,
+                &[],
+                &server,
+                manhattan(q),
+                SnnnConfig::default(),
+            );
+            let want = brute_network_knn(&pois, q, k);
+            assert_eq!(out.results.len(), k.min(n), "trial {trial}");
+            for (r, (wd, _)) in out.results.iter().zip(&want) {
+                assert!(
+                    (r.network_dist - wd).abs() < 1e-9,
+                    "trial {trial}: got {} want {}",
+                    r.network_dist,
+                    wd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_equals_network_degenerates_to_senn() {
+        // With ND == ED the first SENN call is already the answer and one
+        // expansion call suffices to confirm the bound.
+        let pois: Vec<Point> = (0..20).map(|i| Point::new(i as f64 * 3.0, 0.0)).collect();
+        let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+        let q = Point::new(10.0, 0.0);
+        let engine = SennEngine::default();
+        let out = snnn_query(
+            &engine,
+            q,
+            3,
+            &[],
+            &server,
+            |p| Some(q.dist(p)),
+            SnnnConfig::default(),
+        );
+        let mut dists: Vec<f64> = pois.iter().map(|p| q.dist(*p)).collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (r, want) in out.results.iter().zip(&dists) {
+            assert!((r.network_dist - want).abs() < 1e-9);
+        }
+        assert!(out.senn_calls >= 2);
+    }
+
+    #[test]
+    fn unreachable_pois_rank_last() {
+        let pois = [
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+        ];
+        let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+        let q = Point::ORIGIN;
+        // POI 0 is unreachable over the "network".
+        let nd = move |p: Point| {
+            if p == Point::new(1.0, 0.0) {
+                None
+            } else {
+                Some(q.dist(p) * 1.5)
+            }
+        };
+        let engine = SennEngine::default();
+        let out = snnn_query(&engine, q, 2, &[], &server, nd, SnnnConfig::default());
+        assert_eq!(out.results.len(), 2);
+        assert_eq!(out.results[0].poi.poi_id, 1);
+        assert_eq!(out.results[1].poi.poi_id, 2);
+    }
+
+    #[test]
+    fn fewer_pois_than_k() {
+        let pois = [Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+        let q = Point::ORIGIN;
+        let engine = SennEngine::default();
+        let out = snnn_query(
+            &engine,
+            q,
+            5,
+            &[],
+            &server,
+            manhattan(q),
+            SnnnConfig::default(),
+        );
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn peers_reduce_server_traffic_for_snnn() {
+        // A collocated peer with a large cache answers the Euclidean parts
+        // without the server.
+        let mut rng = Rng(0x999 | 1);
+        let pois: Vec<Point> = (0..60)
+            .map(|_| Point::new(rng.next() * 40.0, rng.next() * 40.0))
+            .collect();
+        let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+        let q = Point::new(20.0, 20.0);
+        // Honest peer cache: 30 nearest POIs of a point right next to q.
+        let loc = Point::new(20.1, 20.0);
+        let mut by_d: Vec<(f64, usize)> = pois
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (loc.dist(*p), i))
+            .collect();
+        by_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let peer = CacheEntry::from_sorted(
+            loc,
+            by_d.iter()
+                .take(30)
+                .map(|&(_, i)| (i as u64, pois[i]))
+                .collect(),
+        );
+        let engine = SennEngine::new(SennConfig::default());
+        let out = snnn_query(
+            &engine,
+            q,
+            3,
+            std::slice::from_ref(&peer),
+            &server,
+            manhattan(q),
+            SnnnConfig::default(),
+        );
+        let want = brute_network_knn(&pois, q, 3);
+        for (r, (wd, _)) in out.results.iter().zip(&want) {
+            assert!((r.network_dist - wd).abs() < 1e-9);
+        }
+        assert!(
+            out.resolutions.iter().any(|r| *r != Resolution::Server),
+            "at least some SENN calls should be peer-resolved"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! One-dimensional interval sets on a line parameter.
+//!
+//! The implicit-union coverage test ([`crate::region::PolygonRegion`])
+//! walks every polygon edge, starts from the parameter interval of the edge
+//! that lies inside the candidate circle, and *subtracts* the sub-intervals
+//! covered by the other polygons. Whatever survives is exposed boundary of
+//! the union — a witness that the circle is not covered.
+
+/// A set of disjoint, sorted, closed intervals `[lo, hi]` on the real line.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IntervalSet {
+    /// Invariant: sorted by `lo`, pairwise disjoint, each with `lo <= hi`.
+    spans: Vec<(f64, f64)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet { spans: Vec::new() }
+    }
+
+    /// The single interval `[lo, hi]`; empty if `lo > hi`.
+    pub fn single(lo: f64, hi: f64) -> Self {
+        let mut s = IntervalSet::new();
+        if lo <= hi {
+            s.spans.push((lo, hi));
+        }
+        s
+    }
+
+    /// True when no interval remains.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total length of the remaining intervals.
+    pub fn total_len(&self) -> f64 {
+        self.spans.iter().map(|(lo, hi)| hi - lo).sum()
+    }
+
+    /// The remaining spans, sorted and disjoint.
+    pub fn spans(&self) -> &[(f64, f64)] {
+        &self.spans
+    }
+
+    /// Removes `[lo, hi]` from the set. No-op if `lo > hi`.
+    pub fn subtract(&mut self, lo: f64, hi: f64) {
+        if lo > hi || self.spans.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.spans.len() + 1);
+        for &(a, b) in &self.spans {
+            if b < lo || a > hi {
+                out.push((a, b)); // untouched
+                continue;
+            }
+            if a < lo {
+                out.push((a, lo));
+            }
+            if b > hi {
+                out.push((hi, b));
+            }
+        }
+        self.spans = out;
+    }
+
+    /// True when some remaining interval is longer than `eps`.
+    pub fn has_span_longer_than(&self, eps: f64) -> bool {
+        self.spans.iter().any(|(lo, hi)| hi - lo > eps)
+    }
+
+    /// Midpoint of the longest remaining interval, if any.
+    pub fn longest_span_midpoint(&self) -> Option<f64> {
+        self.spans
+            .iter()
+            .max_by(|a, b| (a.1 - a.0).partial_cmp(&(b.1 - b.0)).unwrap())
+            .map(|(lo, hi)| (lo + hi) * 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_degenerate_and_inverted() {
+        assert_eq!(IntervalSet::single(1.0, 1.0).total_len(), 0.0);
+        assert!(!IntervalSet::single(1.0, 1.0).is_empty());
+        assert!(IntervalSet::single(2.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn subtract_middle_splits() {
+        let mut s = IntervalSet::single(0.0, 10.0);
+        s.subtract(3.0, 7.0);
+        assert_eq!(s.spans(), &[(0.0, 3.0), (7.0, 10.0)]);
+        assert!((s.total_len() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtract_ends() {
+        let mut s = IntervalSet::single(0.0, 10.0);
+        s.subtract(-5.0, 2.0);
+        s.subtract(8.0, 15.0);
+        assert_eq!(s.spans(), &[(2.0, 8.0)]);
+    }
+
+    #[test]
+    fn subtract_everything() {
+        let mut s = IntervalSet::single(0.0, 10.0);
+        s.subtract(-1.0, 11.0);
+        assert!(s.is_empty());
+        assert!(!s.has_span_longer_than(0.0));
+    }
+
+    #[test]
+    fn subtract_disjoint_is_noop() {
+        let mut s = IntervalSet::single(0.0, 1.0);
+        s.subtract(2.0, 3.0);
+        assert_eq!(s.spans(), &[(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn repeated_subtractions_accumulate() {
+        let mut s = IntervalSet::single(0.0, 1.0);
+        for i in 0..10 {
+            let lo = i as f64 * 0.1;
+            s.subtract(lo, lo + 0.05);
+        }
+        assert!((s.total_len() - 0.5).abs() < 1e-9);
+        assert_eq!(s.spans().len(), 10);
+        assert!(s.has_span_longer_than(0.04));
+        assert!(!s.has_span_longer_than(0.06));
+    }
+
+    #[test]
+    fn longest_span_midpoint() {
+        let mut s = IntervalSet::single(0.0, 10.0);
+        s.subtract(1.0, 2.0); // leaves [0,1] and [2,10]
+        assert_eq!(s.longest_span_midpoint(), Some(6.0));
+        assert_eq!(IntervalSet::new().longest_span_midpoint(), None);
+    }
+}

@@ -1,0 +1,300 @@
+//! Axis-aligned rectangles (minimum bounding rectangles).
+//!
+//! `Rect` carries the two distance metrics the paper's server-side search
+//! needs: `MINDIST` (classic R-tree NN pruning, Roussopoulos et al.) and
+//! `MAXDIST` (the extra metric Section 3.3 adds so EINN can discard MBRs
+//! that are *totally covered* by the already-verified circle `C_r`).
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle, stored as inclusive min/max corners.
+///
+/// An empty rectangle (used as the identity for [`Rect::union`]) has
+/// `min > max` in both dimensions; see [`Rect::EMPTY`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// The empty rectangle: the identity element for [`Rect::union`].
+    pub const EMPTY: Rect = Rect {
+        min: Point {
+            x: f64::INFINITY,
+            y: f64::INFINITY,
+        },
+        max: Point {
+            x: f64::NEG_INFINITY,
+            y: f64::NEG_INFINITY,
+        },
+    };
+
+    /// Creates a rectangle from two corner points (in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The degenerate rectangle containing exactly `p`.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    /// Smallest rectangle containing every point of the iterator.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        points
+            .into_iter()
+            .fold(Rect::EMPTY, |r, p| r.union(Rect::from_point(p)))
+    }
+
+    /// True when the rectangle contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Width (x-extent); zero for empty rectangles.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    /// Height (y-extent); zero for empty rectangles.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter; the *margin* minimized by the R\*-tree split axis
+    /// selection.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Center point. Meaningless for empty rectangles.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.y + self.max.y) * 0.5,
+        )
+    }
+
+    /// Smallest rectangle containing both operands.
+    pub fn union(&self, other: Rect) -> Rect {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Area of the intersection with `other` (the *overlap* minimized by the
+    /// R\*-tree ChooseSubtree heuristic).
+    pub fn overlap_area(&self, other: Rect) -> f64 {
+        let w = (self.max.x.min(other.max.x) - self.min.x.max(other.min.x)).max(0.0);
+        let h = (self.max.y.min(other.max.y) - self.min.y.max(other.min.y)).max(0.0);
+        w * h
+    }
+
+    /// Increase in area needed to absorb `other`.
+    #[inline]
+    pub fn enlargement(&self, other: Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True when `other` lies entirely inside `self` (boundary allowed).
+    pub fn contains_rect(&self, other: Rect) -> bool {
+        other.is_empty()
+            || (self.min.x <= other.min.x
+                && self.min.y <= other.min.y
+                && self.max.x >= other.max.x
+                && self.max.y >= other.max.y)
+    }
+
+    /// True when the rectangles share at least one point.
+    pub fn intersects(&self, other: Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Squared `MINDIST(q, self)`: squared distance from `q` to the closest
+    /// point of the rectangle (zero when `q` is inside).
+    pub fn min_dist_sq(&self, q: Point) -> f64 {
+        let dx = (self.min.x - q.x).max(0.0).max(q.x - self.max.x);
+        let dy = (self.min.y - q.y).max(0.0).max(q.y - self.max.y);
+        dx * dx + dy * dy
+    }
+
+    /// `MINDIST(q, self)` from Roussopoulos et al.: a lower bound on the
+    /// distance from `q` to any object inside the rectangle.
+    #[inline]
+    pub fn min_dist(&self, q: Point) -> f64 {
+        self.min_dist_sq(q).sqrt()
+    }
+
+    /// Squared `MAXDIST(q, self)`: squared distance from `q` to the farthest
+    /// point of the rectangle.
+    pub fn max_dist_sq(&self, q: Point) -> f64 {
+        let dx = (q.x - self.min.x).abs().max((q.x - self.max.x).abs());
+        let dy = (q.y - self.min.y).abs().max((q.y - self.max.y).abs());
+        dx * dx + dy * dy
+    }
+
+    /// `MAXDIST(q, self)`: an upper bound on the distance from `q` to any
+    /// object inside the rectangle. Section 3.3 uses it for downward
+    /// pruning: an MBR with `MAXDIST` below the branch-expanding lower bound
+    /// is totally covered by the certain circle `C_r` and need not be
+    /// expanded.
+    #[inline]
+    pub fn max_dist(&self, q: Point) -> f64 {
+        self.max_dist_sq(q).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(ax: f64, ay: f64, bx: f64, by: f64) -> Rect {
+        Rect::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn new_normalizes_corners() {
+        let a = r(3.0, 4.0, 1.0, 2.0);
+        assert_eq!(a.min, Point::new(1.0, 2.0));
+        assert_eq!(a.max, Point::new(3.0, 4.0));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_rect_identity() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert!(Rect::EMPTY.is_empty());
+        assert_eq!(Rect::EMPTY.area(), 0.0);
+        assert_eq!(Rect::EMPTY.union(a), a);
+        assert_eq!(a.union(Rect::EMPTY), a);
+        assert!(!Rect::EMPTY.intersects(a));
+        assert!(a.contains_rect(Rect::EMPTY));
+    }
+
+    #[test]
+    fn area_margin_center() {
+        let a = r(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(a.area(), 8.0);
+        assert_eq!(a.margin(), 6.0);
+        assert_eq!(a.center(), Point::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, 2.0, 3.0, 3.0);
+        let u = a.union(b);
+        assert_eq!(u, r(0.0, 0.0, 3.0, 3.0));
+        assert_eq!(a.enlargement(b), 9.0 - 1.0);
+        assert_eq!(a.enlargement(a), 0.0);
+    }
+
+    #[test]
+    fn overlap_area_cases() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.overlap_area(r(1.0, 1.0, 3.0, 3.0)), 1.0);
+        assert_eq!(a.overlap_area(r(2.0, 0.0, 3.0, 1.0)), 0.0); // touching edge
+        assert_eq!(a.overlap_area(r(5.0, 5.0, 6.0, 6.0)), 0.0); // disjoint
+        assert_eq!(a.overlap_area(a), 4.0);
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = r(0.0, 0.0, 4.0, 4.0);
+        assert!(a.contains_point(Point::new(0.0, 0.0)));
+        assert!(a.contains_point(Point::new(4.0, 4.0)));
+        assert!(!a.contains_point(Point::new(4.0, 4.1)));
+        assert!(a.contains_rect(r(1.0, 1.0, 2.0, 2.0)));
+        assert!(!a.contains_rect(r(1.0, 1.0, 5.0, 2.0)));
+        assert!(a.intersects(r(4.0, 4.0, 5.0, 5.0))); // corner touch
+        assert!(!a.intersects(r(4.1, 4.1, 5.0, 5.0)));
+    }
+
+    #[test]
+    fn mindist_inside_is_zero() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.min_dist(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(a.min_dist(Point::new(2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn mindist_outside() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        // Directly right of the rect.
+        assert_eq!(a.min_dist(Point::new(5.0, 1.0)), 3.0);
+        // Diagonal from the corner.
+        assert_eq!(a.min_dist(Point::new(5.0, 6.0)), 5.0);
+    }
+
+    #[test]
+    fn maxdist_is_distance_to_farthest_corner() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        // From the center, the farthest point is any corner at sqrt(2).
+        assert!((a.max_dist(Point::new(1.0, 1.0)) - 2f64.sqrt()).abs() < 1e-12);
+        // From outside, the opposite corner.
+        assert_eq!(a.max_dist(Point::new(-1.0, 0.0)), (9f64 + 4.0).sqrt());
+    }
+
+    #[test]
+    fn maxdist_dominates_mindist() {
+        let a = r(-3.0, 1.0, 7.0, 9.0);
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(100.0, -40.0),
+            Point::new(2.0, 5.0),
+            Point::new(-3.0, 1.0),
+        ] {
+            assert!(a.max_dist(q) >= a.min_dist(q));
+        }
+    }
+
+    #[test]
+    fn from_points_bounds_all() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.5),
+            Point::new(3.0, 3.0),
+        ];
+        let bb = Rect::from_points(pts);
+        for p in pts {
+            assert!(bb.contains_point(p));
+        }
+        assert_eq!(bb, r(-2.0, 0.5, 3.0, 5.0));
+    }
+}

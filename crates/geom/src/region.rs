@@ -1,0 +1,664 @@
+//! Certain-region representations and circle-coverage tests.
+//!
+//! Lemma 3.8: with peers `P_1..P_j`, the certain region is
+//! `R_c = P_1-area ∪ ... ∪ P_j-area` (each area the peer's outermost-NN
+//! disk), and a candidate `n_i` is a certain NN of `Q` iff the circle
+//! centered at `Q` through `n_i` is fully covered by `R_c`.
+//!
+//! Two interchangeable implementations:
+//!
+//! * [`PolygonRegion`] — the paper's polygonization approach. Disks become
+//!   inscribed regular polygons (a conservative under-approximation) and
+//!   coverage is answered against the implicit union: a disk `D` is covered
+//!   by a union `U` of convex polygons iff `center(D) ∈ U` and no point of
+//!   `∂U` lies in the open disk `int(D)`. `∂U` is exactly the sub-segments
+//!   of polygon edges not covered by any *other* polygon, which we compute
+//!   with 1-D interval subtraction per edge — the same boundary pieces a
+//!   MapOverlay pass would produce, without maintaining a DCEL.
+//! * [`DiskRegion`] — an exact test on the original disks via the arc
+//!   arrangement (extension; used as an ablation baseline and as an oracle
+//!   in property tests).
+//!
+//! Soundness direction: both tests only return `true` when the closed
+//! candidate disk really is covered (`PolygonRegion` additionally
+//! under-approximates each disk, so it can answer `false` for circles the
+//! true region covers — the paper's approximation has the same property).
+
+use crate::arcset::ArcSet;
+use crate::circle::Circle;
+use crate::interval::IntervalSet;
+use crate::point::Point;
+use crate::polygon::ConvexPolygon;
+use crate::rect::Rect;
+use crate::EPS;
+
+/// Relative tolerance used when deduplicating source disks.
+const DEDUP_EPS: f64 = 1e-12;
+
+/// The certain region as a union of convex polygons (the paper's
+/// polygonized `R_c`).
+///
+/// ```
+/// use senn_geom::{Circle, Point, PolygonRegion};
+///
+/// // Two overlapping peer disks; a candidate circle needing both.
+/// let region = PolygonRegion::from_circles(
+///     &[
+///         Circle::new(Point::new(0.0, 0.0), 1.0),
+///         Circle::new(Point::new(1.0, 0.0), 1.0),
+///     ],
+///     32,
+/// );
+/// assert!(region.covers_circle(&Circle::new(Point::new(0.5, 0.0), 0.6)));
+/// assert!(!region.covers_circle(&Circle::new(Point::new(0.5, 0.0), 0.95)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PolygonRegion {
+    polygons: Vec<ConvexPolygon>,
+    bounds: Vec<Rect>,
+}
+
+impl PolygonRegion {
+    /// Builds the region by polygonizing `circles` with inscribed regular
+    /// `vertices`-gons. Duplicate and zero-radius circles are dropped.
+    pub fn from_circles(circles: &[Circle], vertices: usize) -> Self {
+        let deduped = dedup_circles(circles);
+        let polygons: Vec<ConvexPolygon> = deduped
+            .iter()
+            .filter(|c| c.radius > 0.0)
+            .map(|c| ConvexPolygon::inscribed_in(c, vertices, 0.0))
+            .collect();
+        Self::from_polygons(polygons)
+    }
+
+    /// Builds the region from pre-built convex polygons.
+    pub fn from_polygons(polygons: Vec<ConvexPolygon>) -> Self {
+        let bounds = polygons.iter().map(|p| p.bounding_rect()).collect();
+        PolygonRegion { polygons, bounds }
+    }
+
+    /// Number of polygons forming the region.
+    pub fn len(&self) -> usize {
+        self.polygons.len()
+    }
+
+    /// True when the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.polygons.is_empty()
+    }
+
+    /// The polygons forming the region.
+    pub fn polygons(&self) -> &[ConvexPolygon] {
+        &self.polygons
+    }
+
+    /// True when `p` lies in the union.
+    pub fn covers_point(&self, p: Point) -> bool {
+        self.polygons
+            .iter()
+            .zip(&self.bounds)
+            .any(|(poly, bb)| bb.contains_point(p) && poly.contains_point(p, EPS))
+    }
+
+    /// The exposed boundary of the union: the sub-segments of polygon
+    /// edges not covered by any other polygon, each oriented as its source
+    /// edge (counter-clockwise around the union). This is exactly the
+    /// boundary a MapOverlay merge would output, as a segment soup.
+    pub fn union_boundary(&self) -> Vec<crate::segment::Segment> {
+        let mut out = Vec::new();
+        for (i, poly) in self.polygons.iter().enumerate() {
+            for seg in poly.edges() {
+                let seg_len = seg.len();
+                if seg_len <= EPS {
+                    continue;
+                }
+                let mut exposed = IntervalSet::single(0.0, 1.0);
+                for (j, other) in self.polygons.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let Some((t0, t1)) = other.clip_segment(&seg) else {
+                        continue;
+                    };
+                    if j < i {
+                        // Lower-indexed polygon wins boundary-shared
+                        // pieces: subtract the whole covered interval.
+                        exposed.subtract(t0, t1);
+                    } else {
+                        // Keep sub-intervals where the segment runs along
+                        // j's boundary (collinear shared edges) so each
+                        // shared piece is emitted exactly once.
+                        let mut covered = IntervalSet::single(t0, t1);
+                        for (s0, s1) in collinear_overlaps(&seg, other) {
+                            covered.subtract(s0, s1);
+                        }
+                        for &(c0, c1) in covered.spans() {
+                            exposed.subtract(c0, c1);
+                        }
+                    }
+                    if exposed.is_empty() {
+                        break;
+                    }
+                }
+                for &(t0, t1) in exposed.spans() {
+                    if (t1 - t0) * seg_len > EPS {
+                        out.push(crate::segment::Segment::new(seg.at(t0), seg.at(t1)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Area of the union, via Green's theorem over the oriented exposed
+    /// boundary (`½ Σ (a × b)` over the boundary segments). Exact up to
+    /// floating point for any arrangement of the member polygons —
+    /// overlapping, nested or disjoint.
+    pub fn union_area(&self) -> f64 {
+        self.union_boundary()
+            .iter()
+            .map(|s| s.a.cross(s.b))
+            .sum::<f64>()
+            * 0.5
+    }
+
+    /// True when the closed disk bounded by `circle` is fully covered by the
+    /// union (Lemma 3.8's test, on the polygonized region).
+    pub fn covers_circle(&self, circle: &Circle) -> bool {
+        if !self.covers_point(circle.center) {
+            return false;
+        }
+        if circle.radius <= 0.0 {
+            return true;
+        }
+        let target_bb = circle.bounding_rect();
+        for (i, poly) in self.polygons.iter().enumerate() {
+            if !self.bounds[i].intersects(target_bb) {
+                continue;
+            }
+            for seg in poly.edges() {
+                // Part of this edge inside the open candidate disk.
+                let Some((c0, c1)) = seg.clip_to_open_disk(circle.center, circle.radius) else {
+                    continue;
+                };
+                let seg_len = seg.len();
+                if seg_len <= EPS {
+                    continue;
+                }
+                let mut exposed = IntervalSet::single(c0, c1);
+                for (j, other) in self.polygons.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    if let Some((t0, t1)) = other.clip_segment(&seg) {
+                        exposed.subtract(t0, t1);
+                        if exposed.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                // A surviving piece longer than EPS (as a distance) is union
+                // boundary strictly inside the disk: not covered.
+                if exposed.has_span_longer_than(EPS / seg_len) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The certain region as an exact union of disks.
+#[derive(Clone, Debug)]
+pub struct DiskRegion {
+    disks: Vec<Circle>,
+}
+
+impl DiskRegion {
+    /// Builds the region. Duplicate and zero-radius disks are dropped
+    /// (duplicates would otherwise mutually erase each other's boundary in
+    /// the arrangement walk).
+    pub fn from_circles(circles: &[Circle]) -> Self {
+        DiskRegion {
+            disks: dedup_circles(circles)
+                .into_iter()
+                .filter(|c| c.radius > 0.0)
+                .collect(),
+        }
+    }
+
+    /// Number of disks forming the region.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// True when the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// The disks forming the region.
+    pub fn disks(&self) -> &[Circle] {
+        &self.disks
+    }
+
+    /// True when `p` lies in the union.
+    pub fn covers_point(&self, p: Point) -> bool {
+        self.disks.iter().any(|d| d.contains_point(p))
+    }
+
+    /// Exact test: is the closed disk bounded by `circle` covered by the
+    /// union of the region's disks?
+    ///
+    /// A closed disk `D` is covered by the closed union `U` iff
+    /// `center(D) ∈ U` and `∂U ∩ int(D) = ∅`. Every point of `∂U` lies on
+    /// some disk boundary and is covered by no other disk, so per disk we
+    /// subtract, from the arc of its boundary inside `int(D)`, the angular
+    /// intervals covered by every other disk; any surviving arc refutes
+    /// coverage.
+    pub fn covers_circle(&self, circle: &Circle) -> bool {
+        if !self.covers_point(circle.center) {
+            return false;
+        }
+        if circle.radius <= 0.0 {
+            return true;
+        }
+        for (i, di) in self.disks.iter().enumerate() {
+            let Some(mut arc) = boundary_inside_open_disk(di, circle) else {
+                continue;
+            };
+            let ang_eps = EPS / di.radius;
+            for (j, dj) in self.disks.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                subtract_coverage(&mut arc, di, dj);
+                if arc.is_empty() {
+                    break;
+                }
+            }
+            if arc.has_span_longer_than(ang_eps) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Angular section of `∂disk` lying strictly inside the open disk bounded by
+/// `target`, or `None` when there is none (tangency counts as none).
+fn boundary_inside_open_disk(disk: &Circle, target: &Circle) -> Option<ArcSet> {
+    let d = disk.center.dist(target.center);
+    let (r, rt) = (disk.radius, target.radius);
+    if d >= rt + r {
+        return None; // fully outside (or externally tangent)
+    }
+    if d + r < rt {
+        return Some(ArcSet::full()); // ∂disk entirely inside int(target)
+    }
+    if d <= f64::EPSILON {
+        // Concentric and not strictly inside: boundary touches/exceeds.
+        return None;
+    }
+    // Law of cosines on the triangle (disk.center, target.center, x) for a
+    // boundary point x of `disk` at angle alpha from the center line.
+    let cos_a = (d * d + r * r - rt * rt) / (2.0 * d * r);
+    if cos_a >= 1.0 {
+        return None;
+    }
+    let half = cos_a.clamp(-1.0, 1.0).acos();
+    let toward = (target.center - disk.center).angle();
+    Some(ArcSet::from_arc(toward, half))
+}
+
+/// Subtracts from `arc` (angles on `∂di`) the section covered by the closed
+/// disk `dj`.
+fn subtract_coverage(arc: &mut ArcSet, di: &Circle, dj: &Circle) {
+    let d = di.center.dist(dj.center);
+    let (ri, rj) = (di.radius, dj.radius);
+    if d >= ri + rj {
+        return; // disjoint: covers nothing of ∂di
+    }
+    if d + ri <= rj {
+        // di (hence its boundary) entirely inside dj.
+        arc.subtract_arc(0.0, std::f64::consts::PI + 1.0);
+        return;
+    }
+    if d + rj <= ri || d <= f64::EPSILON {
+        return; // dj strictly inside di: touches ∂di nowhere
+    }
+    let cos_b = (d * d + ri * ri - rj * rj) / (2.0 * d * ri);
+    if cos_b >= 1.0 {
+        return;
+    }
+    let half = cos_b.clamp(-1.0, 1.0).acos();
+    let toward = (dj.center - di.center).angle();
+    arc.subtract_arc(toward, half);
+}
+
+/// Parameter intervals of `seg` that lie along (collinear with) some edge
+/// of `poly`.
+fn collinear_overlaps(seg: &crate::segment::Segment, poly: &ConvexPolygon) -> Vec<(f64, f64)> {
+    use crate::point::orient;
+    let mut out = Vec::new();
+    let len = seg.len().max(f64::MIN_POSITIVE);
+    for e in poly.edges() {
+        let elen = e.len().max(f64::MIN_POSITIVE);
+        // Collinear iff both endpoints of `seg` sit on e's carrier line.
+        let d0 = orient(e.a, e.b, seg.a).abs() / elen;
+        let d1 = orient(e.a, e.b, seg.b).abs() / elen;
+        if d0 > EPS || d1 > EPS {
+            continue;
+        }
+        let ta = seg.project(e.a);
+        let tb = seg.project(e.b);
+        let (lo, hi) = if ta <= tb { (ta, tb) } else { (tb, ta) };
+        let (lo, hi) = (lo.max(0.0), hi.min(1.0));
+        if hi - lo > EPS / len {
+            out.push((lo, hi));
+        }
+    }
+    out
+}
+
+/// Drops circles equal (within [`DEDUP_EPS`], relative to magnitude) to an
+/// earlier circle in the slice.
+fn dedup_circles(circles: &[Circle]) -> Vec<Circle> {
+    let mut out: Vec<Circle> = Vec::with_capacity(circles.len());
+    'outer: for &c in circles {
+        for &prev in &out {
+            let scale = (prev.radius + c.radius).max(1.0);
+            if prev.center.dist(c.center) <= DEDUP_EPS * scale
+                && (prev.radius - c.radius).abs() <= DEDUP_EPS * scale
+            {
+                continue 'outer;
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    // ---------- DiskRegion (exact) ----------
+
+    #[test]
+    fn disk_single_contains_smaller() {
+        let region = DiskRegion::from_circles(&[c(0.0, 0.0, 2.0)]);
+        assert!(region.covers_circle(&c(0.5, 0.0, 1.0)));
+        assert!(!region.covers_circle(&c(0.5, 0.0, 1.6)));
+        // Internally tangent counts as covered (closed containment).
+        assert!(region.covers_circle(&c(1.0, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn disk_empty_region_covers_nothing() {
+        let region = DiskRegion::from_circles(&[]);
+        assert!(!region.covers_circle(&c(0.0, 0.0, 0.0)));
+        assert!(!region.covers_point(Point::ORIGIN));
+    }
+
+    #[test]
+    fn disk_two_overlapping_cover_bridge_circle() {
+        // Two unit disks overlapping; a circle straddling the lens. The
+        // union boundary nearest to (0.5, 0) is the lens vertex at distance
+        // sqrt(3)/2 ≈ 0.866, so radius 0.6 needs *both* disks.
+        let region = DiskRegion::from_circles(&[c(0.0, 0.0, 1.0), c(1.0, 0.0, 1.0)]);
+        assert!(region.covers_circle(&c(0.5, 0.0, 0.6)));
+        // Neither single disk covers it (0.5 + 0.6 > 1):
+        let single = DiskRegion::from_circles(&[c(0.0, 0.0, 1.0)]);
+        assert!(!single.covers_circle(&c(0.5, 0.0, 0.6)));
+        // Too large: pokes out above/below the lens region.
+        assert!(!region.covers_circle(&c(0.5, 0.0, 0.95)));
+    }
+
+    #[test]
+    fn disk_union_with_hole_is_detected() {
+        // Four unit disks around the origin leaving a tiny central hole.
+        let r = 1.0;
+        let off = 1.05; // centers at distance 1.05 → hole at origin
+        let region = DiskRegion::from_circles(&[
+            c(off, 0.0, r),
+            c(-off, 0.0, r),
+            c(0.0, off, r),
+            c(0.0, -off, r),
+        ]);
+        // Origin is not covered at all.
+        assert!(!region.covers_point(Point::ORIGIN));
+        // A circle centered inside one disk but spanning the hole: rejected.
+        assert!(!region.covers_circle(&c(0.4, 0.0, 0.45)));
+    }
+
+    #[test]
+    fn disk_ring_of_disks_covers_inner_circle() {
+        // Six unit disks on a radius-1 hexagon fully cover a central disk.
+        let mut disks = vec![];
+        for i in 0..6 {
+            let th = std::f64::consts::TAU * i as f64 / 6.0;
+            disks.push(c(th.cos(), th.sin(), 1.0));
+        }
+        let region = DiskRegion::from_circles(&disks);
+        assert!(region.covers_circle(&c(0.0, 0.0, 0.5)));
+        assert!(!region.covers_circle(&c(0.0, 0.0, 1.9)));
+    }
+
+    #[test]
+    fn disk_duplicates_do_not_fake_coverage() {
+        let region = DiskRegion::from_circles(&[c(0.0, 0.0, 1.0), c(0.0, 0.0, 1.0)]);
+        assert_eq!(region.len(), 1);
+        assert!(!region.covers_circle(&c(0.0, 0.0, 1.5)));
+    }
+
+    #[test]
+    fn disk_zero_radius_candidate() {
+        let region = DiskRegion::from_circles(&[c(0.0, 0.0, 1.0)]);
+        assert!(region.covers_circle(&c(0.5, 0.0, 0.0)));
+        assert!(!region.covers_circle(&c(5.0, 0.0, 0.0)));
+    }
+
+    // ---------- PolygonRegion (paper's polygonization) ----------
+
+    #[test]
+    fn polygon_region_is_conservative_subset_of_disk_region() {
+        // Whatever the polygon region accepts, the exact region must accept.
+        let circles = [c(0.0, 0.0, 1.0), c(1.2, 0.3, 0.8), c(-0.4, 0.9, 0.7)];
+        let poly = PolygonRegion::from_circles(&circles, 24);
+        let exact = DiskRegion::from_circles(&circles);
+        let candidates = [
+            c(0.0, 0.0, 0.5),
+            c(0.5, 0.2, 0.6),
+            c(1.0, 0.3, 0.7),
+            c(0.3, 0.3, 1.0),
+            c(-0.2, 0.5, 0.4),
+            c(2.0, 2.0, 0.1),
+        ];
+        for cand in candidates {
+            if poly.covers_circle(&cand) {
+                assert!(
+                    exact.covers_circle(&cand),
+                    "polygon region accepted {cand:?} but exact region refuses"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polygon_two_overlapping_cover_bridge_circle() {
+        let region = PolygonRegion::from_circles(&[c(0.0, 0.0, 1.0), c(1.0, 0.0, 1.0)], 32);
+        assert!(region.covers_circle(&c(0.5, 0.0, 0.6)));
+        let single = PolygonRegion::from_circles(&[c(0.0, 0.0, 1.0)], 32);
+        assert!(!single.covers_circle(&c(0.5, 0.0, 0.6)));
+        assert!(!region.covers_circle(&c(0.5, 0.0, 0.95)));
+    }
+
+    #[test]
+    fn polygon_region_rejects_uncovered_center() {
+        let region = PolygonRegion::from_circles(&[c(0.0, 0.0, 1.0)], 16);
+        assert!(!region.covers_circle(&c(3.0, 0.0, 0.1)));
+    }
+
+    #[test]
+    fn polygon_more_vertices_accept_more() {
+        // A candidate near the limit: the coarse polygonization rejects it,
+        // the fine one accepts it, and the exact test accepts it.
+        let circles = [c(0.0, 0.0, 1.0)];
+        let cand = c(0.0, 0.0, 0.97);
+        let coarse = PolygonRegion::from_circles(&circles, 6);
+        let fine = PolygonRegion::from_circles(&circles, 96);
+        let exact = DiskRegion::from_circles(&circles);
+        assert!(exact.covers_circle(&cand));
+        assert!(
+            !coarse.covers_circle(&cand),
+            "hexagon under-approximates too much"
+        );
+        assert!(fine.covers_circle(&cand));
+    }
+
+    #[test]
+    fn polygon_duplicates_do_not_fake_coverage() {
+        let region = PolygonRegion::from_circles(&[c(0.0, 0.0, 1.0), c(0.0, 0.0, 1.0)], 24);
+        assert_eq!(region.len(), 1);
+        assert!(!region.covers_circle(&c(0.0, 0.0, 1.5)));
+    }
+
+    #[test]
+    fn polygon_empty_region() {
+        let region = PolygonRegion::from_circles(&[c(0.0, 0.0, 0.0)], 24);
+        assert!(region.is_empty());
+        assert!(!region.covers_circle(&c(0.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn union_area_disjoint_is_sum() {
+        let squares = vec![
+            ConvexPolygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(0.0, 1.0),
+            ])
+            .unwrap(),
+            ConvexPolygon::new(vec![
+                Point::new(5.0, 0.0),
+                Point::new(7.0, 0.0),
+                Point::new(7.0, 2.0),
+                Point::new(5.0, 2.0),
+            ])
+            .unwrap(),
+        ];
+        let region = PolygonRegion::from_polygons(squares);
+        assert!((region.union_area() - 5.0).abs() < 1e-9);
+        assert_eq!(region.union_boundary().len(), 8);
+    }
+
+    #[test]
+    fn union_area_overlap_matches_inclusion_exclusion() {
+        // Two unit squares overlapping in a 0.5x1 strip: union = 1.5.
+        let a = ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap();
+        let b = ConvexPolygon::new(vec![
+            Point::new(0.5, 0.0),
+            Point::new(1.5, 0.0),
+            Point::new(1.5, 1.0),
+            Point::new(0.5, 1.0),
+        ])
+        .unwrap();
+        let region = PolygonRegion::from_polygons(vec![a, b]);
+        assert!(
+            (region.union_area() - 1.5).abs() < 1e-9,
+            "got {}",
+            region.union_area()
+        );
+    }
+
+    #[test]
+    fn union_area_nested_is_outer() {
+        let outer = ConvexPolygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ])
+        .unwrap();
+        let inner = ConvexPolygon::new(vec![
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 2.0),
+        ])
+        .unwrap();
+        let region = PolygonRegion::from_polygons(vec![outer, inner]);
+        assert!((region.union_area() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_area_of_polygonized_disks_approaches_disk_area() {
+        // Two far-apart disks: union area ≈ sum of disk areas, scaled by
+        // the inscribed-polygon factor.
+        let circles = [c(0.0, 0.0, 1.0), c(10.0, 0.0, 2.0)];
+        let region = PolygonRegion::from_circles(&circles, 64);
+        let expected: f64 = circles.iter().map(|d| d.area()).sum();
+        let got = region.union_area();
+        assert!(
+            (got - expected).abs() / expected < 0.01,
+            "union {got} vs disks {expected}"
+        );
+    }
+
+    // ---------- randomized agreement check ----------
+
+    #[test]
+    fn monte_carlo_agreement() {
+        // Deterministic pseudo-random scenario sweep: the polygon test must
+        // never accept a candidate whose disk has a sample point outside
+        // every source disk.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..50 {
+            let circles: Vec<Circle> = (0..4)
+                .map(|_| c(next() * 4.0 - 2.0, next() * 4.0 - 2.0, 0.3 + next()))
+                .collect();
+            let region = PolygonRegion::from_circles(&circles, 24);
+            let exact = DiskRegion::from_circles(&circles);
+            let cand = c(next() * 4.0 - 2.0, next() * 4.0 - 2.0, 0.2 + next());
+            let accepted = region.covers_circle(&cand);
+            let accepted_exact = exact.covers_circle(&cand);
+            if accepted {
+                assert!(accepted_exact, "polygon accepted, exact refused: {cand:?}");
+            }
+            if accepted_exact {
+                // Sample the candidate disk; every sample must be in a disk.
+                for i in 0..64 {
+                    let th = std::f64::consts::TAU * i as f64 / 64.0;
+                    for fr in [0.0, 0.5, 0.999] {
+                        let p = Point::new(
+                            cand.center.x + cand.radius * fr * th.cos(),
+                            cand.center.y + cand.radius * fr * th.sin(),
+                        );
+                        assert!(
+                            circles.iter().any(|d| d.center.dist(p) <= d.radius + 1e-9),
+                            "exact accepted but sample point {p:?} uncovered"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

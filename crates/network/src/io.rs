@@ -1,0 +1,228 @@
+//! Plain-text serialization of road networks.
+//!
+//! Generated worlds can be exported, diffed and re-imported so experiment
+//! inputs are reproducible artifacts rather than (seed, code-version)
+//! pairs. The format is a line-oriented text file:
+//!
+//! ```text
+//! senn-road-network v1
+//! nodes <count>
+//! <x> <y>            # one per node, index order
+//! edges <count>
+//! <a> <b> <class> <length>   # class in {P, S, L}
+//! ```
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use senn_geom::Point;
+
+use crate::graph::{NodeId, RoadClass, RoadNetwork};
+
+/// Error from [`parse_network`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number the error was detected at.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn class_tag(class: RoadClass) -> char {
+    match class {
+        RoadClass::Primary => 'P',
+        RoadClass::Secondary => 'S',
+        RoadClass::Local => 'L',
+    }
+}
+
+fn class_from_tag(tag: &str) -> Option<RoadClass> {
+    match tag {
+        "P" => Some(RoadClass::Primary),
+        "S" => Some(RoadClass::Secondary),
+        "L" => Some(RoadClass::Local),
+        _ => None,
+    }
+}
+
+/// Serializes the network to the v1 text format.
+pub fn network_to_string(net: &RoadNetwork) -> String {
+    let mut out = String::new();
+    out.push_str("senn-road-network v1\n");
+    let _ = writeln!(out, "nodes {}", net.node_count());
+    for p in net.positions() {
+        let _ = writeln!(out, "{} {}", p.x, p.y);
+    }
+    let _ = writeln!(out, "edges {}", net.edge_count());
+    for a in 0..net.node_count() as NodeId {
+        for e in net.neighbors(a) {
+            if e.to > a {
+                let _ = writeln!(out, "{} {} {} {}", a, e.to, class_tag(e.class), e.length);
+            }
+        }
+    }
+    out
+}
+
+/// Parses the v1 text format back into a network.
+pub fn parse_network(text: &str) -> Result<RoadNetwork, ParseError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let err = |line: usize, message: &str| ParseError {
+        line,
+        message: message.to_string(),
+    };
+    let mut next_content = move || loop {
+        match lines.next() {
+            None => return None,
+            Some((n, l)) if l.is_empty() || l.starts_with('#') => {
+                let _ = n;
+                continue;
+            }
+            Some(x) => return Some(x),
+        }
+    };
+
+    let (n1, header) = next_content().ok_or_else(|| err(1, "empty input"))?;
+    if header != "senn-road-network v1" {
+        return Err(err(n1, "bad header (want 'senn-road-network v1')"));
+    }
+    let (n2, nodes_line) = next_content().ok_or_else(|| err(n1, "missing node count"))?;
+    let node_count: usize = nodes_line
+        .strip_prefix("nodes ")
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| err(n2, "expected 'nodes <count>'"))?;
+
+    let mut net = RoadNetwork::new();
+    for _ in 0..node_count {
+        let (ln, line) = next_content().ok_or_else(|| err(n2, "fewer nodes than declared"))?;
+        let mut parts = line.split_whitespace();
+        let x = parts
+            .next()
+            .and_then(|v| f64::from_str(v).ok())
+            .ok_or_else(|| err(ln, "bad node x coordinate"))?;
+        let y = parts
+            .next()
+            .and_then(|v| f64::from_str(v).ok())
+            .ok_or_else(|| err(ln, "bad node y coordinate"))?;
+        if !(x.is_finite() && y.is_finite()) {
+            return Err(err(ln, "non-finite node coordinate"));
+        }
+        net.add_node(Point::new(x, y));
+    }
+
+    let (n3, edges_line) = next_content().ok_or_else(|| err(n2, "missing edge count"))?;
+    let edge_count: usize = edges_line
+        .strip_prefix("edges ")
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| err(n3, "expected 'edges <count>'"))?;
+    for _ in 0..edge_count {
+        let (ln, line) = next_content().ok_or_else(|| err(n3, "fewer edges than declared"))?;
+        let mut parts = line.split_whitespace();
+        let a: NodeId = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(ln, "bad edge endpoint"))?;
+        let b: NodeId = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(ln, "bad edge endpoint"))?;
+        let class = parts
+            .next()
+            .and_then(class_from_tag)
+            .ok_or_else(|| err(ln, "bad road class (want P/S/L)"))?;
+        let length: f64 = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| err(ln, "bad edge length"))?;
+        if a as usize >= net.node_count() || b as usize >= net.node_count() {
+            return Err(err(ln, "edge endpoint out of range"));
+        }
+        if a == b {
+            return Err(err(ln, "self-loop edge"));
+        }
+        let euclid = net.position(a).dist(net.position(b));
+        if length < euclid - 1e-6 {
+            return Err(err(ln, "edge shorter than the straight line"));
+        }
+        net.add_edge_with_length(a, b, class, length.max(euclid));
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_network, GeneratorConfig};
+    use crate::shortest_path::dijkstra_distance;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let net = generate_network(&GeneratorConfig::city(1500.0, 33));
+        let text = network_to_string(&net);
+        let back = parse_network(&text).expect("round trip parses");
+        assert_eq!(back.node_count(), net.node_count());
+        assert_eq!(back.edge_count(), net.edge_count());
+        for i in 0..net.node_count() as NodeId {
+            assert_eq!(back.position(i), net.position(i));
+            assert_eq!(back.neighbors(i).len(), net.neighbors(i).len());
+        }
+        // Shortest paths agree on a sample.
+        let n = net.node_count() as NodeId;
+        for (a, b) in [(0u32, 50u32 % n), (3 % n, 200 % n), (7 % n, 77 % n)] {
+            assert_eq!(
+                dijkstra_distance(&net, a, b),
+                dijkstra_distance(&back, a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_allowed() {
+        let text = "\n# a comment\nsenn-road-network v1\nnodes 2\n0 0\n# mid comment\n3 4\nedges 1\n0 1 L 5\n";
+        let net = parse_network(text).unwrap();
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.edge_count(), 1);
+        assert_eq!(net.neighbors(0)[0].class, RoadClass::Local);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_network("").is_err());
+        assert!(parse_network("wrong header\n").is_err());
+        assert!(parse_network("senn-road-network v1\nnodes x\n").is_err());
+        assert!(
+            parse_network("senn-road-network v1\nnodes 1\n0 0\nedges 1\n0 0 L 1\n").is_err(),
+            "self loop rejected"
+        );
+        assert!(
+            parse_network("senn-road-network v1\nnodes 2\n0 0\n10 0\nedges 1\n0 1 L 3\n").is_err(),
+            "too-short edge rejected"
+        );
+        assert!(
+            parse_network("senn-road-network v1\nnodes 2\n0 0\n1 0\nedges 1\n0 5 L 1\n").is_err(),
+            "out-of-range endpoint rejected"
+        );
+        let e = parse_network("senn-road-network v1\nnodes 1\nnot numbers\nedges 0\n").unwrap_err();
+        assert!(
+            e.to_string().contains("line 3"),
+            "error carries line info: {e}"
+        );
+    }
+
+    #[test]
+    fn empty_network_round_trips() {
+        let net = RoadNetwork::new();
+        let text = network_to_string(&net);
+        let back = parse_network(&text).unwrap();
+        assert_eq!(back.node_count(), 0);
+        assert_eq!(back.edge_count(), 0);
+    }
+}

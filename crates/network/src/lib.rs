@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # senn-network
+//!
+//! The spatial road-network substrate (paper Section 3.4 and 4.1.2).
+//!
+//! The paper digitizes TIGER/LINE street vectors into a *modeling graph*
+//! whose nodes are network junctions, segment endpoints and auxiliary
+//! points, computes shortest paths with Dijkstra's algorithm, and runs the
+//! IER / INE network nearest-neighbor algorithms of Papadias et al. on top.
+//! TIGER data is not redistributable here, so [`generator`] synthesizes
+//! networks with the same structure the paper extracts from TIGER: road
+//! segments in several classes (primary highways, secondary/connecting
+//! roads, rural/local roads) with per-class speed limits, where apparent
+//! crossings between a highway and a local road are over-passes, not
+//! intersections (see `DESIGN.md` §3 for the substitution argument).
+//!
+//! Provided components:
+//!
+//! * [`RoadNetwork`] — the modeling graph: nodes with coordinates,
+//!   undirected edges with length and [`RoadClass`].
+//! * [`shortest_path`] — Dijkstra and A\* (the Euclidean heuristic is
+//!   admissible because every edge is at least as long as the straight
+//!   line between its endpoints), plus one-to-many distance maps.
+//! * [`poi`] + [`knn`] — POIs snapped onto the network and the **IER** /
+//!   **INE** network-kNN baselines used by SNNN.
+//! * [`generator`] — the seeded synthetic network generator.
+
+pub mod alt;
+pub mod generator;
+pub mod graph;
+pub mod io;
+pub mod knn;
+pub mod locator;
+pub mod poi;
+pub mod shortest_path;
+
+pub use alt::{alt_distance, AltIndex};
+pub use generator::{generate_network, GeneratorConfig};
+pub use graph::{NodeId, RoadClass, RoadNetwork};
+pub use io::{network_to_string, parse_network, ParseError};
+pub use knn::{ier_knn, ine_knn, NetworkNeighbor};
+pub use locator::NodeLocator;
+pub use poi::NetworkPois;
+pub use shortest_path::{
+    astar_distance, astar_path, dijkstra_distance, dijkstra_map, shortest_path_nodes,
+};

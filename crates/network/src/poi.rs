@@ -1,0 +1,134 @@
+//! Points of interest snapped onto the road network.
+//!
+//! Network nearest-neighbor algorithms need each POI attached to the graph;
+//! a POI's network distance is the shortest-path distance to its snap node
+//! plus the straight leg from that node to the POI's exact position (which
+//! preserves the Euclidean lower-bound property; see
+//! [`crate::shortest_path`]).
+
+use senn_geom::Point;
+
+use crate::graph::{NodeId, RoadNetwork};
+use crate::locator::NodeLocator;
+
+/// A set of POIs attached to a [`RoadNetwork`].
+#[derive(Clone, Debug)]
+pub struct NetworkPois {
+    positions: Vec<Point>,
+    snap_node: Vec<NodeId>,
+    snap_leg: Vec<f64>,
+    /// For each graph node, the POIs snapped to it.
+    pois_at_node: Vec<Vec<u32>>,
+}
+
+impl NetworkPois {
+    /// Snaps `positions` onto `net` using a [`NodeLocator`].
+    pub fn snap(net: &RoadNetwork, positions: Vec<Point>) -> Self {
+        let locator = NodeLocator::new(net);
+        Self::snap_with_locator(net, positions, &locator)
+    }
+
+    /// Snaps `positions` with a caller-provided locator (reused across POI
+    /// sets and mobility).
+    pub fn snap_with_locator(
+        net: &RoadNetwork,
+        positions: Vec<Point>,
+        locator: &NodeLocator,
+    ) -> Self {
+        let mut snap_node = Vec::with_capacity(positions.len());
+        let mut snap_leg = Vec::with_capacity(positions.len());
+        let mut pois_at_node = vec![Vec::new(); net.node_count()];
+        for (i, p) in positions.iter().enumerate() {
+            let node = locator
+                .nearest(*p)
+                .expect("cannot snap POIs onto an empty network");
+            snap_node.push(node);
+            snap_leg.push(p.dist(net.position(node)));
+            pois_at_node[node as usize].push(i as u32);
+        }
+        NetworkPois {
+            positions,
+            snap_node,
+            snap_leg,
+            pois_at_node,
+        }
+    }
+
+    /// Number of POIs.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when there are no POIs.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Exact position of POI `id`.
+    #[inline]
+    pub fn position(&self, id: u32) -> Point {
+        self.positions[id as usize]
+    }
+
+    /// All POI positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The graph node POI `id` is snapped to.
+    #[inline]
+    pub fn snap_node(&self, id: u32) -> NodeId {
+        self.snap_node[id as usize]
+    }
+
+    /// Straight-line leg between the POI and its snap node.
+    #[inline]
+    pub fn snap_leg(&self, id: u32) -> f64 {
+        self.snap_leg[id as usize]
+    }
+
+    /// POIs snapped to graph node `node`.
+    #[inline]
+    pub fn at_node(&self, node: NodeId) -> &[u32] {
+        &self.pois_at_node[node as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_network, GeneratorConfig};
+
+    #[test]
+    fn snap_attaches_every_poi() {
+        let net = generate_network(&GeneratorConfig::city(2000.0, 1));
+        let pois = vec![
+            Point::new(10.0, 10.0),
+            Point::new(1500.0, 900.0),
+            Point::new(1999.0, 1999.0),
+        ];
+        let set = NetworkPois::snap(&net, pois.clone());
+        assert_eq!(set.len(), 3);
+        for i in 0..3u32 {
+            let node = set.snap_node(i);
+            assert!(set.at_node(node).contains(&i));
+            assert!((set.snap_leg(i) - set.position(i).dist(net.position(node))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multiple_pois_per_node() {
+        let net = generate_network(&GeneratorConfig::city(2000.0, 2));
+        let p = Point::new(500.0, 500.0);
+        let set = NetworkPois::snap(&net, vec![p, p, p]);
+        let node = set.snap_node(0);
+        assert_eq!(set.at_node(node).len(), 3);
+    }
+
+    #[test]
+    fn empty_poi_set() {
+        let net = generate_network(&GeneratorConfig::city(1000.0, 3));
+        let set = NetworkPois::snap(&net, vec![]);
+        assert!(set.is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Shortest paths on the modeling graph.
+//!
+//! "The shortest path between two nodes can be computed with Dijkstra's
+//! algorithm, which is leveraged as the basis for computing the network
+//! distance between any two arbitrary points" (Section 3.4). A\* with the
+//! Euclidean heuristic is provided as an extension; the heuristic is
+//! admissible because every edge is at least as long as the straight line
+//! between its endpoints.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use senn_geom::Point;
+
+use crate::graph::{NodeId, RoadNetwork};
+
+#[derive(PartialEq)]
+struct HeapItem {
+    priority: f64,
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .priority
+            .partial_cmp(&self.priority)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Network distance between two nodes via Dijkstra with early exit;
+/// `None` when `to` is unreachable.
+pub fn dijkstra_distance(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<f64> {
+    search(net, from, Some(to), None).0
+}
+
+/// Network distance via A\* with the Euclidean heuristic. Identical result
+/// to [`dijkstra_distance`], usually with fewer node settlements.
+pub fn astar_distance(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<f64> {
+    let goal = net.position(to);
+    search(net, from, Some(to), Some(goal)).0
+}
+
+/// One-to-many Dijkstra: network distance from `from` to every node,
+/// `f64::INFINITY` for unreachable nodes. `max_dist` truncates the
+/// expansion (distances beyond it stay infinite).
+pub fn dijkstra_map(net: &RoadNetwork, from: NodeId, max_dist: Option<f64>) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; net.node_count()];
+    let mut heap = BinaryHeap::new();
+    dist[from as usize] = 0.0;
+    heap.push(HeapItem {
+        priority: 0.0,
+        dist: 0.0,
+        node: from,
+    });
+    while let Some(HeapItem { dist: d, node, .. }) = heap.pop() {
+        if d > dist[node as usize] {
+            continue;
+        }
+        if let Some(limit) = max_dist {
+            if d > limit {
+                continue;
+            }
+        }
+        for e in net.neighbors(node) {
+            let nd = d + e.length;
+            if nd < dist[e.to as usize] {
+                dist[e.to as usize] = nd;
+                heap.push(HeapItem {
+                    priority: nd,
+                    dist: nd,
+                    node: e.to,
+                });
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest path between two nodes as a node sequence (inclusive of both
+/// endpoints), plus its length; `None` when unreachable.
+pub fn shortest_path_nodes(
+    net: &RoadNetwork,
+    from: NodeId,
+    to: NodeId,
+) -> Option<(Vec<NodeId>, f64)> {
+    let (d, prev) = search(net, from, Some(to), None);
+    let total = d?;
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = prev[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some((path, total))
+}
+
+/// Shortest path via A\* (Euclidean heuristic) as a node sequence plus its
+/// length; `None` when unreachable. Equivalent to
+/// [`shortest_path_nodes`] but typically settles fewer nodes.
+pub fn astar_path(net: &RoadNetwork, from: NodeId, to: NodeId) -> Option<(Vec<NodeId>, f64)> {
+    let goal = net.position(to);
+    let (d, prev) = search(net, from, Some(to), Some(goal));
+    let total = d?;
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = prev[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some((path, total))
+}
+
+/// Core label-setting search. With `heuristic_goal` set it is A\*,
+/// otherwise Dijkstra. Returns the distance to `target` (if given and
+/// reached) and the predecessor array.
+fn search(
+    net: &RoadNetwork,
+    from: NodeId,
+    target: Option<NodeId>,
+    heuristic_goal: Option<Point>,
+) -> (Option<f64>, Vec<NodeId>) {
+    let n = net.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![NodeId::MAX; n];
+    let mut heap = BinaryHeap::new();
+    let h = |node: NodeId| -> f64 { heuristic_goal.map_or(0.0, |g| net.position(node).dist(g)) };
+    dist[from as usize] = 0.0;
+    heap.push(HeapItem {
+        priority: h(from),
+        dist: 0.0,
+        node: from,
+    });
+    while let Some(HeapItem { dist: d, node, .. }) = heap.pop() {
+        if d > dist[node as usize] {
+            continue;
+        }
+        if Some(node) == target {
+            return (Some(d), prev);
+        }
+        for e in net.neighbors(node) {
+            let nd = d + e.length;
+            if nd < dist[e.to as usize] {
+                dist[e.to as usize] = nd;
+                prev[e.to as usize] = node;
+                heap.push(HeapItem {
+                    priority: nd + h(e.to),
+                    dist: nd,
+                    node: e.to,
+                });
+            }
+        }
+    }
+    (
+        target.and_then(|t| dist[t as usize].is_finite().then(|| dist[t as usize])),
+        prev,
+    )
+}
+
+impl RoadNetwork {
+    /// Network distance between two arbitrary *points*: each point is
+    /// snapped to its nearest node, and the straight legs to/from the
+    /// snap nodes are added. Preserves `ED(p, q) <= ND(p, q)` by the
+    /// triangle inequality. `None` on an empty or disconnected network.
+    pub fn network_distance_points(&self, p: Point, q: Point) -> Option<f64> {
+        let a = self.nearest_node_linear(p)?;
+        let b = self.nearest_node_linear(q)?;
+        let core = dijkstra_distance(self, a, b)?;
+        Some(p.dist(self.position(a)) + core + self.position(b).dist(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadClass;
+
+    /// 4x4 grid with unit spacing, plus one diagonal shortcut.
+    fn grid() -> RoadNetwork {
+        let mut net = RoadNetwork::new();
+        let mut ids = vec![];
+        for y in 0..4 {
+            for x in 0..4 {
+                ids.push(net.add_node(Point::new(x as f64, y as f64)));
+            }
+        }
+        let at = |x: usize, y: usize| ids[y * 4 + x];
+        for y in 0..4 {
+            for x in 0..4 {
+                if x + 1 < 4 {
+                    net.add_edge(at(x, y), at(x + 1, y), RoadClass::Local);
+                }
+                if y + 1 < 4 {
+                    net.add_edge(at(x, y), at(x, y + 1), RoadClass::Local);
+                }
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn dijkstra_on_grid_is_manhattan() {
+        let net = grid();
+        // (0,0) -> (3,3): manhattan distance 6.
+        assert_eq!(dijkstra_distance(&net, 0, 15), Some(6.0));
+        assert_eq!(dijkstra_distance(&net, 0, 0), Some(0.0));
+        assert_eq!(dijkstra_distance(&net, 5, 6), Some(1.0));
+    }
+
+    #[test]
+    fn astar_agrees_with_dijkstra() {
+        let net = grid();
+        for from in 0..16u32 {
+            for to in 0..16u32 {
+                assert_eq!(
+                    dijkstra_distance(&net, from, to),
+                    astar_distance(&net, from, to),
+                    "mismatch {from}->{to}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut net = grid();
+        let island = net.add_node(Point::new(100.0, 100.0));
+        assert_eq!(dijkstra_distance(&net, 0, island), None);
+        assert_eq!(astar_distance(&net, 0, island), None);
+        assert!(shortest_path_nodes(&net, 0, island).is_none());
+    }
+
+    #[test]
+    fn path_recovery() {
+        let net = grid();
+        let (path, len) = shortest_path_nodes(&net, 0, 15).unwrap();
+        assert_eq!(len, 6.0);
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&15));
+        assert_eq!(path.len(), 7);
+        // Consecutive nodes are adjacent.
+        for w in path.windows(2) {
+            assert!(net.neighbors(w[0]).iter().any(|e| e.to == w[1]));
+        }
+    }
+
+    #[test]
+    fn dijkstra_map_full_and_truncated() {
+        let net = grid();
+        let full = dijkstra_map(&net, 0, None);
+        assert_eq!(full[15], 6.0);
+        assert_eq!(full[0], 0.0);
+        let trunc = dijkstra_map(&net, 0, Some(2.0));
+        assert_eq!(trunc[1], 1.0);
+        assert!(trunc[15].is_infinite());
+    }
+
+    #[test]
+    fn euclidean_lower_bound_property() {
+        let net = grid();
+        for from in 0..16u32 {
+            let map = dijkstra_map(&net, from, None);
+            for to in 0..16u32 {
+                let ed = net.position(from).dist(net.position(to));
+                assert!(
+                    map[to as usize] >= ed - 1e-12,
+                    "ND {} < ED {} for {from}->{to}",
+                    map[to as usize],
+                    ed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_distance_respects_lower_bound() {
+        let net = grid();
+        let p = Point::new(0.2, 0.3);
+        let q = Point::new(2.7, 2.9);
+        let nd = net.network_distance_points(p, q).unwrap();
+        assert!(nd >= p.dist(q) - 1e-12);
+    }
+}

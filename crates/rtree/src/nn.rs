@@ -1,0 +1,446 @@
+//! Incremental best-first nearest-neighbor search (INN) and the paper's
+//! pruning-bound extension (EINN).
+//!
+//! INN follows Hjaltason & Samet: a min-priority queue holds both nodes
+//! (keyed by `MINDIST`) and items (keyed by exact distance); popping an
+//! item yields the next neighbor in ascending distance, and the traversal
+//! is optimal — it reads exactly the nodes whose `MINDIST` is below the
+//! distance of the last neighbor reported.
+//!
+//! EINN (Section 3.3) adds two prunes driven by the state of the mobile
+//! host's result heap `H`:
+//!
+//! * **Upward pruning** — any MBR (or object) with
+//!   `MINDIST(Q, M) > upper` is discarded, where `upper` is the distance of
+//!   the k-th element of a full `H`: the true kNN all lie within it.
+//! * **Downward pruning** — any MBR with `MAXDIST(Q, M) < lower` is
+//!   discarded, where `lower = D_ct` is the distance of the last *certain*
+//!   entry: the MBR lies wholly inside the verified circle `C_r`, so all
+//!   its POIs are already known to the client. Individual objects closer
+//!   than `lower` are skipped for the same reason.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use senn_geom::{Point, EPS};
+
+use crate::tree::RStarTree;
+
+/// Pruning bounds forwarded to the server with a kNN query (Section 3.3).
+///
+/// `SearchBounds::default()` (no bounds) turns EINN back into plain INN.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SearchBounds {
+    /// Branch-expanding upper bound: distance of the last entry of a full
+    /// heap `H` (States 1 and 2). `None` when `H` is not full.
+    pub upper: Option<f64>,
+    /// Branch-expanding lower bound: distance `D_ct` of the last certain
+    /// entry of `H` (States 1, 3 and 4). `None` without certain entries.
+    pub lower: Option<f64>,
+}
+
+impl SearchBounds {
+    /// No pruning information: plain INN.
+    pub const NONE: SearchBounds = SearchBounds {
+        upper: None,
+        lower: None,
+    };
+
+    /// True when no bound is present.
+    pub fn is_none(&self) -> bool {
+        self.upper.is_none() && self.lower.is_none()
+    }
+}
+
+/// A neighbor produced by the incremental search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor<'a, T> {
+    /// Indexed location of the neighbor.
+    pub point: Point,
+    /// Borrowed payload.
+    pub value: &'a T,
+    /// Euclidean distance from the query point.
+    pub dist: f64,
+}
+
+#[derive(Debug)]
+enum QueueRef {
+    Node(usize),
+    Item(usize),
+}
+
+struct QueueEntry {
+    dist: f64,
+    target: QueueRef,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the closest first.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Incremental nearest-neighbor iterator over an [`RStarTree`].
+///
+/// Create with [`RStarTree::nn_iter`] (INN) or
+/// [`RStarTree::nn_iter_bounded`] (EINN).
+pub struct NnIter<'a, T> {
+    tree: &'a RStarTree<T>,
+    query: Point,
+    heap: BinaryHeap<QueueEntry>,
+    bounds: SearchBounds,
+    node_accesses: u64,
+    object_accesses: u64,
+}
+
+impl<'a, T> NnIter<'a, T> {
+    fn new(tree: &'a RStarTree<T>, query: Point, bounds: SearchBounds) -> Self {
+        let mut heap = BinaryHeap::new();
+        heap.push(QueueEntry {
+            dist: 0.0,
+            target: QueueRef::Node(tree.root),
+        });
+        NnIter {
+            tree,
+            query,
+            heap,
+            bounds,
+            node_accesses: 0,
+            object_accesses: 0,
+        }
+    }
+
+    /// Number of R\*-tree nodes (index and leaf) read so far.
+    pub fn node_accesses(&self) -> u64 {
+        self.node_accesses
+    }
+
+    /// Number of data-node (object record) reads so far: one per reported
+    /// neighbor.
+    pub fn object_accesses(&self) -> u64 {
+        self.object_accesses
+    }
+
+    /// Total page accesses — "index nodes and data nodes" (Section 4.4),
+    /// the paper's PAR measure. EINN's lower bound pays off here twice:
+    /// MBRs inside the verified circle are never expanded (fewer node
+    /// reads) and the POIs the client already holds are never re-reported
+    /// (fewer data-node reads).
+    pub fn page_accesses(&self) -> u64 {
+        self.node_accesses + self.object_accesses
+    }
+
+    fn admits_dist(&self, dist: f64) -> bool {
+        match self.bounds.upper {
+            // Keep objects *at* the bound: the k-th NN itself sits there.
+            Some(ub) => dist <= ub + EPS,
+            None => true,
+        }
+    }
+}
+
+impl<'a, T> Iterator for NnIter<'a, T> {
+    type Item = Neighbor<'a, T>;
+
+    fn next(&mut self) -> Option<Neighbor<'a, T>> {
+        while let Some(QueueEntry { dist, target }) = self.heap.pop() {
+            match target {
+                QueueRef::Item(id) => {
+                    self.object_accesses += 1;
+                    let (point, value) = self.tree.item(id);
+                    return Some(Neighbor {
+                        point: *point,
+                        value,
+                        dist,
+                    });
+                }
+                QueueRef::Node(id) => {
+                    self.node_accesses += 1;
+                    let node = &self.tree.nodes[id];
+                    if node.level == 0 {
+                        for e in &node.entries {
+                            let (p, _) = self.tree.item(e.id);
+                            let d = self.query.dist(*p);
+                            if !self.admits_dist(d) {
+                                continue;
+                            }
+                            if let Some(lb) = self.bounds.lower {
+                                // Strictly inside the verified circle C_r:
+                                // the client already holds this POI.
+                                if d < lb - EPS {
+                                    continue;
+                                }
+                            }
+                            self.heap.push(QueueEntry {
+                                dist: d,
+                                target: QueueRef::Item(e.id),
+                            });
+                        }
+                    } else {
+                        for e in &node.entries {
+                            let mind = e.mbr.min_dist(self.query);
+                            if !self.admits_dist(mind) {
+                                continue; // upward pruning
+                            }
+                            if let Some(lb) = self.bounds.lower {
+                                if e.mbr.max_dist(self.query) < lb - EPS {
+                                    continue; // downward pruning: inside C_r
+                                }
+                            }
+                            self.heap.push(QueueEntry {
+                                dist: mind,
+                                target: QueueRef::Node(e.id),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<T> RStarTree<T> {
+    /// Incremental best-first NN iterator (the INN algorithm). Neighbors
+    /// are yielded in ascending Euclidean distance from `query`.
+    pub fn nn_iter(&self, query: Point) -> NnIter<'_, T> {
+        NnIter::new(self, query, SearchBounds::NONE)
+    }
+
+    /// Incremental NN iterator with the paper's pruning bounds (the EINN
+    /// algorithm). With `SearchBounds::NONE` this is exactly [`Self::nn_iter`].
+    pub fn nn_iter_bounded(&self, query: Point, bounds: SearchBounds) -> NnIter<'_, T> {
+        NnIter::new(self, query, bounds)
+    }
+
+    /// The `k` nearest neighbors of `query` in ascending distance, plus the
+    /// number of page accesses performed (index, leaf and data nodes).
+    pub fn knn(&self, query: Point, k: usize) -> (Vec<Neighbor<'_, T>>, u64) {
+        let mut it = self.nn_iter(query);
+        let out: Vec<_> = it.by_ref().take(k).collect();
+        (out, it.page_accesses())
+    }
+
+    /// The `k` nearest *new* neighbors under the given pruning bounds
+    /// (EINN), plus page accesses. With a lower bound set, POIs strictly
+    /// inside the verified circle are not reported — the client already has
+    /// them.
+    pub fn knn_bounded(
+        &self,
+        query: Point,
+        k: usize,
+        bounds: SearchBounds,
+    ) -> (Vec<Neighbor<'_, T>>, u64) {
+        let mut it = self.nn_iter_bounded(query, bounds);
+        let out: Vec<_> = it.by_ref().take(k).collect();
+        (out, it.page_accesses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senn_geom::Rect;
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * 1000.0, next() * 1000.0))
+            .collect()
+    }
+
+    fn build(n: usize, seed: u64) -> (RStarTree<usize>, Vec<Point>) {
+        let mut tree = RStarTree::new();
+        let pts = pseudo_points(n, seed);
+        for (i, p) in pts.iter().enumerate() {
+            tree.insert(*p, i);
+        }
+        (tree, pts)
+    }
+
+    fn brute_knn(pts: &[Point], q: Point, k: usize) -> Vec<(f64, usize)> {
+        let mut d: Vec<(f64, usize)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (q.dist(*p), i))
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.truncate(k);
+        d
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let (tree, pts) = build(500, 77);
+        for q in pseudo_points(20, 123) {
+            for k in [1usize, 3, 10] {
+                let (got, _) = tree.knn(q, k);
+                let want = brute_knn(&pts, q, k);
+                assert_eq!(got.len(), k);
+                for (g, (wd, _)) in got.iter().zip(&want) {
+                    assert!((g.dist - wd).abs() < 1e-9, "distance mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nn_iter_yields_ascending_distances() {
+        let (tree, _) = build(300, 5);
+        let q = Point::new(500.0, 500.0);
+        let mut last = 0.0;
+        let mut count = 0;
+        for nb in tree.nn_iter(q) {
+            assert!(nb.dist >= last - 1e-12);
+            last = nb.dist;
+            count += 1;
+        }
+        assert_eq!(count, 300, "iterator exhausts every item");
+    }
+
+    #[test]
+    fn knn_more_than_len_returns_all() {
+        let (tree, _) = build(10, 9);
+        let (got, _) = tree.knn(Point::ORIGIN, 50);
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn einn_without_bounds_equals_inn() {
+        let (tree, _) = build(400, 31);
+        let q = Point::new(321.0, 654.0);
+        let (a, acc_a) = tree.knn(q, 7);
+        let (b, acc_b) = tree.knn_bounded(q, 7, SearchBounds::NONE);
+        assert_eq!(acc_a, acc_b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.point, y.point);
+        }
+    }
+
+    #[test]
+    fn einn_lower_bound_skips_known_pois_and_saves_accesses() {
+        let (tree, pts) = build(2000, 71);
+        let q = Point::new(500.0, 500.0);
+        let k = 10;
+        let want = brute_knn(&pts, q, k);
+        // Pretend the client verified the first 5 NNs: lower = dist of 5th.
+        let lower = want[4].0;
+        let bounds = SearchBounds {
+            lower: Some(lower),
+            upper: None,
+        };
+        // The POI sitting exactly at the lower bound (the last verified one)
+        // is reported again — the client dedupes — so to obtain the missing
+        // 5 POIs we pull 6 results.
+        let (got, acc_einn) = tree.knn_bounded(q, k - 5 + 1, bounds);
+        let (_, acc_inn) = tree.knn(q, k);
+        assert_eq!(got.len(), k - 5 + 1);
+        let got_dists: Vec<f64> = got.iter().map(|n| n.dist).collect();
+        // All results at or beyond the lower bound:
+        for d in &got_dists {
+            assert!(*d >= lower - 1e-9);
+        }
+        // First result is the boundary POI; the last matches the true k-th.
+        assert!((got_dists[0] - want[4].0).abs() < 1e-9);
+        assert!((got_dists.last().unwrap() - want[k - 1].0).abs() < 1e-9);
+        assert!(
+            acc_einn <= acc_inn,
+            "EINN should not read more pages than INN ({acc_einn} vs {acc_inn})"
+        );
+    }
+
+    #[test]
+    fn einn_upper_bound_limits_results() {
+        let (tree, pts) = build(800, 41);
+        let q = Point::new(250.0, 750.0);
+        let want = brute_knn(&pts, q, 6);
+        let upper = want[5].0;
+        let bounds = SearchBounds {
+            lower: None,
+            upper: Some(upper),
+        };
+        // Ask for far more than the bound admits: the iterator must stop.
+        let (got, _) = tree.knn_bounded(q, 100, bounds);
+        assert_eq!(got.len(), 6, "exactly the POIs within the upper bound");
+        for n in &got {
+            assert!(n.dist <= upper + 1e-9);
+        }
+    }
+
+    #[test]
+    fn einn_accesses_decrease_with_tight_lower_bound() {
+        // With a very tight certain circle around q covering most of the
+        // data, downward pruning must reduce node accesses measurably.
+        let mut tree = RStarTree::new();
+        let pts = pseudo_points(3000, 1234);
+        for (i, p) in pts.iter().enumerate() {
+            tree.insert(*p, i);
+        }
+        let q = Point::new(500.0, 500.0);
+        let want = brute_knn(&pts, q, 100);
+        let lower = want[98].0; // 99 NNs verified
+        let (_, acc_inn) = tree.knn(q, 100);
+        // Pull 2: the boundary POI (reported again) plus the one new NN.
+        let (res, acc_einn) = tree.knn_bounded(
+            q,
+            2,
+            SearchBounds {
+                lower: Some(lower),
+                upper: Some(want[99].0),
+            },
+        );
+        assert_eq!(res.len(), 2);
+        assert!((res[0].dist - want[98].0).abs() < 1e-9);
+        assert!((res[1].dist - want[99].0).abs() < 1e-9);
+        assert!(
+            acc_einn < acc_inn,
+            "downward pruning saves accesses ({acc_einn} vs {acc_inn})"
+        );
+    }
+
+    #[test]
+    fn accesses_counted_even_on_empty_tree() {
+        let tree: RStarTree<()> = RStarTree::new();
+        let mut it = tree.nn_iter(Point::ORIGIN);
+        assert!(it.next().is_none());
+        assert_eq!(it.node_accesses(), 1);
+    }
+
+    #[test]
+    fn range_and_nn_agree() {
+        let (tree, _) = build(600, 17);
+        let q = Point::new(100.0, 100.0);
+        let (nn, _) = tree.knn(q, 20);
+        let radius = nn.last().unwrap().dist;
+        let window = Rect::new(
+            Point::new(q.x - radius, q.y - radius),
+            Point::new(q.x + radius, q.y + radius),
+        );
+        let (hits, _) = tree.range_query(window);
+        // Every kNN result lies in the bounding window of the kNN circle.
+        for n in &nn {
+            assert!(hits.iter().any(|(p, _)| *p == n.point));
+        }
+    }
+}

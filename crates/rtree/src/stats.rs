@@ -1,0 +1,130 @@
+//! Structural statistics of an R\*-tree.
+//!
+//! The `rtree_build` bench uses these to compare the quality (not just the
+//! speed) of incremental R\* insertion vs STR bulk loading: average node
+//! fill, total MBR overlap at the leaf level, and dead space all predict
+//! query page counts.
+
+use senn_geom::Rect;
+
+use crate::tree::RStarTree;
+
+/// Aggregate structural statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TreeStats {
+    /// Total nodes (index + leaf).
+    pub nodes: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Tree height (0 = leaf-only root).
+    pub height: usize,
+    /// Mean entries per node divided by the branching factor, in `[0, 1]`.
+    pub avg_fill: f64,
+    /// Sum of pairwise overlap areas between sibling MBRs at the leaf
+    /// level's parents (the quantity the R\* split minimizes).
+    pub sibling_overlap: f64,
+    /// Sum of leaf MBR areas minus the area of the root MBR — a proxy for
+    /// dead space / coverage redundancy.
+    pub leaf_area_excess: f64,
+}
+
+impl<T> RStarTree<T> {
+    /// Computes structural statistics in one pass.
+    pub fn stats(&self) -> TreeStats {
+        let mut stats = TreeStats {
+            height: self.height(),
+            ..TreeStats::default()
+        };
+        let mut fill_sum = 0.0;
+        let mut leaf_area_sum = 0.0;
+        let mut stack = vec![self.root];
+        while let Some(nid) = stack.pop() {
+            let node = &self.nodes[nid];
+            stats.nodes += 1;
+            fill_sum += node.entries.len() as f64 / self.config().max_entries as f64;
+            if node.level == 0 {
+                stats.leaves += 1;
+                leaf_area_sum += node_mbr(node).area();
+            } else {
+                // Pairwise sibling overlap among this node's child MBRs.
+                for i in 0..node.entries.len() {
+                    for j in (i + 1)..node.entries.len() {
+                        stats.sibling_overlap +=
+                            node.entries[i].mbr.overlap_area(node.entries[j].mbr);
+                    }
+                }
+                for e in &node.entries {
+                    stack.push(e.id);
+                }
+            }
+        }
+        stats.avg_fill = fill_sum / stats.nodes as f64;
+        let root_area = self.bounding_rect().area();
+        stats.leaf_area_excess = (leaf_area_sum - root_area).max(0.0);
+        stats
+    }
+}
+
+fn node_mbr(node: &crate::tree::Node) -> Rect {
+    node.entries.iter().fold(Rect::EMPTY, |r, e| r.union(e.mbr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senn_geom::Point;
+
+    fn pts(n: usize, seed: u64) -> Vec<Point> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(next() * 1000.0, next() * 1000.0))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_stats() {
+        let tree: RStarTree<()> = RStarTree::new();
+        let s = tree.stats();
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.height, 0);
+        assert_eq!(s.avg_fill, 0.0);
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let mut tree = RStarTree::new();
+        for (i, p) in pts(500, 3).into_iter().enumerate() {
+            tree.insert(p, i);
+        }
+        let s = tree.stats();
+        assert!(s.nodes > s.leaves);
+        assert!(s.height >= 1);
+        assert!(s.avg_fill > 0.3 && s.avg_fill <= 1.0, "fill {}", s.avg_fill);
+        assert!(s.sibling_overlap >= 0.0);
+    }
+
+    #[test]
+    fn bulk_load_fills_at_least_as_well() {
+        let points = pts(2000, 9);
+        let mut incr = RStarTree::new();
+        for (i, p) in points.iter().enumerate() {
+            incr.insert(*p, i);
+        }
+        let bulk = RStarTree::bulk_load(points.iter().enumerate().map(|(i, p)| (*p, i)).collect());
+        let si = incr.stats();
+        let sb = bulk.stats();
+        // Both construction paths produce reasonably packed trees (the
+        // exact overlap/fill trade-off differs; the rtree_build bench
+        // reports both so the trade-off stays visible).
+        assert!(si.avg_fill > 0.4, "incremental fill {}", si.avg_fill);
+        assert!(sb.avg_fill > 0.4, "bulk fill {}", sb.avg_fill);
+        assert!(sb.leaves > 0 && si.leaves > 0);
+    }
+}

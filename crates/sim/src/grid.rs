@@ -1,0 +1,142 @@
+//! Uniform-grid peer discovery.
+//!
+//! "Query moving object peers within the communication range" (Algorithm
+//! 1, line 2): for every query we need the hosts within `Tx_Range` of the
+//! querier. A uniform grid with cell size equal to the transmission range
+//! reduces that to a 3×3 cell scan.
+
+use senn_geom::{Point, Rect};
+
+/// A rebuild-per-batch uniform grid over host positions.
+#[derive(Clone, Debug)]
+pub struct HostGrid {
+    bounds: Rect,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<u32>>,
+    positions: Vec<Point>,
+}
+
+impl HostGrid {
+    /// Builds the grid for the given host positions. `cell` should be the
+    /// transmission range.
+    pub fn build(bounds: Rect, cell: f64, positions: &[Point]) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        assert!(!bounds.is_empty(), "area must be non-empty");
+        let cols = (bounds.width() / cell).floor() as usize + 1;
+        let rows = (bounds.height() / cell).floor() as usize + 1;
+        let mut cells = vec![Vec::new(); cols * rows];
+        for (i, p) in positions.iter().enumerate() {
+            let (cx, cy) = Self::cell_of(bounds, cell, cols, rows, *p);
+            cells[cy * cols + cx].push(i as u32);
+        }
+        HostGrid {
+            bounds,
+            cell,
+            cols,
+            rows,
+            cells,
+            positions: positions.to_vec(),
+        }
+    }
+
+    fn cell_of(bounds: Rect, cell: f64, cols: usize, rows: usize, p: Point) -> (usize, usize) {
+        let cx =
+            (((p.x - bounds.min.x) / cell).floor() as isize).clamp(0, cols as isize - 1) as usize;
+        let cy =
+            (((p.y - bounds.min.y) / cell).floor() as isize).clamp(0, rows as isize - 1) as usize;
+        (cx, cy)
+    }
+
+    /// Hosts (by index) within `radius` of `p`, excluding `exclude`.
+    pub fn within(&self, p: Point, radius: f64, exclude: u32) -> Vec<u32> {
+        let r2 = radius * radius;
+        let reach = (radius / self.cell).ceil() as isize;
+        let (cx, cy) = Self::cell_of(self.bounds, self.cell, self.cols, self.rows, p);
+        let mut out = Vec::new();
+        for dy in -reach..=reach {
+            let y = cy as isize + dy;
+            if y < 0 || y >= self.rows as isize {
+                continue;
+            }
+            for dx in -reach..=reach {
+                let x = cx as isize + dx;
+                if x < 0 || x >= self.cols as isize {
+                    continue;
+                }
+                for &id in &self.cells[y as usize * self.cols + x as usize] {
+                    if id != exclude && p.dist_sq(self.positions[id as usize]) <= r2 {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_linear_scan() {
+        let bounds = Rect::new(Point::ORIGIN, Point::new(1000.0, 1000.0));
+        let mut s = 5u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let positions: Vec<Point> = (0..500)
+            .map(|_| Point::new(next() * 1000.0, next() * 1000.0))
+            .collect();
+        let grid = HostGrid::build(bounds, 200.0, &positions);
+        for probe in 0..50 {
+            let q = positions[probe * 7 % positions.len()];
+            let mut fast = grid.within(q, 200.0, probe as u32);
+            let mut slow: Vec<u32> = positions
+                .iter()
+                .enumerate()
+                .filter(|&(i, p)| i as u32 != probe as u32 && q.dist(*p) <= 200.0)
+                .map(|(i, _)| i as u32)
+                .collect();
+            fast.sort_unstable();
+            slow.sort_unstable();
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn radius_larger_than_cell() {
+        let bounds = Rect::new(Point::ORIGIN, Point::new(100.0, 100.0));
+        let positions = vec![Point::new(10.0, 10.0), Point::new(90.0, 90.0)];
+        let grid = HostGrid::build(bounds, 10.0, &positions);
+        let hits = grid.within(Point::new(50.0, 50.0), 80.0, u32::MAX);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn excludes_querier_and_out_of_range() {
+        let bounds = Rect::new(Point::ORIGIN, Point::new(100.0, 100.0));
+        let positions = vec![
+            Point::new(10.0, 10.0),
+            Point::new(12.0, 10.0),
+            Point::new(99.0, 99.0),
+        ];
+        let grid = HostGrid::build(bounds, 20.0, &positions);
+        let hits = grid.within(positions[0], 5.0, 0);
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn positions_outside_bounds_are_clamped_not_lost() {
+        let bounds = Rect::new(Point::ORIGIN, Point::new(100.0, 100.0));
+        let positions = vec![Point::new(-5.0, 50.0)];
+        let grid = HostGrid::build(bounds, 25.0, &positions);
+        let hits = grid.within(Point::new(0.0, 50.0), 10.0, u32::MAX);
+        assert_eq!(hits, vec![0]);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # senn-sim
+//!
+//! The full mobile peer-to-peer spatial-query simulator of Section 4:
+//! mobile-host module (movement + query launching + caching) and server
+//! module (R\*-tree with INN/EINN and page-access accounting), driven by
+//! the paper's parameter sets (Tables 3 and 4), reporting the SQRR and PAR
+//! metrics, with one experiment driver per figure.
+//!
+//! ```
+//! use senn_sim::{ParamSet, SimConfig, SimParams, Simulator};
+//!
+//! let mut params = SimParams::two_by_two(ParamSet::Riverside);
+//! params.t_execution_hours = 0.02; // 72 simulated seconds
+//! let mut sim = Simulator::new(SimConfig::new(params, 42));
+//! let metrics = sim.run();
+//! assert_eq!(
+//!     metrics.queries,
+//!     metrics.single_peer + metrics.multi_peer + metrics.server + metrics.accepted_uncertain
+//! );
+//! ```
+
+pub mod experiments;
+pub mod grid;
+pub mod metrics;
+pub mod params;
+pub mod report;
+pub mod simulator;
+
+pub use experiments::{ExpOptions, MixPoint, MixSeries, ModeComparison, PageAccessPoint};
+pub use grid::HostGrid;
+pub use metrics::{KStats, LatencyModel, Metrics};
+pub use params::{ParamSet, SimParams};
+pub use simulator::{CachePolicy, KChoice, MovementMode, SimConfig, Simulator};

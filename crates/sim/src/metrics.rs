@@ -1,0 +1,303 @@
+//! Simulation metrics: SQRR (spatial query request rate) and PAR (page
+//! access rate).
+//!
+//! * **SQRR** — "how many percent of the total client spatial queries are
+//!   required to be processed by the spatial database server".
+//! * **PAR** — "server side memory (primary and secondary) access rate for
+//!   a sequence of spatial queries", measured as R\*-tree node accesses.
+//!   For every server-bound query the simulator runs both the original INN
+//!   algorithm and the bounds-extended EINN (exactly like the paper's
+//!   server module) and records both counts.
+
+use std::collections::BTreeMap;
+
+/// Latency cost model for the paper's "improving access latency" claim.
+///
+/// Per query: one ad-hoc round-trip per peer cache entry received (peer
+/// messages overlap poorly on a shared channel, so they are summed), plus
+/// — for server-bound queries — a cellular round-trip and a per-page
+/// service cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyModel {
+    /// Ad-hoc (802.11) round-trip per peer cache entry, ms.
+    pub peer_rtt_ms: f64,
+    /// Cellular round-trip to the database server, ms.
+    pub server_rtt_ms: f64,
+    /// Server-side cost per R*-tree page access, ms.
+    pub per_page_ms: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // 2005-era numbers: ~5 ms 802.11 exchange, ~250 ms cellular RTT
+        // (GPRS/1xRTT class), ~8 ms per page (disk-bound server).
+        LatencyModel {
+            peer_rtt_ms: 5.0,
+            server_rtt_ms: 250.0,
+            per_page_ms: 8.0,
+        }
+    }
+}
+
+/// Per-`k` page-access statistics (Figure 17).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KStats {
+    /// Server-bound queries with this `k`.
+    pub queries: u64,
+    /// Node accesses of the extended search (EINN).
+    pub einn_accesses: u64,
+    /// Node accesses of the baseline search (INN).
+    pub inn_accesses: u64,
+}
+
+/// Aggregated metrics of one simulation run (collected after warm-up).
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Total spatial queries issued.
+    pub queries: u64,
+    /// Queries fully answered by single-peer verification.
+    pub single_peer: u64,
+    /// Queries answered only via the multi-peer certain region.
+    pub multi_peer: u64,
+    /// Queries accepted with uncertain answers (when enabled).
+    pub accepted_uncertain: u64,
+    /// Queries forwarded to the server.
+    pub server: u64,
+    /// Node accesses of all EINN server searches.
+    pub einn_accesses: u64,
+    /// Node accesses of the shadow INN searches (same queries, no bounds).
+    pub inn_accesses: u64,
+    /// Per-k breakdown of the two access counts.
+    pub per_k: BTreeMap<usize, KStats>,
+    /// Peer cache entries received over the ad-hoc channel (one response
+    /// message per entry).
+    pub peer_entries_received: u64,
+    /// Cached NN records carried by those entries (payload volume proxy).
+    pub peer_records_received: u64,
+    /// Frequency of the six heap states (Section 3.3) among server-bound
+    /// queries, indexed 0..=5 for States 1..=6.
+    pub heap_states: [u64; 6],
+    /// Peer-resolved answers graded against ground truth (POI-churn runs).
+    pub peer_answers_graded: u64,
+    /// Graded peer-resolved answers that did not match the true kNN set
+    /// (stale caches certified outdated objects).
+    pub peer_answers_wrong: u64,
+    /// Accepted-uncertain answers that exactly matched the true kNN set.
+    pub uncertain_exact: u64,
+    /// Sum over accepted-uncertain answers of the relative distance
+    /// inflation `(sum of returned distances / sum of true distances) - 1`.
+    pub uncertain_inflation_sum: f64,
+}
+
+impl Metrics {
+    /// Starts from zero.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Resets every counter (used at the end of warm-up).
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+
+    /// SQRR: fraction of queries hitting the server, in `[0, 1]`.
+    pub fn sqrr(&self) -> f64 {
+        ratio(self.server, self.queries)
+    }
+
+    /// Fraction answered by single-peer verification.
+    pub fn single_peer_rate(&self) -> f64 {
+        ratio(self.single_peer, self.queries)
+    }
+
+    /// Fraction answered by multi-peer verification.
+    pub fn multi_peer_rate(&self) -> f64 {
+        ratio(self.multi_peer, self.queries)
+    }
+
+    /// Mean EINN node accesses per server-bound query.
+    pub fn einn_pages_per_query(&self) -> f64 {
+        ratio_f(self.einn_accesses, self.server)
+    }
+
+    /// Mean INN node accesses per server-bound query.
+    pub fn inn_pages_per_query(&self) -> f64 {
+        ratio_f(self.inn_accesses, self.server)
+    }
+
+    /// Mean peer cache entries received per query (P2P message overhead).
+    pub fn peer_entries_per_query(&self) -> f64 {
+        ratio_f(self.peer_entries_received, self.queries)
+    }
+
+    /// Mean cached NN records received per query (P2P payload overhead).
+    pub fn peer_records_per_query(&self) -> f64 {
+        ratio_f(self.peer_records_received, self.queries)
+    }
+
+    /// Mean query latency (ms) under a cost model: every query pays the
+    /// P2P exchanges; server-bound queries add the cellular RTT plus the
+    /// EINN page costs.
+    pub fn mean_latency_ms(&self, model: &LatencyModel) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        let p2p = self.peer_entries_received as f64 * model.peer_rtt_ms;
+        let server = self.server as f64 * model.server_rtt_ms
+            + self.einn_accesses as f64 * model.per_page_ms;
+        (p2p + server) / self.queries as f64
+    }
+
+    /// Fraction of graded peer answers that were wrong (staleness rate).
+    pub fn stale_answer_rate(&self) -> f64 {
+        ratio(self.peer_answers_wrong, self.peer_answers_graded)
+    }
+
+    /// Fraction of accepted-uncertain answers that were exactly right.
+    pub fn uncertain_exact_rate(&self) -> f64 {
+        ratio(self.uncertain_exact, self.accepted_uncertain)
+    }
+
+    /// Mean relative distance inflation of accepted-uncertain answers.
+    pub fn uncertain_mean_inflation(&self) -> f64 {
+        if self.accepted_uncertain == 0 {
+            0.0
+        } else {
+            self.uncertain_inflation_sum / self.accepted_uncertain as f64
+        }
+    }
+
+    /// Merges another metrics block into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.queries += other.queries;
+        self.single_peer += other.single_peer;
+        self.multi_peer += other.multi_peer;
+        self.accepted_uncertain += other.accepted_uncertain;
+        self.server += other.server;
+        self.einn_accesses += other.einn_accesses;
+        self.inn_accesses += other.inn_accesses;
+        for i in 0..6 {
+            self.heap_states[i] += other.heap_states[i];
+        }
+        self.peer_answers_graded += other.peer_answers_graded;
+        self.peer_answers_wrong += other.peer_answers_wrong;
+        self.peer_entries_received += other.peer_entries_received;
+        self.peer_records_received += other.peer_records_received;
+        self.uncertain_exact += other.uncertain_exact;
+        self.uncertain_inflation_sum += other.uncertain_inflation_sum;
+        for (k, s) in &other.per_k {
+            let e = self.per_k.entry(*k).or_default();
+            e.queries += s.queries;
+            e.einn_accesses += s.einn_accesses;
+            e.inn_accesses += s.inn_accesses;
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn ratio_f(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.sqrr(), 0.0);
+        assert_eq!(m.single_peer_rate(), 0.0);
+        assert_eq!(m.einn_pages_per_query(), 0.0);
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let m = Metrics {
+            queries: 10,
+            single_peer: 5,
+            multi_peer: 2,
+            server: 3,
+            ..Metrics::default()
+        };
+        assert!((m.sqrr() - 0.3).abs() < 1e-12);
+        assert!((m.single_peer_rate() + m.multi_peer_rate() + m.sqrr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_model() {
+        let m = Metrics {
+            queries: 10,
+            server: 2,
+            peer_entries_received: 30,
+            einn_accesses: 20,
+            ..Metrics::default()
+        };
+        let model = LatencyModel {
+            peer_rtt_ms: 5.0,
+            server_rtt_ms: 250.0,
+            per_page_ms: 8.0,
+        };
+        // (30*5 + 2*250 + 20*8) / 10 = (150 + 500 + 160) / 10 = 81.
+        assert!((m.mean_latency_ms(&model) - 81.0).abs() < 1e-9);
+        assert_eq!(Metrics::default().mean_latency_ms(&model), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics {
+            queries: 3,
+            server: 1,
+            einn_accesses: 10,
+            ..Metrics::default()
+        };
+        a.per_k.insert(
+            3,
+            KStats {
+                queries: 1,
+                einn_accesses: 10,
+                inn_accesses: 12,
+            },
+        );
+        let mut b = Metrics {
+            queries: 7,
+            server: 2,
+            einn_accesses: 30,
+            ..Metrics::default()
+        };
+        b.per_k.insert(
+            3,
+            KStats {
+                queries: 2,
+                einn_accesses: 30,
+                inn_accesses: 40,
+            },
+        );
+        b.per_k.insert(
+            5,
+            KStats {
+                queries: 1,
+                einn_accesses: 9,
+                inn_accesses: 9,
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.queries, 10);
+        assert_eq!(a.per_k[&3].inn_accesses, 52);
+        assert_eq!(a.per_k[&5].queries, 1);
+        a.reset();
+        assert_eq!(a.queries, 0);
+        assert!(a.per_k.is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! The paper's simulation parameter sets (Tables 2, 3 and 4).
+//!
+//! Two real-world-derived sets (Los Angeles County: dense urban; Riverside
+//! County: sparse rural) plus a synthetic suburban blend, each instantiated
+//! for a 2×2-mile and a 30×30-mile region.
+
+use senn_network::graph::METERS_PER_MILE;
+
+/// Which county-derived parameter set to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParamSet {
+    /// Dense urban (5,498,554 registered vehicles; Table 3/4 column 1).
+    LosAngeles,
+    /// Sparse rural (944,645 registered vehicles; Table 3/4 column 2).
+    Riverside,
+    /// Suburban blend of the two (Table 3/4 column 3).
+    Synthetic,
+}
+
+impl ParamSet {
+    /// All three sets in the paper's presentation order.
+    pub const ALL: [ParamSet; 3] = [
+        ParamSet::LosAngeles,
+        ParamSet::Synthetic,
+        ParamSet::Riverside,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParamSet::LosAngeles => "LA",
+            ParamSet::Riverside => "RV",
+            ParamSet::Synthetic => "SYN",
+        }
+    }
+
+    /// Full name as in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamSet::LosAngeles => "Los Angeles County",
+            ParamSet::Riverside => "Riverside County",
+            ParamSet::Synthetic => "Synthetic Suburbia",
+        }
+    }
+}
+
+/// One column of Table 3 or Table 4.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimParams {
+    /// Which county-derived set this is.
+    pub set: ParamSet,
+    /// Side of the square simulation area, in miles.
+    pub area_miles: f64,
+    /// `POI Number`: points of interest in the area.
+    pub poi_number: usize,
+    /// `MH Number`: mobile hosts in the area.
+    pub mh_number: usize,
+    /// `C_Size`: NN cache capacity per host.
+    pub c_size: usize,
+    /// `M_Percentage`: fraction of hosts that move (0..=1).
+    pub m_percentage: f64,
+    /// `M_Velocity`: host movement velocity in mph.
+    pub m_velocity_mph: f64,
+    /// `λ_Query`: mean queries per minute across the system.
+    pub lambda_query_per_min: f64,
+    /// `Tx_Range`: wireless transmission range in meters.
+    pub tx_range_m: f64,
+    /// `λ_kNN`: mean number of queried nearest neighbors.
+    pub lambda_knn: usize,
+    /// `T_execution`: simulated duration in hours.
+    pub t_execution_hours: f64,
+}
+
+impl SimParams {
+    /// Table 3: the 2×2-mile area parameter sets.
+    pub fn two_by_two(set: ParamSet) -> SimParams {
+        let (poi, mh, lambda_q) = match set {
+            ParamSet::LosAngeles => (16, 463, 23.0),
+            ParamSet::Riverside => (5, 50, 2.5),
+            ParamSet::Synthetic => (11, 257, 13.0),
+        };
+        SimParams {
+            set,
+            area_miles: 2.0,
+            poi_number: poi,
+            mh_number: mh,
+            c_size: 10,
+            m_percentage: 0.8,
+            m_velocity_mph: 30.0,
+            lambda_query_per_min: lambda_q,
+            tx_range_m: 200.0,
+            lambda_knn: 3,
+            t_execution_hours: 1.0,
+        }
+    }
+
+    /// Table 4: the 30×30-mile area parameter sets.
+    pub fn thirty_by_thirty(set: ParamSet) -> SimParams {
+        let (poi, mh, lambda_q) = match set {
+            ParamSet::LosAngeles => (4050, 121_500, 8100.0),
+            ParamSet::Riverside => (2160, 11_700, 780.0),
+            ParamSet::Synthetic => (3105, 66_600, 4440.0),
+        };
+        SimParams {
+            set,
+            area_miles: 30.0,
+            poi_number: poi,
+            mh_number: mh,
+            c_size: 20,
+            m_percentage: 0.8,
+            m_velocity_mph: 30.0,
+            lambda_query_per_min: lambda_q,
+            tx_range_m: 200.0,
+            lambda_knn: 5,
+            t_execution_hours: 5.0,
+        }
+    }
+
+    /// Area side in meters.
+    pub fn area_side_m(&self) -> f64 {
+        self.area_miles * METERS_PER_MILE
+    }
+
+    /// Host velocity in meters per second.
+    pub fn velocity_mps(&self) -> f64 {
+        self.m_velocity_mph * METERS_PER_MILE / 3600.0
+    }
+
+    /// Simulated duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.t_execution_hours * 3600.0
+    }
+
+    /// Scales the scenario down by `divisor` while *preserving densities*
+    /// (hosts/mi², POIs/mi², queries per host): the area shrinks by
+    /// `divisor`, its side by `sqrt(divisor)`, and all counts and rates by
+    /// `divisor`. Used by benches and tests so county-scale scenarios run
+    /// in seconds; the shapes of the results are preserved because every
+    /// per-area statistic is unchanged.
+    pub fn scaled_down(mut self, divisor: f64) -> SimParams {
+        assert!(divisor >= 1.0, "use >= 1 divisors");
+        self.area_miles /= divisor.sqrt();
+        self.poi_number = ((self.poi_number as f64 / divisor).round() as usize).max(1);
+        self.mh_number = ((self.mh_number as f64 / divisor).round() as usize).max(2);
+        self.lambda_query_per_min = (self.lambda_query_per_min / divisor).max(0.5);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 3 of the paper, verbatim.
+    #[test]
+    fn params_match_paper_table_3() {
+        let la = SimParams::two_by_two(ParamSet::LosAngeles);
+        assert_eq!((la.poi_number, la.mh_number), (16, 463));
+        assert_eq!(la.lambda_query_per_min, 23.0);
+        let rv = SimParams::two_by_two(ParamSet::Riverside);
+        assert_eq!((rv.poi_number, rv.mh_number), (5, 50));
+        assert_eq!(rv.lambda_query_per_min, 2.5);
+        let syn = SimParams::two_by_two(ParamSet::Synthetic);
+        assert_eq!((syn.poi_number, syn.mh_number), (11, 257));
+        assert_eq!(syn.lambda_query_per_min, 13.0);
+        for p in [la, rv, syn] {
+            assert_eq!(p.c_size, 10);
+            assert_eq!(p.m_percentage, 0.8);
+            assert_eq!(p.m_velocity_mph, 30.0);
+            assert_eq!(p.tx_range_m, 200.0);
+            assert_eq!(p.lambda_knn, 3);
+            assert_eq!(p.t_execution_hours, 1.0);
+            assert_eq!(p.area_miles, 2.0);
+        }
+    }
+
+    /// Table 4 of the paper, verbatim.
+    #[test]
+    fn params_match_paper_table_4() {
+        let la = SimParams::thirty_by_thirty(ParamSet::LosAngeles);
+        assert_eq!((la.poi_number, la.mh_number), (4050, 121_500));
+        assert_eq!(la.lambda_query_per_min, 8100.0);
+        let rv = SimParams::thirty_by_thirty(ParamSet::Riverside);
+        assert_eq!((rv.poi_number, rv.mh_number), (2160, 11_700));
+        assert_eq!(rv.lambda_query_per_min, 780.0);
+        let syn = SimParams::thirty_by_thirty(ParamSet::Synthetic);
+        assert_eq!((syn.poi_number, syn.mh_number), (3105, 66_600));
+        assert_eq!(syn.lambda_query_per_min, 4440.0);
+        for p in [la, rv, syn] {
+            assert_eq!(p.c_size, 20);
+            assert_eq!(p.lambda_knn, 5);
+            assert_eq!(p.t_execution_hours, 5.0);
+            assert_eq!(p.area_miles, 30.0);
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let p = SimParams::two_by_two(ParamSet::LosAngeles);
+        assert!((p.area_side_m() - 3218.688).abs() < 1e-3);
+        assert!((p.velocity_mps() - 13.4112).abs() < 1e-3);
+        assert_eq!(p.duration_secs(), 3600.0);
+    }
+
+    #[test]
+    fn scaling_preserves_densities() {
+        let p = SimParams::thirty_by_thirty(ParamSet::LosAngeles);
+        let s = p.scaled_down(100.0);
+        let density = |x: usize, a: f64| x as f64 / (a * a);
+        assert!(
+            (density(p.mh_number, p.area_miles) - density(s.mh_number, s.area_miles)).abs()
+                / density(p.mh_number, p.area_miles)
+                < 0.05
+        );
+        assert!(
+            (density(p.poi_number, p.area_miles) - density(s.poi_number, s.area_miles)).abs()
+                / density(p.poi_number, p.area_miles)
+                < 0.05
+        );
+        // Queries per host per minute preserved.
+        let qph = |l: f64, m: usize| l / m as f64;
+        assert!(
+            (qph(p.lambda_query_per_min, p.mh_number) - qph(s.lambda_query_per_min, s.mh_number))
+                .abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ParamSet::LosAngeles.label(), "LA");
+        assert_eq!(ParamSet::Synthetic.name(), "Synthetic Suburbia");
+        assert_eq!(ParamSet::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,696 @@
+//! The simulator: mobile-host module + server module (Section 4.1).
+//!
+//! * Every mobile host is an independent object with its own mobility
+//!   state, NN result cache and RNG stream.
+//! * The simulation advances in Poisson-distributed intervals; at the end
+//!   of each interval a random subset of hosts (sized by `λ_Query`)
+//!   launches kNN queries.
+//! * Each query runs Algorithm 1 (SENN) against the peers currently in
+//!   radio range; queries the peers cannot complete go to the server
+//!   module, which executes both EINN (with the forwarded bounds) and the
+//!   original INN on its R\*-tree and records node accesses for the PAR
+//!   comparison (Section 4.4).
+//! * Results are recorded only after a warm-up period ("all simulation
+//!   results were recorded after the system reached steady state").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use senn_cache::{CacheEntry, CachedNn, LruCache, MostRecentCache, QueryCache};
+use senn_core::multiple::RegionMethod;
+use senn_core::{RTreeServer, Resolution, SearchBounds, SennConfig, SennEngine, SpatialServer};
+use senn_geom::{Point, Rect};
+use senn_mobility::{HostMobility, RandomWaypoint, RoadMover, RoadMoverConfig, WaypointConfig};
+use senn_network::{generate_network, GeneratorConfig, NodeLocator, RoadNetwork};
+
+use crate::grid::HostGrid;
+use crate::metrics::Metrics;
+use crate::params::SimParams;
+
+/// Movement mode of the mobile hosts (Section 4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MovementMode {
+    /// Hosts follow the road network at per-segment speed limits.
+    RoadNetwork,
+    /// Hosts move freely (random waypoint) at a fixed velocity.
+    FreeMovement,
+}
+
+/// Which host-side cache policy the simulation uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// The paper's policy: only the most recent query's certain NNs.
+    MostRecent,
+    /// Extension/ablation: several past results under a shared NN budget.
+    Lru,
+}
+
+/// How the number of requested neighbors `k` is chosen per query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KChoice {
+    /// Every query uses the same `k`.
+    Fixed(usize),
+    /// `k` is uniform in `[lo, hi]` — the paper "chose k randomly for each
+    /// host and each query in the range from 1 to 9 and 3 to 15".
+    Uniform(usize, usize),
+    /// Uniform in `1..=2·λ_kNN − 1`, i.e. mean `λ_kNN` (the default).
+    MeanLambda,
+}
+
+/// Full configuration of a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Table 3/4 parameters.
+    pub params: SimParams,
+    /// Road-network or free movement.
+    pub mode: MovementMode,
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Fraction of `T_execution` discarded as warm-up.
+    pub warmup_frac: f64,
+    /// Mean spacing of query batches, seconds (interval lengths are
+    /// exponential, i.e. batch arrivals form a Poisson process).
+    pub mean_interval_secs: f64,
+    /// Certain-region representation used by `kNN_multiple`.
+    pub region_method: RegionMethod,
+    /// How each query's `k` is drawn.
+    pub k_choice: KChoice,
+    /// Also run the baseline INN for every server-bound query (PAR
+    /// comparison; small extra cost).
+    pub compare_inn: bool,
+    /// Host-side cache policy (the paper uses [`CachePolicy::MostRecent`]).
+    pub cache_policy: CachePolicy,
+    /// Accept a full heap of uncertain answers instead of contacting the
+    /// server (Algorithm 1, line 15). Off by default; when on, the
+    /// simulator grades every accepted answer against the ground truth
+    /// (see [`Metrics::uncertain_exact`]).
+    pub accept_uncertain: bool,
+    /// Expected POI relocations per simulated hour (gas stations closing
+    /// and opening elsewhere). `0.0` (the paper's setting) keeps POIs
+    /// static. With churn, peer-resolved answers are graded against the
+    /// current ground truth.
+    pub poi_churn_per_hour: f64,
+    /// Time-to-live for cached entries: peers ignore (and hosts purge)
+    /// entries older than this. `None` disables TTL invalidation.
+    pub cache_ttl_secs: Option<f64>,
+}
+
+impl SimConfig {
+    /// Defaults for a parameter set: road-network mode, 20 % warm-up, 10 s
+    /// mean batch interval, polygonized regions, random `k`, INN shadow on.
+    pub fn new(params: SimParams, seed: u64) -> Self {
+        SimConfig {
+            params,
+            mode: MovementMode::RoadNetwork,
+            seed,
+            warmup_frac: 0.2,
+            mean_interval_secs: 10.0,
+            region_method: RegionMethod::default(),
+            k_choice: KChoice::MeanLambda,
+            compare_inn: true,
+            cache_policy: CachePolicy::MostRecent,
+            accept_uncertain: false,
+            poi_churn_per_hour: 0.0,
+            cache_ttl_secs: None,
+        }
+    }
+}
+
+/// Either cache implementation, dispatched statically per run.
+enum HostCache {
+    MostRecent(MostRecentCache),
+    Lru(LruCache),
+}
+
+impl HostCache {
+    fn store(&mut self, entry: CacheEntry) {
+        match self {
+            HostCache::MostRecent(c) => c.store(entry),
+            HostCache::Lru(c) => c.store(entry),
+        }
+    }
+
+    fn entries(&self) -> Vec<&CacheEntry> {
+        match self {
+            HostCache::MostRecent(c) => c.entries(),
+            HostCache::Lru(c) => c.entries(),
+        }
+    }
+}
+
+struct Host {
+    mobility: HostMobility,
+    cache: HostCache,
+    rng: SmallRng,
+}
+
+/// The simulator state.
+pub struct Simulator {
+    config: SimConfig,
+    area: Rect,
+    network: Option<RoadNetwork>,
+    /// Current POI positions, indexed by POI id (ground truth mirror).
+    poi_positions: Vec<Point>,
+    server: RTreeServer,
+    engine: SennEngine,
+    hosts: Vec<Host>,
+    rng: SmallRng,
+    metrics: Metrics,
+    time: f64,
+    warmed_up: bool,
+}
+
+impl Simulator {
+    /// Builds the world: road network (when needed), POIs, hosts.
+    pub fn new(config: SimConfig) -> Self {
+        let params = &config.params;
+        assert!(params.mh_number >= 1, "need at least one host");
+        assert!(
+            (0.0..1.0).contains(&config.warmup_frac),
+            "warm-up must be in [0,1)"
+        );
+        let side = params.area_side_m();
+        let area = Rect::new(Point::ORIGIN, Point::new(side, side));
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+
+        // Road network (also generated in free-movement mode so POI
+        // placement matches across mode comparisons — POIs sit near roads).
+        let network = generate_network(&GeneratorConfig::city(side, config.seed ^ 0x9e37));
+        let locator = NodeLocator::new(&network);
+
+        // POIs: uniform positions snapped near the network (gas stations
+        // sit on streets).
+        let mut pois = Vec::with_capacity(params.poi_number);
+        for i in 0..params.poi_number {
+            let raw = Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+            let snapped = locator
+                .nearest(raw)
+                .map(|n| network.position(n))
+                .unwrap_or(raw);
+            // Offset slightly off the junction so distances are generic.
+            let jitterx = rng.gen_range(-20.0..20.0);
+            let jittery = rng.gen_range(-20.0..20.0);
+            let p = Point::new(
+                (snapped.x + jitterx).clamp(0.0, side),
+                (snapped.y + jittery).clamp(0.0, side),
+            );
+            pois.push((i as u64, p));
+        }
+        let poi_positions: Vec<Point> = pois.iter().map(|(_, p)| *p).collect();
+        let server = RTreeServer::new(pois);
+
+        // Hosts: random start positions; `M_Percentage` of them move.
+        // Urban trips are local: a couple of kilometers between stops keeps
+        // the displacement from a host's cached query location diffusive
+        // rather than ballistic, which is what makes sharing effective.
+        let mover_cfg = RoadMoverConfig {
+            velocity_mps: params.velocity_mps(),
+            max_pause_secs: 600.0,
+            trip_radius: (side * 0.5).min(3000.0),
+        };
+        let mut waypoint_cfg = WaypointConfig::new(area, params.velocity_mps());
+        waypoint_cfg.max_pause_secs = mover_cfg.max_pause_secs;
+        waypoint_cfg.trip_radius = Some(mover_cfg.trip_radius);
+        let mut hosts = Vec::with_capacity(params.mh_number);
+        for i in 0..params.mh_number {
+            let mut host_rng = SmallRng::seed_from_u64(config.seed ^ (0xc0ffee + i as u64 * 7919));
+            let start = Point::new(host_rng.gen_range(0.0..side), host_rng.gen_range(0.0..side));
+            let moves = host_rng.gen_bool(params.m_percentage);
+            let mobility = if !moves {
+                HostMobility::Parked(start)
+            } else {
+                match config.mode {
+                    MovementMode::FreeMovement => {
+                        HostMobility::Free(RandomWaypoint::new(start, waypoint_cfg, &mut host_rng))
+                    }
+                    MovementMode::RoadNetwork => {
+                        let node = locator.nearest(start).expect("network non-empty");
+                        HostMobility::Road(RoadMover::new(&network, node, mover_cfg))
+                    }
+                }
+            };
+            let cache = match config.cache_policy {
+                CachePolicy::MostRecent => {
+                    HostCache::MostRecent(MostRecentCache::new(params.c_size))
+                }
+                CachePolicy::Lru => HostCache::Lru(LruCache::new(params.c_size)),
+            };
+            hosts.push(Host {
+                mobility,
+                cache,
+                rng: host_rng,
+            });
+        }
+
+        let engine = SennEngine::new(SennConfig {
+            region_method: config.region_method,
+            accept_uncertain: config.accept_uncertain,
+            server_fetch: params.c_size,
+        });
+
+        Simulator {
+            config,
+            area,
+            network: Some(network),
+            poi_positions,
+            server,
+            engine,
+            hosts,
+            rng,
+            metrics: Metrics::new(),
+            time: 0.0,
+            warmed_up: false,
+        }
+    }
+
+    /// The configuration of this run.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The road network of the world.
+    pub fn network(&self) -> Option<&RoadNetwork> {
+        self.network.as_ref()
+    }
+
+    /// The server module.
+    pub fn server(&self) -> &RTreeServer {
+        &self.server
+    }
+
+    /// Collected metrics (post warm-up).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Current simulated time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Runs the configured `T_execution` (including warm-up) and returns
+    /// the steady-state metrics.
+    pub fn run(&mut self) -> Metrics {
+        let total = self.config.params.duration_secs();
+        let warmup_end = total * self.config.warmup_frac;
+        while self.time < total {
+            // Next query batch after an exponential interval.
+            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let interval = -u.ln() * self.config.mean_interval_secs;
+            let interval = interval.min(total - self.time).max(1e-6);
+            self.advance_movement(interval);
+            self.apply_poi_churn(interval);
+            self.time += interval;
+            if !self.warmed_up && self.time >= warmup_end {
+                self.metrics.reset();
+                self.warmed_up = true;
+            }
+            self.run_query_batch(interval);
+        }
+        self.metrics.clone()
+    }
+
+    /// Relocates a Poisson-distributed number of POIs for the elapsed
+    /// interval (uniform new positions near the road network).
+    fn apply_poi_churn(&mut self, interval_secs: f64) {
+        if self.config.poi_churn_per_hour <= 0.0 || self.poi_positions.is_empty() {
+            return;
+        }
+        let lambda = self.config.poi_churn_per_hour * interval_secs / 3600.0;
+        let moves = poisson(lambda, &mut self.rng);
+        let side = self.config.params.area_side_m();
+        for _ in 0..moves {
+            let id = self.rng.gen_range(0..self.poi_positions.len());
+            let new_pos = Point::new(self.rng.gen_range(0.0..side), self.rng.gen_range(0.0..side));
+            let old = self.poi_positions[id];
+            if self.server.relocate(id as u64, old, new_pos) {
+                self.poi_positions[id] = new_pos;
+            }
+        }
+    }
+
+    /// Moves every host forward by `dt` seconds.
+    fn advance_movement(&mut self, dt: f64) {
+        let net = self.network.as_ref();
+        for host in &mut self.hosts {
+            host.mobility.step(net, dt, &mut host.rng);
+        }
+    }
+
+    /// Launches the Poisson-sized query batch for an elapsed interval.
+    fn run_query_batch(&mut self, interval_secs: f64) {
+        let lambda = self.config.params.lambda_query_per_min * interval_secs / 60.0;
+        let n = poisson(lambda, &mut self.rng).min(self.hosts.len() as u64) as usize;
+        if n == 0 {
+            return;
+        }
+        // Rebuild the peer-discovery grid from current positions.
+        let positions: Vec<Point> = self.hosts.iter().map(|h| h.mobility.position()).collect();
+        let grid = HostGrid::build(
+            self.area,
+            self.config.params.tx_range_m.max(1.0),
+            &positions,
+        );
+        for _ in 0..n {
+            let querier = self.rng.gen_range(0..self.hosts.len());
+            self.run_one_query(querier, &positions, &grid);
+        }
+    }
+
+    /// Executes a single SENN query from host `querier`.
+    fn run_one_query(&mut self, querier: usize, positions: &[Point], grid: &HostGrid) {
+        let q = positions[querier];
+        let k = match self.config.k_choice {
+            KChoice::Fixed(k) => k,
+            KChoice::Uniform(lo, hi) => self.hosts[querier].rng.gen_range(lo..=hi.max(lo)),
+            KChoice::MeanLambda => {
+                let max_k = (2 * self.config.params.lambda_knn).saturating_sub(1).max(1);
+                self.hosts[querier].rng.gen_range(1..=max_k)
+            }
+        };
+        // "A mobile host will first attempt to answer each spatial query
+        // from its local cache and via the SENN algorithm": the querier's
+        // own cached result participates exactly like a peer's, followed by
+        // the caches of hosts in radio range.
+        let peer_ids = grid.within(q, self.config.params.tx_range_m, querier as u32);
+        let now = self.time;
+        let ttl = self.config.cache_ttl_secs;
+        let fresh = move |e: &CacheEntry| ttl.is_none_or(|t| !e.is_expired(now, t));
+        let mut peers: Vec<CacheEntry> = self.hosts[querier]
+            .cache
+            .entries()
+            .into_iter()
+            .filter(|e| fresh(e))
+            .cloned()
+            .collect();
+        let own_count = peers.len();
+        for &id in &peer_ids {
+            peers.extend(
+                self.hosts[id as usize]
+                    .cache
+                    .entries()
+                    .into_iter()
+                    .filter(|e| fresh(e))
+                    .cloned(),
+            );
+        }
+
+        let outcome = self.engine.query(q, k, &peers, &self.server);
+
+        self.metrics.queries += 1;
+        // P2P communication overhead: every non-empty peer entry crosses
+        // the ad-hoc channel once ("it may increase the communication
+        // overheads among mobile hosts" — quantified here). The querier's
+        // own cache entry is local and free.
+        let own_entries = own_count as u64;
+        let total_entries = peers.len() as u64;
+        let remote_entries = total_entries.saturating_sub(own_entries);
+        self.metrics.peer_entries_received += remote_entries;
+        self.metrics.peer_records_received += peers
+            .iter()
+            .skip(own_entries as usize)
+            .map(|e| e.len() as u64)
+            .sum::<u64>();
+        if self.config.poi_churn_per_hour > 0.0
+            && matches!(
+                outcome.resolution,
+                Resolution::SinglePeer | Resolution::MultiPeer
+            )
+        {
+            // Under churn, stale caches can certify objects that are no
+            // longer the true NNs. Grade against current ground truth.
+            let truth = self.server.knn(q, k, SearchBounds::NONE);
+            let correct = truth.pois.len() == outcome.results.len()
+                && truth
+                    .pois
+                    .iter()
+                    .zip(&outcome.results)
+                    .all(|((t, _), r)| t.poi_id == r.poi.poi_id);
+            self.metrics.peer_answers_graded += 1;
+            if !correct {
+                self.metrics.peer_answers_wrong += 1;
+            }
+        }
+        match outcome.resolution {
+            Resolution::SinglePeer => self.metrics.single_peer += 1,
+            Resolution::MultiPeer => self.metrics.multi_peer += 1,
+            Resolution::AcceptedUncertain => {
+                self.metrics.accepted_uncertain += 1;
+                // Grade the accepted answer against ground truth (a
+                // measurement-only server call, not counted in PAR).
+                let truth = self.server.knn(q, k, SearchBounds::NONE);
+                let exact = truth.pois.len() == outcome.results.len()
+                    && truth
+                        .pois
+                        .iter()
+                        .zip(&outcome.results)
+                        .all(|((t, _), r)| t.poi_id == r.poi.poi_id);
+                if exact {
+                    self.metrics.uncertain_exact += 1;
+                }
+                let true_sum: f64 = truth.pois.iter().map(|(_, d)| d).sum();
+                let got_sum: f64 = outcome.results.iter().map(|r| r.dist).sum();
+                if true_sum > 0.0 {
+                    self.metrics.uncertain_inflation_sum += (got_sum / true_sum - 1.0).max(0.0);
+                }
+            }
+            Resolution::Server | Resolution::Unresolved => {
+                self.metrics.server += 1;
+                if let Some(state) = outcome.heap_state {
+                    use senn_core::HeapState;
+                    let idx = match state {
+                        HeapState::FullMixed => 0,
+                        HeapState::FullUncertain => 1,
+                        HeapState::PartialMixed => 2,
+                        HeapState::PartialCertain => 3,
+                        HeapState::PartialUncertain => 4,
+                        HeapState::Empty => 5,
+                    };
+                    self.metrics.heap_states[idx] += 1;
+                }
+                // PAR measurement (Section 4.4): "the server module executes
+                // both the original INN algorithm and our extended INN
+                // algorithm (EINN) to compare the performance". Both run on
+                // the pure k-query; the client's C_Size over-fetch (cache
+                // refill) is protocol, not part of the comparison.
+                let strictly_below = match outcome.bounds.lower {
+                    Some(lb) => outcome
+                        .results
+                        .iter()
+                        .filter(|e| e.certain && e.dist < lb - senn_geom::EPS)
+                        .count(),
+                    None => 0,
+                };
+                let need = k.saturating_sub(strictly_below).max(1);
+                let einn = self.server.knn(q, need, outcome.bounds).node_accesses;
+                self.metrics.einn_accesses += einn;
+                let entry = self.metrics.per_k.entry(k).or_default();
+                entry.queries += 1;
+                entry.einn_accesses += einn;
+                if self.config.compare_inn {
+                    let inn = self.server.knn(q, k, SearchBounds::NONE).node_accesses;
+                    self.metrics.inn_accesses += inn;
+                    self.metrics
+                        .per_k
+                        .get_mut(&k)
+                        .expect("just inserted")
+                        .inn_accesses += inn;
+                }
+            }
+        }
+
+        // Cache policy 1: store the certain NNs of the most recent query.
+        let cacheable: Vec<CachedNn> = outcome.cacheable().iter().map(|e| e.poi).collect();
+        if !cacheable.is_empty() {
+            self.hosts[querier]
+                .cache
+                .store(CacheEntry::new(q, cacheable).at_time(self.time));
+        }
+    }
+}
+
+/// Draws a Poisson-distributed count (Knuth's method; λ stays small here
+/// because it is per-interval).
+fn poisson(lambda: f64, rng: &mut SmallRng) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 700.0 {
+        // Normal approximation for very large λ (full-size Table 4 runs).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+        return (lambda + z * lambda.sqrt()).round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ParamSet, SimParams};
+
+    fn tiny_config(seed: u64) -> SimConfig {
+        let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+        params.t_execution_hours = 0.05; // 3 simulated minutes
+        SimConfig::new(params, seed)
+    }
+
+    #[test]
+    fn simulation_runs_and_issues_queries() {
+        let mut sim = Simulator::new(tiny_config(1));
+        let m = sim.run();
+        assert!(m.queries > 0, "no queries issued");
+        assert_eq!(
+            m.queries,
+            m.single_peer + m.multi_peer + m.server + m.accepted_uncertain,
+            "every query is attributed exactly once"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut sim = Simulator::new(tiny_config(seed));
+            let m = sim.run();
+            (
+                m.queries,
+                m.server,
+                m.single_peer,
+                m.multi_peer,
+                m.einn_accesses,
+            )
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn free_movement_mode_runs() {
+        let mut cfg = tiny_config(3);
+        cfg.mode = MovementMode::FreeMovement;
+        let mut sim = Simulator::new(cfg);
+        let m = sim.run();
+        assert!(m.queries > 0);
+    }
+
+    #[test]
+    fn sharing_reduces_server_load_in_dense_world() {
+        // Dense hosts + long horizon: a large share of queries must be
+        // peer-answered once caches are warm.
+        let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+        params.t_execution_hours = 0.2;
+        let mut cfg = SimConfig::new(params, 7);
+        cfg.compare_inn = false;
+        let mut sim = Simulator::new(cfg);
+        let m = sim.run();
+        assert!(m.queries > 100);
+        assert!(
+            m.sqrr() < 0.9,
+            "dense scenario should offload some queries to peers (sqrr={})",
+            m.sqrr()
+        );
+        assert!(m.single_peer + m.multi_peer > 0);
+    }
+
+    #[test]
+    fn einn_never_reads_more_pages_than_inn() {
+        let mut sim = Simulator::new(tiny_config(11));
+        let m = sim.run();
+        if m.server > 0 {
+            assert!(
+                m.einn_accesses <= m.inn_accesses,
+                "EINN {} vs INN {}",
+                m.einn_accesses,
+                m.inn_accesses
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_k_is_respected() {
+        let mut cfg = tiny_config(13);
+        cfg.k_choice = KChoice::Fixed(4);
+        let mut sim = Simulator::new(cfg);
+        let m = sim.run();
+        assert!(m.per_k.keys().all(|&k| k == 4));
+    }
+
+    #[test]
+    fn heap_states_recorded_for_server_queries() {
+        let mut sim = Simulator::new(tiny_config(99));
+        let m = sim.run();
+        let total: u64 = m.heap_states.iter().sum();
+        assert_eq!(total, m.server, "one state per server-bound query");
+    }
+
+    #[test]
+    fn churn_and_ttl_behave() {
+        // Without churn nothing is graded; with churn some peer answers
+        // are graded and a TTL reduces the stale rate.
+        let mut base = tiny_config(31);
+        base.params.t_execution_hours = 0.3;
+        base.compare_inn = false;
+
+        let mut no_churn = Simulator::new(base);
+        let m0 = no_churn.run();
+        assert_eq!(m0.peer_answers_graded, 0);
+        assert_eq!(m0.stale_answer_rate(), 0.0);
+
+        let mut churned_cfg = base;
+        churned_cfg.poi_churn_per_hour = 16.0;
+        let mut churned = Simulator::new(churned_cfg);
+        let mc = churned.run();
+        assert!(
+            mc.peer_answers_graded > 0,
+            "churn runs must grade peer answers"
+        );
+        assert!(
+            mc.peer_answers_wrong > 0,
+            "heavy churn must produce stale answers"
+        );
+
+        let mut ttl_cfg = churned_cfg;
+        ttl_cfg.cache_ttl_secs = Some(240.0);
+        let mut with_ttl = Simulator::new(ttl_cfg);
+        let mt = with_ttl.run();
+        assert!(
+            mt.stale_answer_rate() < mc.stale_answer_rate(),
+            "TTL must reduce staleness ({:.2} vs {:.2})",
+            mt.stale_answer_rate(),
+            mc.stale_answer_rate()
+        );
+        // The ground truth mirror stays consistent with the server.
+        let (hits, _) = with_ttl
+            .server()
+            .tree()
+            .range_query(senn_geom::Rect::new(Point::ORIGIN, Point::new(1e9, 1e9)));
+        assert_eq!(hits.len(), with_ttl.poi_positions.len());
+        for (p, id) in hits {
+            assert_eq!(with_ttl.poi_positions[*id as usize], p);
+        }
+    }
+
+    #[test]
+    fn poisson_sanity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut total = 0u64;
+        for _ in 0..2000 {
+            total += poisson(3.0, &mut rng);
+        }
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 3.0).abs() < 0.2, "poisson mean {mean}");
+        assert_eq!(poisson(0.0, &mut rng), 0);
+        // Large-λ path.
+        let big = poisson(10_000.0, &mut rng);
+        assert!((big as f64 - 10_000.0).abs() < 500.0);
+    }
+}

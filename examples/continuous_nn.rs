@@ -1,0 +1,83 @@
+//! Continuous nearest neighbors from a moving car (k-NNMP).
+//!
+//! A car drives through a city issuing a 3NN query every 2 seconds. The
+//! [`ContinuousKnn`] session rolls its own cache forward, so almost every
+//! re-query verifies locally; the session also exposes the closed-form
+//! *validity radius* — the guaranteed server-free zone around the last
+//! query point.
+//!
+//! ```text
+//! cargo run --release --example continuous_nn
+//! ```
+
+use mobishare_senn::core::senn::SennConfig;
+use mobishare_senn::core::{ContinuousKnn, RTreeServer, SennEngine};
+use mobishare_senn::geom::Point;
+use mobishare_senn::mobility::{RoadMover, RoadMoverConfig};
+use mobishare_senn::network::{generate_network, GeneratorConfig, NodeLocator};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let side = 3000.0;
+    let net = generate_network(&GeneratorConfig::city(side, 2026));
+    let locator = NodeLocator::new(&net);
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    // 150 POIs (say, coffee shops) near the streets.
+    let pois: Vec<Point> = (0..150)
+        .map(|_| {
+            let raw = Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+            net.position(locator.nearest(raw).unwrap())
+        })
+        .collect();
+    let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+
+    // Session: 3NN, caching up to 25 NNs per server round-trip.
+    let engine = SennEngine::new(SennConfig {
+        server_fetch: 25,
+        ..Default::default()
+    });
+    let mut session = ContinuousKnn::new(engine, 3);
+
+    // Drive 10 simulated minutes, querying every 2 s.
+    let start = locator.nearest(Point::new(side / 2.0, side / 2.0)).unwrap();
+    let mut car = RoadMover::new(&net, start, RoadMoverConfig::new(13.4)); // 30 mph
+    let mut refreshes: Vec<(f64, Point)> = Vec::new();
+    for tick in 0..300 {
+        car.step(&net, 2.0, &mut rng);
+        let p = car.position();
+        let before = session.stats().server;
+        let out = session.query(p, &[], &server);
+        if session.stats().server > before {
+            refreshes.push((tick as f64 * 2.0, p));
+        }
+        if tick % 60 == 0 {
+            println!(
+                "t={:>4}s @ ({:>6.0},{:>6.0}): 1st NN poi {:>3} at {:>5.1} m, \
+                 guaranteed server-free radius {:>6.1} m",
+                tick * 2,
+                p.x,
+                p.y,
+                out.results[0].poi.poi_id,
+                out.results[0].dist,
+                session.guaranteed_radius()
+            );
+        }
+    }
+
+    let stats = session.stats();
+    println!(
+        "\n{} queries over a 10-minute drive: {} answered locally, {} server refreshes \
+         ({:.1}% offloaded)",
+        stats.queries,
+        stats.local,
+        stats.server,
+        100.0 * stats.local as f64 / stats.queries as f64
+    );
+    println!("server refreshes happened at:");
+    for (t, p) in refreshes.iter().take(12) {
+        println!("  t={:>5.0}s  ({:>6.0},{:>6.0})", t, p.x, p.y);
+    }
+    assert!(stats.local > stats.server, "reuse should dominate");
+}

@@ -1,0 +1,133 @@
+//! Server-side search equivalence and page-access ordering: EINN must
+//! return exactly the residual answer set of INN while never reading more
+//! pages, across randomized worlds and verification states.
+
+use mobishare_senn::geom::Point;
+use mobishare_senn::rtree::{RStarTree, SearchBounds};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn world(n: usize, side: f64, seed: u64) -> (RStarTree<u32>, Vec<Point>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    let tree = RStarTree::bulk_load(
+        pts.iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u32))
+            .collect(),
+    );
+    (tree, pts)
+}
+
+#[test]
+fn einn_returns_residual_suffix_of_inn() {
+    let (tree, pts) = world(5_000, 10_000.0, 2024);
+    let mut rng = SmallRng::seed_from_u64(99);
+    for _ in 0..40 {
+        let q = Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0));
+        let k = rng.gen_range(2..=20usize);
+        let verified = rng.gen_range(0..k); // how many NNs the client holds
+        let mut d: Vec<f64> = pts.iter().map(|p| q.dist(*p)).collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        let bounds = SearchBounds {
+            lower: (verified > 0).then(|| d[verified - 1]),
+            upper: Some(d[k - 1]),
+        };
+        // Fetch the residual count (+1 for the re-reported boundary POI).
+        let fetch = k - verified + usize::from(verified > 0);
+        let (einn, acc_einn) = tree.knn_bounded(q, fetch, bounds);
+        let (inn, acc_inn) = tree.knn(q, k);
+
+        // EINN's results are a suffix of INN's (same distances).
+        let inn_d: Vec<f64> = inn.iter().map(|n| n.dist).collect();
+        let start = if verified > 0 { verified - 1 } else { 0 };
+        for (e, want) in einn.iter().zip(&inn_d[start..]) {
+            assert!((e.dist - want).abs() < 1e-9, "suffix mismatch");
+        }
+        assert!(
+            acc_einn <= acc_inn,
+            "EINN read more pages ({acc_einn}) than INN ({acc_inn}) at k={k}, verified={verified}"
+        );
+    }
+}
+
+#[test]
+fn savings_grow_with_verified_prefix() {
+    let (tree, pts) = world(20_000, 20_000.0, 7);
+    let q = Point::new(10_000.0, 10_000.0);
+    let k = 20usize;
+    let mut d: Vec<f64> = pts.iter().map(|p| q.dist(*p)).collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (_, base) = tree.knn(q, k);
+    let mut last = u64::MAX;
+    for verified in [0usize, 5, 10, 19] {
+        let bounds = SearchBounds {
+            lower: (verified > 0).then(|| d[verified - 1]),
+            upper: Some(d[k - 1]),
+        };
+        let fetch = k - verified + usize::from(verified > 0);
+        let (_, acc) = tree.knn_bounded(q, fetch, bounds);
+        assert!(acc <= base, "never worse than INN");
+        assert!(acc <= last, "more verification must not cost more pages");
+        last = acc;
+    }
+    assert!(last < base, "a 19/20 verified prefix must save pages");
+}
+
+#[test]
+fn clustered_data_prunes_whole_subtrees() {
+    // POIs in tight clusters: once the verified circle swallows the
+    // querier's own cluster, EINN must skip its entire subtree.
+    let mut rng = SmallRng::seed_from_u64(555);
+    let mut pts = Vec::new();
+    for c in 0..20 {
+        let cx = (c % 5) as f64 * 5_000.0 + 2_500.0;
+        let cy = (c / 5) as f64 * 5_000.0 + 2_500.0;
+        for _ in 0..200 {
+            pts.push(Point::new(
+                cx + rng.gen_range(-200.0..200.0),
+                cy + rng.gen_range(-200.0..200.0),
+            ));
+        }
+    }
+    let tree = RStarTree::bulk_load(
+        pts.iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u32))
+            .collect(),
+    );
+    let q = Point::new(2_500.0, 2_500.0);
+    let mut d: Vec<f64> = pts.iter().map(|p| q.dist(*p)).collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let k = 201usize; // forces leaving the home cluster
+    let verified = 200usize; // the whole home cluster is known
+    let bounds = SearchBounds {
+        lower: Some(d[verified - 1]),
+        upper: Some(d[k - 1]),
+    };
+    let (res, acc_einn) = tree.knn_bounded(q, 2, bounds);
+    let (_, acc_inn) = tree.knn(q, k);
+    assert!((res.last().unwrap().dist - d[k - 1]).abs() < 1e-9);
+    assert!(
+        (acc_einn as f64) < acc_inn as f64 * 0.25,
+        "cluster pruning should save >75% of pages ({acc_einn} vs {acc_inn})"
+    );
+}
+
+#[test]
+fn range_query_unaffected_by_nn_state() {
+    // Sanity: range queries and NN queries coexist on the same tree.
+    let (tree, pts) = world(2_000, 5_000.0, 3);
+    let rect =
+        mobishare_senn::geom::Rect::new(Point::new(1000.0, 1000.0), Point::new(2000.0, 2500.0));
+    let (hits, accesses) = tree.range_query(rect);
+    let expected = pts.iter().filter(|p| rect.contains_point(**p)).count();
+    assert_eq!(hits.len(), expected);
+    assert!(accesses > 0);
+    let _ = tree.knn(Point::new(0.0, 0.0), 5);
+    let (hits2, _) = tree.range_query(rect);
+    assert_eq!(hits2.len(), expected);
+}

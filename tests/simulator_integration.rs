@@ -1,0 +1,138 @@
+//! Integration tests of the full simulator: determinism, attribution,
+//! steady-state behaviour, and the headline effects the paper reports.
+
+use mobishare_senn::sim::{
+    ExpOptions, KChoice, MovementMode, ParamSet, SimConfig, SimParams, Simulator,
+};
+
+fn short(set: ParamSet, minutes: f64, seed: u64) -> SimConfig {
+    let mut params = SimParams::two_by_two(set);
+    params.t_execution_hours = minutes / 60.0;
+    SimConfig::new(params, seed)
+}
+
+#[test]
+fn identical_seeds_identical_metrics() {
+    let run = |seed: u64| {
+        let mut sim = Simulator::new(short(ParamSet::Synthetic, 5.0, seed));
+        let m = sim.run();
+        (
+            m.queries,
+            m.single_peer,
+            m.multi_peer,
+            m.server,
+            m.einn_accesses,
+            m.inn_accesses,
+        )
+    };
+    assert_eq!(run(1), run(1));
+    assert_eq!(run(2), run(2));
+    assert_ne!(run(1), run(2), "different seeds should differ");
+}
+
+#[test]
+fn attribution_is_exhaustive_and_exclusive() {
+    for set in ParamSet::ALL {
+        let mut sim = Simulator::new(short(set, 4.0, 9));
+        let m = sim.run();
+        assert_eq!(
+            m.queries,
+            m.single_peer + m.multi_peer + m.server + m.accepted_uncertain,
+            "{set:?}"
+        );
+    }
+}
+
+#[test]
+fn denser_world_shares_more() {
+    // The paper's scalability claim: "the higher the mobile peer density,
+    // the more queries can be answered by peers."
+    let run = |set: ParamSet| {
+        let mut sim = Simulator::new(short(set, 15.0, 33));
+        sim.run().sqrr()
+    };
+    let la = run(ParamSet::LosAngeles);
+    let rv = run(ParamSet::Riverside);
+    assert!(
+        la < rv,
+        "dense LA should have lower SQRR than sparse Riverside ({la:.2} vs {rv:.2})"
+    );
+}
+
+#[test]
+fn larger_tx_range_never_hurts_much() {
+    let run = |tx: f64| {
+        let mut cfg = short(ParamSet::LosAngeles, 12.0, 5);
+        cfg.params.tx_range_m = tx;
+        Simulator::new(cfg).run().sqrr()
+    };
+    let narrow = run(20.0);
+    let wide = run(200.0);
+    assert!(
+        wide < narrow,
+        "10x the transmission range should reduce SQRR ({wide:.2} vs {narrow:.2})"
+    );
+}
+
+#[test]
+fn einn_saves_pages_at_simulation_scale() {
+    let mut cfg = short(ParamSet::LosAngeles, 10.0, 21);
+    cfg.k_choice = KChoice::Fixed(5);
+    let mut sim = Simulator::new(cfg);
+    let m = sim.run();
+    assert!(m.server > 10, "need server-bound queries to compare");
+    assert!(
+        m.einn_accesses < m.inn_accesses,
+        "EINN {} must save pages vs INN {}",
+        m.einn_accesses,
+        m.inn_accesses
+    );
+}
+
+#[test]
+fn both_movement_modes_produce_comparable_mixes() {
+    let run = |mode: MovementMode| {
+        let mut cfg = short(ParamSet::LosAngeles, 10.0, 12);
+        cfg.mode = mode;
+        Simulator::new(cfg).run()
+    };
+    let road = run(MovementMode::RoadNetwork);
+    let free = run(MovementMode::FreeMovement);
+    assert!(road.queries > 0 && free.queries > 0);
+    // §4.3: the two modes land within a few percentage points of each
+    // other (free movement slightly better in dense areas).
+    assert!(
+        (road.sqrr() - free.sqrr()).abs() < 0.25,
+        "modes diverge too much: road {:.2} free {:.2}",
+        road.sqrr(),
+        free.sqrr()
+    );
+}
+
+#[test]
+fn quick_experiment_drivers_produce_full_series() {
+    let opts = ExpOptions::quick();
+    let f9 = mobishare_senn::sim::experiments::fig9(&opts);
+    assert_eq!(f9.len(), 3);
+    for s in &f9 {
+        assert_eq!(s.points.len(), 10);
+    }
+    let f17 = mobishare_senn::sim::experiments::fig17(&opts);
+    assert_eq!(f17.len(), 3);
+    let modes = mobishare_senn::sim::experiments::free_movement_comparison(&opts);
+    assert_eq!(modes.len(), 6);
+}
+
+#[test]
+fn scaled_down_worlds_preserve_headline_ordering() {
+    // LA keeps a lower SQRR than Riverside after the density-preserving
+    // scale-down used for 30x30 runs.
+    let run = |set: ParamSet| {
+        let mut params = SimParams::thirty_by_thirty(set).scaled_down(200.0);
+        params.t_execution_hours = 0.2;
+        Simulator::new(SimConfig::new(params, 77)).run().sqrr()
+    };
+    let la = run(ParamSet::LosAngeles);
+    let rv = run(ParamSet::Riverside);
+    assert!(la <= rv + 0.05, "LA {la:.2} vs Riverside {rv:.2}");
+}
