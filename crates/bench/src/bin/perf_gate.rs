@@ -1,0 +1,293 @@
+//! Performance gate: runs a fixed simulation scenario with the batch
+//! engine in sequential and parallel mode, plus a small microbenchmark
+//! suite over the query hot paths, and writes the measurements as JSON.
+//!
+//! The JSON file (`BENCH_PR1.json` by default) is committed alongside the
+//! code so every PR leaves a machine-readable perf trajectory behind:
+//! compare `queries_per_sec` and `ns_per_iter` entries across revisions to
+//! see whether a change paid for itself. The gate also re-asserts the
+//! engine contract — parallel metrics must equal sequential metrics — so
+//! a perf regression hunt can never silently trade away determinism.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the scenario and microbench budgets for CI smoke
+//! runs; the full run uses a 10 000-host scenario.
+
+use std::time::Instant;
+
+use senn_bench::{random_points, random_server, BenchRng};
+use senn_core::{SearchBounds, SpatialServer};
+use senn_geom::Point;
+use senn_network::{
+    generate_network, ier_knn_with, ine_knn_with, DijkstraScratch, GeneratorConfig, NetworkPois,
+    NodeLocator,
+};
+use senn_rtree::RStarTree;
+use senn_sim::{BatchStats, Metrics, ParamSet, SimConfig, SimParams, Simulator};
+
+struct Args {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_PR1.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (expected --quick / --out PATH)"),
+        }
+    }
+    args
+}
+
+/// One simulation leg: fixed scenario, fixed seed, explicit thread count.
+fn run_sim(params: SimParams, threads: usize) -> (Metrics, BatchStats, f64) {
+    let mut cfg = SimConfig::new(params, 20_060_402); // fixed gate seed
+    cfg.threads = Some(threads);
+    let mut sim = Simulator::new(cfg);
+    let started = Instant::now();
+    let metrics = sim.run();
+    (metrics, *sim.batch_stats(), started.elapsed().as_secs_f64())
+}
+
+/// Times `f` until the budget is spent and returns (iters, ns/iter).
+fn time_micro(budget_secs: f64, mut f: impl FnMut()) -> (u64, f64) {
+    // Warm-up pass keeps one-time allocation out of the measurement.
+    f();
+    let started = Instant::now();
+    let mut iters = 0u64;
+    while started.elapsed().as_secs_f64() < budget_secs {
+        f();
+        iters += 1;
+    }
+    (iters, started.elapsed().as_secs_f64() * 1e9 / iters as f64)
+}
+
+struct Micro {
+    name: &'static str,
+    iters: u64,
+    ns_per_iter: f64,
+}
+
+fn microbenches(quick: bool) -> Vec<Micro> {
+    let budget = if quick { 0.05 } else { 0.25 };
+    let mut out = Vec::new();
+
+    // R*-tree kNN on the server scale the full scenario uses.
+    let server = random_server(10_000, 30_000.0, 7);
+    let queries = random_points(256, 30_000.0, 11);
+    let mut qi = 0usize;
+    let (iters, ns) = {
+        let mut next_q = || {
+            qi = (qi + 1) % queries.len();
+            queries[qi]
+        };
+        time_micro(budget, || {
+            let q = next_q();
+            std::hint::black_box(server.knn(q, 10, SearchBounds::NONE));
+        })
+    };
+    out.push(Micro {
+        name: "rtree_knn_k10_10k",
+        iters,
+        ns_per_iter: ns,
+    });
+
+    // Network kNN hot paths against a caller-held Dijkstra scratch — the
+    // allocation-free entry points the batch engine relies on.
+    let net = generate_network(&GeneratorConfig::city(6000.0, 3));
+    let mut rng = BenchRng::new(5);
+    let poi_pos: Vec<Point> = (0..400).map(|_| rng.point(6000.0)).collect();
+    let pois = NetworkPois::snap(&net, poi_pos.clone());
+    let tree = RStarTree::bulk_load(
+        poi_pos
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u32))
+            .collect(),
+    );
+    let locator = NodeLocator::new(&net);
+    let probes: Vec<(Point, u32)> = (0..64)
+        .map(|_| {
+            let p = rng.point(6000.0);
+            (p, locator.nearest(p).expect("non-empty network"))
+        })
+        .collect();
+    let mut scratch = DijkstraScratch::default();
+    let mut pi = 0usize;
+    let (iters, ns) = time_micro(budget, || {
+        pi = (pi + 1) % probes.len();
+        let (q, qn) = probes[pi];
+        std::hint::black_box(ier_knn_with(&net, &pois, &tree, q, qn, 5, &mut scratch));
+    });
+    out.push(Micro {
+        name: "ier_knn_k5_scratch",
+        iters,
+        ns_per_iter: ns,
+    });
+    let (iters, ns) = time_micro(budget, || {
+        pi = (pi + 1) % probes.len();
+        let (q, qn) = probes[pi];
+        std::hint::black_box(ine_knn_with(&net, &pois, q, qn, 5, &mut scratch));
+    });
+    out.push(Micro {
+        name: "ine_knn_k5_scratch",
+        iters,
+        ns_per_iter: ns,
+    });
+    out
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn sim_leg_json(label: &str, m: &Metrics, b: &BatchStats, wall_secs: f64) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"wall_secs\": {},\n",
+            "      \"queries\": {},\n",
+            "      \"queries_per_sec\": {},\n",
+            "      \"exec_secs\": {},\n",
+            "      \"batches\": {},\n",
+            "      \"peak_batch_ms\": {},\n",
+            "      \"peak_batch_queries\": {},\n",
+            "      \"einn_node_accesses\": {},\n",
+            "      \"inn_node_accesses\": {},\n",
+            "      \"sqrr\": {}\n",
+            "    }}"
+        ),
+        label,
+        fmt_f64(wall_secs),
+        b.queries,
+        fmt_f64(b.queries_per_sec()),
+        fmt_f64(b.exec_secs),
+        b.batches,
+        fmt_f64(b.peak_batch_secs * 1e3),
+        b.peak_batch_queries,
+        m.einn_accesses,
+        m.inn_accesses,
+        fmt_f64(m.sqrr()),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Scenario: Table-4 Los Angeles densities, scaled to 10k hosts (full)
+    // or the 2×2-mile Table-3 set (quick), with a short horizon — the gate
+    // measures throughput, not steady-state SQRR.
+    let mut params = if args.quick {
+        SimParams::two_by_two(ParamSet::LosAngeles)
+    } else {
+        SimParams::thirty_by_thirty(ParamSet::LosAngeles).scaled_down(12.15)
+    };
+    params.t_execution_hours = if args.quick { 0.02 } else { 0.05 };
+
+    eprintln!(
+        "perf_gate: scenario hosts={} pois={} duration={}h quick={} cores={}",
+        params.mh_number, params.poi_number, params.t_execution_hours, args.quick, hw
+    );
+
+    let (seq_m, seq_b, seq_wall) = run_sim(params, 1);
+    eprintln!(
+        "perf_gate: sequential {:.2}s wall, {:.0} q/s",
+        seq_wall,
+        seq_b.queries_per_sec()
+    );
+    let par_threads = hw.max(2);
+    let (par_m, par_b, par_wall) = run_sim(params, par_threads);
+    eprintln!(
+        "perf_gate: parallel({par_threads}) {:.2}s wall, {:.0} q/s",
+        par_wall,
+        par_b.queries_per_sec()
+    );
+
+    // The gate's correctness half: parallel must reproduce sequential.
+    assert_eq!(
+        seq_m, par_m,
+        "parallel engine diverged from sequential metrics"
+    );
+
+    let speedup = if seq_b.exec_secs > 0.0 && par_b.exec_secs > 0.0 {
+        par_b.queries_per_sec() / seq_b.queries_per_sec()
+    } else {
+        1.0
+    };
+
+    let micros = microbenches(args.quick);
+    let micro_json: Vec<String> = micros
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{ \"name\": \"{}\", \"iters\": {}, \"ns_per_iter\": {} }}",
+                m.name,
+                m.iters,
+                fmt_f64(m.ns_per_iter)
+            )
+        })
+        .collect();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"senn-perf-gate-v1\",\n",
+            "  \"quick\": {},\n",
+            "  \"available_parallelism\": {},\n",
+            "  \"parallel_threads\": {},\n",
+            "  \"scenario\": {{\n",
+            "    \"param_set\": \"{}\",\n",
+            "    \"hosts\": {},\n",
+            "    \"pois\": {},\n",
+            "    \"duration_hours\": {},\n",
+            "    \"seed\": 20060402\n",
+            "  }},\n",
+            "  \"sim\": {{\n",
+            "{},\n",
+            "{},\n",
+            "    \"speedup_queries_per_sec\": {},\n",
+            "    \"metrics_identical\": true\n",
+            "  }},\n",
+            "  \"micro\": [\n",
+            "{}\n",
+            "  ]\n",
+            "}}\n"
+        ),
+        args.quick,
+        hw,
+        par_threads,
+        params.set.name(),
+        params.mh_number,
+        params.poi_number,
+        fmt_f64(params.t_execution_hours),
+        sim_leg_json("sequential", &seq_m, &seq_b, seq_wall),
+        sim_leg_json("parallel", &par_m, &par_b, par_wall),
+        fmt_f64(speedup),
+        micro_json.join(",\n"),
+    );
+
+    std::fs::write(&args.out, &json).expect("write bench json");
+    eprintln!(
+        "perf_gate: wrote {} (speedup x{:.2} on {} core(s))",
+        args.out, speedup, hw
+    );
+}

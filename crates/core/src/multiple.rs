@@ -11,6 +11,8 @@
 //! monotone in the candidate's distance, so verification walks candidates
 //! in ascending distance and stops at the first failure.
 
+use std::borrow::Borrow;
+
 use senn_cache::{CacheEntry, CachedNn};
 use senn_geom::{Circle, DiskRegion, Point, PolygonRegion};
 
@@ -48,9 +50,10 @@ pub enum CertainRegion {
 impl CertainRegion {
     /// Builds `R_c` from every peer's certain-area disk (center: cached
     /// query location, radius: distance to the farthest cached NN).
-    pub fn build(peers: &[CacheEntry], method: RegionMethod) -> Self {
+    pub fn build<B: Borrow<CacheEntry>>(peers: &[B], method: RegionMethod) -> Self {
         let circles: Vec<Circle> = peers
             .iter()
+            .map(|p| p.borrow())
             .filter(|p| !p.is_empty())
             .map(|p| Circle::new(p.query_location, p.farthest_distance()))
             .collect();
@@ -90,9 +93,9 @@ impl CertainRegion {
 /// peer as a candidate, sorts ascending by distance to the querier, and
 /// verifies each against `R_c` until the first failure (coverage is
 /// monotone in the radius). Returns the number of new certain entries.
-pub fn knn_multiple(
+pub fn knn_multiple<B: Borrow<CacheEntry>>(
     query: Point,
-    peers: &[CacheEntry],
+    peers: &[B],
     method: RegionMethod,
     heap: &mut ResultHeap,
 ) -> usize {
@@ -107,7 +110,7 @@ pub fn knn_multiple(
     // the same POI agree across honest caches).
     let mut candidates: Vec<(f64, CachedNn)> = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    for peer in peers {
+    for peer in peers.iter().map(|p| p.borrow()) {
         for nn in &peer.neighbors {
             if seen.insert(nn.poi_id) {
                 candidates.push((query.dist(nn.position), *nn));
@@ -253,7 +256,7 @@ mod tests {
     fn empty_inputs() {
         let mut heap = ResultHeap::new(2);
         assert_eq!(
-            knn_multiple(Point::ORIGIN, &[], RegionMethod::default(), &mut heap),
+            knn_multiple::<CacheEntry>(Point::ORIGIN, &[], RegionMethod::default(), &mut heap),
             0
         );
         let empty_peer = entry(Point::ORIGIN, &[]);

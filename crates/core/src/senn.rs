@@ -10,6 +10,8 @@
 //! 6. else: query the server with the pruning bounds         (§3.3)
 //! ```
 
+use std::borrow::Borrow;
+
 use senn_cache::CacheEntry;
 use senn_geom::{Point, EPS};
 use senn_rtree::SearchBounds;
@@ -132,7 +134,16 @@ impl SennEngine {
     /// Runs only the peer phases (steps 1–5): `kNN_single`, then
     /// `kNN_multiple`, then optionally accept an uncertain full heap.
     /// Returns [`Resolution::Unresolved`] when the server would be needed.
-    pub fn query_peers_only(&self, query: Point, k: usize, peers: &[CacheEntry]) -> SennOutcome {
+    ///
+    /// Generic over the peer representation: pass `&[CacheEntry]` or
+    /// `&[&CacheEntry]` — the latter lets batch drivers hand over borrowed
+    /// cache snapshots without cloning an entry per query.
+    pub fn query_peers_only<B: Borrow<CacheEntry>>(
+        &self,
+        query: Point,
+        k: usize,
+        peers: &[B],
+    ) -> SennOutcome {
         let (heap, resolution) = self.peer_phases(query, k, peers);
         let bounds = bounds_from_heap(&heap);
         let heap_state = if resolution.is_some() {
@@ -162,10 +173,10 @@ impl SennEngine {
     /// set is a downward-closed prefix of the true ranking, so verification
     /// can simply keep walking candidates in ascending distance until the
     /// first failure.
-    fn extend_certains(
+    fn extend_certains<B: Borrow<CacheEntry>>(
         &self,
         query: Point,
-        peers: &[CacheEntry],
+        peers: &[B],
         results: &[HeapEntry],
     ) -> Vec<HeapEntry> {
         let limit = self.config.server_fetch.saturating_sub(results.len());
@@ -179,7 +190,7 @@ impl SennEngine {
         let mut candidates: Vec<(f64, crate::heap::HeapEntry)> = Vec::new();
         let mut seen: std::collections::HashSet<u64> =
             results.iter().map(|e| e.poi.poi_id).collect();
-        for peer in peers {
+        for peer in peers.iter().map(|p| p.borrow()) {
             for nn in &peer.neighbors {
                 if seen.insert(nn.poi_id) {
                     let dist = query.dist(nn.position);
@@ -203,7 +214,7 @@ impl SennEngine {
             // Certain via any single peer (Lemma 3.2) or the merged region
             // (Lemma 3.8); certainty is monotone in the distance, so the
             // first failure ends the extension.
-            let single_ok = peers.iter().any(|p| {
+            let single_ok = peers.iter().map(|p| p.borrow()).any(|p| {
                 crate::verify::is_certain(
                     query,
                     p.query_location,
@@ -221,11 +232,13 @@ impl SennEngine {
     }
 
     /// Runs the full Algorithm 1 against `server`.
-    pub fn query(
+    ///
+    /// Generic over the peer representation (see [`Self::query_peers_only`]).
+    pub fn query<B: Borrow<CacheEntry>>(
         &self,
         query: Point,
         k: usize,
-        peers: &[CacheEntry],
+        peers: &[B],
         server: &dyn SpatialServer,
     ) -> SennOutcome {
         let (heap, resolution) = self.peer_phases(query, k, peers);
@@ -299,13 +312,19 @@ impl SennEngine {
 
     /// Steps 1–5 of Algorithm 1. Returns the heap and the resolution when
     /// the peer phases completed the query.
-    fn peer_phases(
+    fn peer_phases<B: Borrow<CacheEntry>>(
         &self,
         query: Point,
         k: usize,
-        peers: &[CacheEntry],
+        peers: &[B],
     ) -> (ResultHeap, Option<Resolution>) {
-        let mut sorted: Vec<CacheEntry> = peers.iter().filter(|p| !p.is_empty()).cloned().collect();
+        // Borrow, never clone: a dense batch touches hundreds of peer
+        // entries per query and each entry owns a neighbor Vec.
+        let mut sorted: Vec<&CacheEntry> = peers
+            .iter()
+            .map(|p| p.borrow())
+            .filter(|p| !p.is_empty())
+            .collect();
         sort_peers_by_query_location(query, &mut sorted);
         let mut heap = ResultHeap::new(k);
         if knn_single_all(query, &sorted, &mut heap) {
@@ -392,7 +411,7 @@ mod tests {
         let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
         let engine = SennEngine::default();
         let q = Point::new(20.2, 3.3);
-        let out = engine.query(q, 5, &[], &server);
+        let out = engine.query::<CacheEntry>(q, 5, &[], &server);
         assert_eq!(out.resolution, Resolution::Server);
         assert!(out.bounds.is_none());
         assert!(out.server_accesses.unwrap() > 0);
@@ -458,7 +477,7 @@ mod tests {
             ..Default::default()
         });
         let q = Point::new(25.0, 25.0);
-        let out = engine.query(q, 3, &[], &server);
+        let out = engine.query::<CacheEntry>(q, 3, &[], &server);
         assert_eq!(out.results.len(), 3);
         assert_eq!(out.extra_certain.len(), 7);
         assert_eq!(out.cacheable().len(), 10);

@@ -4,6 +4,8 @@
 //! distance to the querier (Heuristic 3.3); each peer's cached NNs are
 //! classified with Lemma 3.2 and folded into the result heap `H`.
 
+use std::borrow::Borrow;
+
 use senn_cache::CacheEntry;
 use senn_geom::Point;
 
@@ -13,11 +15,15 @@ use crate::verify::{classify_entry, Certainty};
 /// Sorts peer cache entries by the distance of their cached query location
 /// to `query` — Heuristic 3.3. Closer cached locations are likelier to
 /// yield adjacent POIs, so processing them first fills `H` faster.
-pub fn sort_peers_by_query_location(query: Point, peers: &mut [CacheEntry]) {
+///
+/// Accepts owned entries or references (`&mut [CacheEntry]`,
+/// `&mut [&CacheEntry]`), so callers holding borrowed peer caches can sort
+/// without cloning.
+pub fn sort_peers_by_query_location<B: Borrow<CacheEntry>>(query: Point, peers: &mut [B]) {
     peers.sort_by(|a, b| {
         query
-            .dist_sq(a.query_location)
-            .partial_cmp(&query.dist_sq(b.query_location))
+            .dist_sq(a.borrow().query_location)
+            .partial_cmp(&query.dist_sq(b.borrow().query_location))
             .unwrap()
     });
 }
@@ -45,9 +51,13 @@ pub fn knn_single(query: Point, entry: &CacheEntry, heap: &mut ResultHeap) -> us
 /// Runs `kNN_single` across all peers (pre-sorted per Heuristic 3.3),
 /// stopping early once `k` certain NNs are verified. Returns true when the
 /// query was fully answered.
-pub fn knn_single_all(query: Point, peers: &[CacheEntry], heap: &mut ResultHeap) -> bool {
+pub fn knn_single_all<B: Borrow<CacheEntry>>(
+    query: Point,
+    peers: &[B],
+    heap: &mut ResultHeap,
+) -> bool {
     for entry in peers {
-        knn_single(query, entry, heap);
+        knn_single(query, entry.borrow(), heap);
         if heap.is_certain_complete() {
             return true;
         }

@@ -63,8 +63,8 @@ proptest! {
     /// ArcSet subtraction matches angular sampling on the circle.
     #[test]
     fn arcset_matches_sampling(
-        target in (0.0..6.28f64, 0.05..3.0f64),
-        cuts in prop::collection::vec((0.0..6.28f64, 0.0..2.5f64), 0..8)
+        target in (0.0..std::f64::consts::TAU, 0.05..3.0f64),
+        cuts in prop::collection::vec((0.0..std::f64::consts::TAU, 0.0..2.5f64), 0..8)
     ) {
         let mut arc = ArcSet::from_arc(target.0, target.1);
         for &(c, hw) in &cuts {
@@ -101,7 +101,7 @@ proptest! {
         cy in -50.0..50.0f64,
         r in 0.1..40.0f64,
         n in 3usize..48,
-        phase in 0.0..6.28f64,
+        phase in 0.0..std::f64::consts::TAU,
     ) {
         let c = Circle::new(Point::new(cx, cy), r);
         let poly = ConvexPolygon::inscribed_in(&c, n, phase);

@@ -15,12 +15,11 @@
 use senn_geom::Point;
 use senn_rtree::RStarTree;
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::graph::{NodeId, RoadNetwork};
 use crate::poi::NetworkPois;
-use crate::shortest_path::astar_distance;
+use crate::shortest_path::{
+    astar_distance, astar_distance_with, with_thread_scratch, DijkstraScratch, HeapItem,
+};
 
 /// A network kNN result.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -76,6 +75,20 @@ pub fn ier_knn(
     query_node: NodeId,
     k: usize,
 ) -> Vec<NetworkNeighbor> {
+    with_thread_scratch(|s| ier_knn_with(net, pois, tree, query, query_node, k, s))
+}
+
+/// [`ier_knn`] against a caller-managed search scratch (the A\* per
+/// candidate POI reuses its arrays instead of reallocating).
+pub fn ier_knn_with(
+    net: &RoadNetwork,
+    pois: &NetworkPois,
+    tree: &RStarTree<u32>,
+    query: Point,
+    query_node: NodeId,
+    k: usize,
+    scratch: &mut DijkstraScratch,
+) -> Vec<NetworkNeighbor> {
     if k == 0 || pois.is_empty() {
         return Vec::new();
     }
@@ -90,9 +103,10 @@ pub fn ier_knn(
             }
         }
         let poi = *nb.value;
-        let Some(nd) = network_distance_to_poi(net, query, query_node, pois, poi) else {
+        let Some(core) = astar_distance_with(net, query_node, pois.snap_node(poi), scratch) else {
             continue; // unreachable over the network
         };
+        let nd = query.dist(net.position(query_node)) + core + pois.snap_leg(poi);
         best.push(NetworkNeighbor {
             poi,
             network_dist: nd,
@@ -102,26 +116,6 @@ pub fn ier_knn(
         best.truncate(k);
     }
     best
-}
-
-#[derive(PartialEq)]
-struct ExpandItem {
-    dist: f64,
-    node: NodeId,
-}
-impl Eq for ExpandItem {}
-impl PartialOrd for ExpandItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for ExpandItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-    }
 }
 
 /// INE: a single network expansion from the query's snap node, reporting
@@ -134,20 +128,29 @@ pub fn ine_knn(
     query_node: NodeId,
     k: usize,
 ) -> Vec<NetworkNeighbor> {
+    with_thread_scratch(|s| ine_knn_with(net, pois, query, query_node, k, s))
+}
+
+/// [`ine_knn`] against a caller-managed search scratch (no per-call
+/// distance-array or heap allocation).
+pub fn ine_knn_with(
+    net: &RoadNetwork,
+    pois: &NetworkPois,
+    query: Point,
+    query_node: NodeId,
+    k: usize,
+    scratch: &mut DijkstraScratch,
+) -> Vec<NetworkNeighbor> {
     if k == 0 || pois.is_empty() {
         return Vec::new();
     }
     let leg = query.dist(net.position(query_node));
-    let mut dist = vec![f64::INFINITY; net.node_count()];
-    let mut heap = BinaryHeap::new();
-    dist[query_node as usize] = 0.0;
-    heap.push(ExpandItem {
-        dist: 0.0,
-        node: query_node,
-    });
+    scratch.begin(net.node_count());
+    scratch.set_dist(query_node, 0.0, NodeId::MAX);
+    scratch.push(0.0, 0.0, query_node);
     let mut best: Vec<NetworkNeighbor> = Vec::new();
-    while let Some(ExpandItem { dist: d, node }) = heap.pop() {
-        if d > dist[node as usize] {
+    while let Some(HeapItem { dist: d, node, .. }) = scratch.pop() {
+        if d > scratch.dist(node) {
             continue;
         }
         // Terminate when the frontier can no longer improve the k-th
@@ -167,12 +170,9 @@ pub fn ine_knn(
         best.truncate(k);
         for e in net.neighbors(node) {
             let nd = d + e.length;
-            if nd < dist[e.to as usize] {
-                dist[e.to as usize] = nd;
-                heap.push(ExpandItem {
-                    dist: nd,
-                    node: e.to,
-                });
+            if nd < scratch.dist(e.to) {
+                scratch.set_dist(e.to, nd, node);
+                scratch.push(nd, nd, e.to);
             }
         }
     }

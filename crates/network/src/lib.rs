@@ -38,9 +38,11 @@ pub use alt::{alt_distance, AltIndex};
 pub use generator::{generate_network, GeneratorConfig};
 pub use graph::{NodeId, RoadClass, RoadNetwork};
 pub use io::{network_to_string, parse_network, ParseError};
-pub use knn::{ier_knn, ine_knn, NetworkNeighbor};
+pub use knn::{ier_knn, ier_knn_with, ine_knn, ine_knn_with, NetworkNeighbor};
 pub use locator::NodeLocator;
 pub use poi::NetworkPois;
 pub use shortest_path::{
-    astar_distance, astar_path, dijkstra_distance, dijkstra_map, shortest_path_nodes,
+    astar_distance, astar_distance_with, astar_path, astar_path_with, dijkstra_distance,
+    dijkstra_distance_with, dijkstra_map, dijkstra_map_into, shortest_path_nodes,
+    with_thread_scratch, DijkstraScratch,
 };

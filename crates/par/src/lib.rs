@@ -1,0 +1,178 @@
+//! Deterministic scoped-thread fan-out for read-only batches.
+//!
+//! The build environment cannot fetch `rayon`, so this crate provides the
+//! one primitive the simulator's parallel query-batch engine needs: map a
+//! slice through a pure-ish function on every available core and return
+//! the results **in input order**, so downstream reductions are
+//! bit-identical to a sequential left fold no matter how the OS schedules
+//! the workers.
+//!
+//! Work distribution is dynamic (an atomic cursor hands out fixed-size
+//! chunks), which keeps cores busy under skewed per-item cost — but the
+//! *output* is keyed by item index, so scheduling never leaks into
+//! results. Each worker owns a scratch value created by `init`, giving
+//! callers a place to keep reusable buffers (allocation-free hot paths)
+//! without `thread_local!` gymnastics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of items a worker claims per cursor fetch. Small enough to
+/// balance skewed batches, big enough to amortize the atomic.
+const CHUNK: usize = 8;
+
+/// Returns the number of worker threads fan-outs will use: the smaller of
+/// `available_parallelism` and the explicit `SENN_THREADS` override.
+pub fn worker_count() -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match std::env::var("SENN_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n.min(64),
+        _ => hw,
+    }
+}
+
+/// Maps `items` through `f` in parallel, giving every worker a scratch
+/// value from `init`, and returns the results in input order.
+///
+/// With one worker (or a batch of at most one item) this degenerates to a
+/// plain sequential loop with zero threading overhead, which also makes
+/// it safe to call on single-core machines.
+///
+/// ```
+/// let squares = senn_par::par_map_with(&[1, 2, 3, 4], || (), |(), i, x| (i, x * x));
+/// assert_eq!(squares, vec![(0, 1), (1, 4), (2, 9), (3, 16)]);
+/// ```
+pub fn par_map_with<T, R, S, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    par_map_with_threads(items, worker_count(), init, f)
+}
+
+/// [`par_map_with`] with an explicit worker count instead of
+/// [`worker_count`] — callers that must compare parallel and sequential
+/// executions in one process (determinism tests, benchmarks) pass the
+/// count directly rather than racing on an environment variable.
+pub fn par_map_with_threads<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads <= 1 {
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut scratch, i, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    // Workers push (index, result) pairs into per-worker buckets; the
+    // buckets are merged by index afterwards. No unsafe, no result Mutex
+    // contention on the hot path.
+    let buckets: Vec<Mutex<Vec<(usize, R)>>> =
+        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+
+    std::thread::scope(|scope| {
+        for bucket in &buckets {
+            let cursor = &cursor;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let mut scratch = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + CHUNK).min(items.len());
+                    for (i, item) in items[start..end].iter().enumerate() {
+                        local.push((start + i, f(&mut scratch, start + i, item)));
+                    }
+                }
+                *bucket.lock().unwrap() = local;
+            });
+        }
+    });
+
+    let mut indexed: Vec<(usize, R)> = buckets
+        .into_iter()
+        .flat_map(|b| b.into_inner().unwrap())
+        .collect();
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`par_map_with`] without per-worker scratch.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with(items, || (), |(), i, item| f(i, item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |i, &x| {
+            // Skew the per-item cost to exercise dynamic scheduling.
+            if i % 97 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_fold_exactly() {
+        let items: Vec<f64> = (0..512).map(|i| (i as f64).sin()).collect();
+        let seq: f64 = items.iter().map(|x| x * 1.000001).sum();
+        let par: f64 = par_map(&items, |_, x| x * 1.000001).iter().sum();
+        // Bit-identical, not approximately equal: ordering is preserved.
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn scratch_is_per_worker() {
+        let items: Vec<usize> = (0..300).collect();
+        let out = par_map_with(
+            &items,
+            || Vec::<usize>::with_capacity(8),
+            |scratch, i, &x| {
+                scratch.clear();
+                scratch.extend([x, x + 1]);
+                scratch.iter().sum::<usize>() + i - i
+            },
+        );
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2 * i + 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(par_map::<u8, u8, _>(&[], |_, &x| x).is_empty());
+        assert_eq!(par_map(&[9u8], |_, &x| x + 1), vec![10]);
+    }
+}

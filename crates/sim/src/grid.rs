@@ -4,6 +4,13 @@
 //! 1, line 2): for every query we need the hosts within `Tx_Range` of the
 //! querier. A uniform grid with cell size equal to the transmission range
 //! reduces that to a 3×3 cell scan.
+//!
+//! The grid is rebuilt once per query batch and is read-only while the
+//! batch executes, which is what lets the simulator fan queries out
+//! across threads. [`HostGrid::rebuild`] reuses the cell vectors from the
+//! previous batch (only occupied cells are cleared, tracked by a dirty
+//! list) and [`HostGrid::within_into`] writes hits into a caller-owned
+//! vector, so steady-state peer discovery performs no allocation at all.
 
 use senn_geom::{Point, Rect};
 
@@ -15,6 +22,8 @@ pub struct HostGrid {
     cols: usize,
     rows: usize,
     cells: Vec<Vec<u32>>,
+    /// Indices of cells holding at least one host (cleared on rebuild).
+    occupied: Vec<u32>,
     positions: Vec<Point>,
 }
 
@@ -22,23 +31,57 @@ impl HostGrid {
     /// Builds the grid for the given host positions. `cell` should be the
     /// transmission range.
     pub fn build(bounds: Rect, cell: f64, positions: &[Point]) -> Self {
+        let mut grid = HostGrid {
+            bounds,
+            cell: 1.0,
+            cols: 0,
+            rows: 0,
+            cells: Vec::new(),
+            occupied: Vec::new(),
+            positions: Vec::new(),
+        };
+        grid.rebuild(bounds, cell, positions);
+        grid
+    }
+
+    /// Rebuilds the grid in place for a new batch, reusing the existing
+    /// cell vectors (and their capacity) whenever the geometry allows.
+    pub fn rebuild(&mut self, bounds: Rect, cell: f64, positions: &[Point]) {
         assert!(cell > 0.0, "cell size must be positive");
         assert!(!bounds.is_empty(), "area must be non-empty");
         let cols = (bounds.width() / cell).floor() as usize + 1;
         let rows = (bounds.height() / cell).floor() as usize + 1;
-        let mut cells = vec![Vec::new(); cols * rows];
+        if cols * rows == self.cols * self.rows {
+            // Same cell count (the common steady-state case): clear only
+            // the cells the previous batch touched.
+            for &c in &self.occupied {
+                self.cells[c as usize].clear();
+            }
+        } else {
+            self.cells.clear();
+            self.cells.resize(cols * rows, Vec::new());
+        }
+        self.bounds = bounds;
+        self.cell = cell;
+        self.cols = cols;
+        self.rows = rows;
+        self.occupied.clear();
+        self.positions.clear();
+        self.positions.extend_from_slice(positions);
         for (i, p) in positions.iter().enumerate() {
             let (cx, cy) = Self::cell_of(bounds, cell, cols, rows, *p);
-            cells[cy * cols + cx].push(i as u32);
+            let idx = cy * cols + cx;
+            if self.cells[idx].is_empty() {
+                self.occupied.push(idx as u32);
+            }
+            self.cells[idx].push(i as u32);
         }
-        HostGrid {
-            bounds,
-            cell,
-            cols,
-            rows,
-            cells,
-            positions: positions.to_vec(),
-        }
+    }
+
+    /// The host-position snapshot the grid was built from, indexed by host
+    /// id — the frozen view every query in a batch reads.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
     }
 
     fn cell_of(bounds: Rect, cell: f64, cols: usize, rows: usize, p: Point) -> (usize, usize) {
@@ -51,10 +94,26 @@ impl HostGrid {
 
     /// Hosts (by index) within `radius` of `p`, excluding `exclude`.
     pub fn within(&self, p: Point, radius: f64, exclude: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.within_into(p, radius, exclude, &mut out);
+        out
+    }
+
+    /// [`HostGrid::within`] writing hits into `out` (cleared first), so a
+    /// per-worker buffer absorbs the allocation across queries.
+    ///
+    /// Hits are pushed in ascending cell order then insertion order, which
+    /// is a pure function of the inputs — parallel callers see the same
+    /// peer ordering the sequential path sees.
+    pub fn within_into(&self, p: Point, radius: f64, exclude: u32, out: &mut Vec<u32>) {
+        out.clear();
         let r2 = radius * radius;
+        // Hosts clamped into edge cells sit arbitrarily far outside the
+        // bounds, but clamping only ever moves a cell index *toward* the
+        // query's clamped index, so a ring in clamped coordinates still
+        // covers every candidate within `radius`.
         let reach = (radius / self.cell).ceil() as isize;
         let (cx, cy) = Self::cell_of(self.bounds, self.cell, self.cols, self.rows, p);
-        let mut out = Vec::new();
         for dy in -reach..=reach {
             let y = cy as isize + dy;
             if y < 0 || y >= self.rows as isize {
@@ -72,7 +131,6 @@ impl HostGrid {
                 }
             }
         }
-        out
     }
 }
 
@@ -138,5 +196,144 @@ mod tests {
         let grid = HostGrid::build(bounds, 25.0, &positions);
         let hits = grid.within(Point::new(0.0, 50.0), 10.0, u32::MAX);
         assert_eq!(hits, vec![0]);
+    }
+
+    /// Hosts exactly on a cell boundary and exactly at distance `radius`
+    /// must be found (the `<= r²` comparison and the ring reach both sit
+    /// on the boundary here).
+    #[test]
+    fn boundary_hosts_at_exact_radius_are_found() {
+        let bounds = Rect::new(Point::ORIGIN, Point::new(100.0, 100.0));
+        let cell = 10.0;
+        // Querier at a cell corner; peers exactly `radius` away along the
+        // axes and diagonals, each landing exactly on a cell boundary.
+        let q = Point::new(50.0, 50.0);
+        let radius = 20.0;
+        let positions = vec![
+            q,
+            Point::new(50.0 + radius, 50.0),
+            Point::new(50.0 - radius, 50.0),
+            Point::new(50.0, 50.0 + radius),
+            Point::new(50.0, 50.0 - radius),
+            // Exactly on the circle via a 3-4-5 triangle (12² + 16² = 20²,
+            // all exactly representable).
+            Point::new(50.0 + 12.0, 50.0 + 16.0),
+            Point::new(50.0 - 16.0, 50.0 - 12.0),
+            // Just beyond the radius: must be excluded.
+            Point::new(50.0 + radius + 1e-9, 50.0),
+        ];
+        let grid = HostGrid::build(bounds, cell, &positions);
+        let mut hits = grid.within(q, radius, 0);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    /// Multi-ring scan: radius an exact multiple of the cell size, with
+    /// the querier on the far edge of its cell — the worst case for an
+    /// off-by-one in the `reach` ring.
+    #[test]
+    fn multi_ring_reach_covers_exact_multiples() {
+        let bounds = Rect::new(Point::ORIGIN, Point::new(200.0, 200.0));
+        let cell = 10.0;
+        for qx in [100.0, 109.0, 109.999999, 110.0] {
+            let q = Point::new(qx, 100.0);
+            for radius in [10.0, 30.0, 50.0] {
+                // A peer exactly `radius` to the left/right of the query.
+                let positions = vec![
+                    q,
+                    Point::new(qx - radius, 100.0),
+                    Point::new(qx + radius, 100.0),
+                ];
+                let grid = HostGrid::build(bounds, cell, &positions);
+                let mut hits = grid.within(q, radius, 0);
+                hits.sort_unstable();
+                assert_eq!(hits, vec![1, 2], "qx={qx} radius={radius}");
+            }
+        }
+    }
+
+    /// A randomized sweep of radius/cell ratios (including radius far
+    /// larger than a cell) against the linear scan.
+    #[test]
+    fn multi_ring_matches_linear_scan() {
+        let bounds = Rect::new(Point::ORIGIN, Point::new(300.0, 300.0));
+        let mut s = 99u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let positions: Vec<Point> = (0..300)
+            .map(|_| Point::new(next() * 300.0, next() * 300.0))
+            .collect();
+        for cell in [7.0, 20.0, 150.0] {
+            let grid = HostGrid::build(bounds, cell, &positions);
+            for (i, radius) in [3.0, 25.0, 90.0, 299.0].into_iter().enumerate() {
+                let q = positions[i * 13];
+                let mut fast = grid.within(q, radius, u32::MAX);
+                let mut slow: Vec<u32> = positions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, p)| q.dist(*p) <= radius)
+                    .map(|(j, _)| j as u32)
+                    .collect();
+                fast.sort_unstable();
+                slow.sort_unstable();
+                assert_eq!(fast, slow, "cell={cell} radius={radius}");
+            }
+        }
+    }
+
+    /// Rebuilding in place must be indistinguishable from building fresh,
+    /// across geometry changes and shrinking host sets.
+    #[test]
+    fn rebuild_in_place_matches_fresh_build() {
+        let bounds = Rect::new(Point::ORIGIN, Point::new(500.0, 500.0));
+        let mut s = 17u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut grid = HostGrid::build(bounds, 50.0, &[]);
+        for round in 0..10 {
+            let n = 50 + round * 37;
+            let positions: Vec<Point> = (0..n)
+                .map(|_| Point::new(next() * 500.0, next() * 500.0))
+                .collect();
+            // Alternate the cell size so both the fast path (same cell
+            // count) and the resize path are exercised.
+            let cell = if round % 2 == 0 { 50.0 } else { 80.0 };
+            grid.rebuild(bounds, cell, &positions);
+            let fresh = HostGrid::build(bounds, cell, &positions);
+            for probe in 0..5 {
+                let q = positions[probe * (n / 7).max(1) % n];
+                let mut a = grid.within(q, 120.0, probe as u32);
+                let mut b = fresh.within(q, 120.0, probe as u32);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "round {round}");
+            }
+        }
+        // Shrink to empty and back: no stale hosts may survive.
+        grid.rebuild(bounds, 50.0, &[]);
+        assert!(grid
+            .within(Point::new(250.0, 250.0), 1000.0, u32::MAX)
+            .is_empty());
+    }
+
+    /// `within_into` reuses the buffer and clears stale contents.
+    #[test]
+    fn within_into_reuses_buffer() {
+        let bounds = Rect::new(Point::ORIGIN, Point::new(100.0, 100.0));
+        let positions = vec![Point::new(10.0, 10.0), Point::new(15.0, 10.0)];
+        let grid = HostGrid::build(bounds, 20.0, &positions);
+        let mut buf = vec![42u32; 8];
+        grid.within_into(positions[0], 10.0, 0, &mut buf);
+        assert_eq!(buf, vec![1]);
+        grid.within_into(Point::new(90.0, 90.0), 5.0, u32::MAX, &mut buf);
+        assert!(buf.is_empty());
     }
 }

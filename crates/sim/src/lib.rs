@@ -31,4 +31,4 @@ pub use experiments::{ExpOptions, MixPoint, MixSeries, ModeComparison, PageAcces
 pub use grid::HostGrid;
 pub use metrics::{KStats, LatencyModel, Metrics};
 pub use params::{ParamSet, SimParams};
-pub use simulator::{CachePolicy, KChoice, MovementMode, SimConfig, Simulator};
+pub use simulator::{BatchStats, CachePolicy, KChoice, MovementMode, SimConfig, Simulator};

@@ -40,7 +40,7 @@ impl Default for LatencyModel {
 }
 
 /// Per-`k` page-access statistics (Figure 17).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KStats {
     /// Server-bound queries with this `k`.
     pub queries: u64,
@@ -51,7 +51,11 @@ pub struct KStats {
 }
 
 /// Aggregated metrics of one simulation run (collected after warm-up).
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every counter including the `f64` sums exactly —
+/// the parallel batch engine is required to reproduce the sequential
+/// metrics bit-for-bit, and the determinism tests lean on this.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Metrics {
     /// Total spatial queries issued.
     pub queries: u64,

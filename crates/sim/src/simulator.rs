@@ -12,6 +12,18 @@
 //!   comparison (Section 4.4).
 //! * Results are recorded only after a warm-up period ("all simulation
 //!   results were recorded after the system reached steady state").
+//!
+//! ## Batch engine
+//!
+//! Each interval's query batch runs in three phases: **plan** (every
+//! random draw, in batch order, against the live RNG streams), **execute**
+//! (each planned query reads a frozen snapshot of host positions, caches
+//! and the server — a pure function, fanned out across worker threads when
+//! the `parallel` feature is on), and **merge** (outcomes are folded into
+//! the metrics and host caches in query-index order). Because the fold
+//! order is fixed by the plan, the parallel engine produces bit-identical
+//! [`Metrics`] to the sequential path. All queries of a batch see the
+//! cache state from the start of the batch; stores land at merge time.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -93,6 +105,11 @@ pub struct SimConfig {
     /// Time-to-live for cached entries: peers ignore (and hosts purge)
     /// entries older than this. `None` disables TTL invalidation.
     pub cache_ttl_secs: Option<f64>,
+    /// Worker threads for the batch engine when the `parallel` feature is
+    /// on: `None` uses every available core (`SENN_THREADS` still
+    /// overrides), `Some(1)` forces the in-process sequential path.
+    /// Metrics are identical either way; only wall time changes.
+    pub threads: Option<usize>,
 }
 
 impl SimConfig {
@@ -112,6 +129,7 @@ impl SimConfig {
             accept_uncertain: false,
             poi_churn_per_hour: 0.0,
             cache_ttl_secs: None,
+            threads: None,
         }
     }
 }
@@ -158,6 +176,93 @@ pub struct Simulator {
     metrics: Metrics,
     time: f64,
     warmed_up: bool,
+    /// Peer-discovery grid, rebuilt in place once per batch; holds the
+    /// frozen position snapshot every query of the batch reads.
+    grid: HostGrid,
+    /// Reused staging buffer for host positions between batches.
+    pos_buf: Vec<Point>,
+    batch_stats: BatchStats,
+}
+
+/// Wall-clock statistics of the batch-execution phase, accumulated over a
+/// whole run (warm-up included). Timing is observation only — it never
+/// feeds back into the simulation, so instrumentation cannot perturb
+/// determinism.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BatchStats {
+    /// Executed batches (only batches that had at least one query).
+    pub batches: u64,
+    /// Queries executed across all batches.
+    pub queries: u64,
+    /// Total wall time spent in the execute phase, seconds.
+    pub exec_secs: f64,
+    /// Wall time of the slowest single batch, seconds.
+    pub peak_batch_secs: f64,
+    /// Query count of that slowest batch.
+    pub peak_batch_queries: u64,
+}
+
+impl BatchStats {
+    fn record(&mut self, secs: f64, queries: u64) {
+        self.batches += 1;
+        self.queries += queries;
+        self.exec_secs += secs;
+        if secs > self.peak_batch_secs {
+            self.peak_batch_secs = secs;
+            self.peak_batch_queries = queries;
+        }
+    }
+
+    /// Mean executed queries per second of execute-phase wall time.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.exec_secs > 0.0 {
+            self.queries as f64 / self.exec_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One planned query of a batch. Every random draw happens up front in
+/// batch order, so executing a plan is a pure function of the frozen world
+/// snapshot and can run on any thread.
+#[derive(Clone, Copy, Debug)]
+struct QueryPlan {
+    querier: u32,
+    k: usize,
+}
+
+/// The flat, thread-crossing result of executing one planned query —
+/// everything the merge phase needs to update metrics and caches.
+struct QueryOutcome {
+    resolution: Resolution,
+    remote_entries: u64,
+    remote_records: u64,
+    graded: bool,
+    wrong: bool,
+    uncertain_exact: bool,
+    uncertain_inflation: f64,
+    heap_state_idx: Option<usize>,
+    einn_accesses: u64,
+    inn_accesses: Option<u64>,
+    cache_entry: Option<CacheEntry>,
+}
+
+/// Reusable per-worker buffers for query execution: peer ids from the
+/// grid and borrowed peer cache entries. One scratch per worker makes the
+/// steady-state query path allocation-free.
+struct QueryScratch<'a> {
+    peer_ids: Vec<u32>,
+    peers: Vec<&'a CacheEntry>,
+}
+
+impl QueryScratch<'_> {
+    fn new() -> Self {
+        QueryScratch {
+            peer_ids: Vec::new(),
+            peers: Vec::new(),
+        }
+    }
 }
 
 impl Simulator {
@@ -248,6 +353,7 @@ impl Simulator {
             server_fetch: params.c_size,
         });
 
+        let grid = HostGrid::build(area, config.params.tx_range_m.max(1.0), &[]);
         Simulator {
             config,
             area,
@@ -260,6 +366,9 @@ impl Simulator {
             metrics: Metrics::new(),
             time: 0.0,
             warmed_up: false,
+            grid,
+            pos_buf: Vec::new(),
+            batch_stats: BatchStats::default(),
         }
     }
 
@@ -286,6 +395,12 @@ impl Simulator {
     /// Current simulated time in seconds.
     pub fn time(&self) -> f64 {
         self.time
+    }
+
+    /// Wall-clock statistics of the batch execute phase (for benchmarks
+    /// and the perf gate; unrelated to simulated time).
+    pub fn batch_stats(&self) -> &BatchStats {
+        &self.batch_stats
     }
 
     /// Runs the configured `T_execution` (including warm-up) and returns
@@ -338,79 +453,151 @@ impl Simulator {
     }
 
     /// Launches the Poisson-sized query batch for an elapsed interval.
+    ///
+    /// Plan → execute → merge (see the module docs): all randomness is
+    /// drawn up front in batch order, execution reads a frozen snapshot
+    /// (fanned out across threads with the `parallel` feature), and the
+    /// outcomes are folded into metrics and caches in query-index order —
+    /// so the parallel and sequential engines produce identical metrics.
     fn run_query_batch(&mut self, interval_secs: f64) {
         let lambda = self.config.params.lambda_query_per_min * interval_secs / 60.0;
         let n = poisson(lambda, &mut self.rng).min(self.hosts.len() as u64) as usize;
         if n == 0 {
             return;
         }
-        // Rebuild the peer-discovery grid from current positions.
-        let positions: Vec<Point> = self.hosts.iter().map(|h| h.mobility.position()).collect();
-        let grid = HostGrid::build(
-            self.area,
-            self.config.params.tx_range_m.max(1.0),
-            &positions,
-        );
+        // Phase 1 — plan: the only place the batch touches RNG streams.
+        // Draw order matches the sequential engine: querier from the
+        // simulator stream, then that host's own stream for `k`.
+        let mut plans = Vec::with_capacity(n);
         for _ in 0..n {
             let querier = self.rng.gen_range(0..self.hosts.len());
-            self.run_one_query(querier, &positions, &grid);
+            let k = match self.config.k_choice {
+                KChoice::Fixed(k) => k,
+                KChoice::Uniform(lo, hi) => self.hosts[querier].rng.gen_range(lo..=hi.max(lo)),
+                KChoice::MeanLambda => {
+                    let max_k = (2 * self.config.params.lambda_knn).saturating_sub(1).max(1);
+                    self.hosts[querier].rng.gen_range(1..=max_k)
+                }
+            };
+            plans.push(QueryPlan {
+                querier: querier as u32,
+                k,
+            });
+        }
+
+        // Phase 2 — snapshot: refresh the peer-discovery grid in place
+        // from current positions (reusing last batch's allocations).
+        self.pos_buf.clear();
+        self.pos_buf
+            .extend(self.hosts.iter().map(|h| h.mobility.position()));
+        self.grid.rebuild(
+            self.area,
+            self.config.params.tx_range_m.max(1.0),
+            &self.pos_buf,
+        );
+
+        // Phase 3 — execute against the frozen snapshot; outcomes come
+        // back in query-index order regardless of thread scheduling.
+        let started = std::time::Instant::now();
+        let outcomes = self.execute_batch(&plans);
+        self.batch_stats
+            .record(started.elapsed().as_secs_f64(), n as u64);
+
+        // Phase 4 — merge in query order: exactly the fold a sequential
+        // left-to-right execution would perform.
+        for (plan, outcome) in plans.iter().zip(outcomes) {
+            self.apply_outcome(plan, outcome);
         }
     }
 
-    /// Executes a single SENN query from host `querier`.
-    fn run_one_query(&mut self, querier: usize, positions: &[Point], grid: &HostGrid) {
-        let q = positions[querier];
-        let k = match self.config.k_choice {
-            KChoice::Fixed(k) => k,
-            KChoice::Uniform(lo, hi) => self.hosts[querier].rng.gen_range(lo..=hi.max(lo)),
-            KChoice::MeanLambda => {
-                let max_k = (2 * self.config.params.lambda_knn).saturating_sub(1).max(1);
-                self.hosts[querier].rng.gen_range(1..=max_k)
-            }
-        };
+    /// Executes every planned query of a batch against the frozen
+    /// snapshot, fanning out across worker threads.
+    #[cfg(feature = "parallel")]
+    fn execute_batch(&self, plans: &[QueryPlan]) -> Vec<QueryOutcome> {
+        let threads = self.config.threads.unwrap_or_else(senn_par::worker_count);
+        senn_par::par_map_with_threads(plans, threads, QueryScratch::new, |scratch, _, plan| {
+            self.execute_query(plan, scratch)
+        })
+    }
+
+    /// Sequential fallback when the `parallel` feature is disabled.
+    #[cfg(not(feature = "parallel"))]
+    fn execute_batch(&self, plans: &[QueryPlan]) -> Vec<QueryOutcome> {
+        let mut scratch = QueryScratch::new();
+        plans
+            .iter()
+            .map(|plan| self.execute_query(plan, &mut scratch))
+            .collect()
+    }
+
+    /// Executes one planned SENN query against the frozen batch snapshot.
+    ///
+    /// Takes `&self` only: no RNG, no metrics, no cache writes — anything
+    /// mutable is returned in the [`QueryOutcome`] and applied by
+    /// [`Self::apply_outcome`]. This is the property that lets the batch
+    /// fan out across threads.
+    fn execute_query<'a>(
+        &'a self,
+        plan: &QueryPlan,
+        scratch: &mut QueryScratch<'a>,
+    ) -> QueryOutcome {
+        let querier = plan.querier as usize;
+        let k = plan.k;
+        let q = self.grid.positions()[querier];
         // "A mobile host will first attempt to answer each spatial query
         // from its local cache and via the SENN algorithm": the querier's
         // own cached result participates exactly like a peer's, followed by
         // the caches of hosts in radio range.
-        let peer_ids = grid.within(q, self.config.params.tx_range_m, querier as u32);
+        self.grid.within_into(
+            q,
+            self.config.params.tx_range_m,
+            plan.querier,
+            &mut scratch.peer_ids,
+        );
         let now = self.time;
         let ttl = self.config.cache_ttl_secs;
         let fresh = move |e: &CacheEntry| ttl.is_none_or(|t| !e.is_expired(now, t));
-        let mut peers: Vec<CacheEntry> = self.hosts[querier]
-            .cache
-            .entries()
-            .into_iter()
-            .filter(|e| fresh(e))
-            .cloned()
-            .collect();
-        let own_count = peers.len();
-        for &id in &peer_ids {
-            peers.extend(
+        scratch.peers.clear();
+        scratch.peers.extend(
+            self.hosts[querier]
+                .cache
+                .entries()
+                .into_iter()
+                .filter(|e| fresh(e)),
+        );
+        let own_count = scratch.peers.len();
+        for &id in &scratch.peer_ids {
+            scratch.peers.extend(
                 self.hosts[id as usize]
                     .cache
                     .entries()
                     .into_iter()
-                    .filter(|e| fresh(e))
-                    .cloned(),
+                    .filter(|e| fresh(e)),
             );
         }
 
-        let outcome = self.engine.query(q, k, &peers, &self.server);
+        let outcome = self.engine.query(q, k, &scratch.peers, &self.server);
 
-        self.metrics.queries += 1;
         // P2P communication overhead: every non-empty peer entry crosses
         // the ad-hoc channel once ("it may increase the communication
         // overheads among mobile hosts" — quantified here). The querier's
         // own cache entry is local and free.
-        let own_entries = own_count as u64;
-        let total_entries = peers.len() as u64;
-        let remote_entries = total_entries.saturating_sub(own_entries);
-        self.metrics.peer_entries_received += remote_entries;
-        self.metrics.peer_records_received += peers
+        let remote_entries = (scratch.peers.len() - own_count) as u64;
+        let remote_records = scratch.peers[own_count..]
             .iter()
-            .skip(own_entries as usize)
             .map(|e| e.len() as u64)
             .sum::<u64>();
+
+        let matches_truth = |truth: &senn_core::ServerResponse| {
+            truth.pois.len() == outcome.results.len()
+                && truth
+                    .pois
+                    .iter()
+                    .zip(&outcome.results)
+                    .all(|((t, _), r)| t.poi_id == r.poi.poi_id)
+        };
+        let mut graded = false;
+        let mut wrong = false;
         if self.config.poi_churn_per_hour > 0.0
             && matches!(
                 outcome.resolution,
@@ -420,54 +607,40 @@ impl Simulator {
             // Under churn, stale caches can certify objects that are no
             // longer the true NNs. Grade against current ground truth.
             let truth = self.server.knn(q, k, SearchBounds::NONE);
-            let correct = truth.pois.len() == outcome.results.len()
-                && truth
-                    .pois
-                    .iter()
-                    .zip(&outcome.results)
-                    .all(|((t, _), r)| t.poi_id == r.poi.poi_id);
-            self.metrics.peer_answers_graded += 1;
-            if !correct {
-                self.metrics.peer_answers_wrong += 1;
-            }
+            graded = true;
+            wrong = !matches_truth(&truth);
         }
+
+        let mut uncertain_exact = false;
+        let mut uncertain_inflation = 0.0;
+        let mut heap_state_idx = None;
+        let mut einn_accesses = 0;
+        let mut inn_accesses = None;
         match outcome.resolution {
-            Resolution::SinglePeer => self.metrics.single_peer += 1,
-            Resolution::MultiPeer => self.metrics.multi_peer += 1,
+            Resolution::SinglePeer | Resolution::MultiPeer => {}
             Resolution::AcceptedUncertain => {
-                self.metrics.accepted_uncertain += 1;
                 // Grade the accepted answer against ground truth (a
                 // measurement-only server call, not counted in PAR).
                 let truth = self.server.knn(q, k, SearchBounds::NONE);
-                let exact = truth.pois.len() == outcome.results.len()
-                    && truth
-                        .pois
-                        .iter()
-                        .zip(&outcome.results)
-                        .all(|((t, _), r)| t.poi_id == r.poi.poi_id);
-                if exact {
-                    self.metrics.uncertain_exact += 1;
-                }
+                uncertain_exact = matches_truth(&truth);
                 let true_sum: f64 = truth.pois.iter().map(|(_, d)| d).sum();
                 let got_sum: f64 = outcome.results.iter().map(|r| r.dist).sum();
                 if true_sum > 0.0 {
-                    self.metrics.uncertain_inflation_sum += (got_sum / true_sum - 1.0).max(0.0);
+                    uncertain_inflation = (got_sum / true_sum - 1.0).max(0.0);
                 }
             }
             Resolution::Server | Resolution::Unresolved => {
-                self.metrics.server += 1;
-                if let Some(state) = outcome.heap_state {
+                heap_state_idx = outcome.heap_state.map(|state| {
                     use senn_core::HeapState;
-                    let idx = match state {
+                    match state {
                         HeapState::FullMixed => 0,
                         HeapState::FullUncertain => 1,
                         HeapState::PartialMixed => 2,
                         HeapState::PartialCertain => 3,
                         HeapState::PartialUncertain => 4,
                         HeapState::Empty => 5,
-                    };
-                    self.metrics.heap_states[idx] += 1;
-                }
+                    }
+                });
                 // PAR measurement (Section 4.4): "the server module executes
                 // both the original INN algorithm and our extended INN
                 // algorithm (EINN) to compare the performance". Both run on
@@ -482,29 +655,73 @@ impl Simulator {
                     None => 0,
                 };
                 let need = k.saturating_sub(strictly_below).max(1);
-                let einn = self.server.knn(q, need, outcome.bounds).node_accesses;
-                self.metrics.einn_accesses += einn;
-                let entry = self.metrics.per_k.entry(k).or_default();
-                entry.queries += 1;
-                entry.einn_accesses += einn;
+                einn_accesses = self.server.knn(q, need, outcome.bounds).node_accesses;
                 if self.config.compare_inn {
-                    let inn = self.server.knn(q, k, SearchBounds::NONE).node_accesses;
-                    self.metrics.inn_accesses += inn;
-                    self.metrics
-                        .per_k
-                        .get_mut(&k)
-                        .expect("just inserted")
-                        .inn_accesses += inn;
+                    inn_accesses = Some(self.server.knn(q, k, SearchBounds::NONE).node_accesses);
                 }
             }
         }
 
         // Cache policy 1: store the certain NNs of the most recent query.
         let cacheable: Vec<CachedNn> = outcome.cacheable().iter().map(|e| e.poi).collect();
-        if !cacheable.is_empty() {
-            self.hosts[querier]
-                .cache
-                .store(CacheEntry::new(q, cacheable).at_time(self.time));
+        let cache_entry =
+            (!cacheable.is_empty()).then(|| CacheEntry::new(q, cacheable).at_time(self.time));
+
+        QueryOutcome {
+            resolution: outcome.resolution,
+            remote_entries,
+            remote_records,
+            graded,
+            wrong,
+            uncertain_exact,
+            uncertain_inflation,
+            heap_state_idx,
+            einn_accesses,
+            inn_accesses,
+            cache_entry,
+        }
+    }
+
+    /// Folds one executed query's outcome into metrics and the querier's
+    /// cache. Called in query-index order, so the accumulation (including
+    /// the `f64` inflation sum) matches a sequential run bit-for-bit.
+    fn apply_outcome(&mut self, plan: &QueryPlan, outcome: QueryOutcome) {
+        self.metrics.queries += 1;
+        self.metrics.peer_entries_received += outcome.remote_entries;
+        self.metrics.peer_records_received += outcome.remote_records;
+        if outcome.graded {
+            self.metrics.peer_answers_graded += 1;
+            if outcome.wrong {
+                self.metrics.peer_answers_wrong += 1;
+            }
+        }
+        match outcome.resolution {
+            Resolution::SinglePeer => self.metrics.single_peer += 1,
+            Resolution::MultiPeer => self.metrics.multi_peer += 1,
+            Resolution::AcceptedUncertain => {
+                self.metrics.accepted_uncertain += 1;
+                if outcome.uncertain_exact {
+                    self.metrics.uncertain_exact += 1;
+                }
+                self.metrics.uncertain_inflation_sum += outcome.uncertain_inflation;
+            }
+            Resolution::Server | Resolution::Unresolved => {
+                self.metrics.server += 1;
+                if let Some(idx) = outcome.heap_state_idx {
+                    self.metrics.heap_states[idx] += 1;
+                }
+                self.metrics.einn_accesses += outcome.einn_accesses;
+                if let Some(inn) = outcome.inn_accesses {
+                    self.metrics.inn_accesses += inn;
+                }
+                let entry = self.metrics.per_k.entry(plan.k).or_default();
+                entry.queries += 1;
+                entry.einn_accesses += outcome.einn_accesses;
+                entry.inn_accesses += outcome.inn_accesses.unwrap_or(0);
+            }
+        }
+        if let Some(entry) = outcome.cache_entry {
+            self.hosts[plan.querier as usize].cache.store(entry);
         }
     }
 }

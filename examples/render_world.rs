@@ -55,7 +55,7 @@ fn main() {
             mover.step(&net, 1.0, &mut rng);
             if t % 60 == 30 && rng.gen_bool(0.3) {
                 let q = mover.position();
-                let out = engine.query(q, 3, &[], &server);
+                let out = engine.query::<CacheEntry>(q, 3, &[], &server);
                 let nns: Vec<_> = out.cacheable().iter().map(|e| e.poi).collect();
                 if !nns.is_empty() {
                     cache.store(CacheEntry::new(q, nns));

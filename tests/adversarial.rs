@@ -46,7 +46,7 @@ fn lying_peer_produces_detectably_wrong_certains() {
     );
     assert_eq!(out.certain()[0].poi.poi_id, 1, "wrong POI certified");
     // ... and the server cross-check exposes it.
-    let truth = engine.query(q, 1, &[], &server);
+    let truth = engine.query::<PeerCacheEntry>(q, 1, &[], &server);
     assert_ne!(truth.results[0].poi.poi_id, out.certain()[0].poi.poi_id);
 }
 

@@ -81,7 +81,7 @@ fn range_and_knn_results_are_consistent() {
     let q = Point::new(400.0, 400.0);
     // The k-th NN's distance as a range radius returns exactly k POIs
     // (absent ties).
-    let knn = engine.query(q, 7, &[], &server);
+    let knn = engine.query::<PeerCacheEntry>(q, 7, &[], &server);
     let radius = knn.results.last().unwrap().dist;
     let range = engine.range_query(q, radius, &[], &server);
     assert_eq!(range.results.len(), 7);

@@ -182,7 +182,7 @@ fn bounds_forwarded_to_server_do_not_change_answers() {
         );
         let engine = SennEngine::default();
         let with_peer = engine.query(q, k, std::slice::from_ref(&peer), &server);
-        let without = engine.query(q, k, &[], &server);
+        let without = engine.query::<PeerCacheEntry>(q, k, &[], &server);
         assert_eq!(with_peer.results.len(), without.results.len());
         for (a, b) in with_peer.results.iter().zip(&without.results) {
             assert!((a.dist - b.dist).abs() < 1e-9);

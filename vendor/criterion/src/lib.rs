@@ -1,0 +1,277 @@
+//! A minimal, offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! supports exactly what the workspace's benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Behavior:
+//! * under `cargo bench` (cargo passes `--bench`) each benchmark is timed
+//!   with a calibrated iteration count and a one-line mean is printed;
+//! * under `cargo test` (no `--bench` flag) each benchmark body runs once,
+//!   so benches stay compiled and smoke-tested without costing CI time;
+//! * `--quick` caps measurement at one calibration round;
+//! * a positional filter argument selects benchmarks by substring, like
+//!   upstream.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut bench_mode = false;
+        let mut quick = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--quick" => quick = true,
+                "--test" => bench_mode = false,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 100,
+            bench_mode,
+            quick,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples (scales measuring time).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named identifier `function_name/parameter` (subset of upstream's).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            bench_mode: self.criterion.bench_mode,
+            quick: self.criterion.quick,
+            sample_size: self.criterion.sample_size,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if self.criterion.bench_mode {
+            println!(
+                "{full:<48} {:>12.1} ns/iter ({} iters)",
+                bencher.mean_ns, bencher.iters
+            );
+        } else {
+            println!("{full:<48} ok (test mode)");
+        }
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures (subset of `criterion::Bencher`).
+pub struct Bencher {
+    bench_mode: bool,
+    quick: bool,
+    sample_size: usize,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Benchmarks `f`, consuming its output via an implicit black box.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.bench_mode {
+            black_box(f());
+            self.iters = 1;
+            return;
+        }
+        // Calibrate: run once, derive an iteration count targeting a
+        // bounded measuring window.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = Duration::from_millis(if self.quick { 20 } else { 200 })
+            .max(once)
+            .min(Duration::from_secs(3));
+        let iters = (budget.as_nanos() / once.as_nanos())
+            .clamp(1, self.sample_size.max(1) as u128 * 100) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = t1.elapsed();
+        self.iters = iters + 1;
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Declares a benchmark group, in either upstream form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_in_test_mode() {
+        let mut c = Criterion {
+            sample_size: 10,
+            bench_mode: false,
+            quick: true,
+            filter: None,
+        };
+        let mut hits = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("a", |b| b.iter(|| hits += 1));
+        group.bench_with_input(BenchmarkId::new("b", 7), &7, |b, &x| {
+            b.iter(|| hits += x as u32)
+        });
+        group.finish();
+        assert_eq!(hits, 8, "test mode runs each body exactly once");
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut c = Criterion {
+            sample_size: 10,
+            bench_mode: true,
+            quick: true,
+            filter: Some("match".into()),
+        };
+        let mut ran_filtered = false;
+        let mut ran_matching = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("skipped", |b| b.iter(|| ran_filtered = true));
+        group.bench_function("match", |b| b.iter(|| ran_matching = true));
+        group.finish();
+        assert!(!ran_filtered);
+        assert!(ran_matching);
+    }
+}

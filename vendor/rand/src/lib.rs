@@ -1,0 +1,322 @@
+//! A minimal, offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment of this repository has no access to crates.io,
+//! so the workspace vendors the small slice of `rand`'s API it actually
+//! uses: [`SeedableRng`], the [`Rng`] extension trait with `gen_range` /
+//! `gen_bool` / `gen`, and [`rngs::SmallRng`].
+//!
+//! The generator is xoshiro256++ (the same family upstream `SmallRng`
+//! uses on 64-bit targets), seeded through SplitMix64 exactly like
+//! `rand_core::SeedableRng::seed_from_u64`. Streams are deterministic and
+//! stable across platforms, but are **not** bit-identical to upstream
+//! `rand` — every consumer in this workspace seeds explicitly and only
+//! relies on determinism, never on specific draws.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator that can be instantiated from a seed (subset of
+/// `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)`.
+    fn sample_half_open(rng: &mut impl RngCore, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_inclusive(rng: &mut impl RngCore, low: Self, high: Self) -> Self;
+}
+
+/// A range usable with [`Rng::gen_range`] (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "gen_range: empty inclusive range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` using the top 53 bits.
+#[inline]
+fn unit_f64(rng: &mut impl RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut impl RngCore, low: Self, high: Self) -> Self {
+        let v = low + unit_f64(rng) * (high - low);
+        // Guard against round-up to `high` on huge spans.
+        if v >= high {
+            low.max(high - (high - low) * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+    fn sample_inclusive(rng: &mut impl RngCore, low: Self, high: Self) -> Self {
+        low + unit_f64(rng) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(rng: &mut impl RngCore, low: Self, high: Self) -> Self {
+        let v = low + (unit_f64(rng) as f32) * (high - low);
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+    fn sample_inclusive(rng: &mut impl RngCore, low: Self, high: Self) -> Self {
+        low + (unit_f64(rng) as f32) * (high - low)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut impl RngCore, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                low.wrapping_add(bounded_u128(rng, span) as $t)
+            }
+            fn sample_inclusive(rng: &mut impl RngCore, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128 + 1;
+                low.wrapping_add(bounded_u128(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform integer in `[0, span)` (span > 0) by widening rejection-free
+/// multiply; `span == 0` means the full 64-bit range.
+#[inline]
+fn bounded_u128(rng: &mut impl RngCore, span: u128) -> u64 {
+    if span == 0 || span > u64::MAX as u128 {
+        return rng.next_u64();
+    }
+    // Lemire's multiply-shift; the tiny modulo bias is irrelevant for
+    // simulation workloads.
+    ((rng.next_u64() as u128 * span) >> 64) as u64
+}
+
+/// User-facing extension methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+
+    /// A uniform value of a supported type (`f64` in `[0,1)`, full-range
+    /// integers, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws the "standard" distribution for the type.
+    fn standard(rng: &mut impl RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard(rng: &mut impl RngCore) -> Self {
+        unit_f64(rng)
+    }
+}
+impl Standard for bool {
+    fn standard(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Standard for u64 {
+    fn standard(rng: &mut impl RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn standard(rng: &mut impl RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9e3779b97f4a7c15, 0x6a09e667f3bcc909, 1, 2];
+            }
+            SmallRng { s }
+        }
+    }
+
+    /// Upstream's default generator; here the same engine as [`SmallRng`].
+    pub type StdRng = SmallRng;
+}
+
+/// Common imports (subset of `rand::prelude`).
+pub mod prelude {
+    pub use super::rngs::SmallRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let same = (0..64).all(|_| a.gen_range(0..100u32) == c.gen_range(0..100u32));
+        assert!(!same, "different seeds must diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(2.0..3.0f64);
+            assert!((2.0..3.0).contains(&f));
+            let g = rng.gen_range(-1.0..=1.0f64);
+            assert!((-1.0..=1.0).contains(&g));
+            let u = rng.gen_range(5..8usize);
+            assert!((5..8).contains(&u));
+            let v = rng.gen_range(1..=3usize);
+            assert!((1..=3).contains(&v));
+            let s = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
