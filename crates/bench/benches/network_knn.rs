@@ -4,7 +4,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use senn_bench::{honest_peer, network_world, BenchRng};
 use senn_core::{snnn_query, RTreeServer, SennEngine, SnnnConfig};
-use senn_network::{alt_distance, astar_distance, dijkstra_distance, ier_knn, ine_knn, AltIndex};
+use senn_network::{
+    alt_distance, astar_distance, dijkstra_distance, ier_knn, ine_knn, AltIndex, NetworkDistance,
+};
 
 fn network_knn(c: &mut Criterion) {
     let side = 5_000.0;
@@ -52,17 +54,14 @@ fn network_knn(c: &mut Criterion) {
             let (q, qn) = queries[i % queries.len()];
             i += 1;
             let peer = honest_peer(q, &poi_positions, 20);
+            let mut model = NetworkDistance::anchored(&w.net, &w.locator, qn);
             let out = snnn_query(
                 &engine,
                 q,
                 k,
                 std::slice::from_ref(&peer),
                 &server,
-                |p| {
-                    let pn = w.locator.nearest(p)?;
-                    let core = astar_distance(&w.net, qn, pn)?;
-                    Some(q.dist(w.net.position(qn)) + core + w.net.position(pn).dist(p))
-                },
+                &mut model,
                 SnnnConfig::default(),
             );
             black_box(out.results.len())

@@ -2,12 +2,13 @@
 //! engine in sequential and parallel mode, plus a small microbenchmark
 //! suite over the query hot paths, and writes the measurements as JSON.
 //!
-//! The JSON file (`BENCH_PR1.json` by default) is committed alongside the
+//! The JSON file (`BENCH_PR2.json` by default) is committed alongside the
 //! code so every PR leaves a machine-readable perf trajectory behind:
-//! compare `queries_per_sec` and `ns_per_iter` entries across revisions to
-//! see whether a change paid for itself. The gate also re-asserts the
-//! engine contract — parallel metrics must equal sequential metrics — so
-//! a perf regression hunt can never silently trade away determinism.
+//! compare `queries_per_sec`, the per-stage `stages` breakdown and the
+//! `ns_per_iter` entries across revisions to see whether a change paid for
+//! itself. The gate also re-asserts the engine contract — parallel metrics
+//! must equal sequential metrics — so a perf regression hunt can never
+//! silently trade away determinism.
 //!
 //! Usage:
 //!
@@ -22,6 +23,7 @@ use std::time::Instant;
 
 use senn_bench::{random_points, random_server, BenchRng};
 use senn_core::{SearchBounds, SpatialServer};
+use senn_core::{STAGE_COUNT, STAGE_NAMES};
 use senn_geom::Point;
 use senn_network::{
     generate_network, ier_knn_with, ine_knn_with, DijkstraScratch, GeneratorConfig, NetworkPois,
@@ -38,7 +40,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
-        out: "BENCH_PR1.json".to_string(),
+        out: "BENCH_PR2.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -157,6 +159,33 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
+/// Per-stage breakdown of the staged SENN kernel, from the observation-only
+/// stage timers the batch engine accumulates per query.
+fn stages_json(b: &BatchStats) -> String {
+    let rows: Vec<String> = (0..STAGE_COUNT)
+        .map(|i| {
+            let calls = b.stage_calls[i];
+            let ns = b.stage_nanos[i];
+            let per_call = if calls > 0 {
+                ns as f64 / calls as f64
+            } else {
+                0.0
+            };
+            format!(
+                concat!(
+                    "        {{ \"stage\": \"{}\", \"calls\": {}, ",
+                    "\"total_ms\": {}, \"ns_per_call\": {} }}"
+                ),
+                STAGE_NAMES[i],
+                calls,
+                fmt_f64(ns as f64 / 1e6),
+                fmt_f64(per_call),
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
 fn sim_leg_json(label: &str, m: &Metrics, b: &BatchStats, wall_secs: f64) -> String {
     format!(
         concat!(
@@ -170,7 +199,10 @@ fn sim_leg_json(label: &str, m: &Metrics, b: &BatchStats, wall_secs: f64) -> Str
             "      \"peak_batch_queries\": {},\n",
             "      \"einn_node_accesses\": {},\n",
             "      \"inn_node_accesses\": {},\n",
-            "      \"sqrr\": {}\n",
+            "      \"sqrr\": {},\n",
+            "      \"stages\": [\n",
+            "{}\n",
+            "      ]\n",
             "    }}"
         ),
         label,
@@ -184,6 +216,7 @@ fn sim_leg_json(label: &str, m: &Metrics, b: &BatchStats, wall_secs: f64) -> Str
         m.einn_accesses,
         m.inn_accesses,
         fmt_f64(m.sqrr()),
+        stages_json(b),
     )
 }
 
@@ -250,7 +283,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"senn-perf-gate-v1\",\n",
+            "  \"schema\": \"senn-perf-gate-v2\",\n",
             "  \"quick\": {},\n",
             "  \"available_parallelism\": {},\n",
             "  \"parallel_threads\": {},\n",

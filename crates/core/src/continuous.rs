@@ -118,7 +118,7 @@ impl ContinuousKnn {
         peers.extend_from_slice(extra_peers);
         let out = self.engine.query(position, self.k, &peers, server);
         self.stats.queries += 1;
-        match out.resolution {
+        match out.resolution() {
             Resolution::Server => self.stats.server += 1,
             _ => self.stats.local += 1,
         }
@@ -193,7 +193,7 @@ mod tests {
             let mut probe = session.clone();
             let out = probe.query(p, &[], &server);
             assert_ne!(
-                out.resolution,
+                out.resolution(),
                 Resolution::Server,
                 "query at {p:?} inside the validity radius hit the server"
             );

@@ -1,0 +1,59 @@
+//! The distance-model seam between SENN and SNNN.
+//!
+//! SENN's verification lemmas are intrinsically Euclidean — they reason
+//! about circles around cached query locations — so the four pipeline
+//! stages always rank candidates by Euclidean distance. What varies
+//! between Algorithm 1 and Algorithm 2 is the *target metric* the caller
+//! actually wants answers under: SENN wants the Euclidean ranking itself,
+//! SNNN wants network distances and uses the Euclidean ranking only as a
+//! lower-bounding expansion order (IER). [`DistanceModel`] abstracts that
+//! target metric: plugging in [`Euclidean`] makes the SNNN driver collapse
+//! to plain SENN, plugging in a road-network model (see
+//! `senn_network::NetworkDistance`) yields Algorithm 2.
+
+use senn_geom::Point;
+
+/// A target distance metric for the staged query pipeline.
+///
+/// Implementations take `&mut self` so they can own reusable search
+/// scratch (e.g. a Dijkstra state between A\* calls).
+///
+/// # Contract
+///
+/// The model must dominate the Euclidean distance:
+/// `distance(query, p) >= query.dist(p)` whenever it returns `Some` —
+/// the Euclidean lower-bound property (`ED <= ND`) that makes IER's
+/// incremental expansion sound. Every physical road network satisfies it.
+pub trait DistanceModel {
+    /// Distance from `query` to a POI at `p` under the model's metric, or
+    /// `None` when `p` is unreachable (treated as infinitely far).
+    fn distance(&mut self, query: Point, p: Point) -> Option<f64>;
+}
+
+/// The identity model: the target metric *is* the Euclidean distance.
+///
+/// Under this model the SNNN driver degenerates to SENN — the first
+/// Euclidean round is already the answer and a single expansion round
+/// confirms the bound.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Euclidean;
+
+impl DistanceModel for Euclidean {
+    fn distance(&mut self, query: Point, p: Point) -> Option<f64> {
+        Some(query.dist(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_is_the_identity_model() {
+        let mut m = Euclidean;
+        let q = Point::new(1.0, 2.0);
+        let p = Point::new(4.0, 6.0);
+        assert_eq!(m.distance(q, p), Some(5.0));
+        assert_eq!(m.distance(q, q), Some(0.0));
+    }
+}

@@ -59,6 +59,16 @@ impl ResultHeap {
         }
     }
 
+    /// Clears the heap and re-arms it for a new query with the given `k`,
+    /// keeping the entry allocation — the reuse hook behind
+    /// [`crate::pipeline::QueryContext`].
+    pub fn reset(&mut self, k: usize) {
+        assert!(k >= 1, "k must be at least 1");
+        self.k = k;
+        self.entries.clear();
+        self.entries.reserve(k);
+    }
+
     /// The query's `k`.
     pub fn k(&self) -> usize {
         self.k

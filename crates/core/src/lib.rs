@@ -17,8 +17,11 @@
 //! | [`single`] | `kNN_single` — single-peer verification (§3.2.1) |
 //! | [`multiple`] | `kNN_multiple` — multi-peer certain region `R_c` (§3.2.2, Lemma 3.8) |
 //! | [`bounds`] | branch-expanding upper/lower bounds (§3.3) |
-//! | [`senn`] | Algorithm 1 — the full SENN query |
-//! | [`snnn`] | Algorithm 2 — the network-distance SNNN query (§3.4) |
+//! | [`pipeline`] | the staged kernel: PeerProbe → SingleVerify → MultiVerify → ServerResidual |
+//! | [`distance`] | the [`DistanceModel`] target-metric seam (Euclidean here, network in `senn-network`) |
+//! | [`trace`] | the unified [`QueryTrace`] outcome (attribution + accounting + stage timings) |
+//! | [`senn`] | Algorithm 1 — the SENN driver over the staged kernel |
+//! | [`snnn`] | Algorithm 2 — the SNNN/IER driver, generic over [`DistanceModel`] (§3.4) |
 //! | [`server`] | the spatial-database interface plus an R\*-tree adapter |
 //!
 //! The crate is pure logic: peers are passed in as [`PeerCacheEntry`]
@@ -27,20 +30,26 @@
 
 pub mod bounds;
 pub mod continuous;
+pub mod distance;
 pub mod heap;
 pub mod multiple;
+pub mod pipeline;
 pub mod range;
 pub mod senn;
 pub mod server;
 pub mod single;
 pub mod snnn;
+pub mod trace;
 pub mod verify;
 
 pub use continuous::{validity_radius, ContinuousKnn, ContinuousStats};
+pub use distance::{DistanceModel, Euclidean};
 pub use heap::{HeapEntry, HeapState, ResultHeap};
+pub use pipeline::{QueryContext, VerifyScratch};
 pub use range::{RangeOutcome, RangeServer};
-pub use senn::{Resolution, SennConfig, SennEngine, SennOutcome};
+pub use senn::{SennConfig, SennEngine, SennOutcome};
 pub use senn_cache::{CacheEntry as PeerCacheEntry, CachedNn};
 pub use senn_rtree::SearchBounds;
 pub use server::{RTreeServer, ServerResponse, SpatialServer};
-pub use snnn::{snnn_query, SnnnConfig, SnnnNeighbor, SnnnOutcome};
+pub use snnn::{snnn_query, snnn_query_with, SnnnConfig, SnnnNeighbor, SnnnOutcome};
+pub use trace::{QueryTrace, Resolution, Stage, STAGE_COUNT, STAGE_NAMES};

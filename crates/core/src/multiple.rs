@@ -51,17 +51,19 @@ impl CertainRegion {
     /// Builds `R_c` from every peer's certain-area disk (center: cached
     /// query location, radius: distance to the farthest cached NN).
     pub fn build<B: Borrow<CacheEntry>>(peers: &[B], method: RegionMethod) -> Self {
-        let circles: Vec<Circle> = peers
-            .iter()
-            .map(|p| p.borrow())
-            .filter(|p| !p.is_empty())
-            .map(|p| Circle::new(p.query_location, p.farthest_distance()))
-            .collect();
+        let mut circles = Vec::new();
+        collect_circles(peers.iter().map(|p| p.borrow()), &mut circles);
+        CertainRegion::from_circles(&circles, method)
+    }
+
+    /// Builds `R_c` from pre-collected certain-area circles (the buffered
+    /// entry point used by [`crate::pipeline::QueryContext`]).
+    pub fn from_circles(circles: &[Circle], method: RegionMethod) -> Self {
         match method {
             RegionMethod::Polygonized { vertices } => {
-                CertainRegion::Polygonized(PolygonRegion::from_circles(&circles, vertices))
+                CertainRegion::Polygonized(PolygonRegion::from_circles(circles, vertices))
             }
-            RegionMethod::Exact => CertainRegion::Exact(DiskRegion::from_circles(&circles)),
+            RegionMethod::Exact => CertainRegion::Exact(DiskRegion::from_circles(circles)),
         }
     }
 
@@ -89,10 +91,80 @@ impl CertainRegion {
     }
 }
 
+/// Collects every non-empty peer's certain-area circle (center: cached
+/// query location, radius: distance to the farthest cached NN) into a
+/// reusable buffer, preserving peer order.
+pub fn collect_circles<'a>(peers: impl Iterator<Item = &'a CacheEntry>, circles: &mut Vec<Circle>) {
+    circles.clear();
+    circles.extend(
+        peers
+            .filter(|p| !p.is_empty())
+            .map(|p| Circle::new(p.query_location, p.farthest_distance())),
+    );
+}
+
+/// Collects every cached POI of every peer as a `(distance, poi)`
+/// candidate into a reusable buffer, deduplicated by POI id (first
+/// occurrence wins — positions of the same POI agree across honest
+/// caches), then sorts ascending by distance to the querier.
+///
+/// `seen` is *not* cleared here: callers may pre-seed it with POI ids to
+/// exclude (e.g. already-ranked results).
+pub fn collect_candidates<'a>(
+    query: Point,
+    peers: impl Iterator<Item = &'a CacheEntry>,
+    candidates: &mut Vec<(f64, CachedNn)>,
+    seen: &mut std::collections::HashSet<u64>,
+) {
+    candidates.clear();
+    for peer in peers {
+        for nn in &peer.neighbors {
+            if seen.insert(nn.poi_id) {
+                candidates.push((query.dist(nn.position), *nn));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}
+
+/// The Lemma 3.8 verification walk: candidates (pre-sorted ascending by
+/// distance) are certified against `R_c` until the first failure —
+/// coverage is monotone in the radius, so once one candidate fails, all
+/// farther candidates fail too. Returns the number of new certain entries.
+pub fn verify_candidates(
+    query: Point,
+    region: &CertainRegion,
+    candidates: &[(f64, CachedNn)],
+    heap: &mut ResultHeap,
+) -> usize {
+    let mut new_certain = 0;
+    let mut verifying = true;
+    for &(dist, poi) in candidates {
+        if verifying && region.covers_candidate(query, dist) {
+            let before = heap.certain_count();
+            heap.insert_certain(poi, dist);
+            if heap.certain_count() > before {
+                new_certain += 1;
+            }
+            if heap.is_certain_complete() {
+                break;
+            }
+        } else {
+            verifying = false;
+            heap.insert_uncertain(poi, dist);
+        }
+    }
+    new_certain
+}
+
 /// Runs the multi-peer verification: collects every cached POI of every
 /// peer as a candidate, sorts ascending by distance to the querier, and
 /// verifies each against `R_c` until the first failure (coverage is
 /// monotone in the radius). Returns the number of new certain entries.
+///
+/// Convenience wrapper over [`collect_circles`] + [`collect_candidates`] +
+/// [`verify_candidates`] with fresh buffers; the staged pipeline
+/// (`crate::pipeline`) calls the pieces with reusable scratch instead.
 pub fn knn_multiple<B: Borrow<CacheEntry>>(
     query: Point,
     peers: &[B],
@@ -106,39 +178,15 @@ pub fn knn_multiple<B: Borrow<CacheEntry>>(
     if region.is_empty() {
         return 0;
     }
-    // Deduplicate candidates by POI id, keeping any position (positions of
-    // the same POI agree across honest caches).
     let mut candidates: Vec<(f64, CachedNn)> = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    for peer in peers.iter().map(|p| p.borrow()) {
-        for nn in &peer.neighbors {
-            if seen.insert(nn.poi_id) {
-                candidates.push((query.dist(nn.position), *nn));
-            }
-        }
-    }
-    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-
-    let mut new_certain = 0;
-    let mut verifying = true;
-    for (dist, poi) in candidates {
-        if verifying && region.covers_candidate(query, dist) {
-            let before = heap.certain_count();
-            heap.insert_certain(poi, dist);
-            if heap.certain_count() > before {
-                new_certain += 1;
-            }
-            if heap.is_certain_complete() {
-                break;
-            }
-        } else {
-            // Coverage is monotone: once one candidate fails, all farther
-            // candidates fail too.
-            verifying = false;
-            heap.insert_uncertain(poi, dist);
-        }
-    }
-    new_certain
+    collect_candidates(
+        query,
+        peers.iter().map(|p| p.borrow()),
+        &mut candidates,
+        &mut seen,
+    );
+    verify_candidates(query, &region, &candidates, heap)
 }
 
 #[cfg(test)]

@@ -1,43 +1,32 @@
 //! Algorithm 1: the Sharing-based Euclidean distance Nearest Neighbor
-//! (SENN) query.
+//! (SENN) query, as a driver over the staged pipeline (see
+//! [`crate::pipeline`]):
 //!
 //! ```text
-//! 1. query peers within communication range
-//! 2. sort their cached results by query-location distance  (Heuristic 3.3)
-//! 3. kNN_single over each peer                              (§3.2.1)
-//! 4. if incomplete: kNN_multiple over the merged region     (§3.2.2)
-//! 5. if H full and uncertain answers acceptable: return them
-//! 6. else: query the server with the pruning bounds         (§3.3)
+//! PeerProbe       query peers in range, sort by cached-location distance
+//! SingleVerify    kNN_single over each peer                     (§3.2.1)
+//! MultiVerify     kNN_multiple over the merged certain region   (§3.2.2)
+//!                 (if H full and uncertain acceptable: return)
+//! ServerResidual  residual server query with the pruning bounds (§3.3)
 //! ```
 
 use std::borrow::Borrow;
+use std::time::Instant;
 
 use senn_cache::CacheEntry;
-use senn_geom::{Point, EPS};
+use senn_geom::Point;
 use senn_rtree::SearchBounds;
 
 use crate::bounds::bounds_from_heap;
-use crate::heap::{HeapEntry, HeapState, ResultHeap};
-use crate::multiple::{knn_multiple, RegionMethod};
+use crate::heap::{HeapEntry, HeapState};
+use crate::multiple::{collect_candidates, collect_circles, CertainRegion, RegionMethod};
+use crate::pipeline::{
+    multi_verify, peer_probe, server_residual, single_verify, QueryContext, VerifyScratch,
+};
 use crate::server::SpatialServer;
-use crate::single::{knn_single_all, sort_peers_by_query_location};
+use crate::trace::{QueryTrace, Stage};
 
-/// How a SENN query was resolved — the attribution behind the paper's
-/// "queries solved by single-peer / multi-peer / server" percentages.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Resolution {
-    /// All `k` NNs verified by sequential single-peer verification.
-    SinglePeer,
-    /// Completed only by the merged multi-peer certain region.
-    MultiPeer,
-    /// `H` was full and the host accepted the uncertain answer set.
-    AcceptedUncertain,
-    /// The residual query went to the spatial database server.
-    Server,
-    /// Peer phases ran but did not complete, and no server was consulted
-    /// (only produced by [`SennEngine::query_peers_only`]).
-    Unresolved,
-}
+pub use crate::trace::Resolution;
 
 /// Configuration of the SENN engine.
 #[derive(Clone, Copy, Debug, Default)]
@@ -64,18 +53,28 @@ pub struct SennOutcome {
     /// Additional certain NNs beyond `k` obtained from an over-fetching
     /// server query (available for caching), ascending by distance.
     pub extra_certain: Vec<HeapEntry>,
-    /// How the query was resolved.
-    pub resolution: Resolution,
     /// The pruning bounds that were (or would have been) forwarded.
     pub bounds: SearchBounds,
     /// State of the result heap `H` after the peer phases (Section 3.3) —
     /// `None` when the peer phases fully answered the query.
     pub heap_state: Option<HeapState>,
-    /// R\*-tree node accesses of the server search, when one happened.
-    pub server_accesses: Option<u64>,
+    /// Attribution, server accounting and stage timings of the query.
+    pub trace: QueryTrace,
 }
 
 impl SennOutcome {
+    /// How the query was resolved.
+    pub fn resolution(&self) -> Resolution {
+        self.trace.resolution()
+    }
+
+    /// R\*-tree node accesses of the server search, when one happened.
+    pub fn server_accesses(&self) -> Option<u64> {
+        self.trace
+            .server_contacted
+            .then_some(self.trace.server_accesses)
+    }
+
     /// The certain prefix of the results.
     pub fn certain(&self) -> &[HeapEntry] {
         let n = self.results.iter().take_while(|e| e.certain).count();
@@ -111,9 +110,9 @@ impl SennOutcome {
 /// );
 /// let engine = SennEngine::default();
 /// let out = engine.query(Point::new(35.0, 0.0), 2, std::slice::from_ref(&peer), &server);
-/// assert_eq!(out.resolution, Resolution::SinglePeer);
+/// assert_eq!(out.resolution(), Resolution::SinglePeer);
 /// assert_eq!(out.results[0].poi.poi_id, 1);
-/// assert!(out.server_accesses.is_none());
+/// assert!(out.server_accesses().is_none());
 /// ```
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SennEngine {
@@ -131,9 +130,9 @@ impl SennEngine {
         &self.config
     }
 
-    /// Runs only the peer phases (steps 1–5): `kNN_single`, then
-    /// `kNN_multiple`, then optionally accept an uncertain full heap.
-    /// Returns [`Resolution::Unresolved`] when the server would be needed.
+    /// Runs only the peer stages (PeerProbe → SingleVerify → MultiVerify,
+    /// then optionally accept an uncertain full heap). Returns
+    /// [`Resolution::Unresolved`] when the server would be needed.
     ///
     /// Generic over the peer representation: pass `&[CacheEntry]` or
     /// `&[&CacheEntry]` — the latter lets batch drivers hand over borrowed
@@ -144,91 +143,41 @@ impl SennEngine {
         k: usize,
         peers: &[B],
     ) -> SennOutcome {
-        let (heap, resolution) = self.peer_phases(query, k, peers);
-        let bounds = bounds_from_heap(&heap);
+        self.query_peers_only_with(query, k, peers, &mut QueryContext::new())
+    }
+
+    /// [`Self::query_peers_only`] against a caller-owned [`QueryContext`]
+    /// (the allocation-reusing batch entry point).
+    pub fn query_peers_only_with<B: Borrow<CacheEntry>>(
+        &self,
+        query: Point,
+        k: usize,
+        peers: &[B],
+        ctx: &mut QueryContext,
+    ) -> SennOutcome {
+        let resolution = self.run_peer_stages(query, k, peers, ctx);
+        let bounds = bounds_from_heap(&ctx.heap);
         let heap_state = if resolution.is_some() {
             None
         } else {
-            Some(heap.state())
+            Some(ctx.heap.state())
         };
-        let results = heap.into_entries();
+        let results = ctx.heap.entries().to_vec();
         let extra_certain = if resolution.is_some() {
-            self.extend_certains(query, peers, &results)
+            self.extend_certains(query, peers, &results, &mut ctx.verify)
         } else {
             Vec::new()
         };
+        ctx.trace
+            .resolutions
+            .push(resolution.unwrap_or(Resolution::Unresolved));
         SennOutcome {
             results,
             extra_certain,
-            resolution: resolution.unwrap_or(Resolution::Unresolved),
             bounds,
             heap_state,
-            server_accesses: None,
+            trace: std::mem::take(&mut ctx.trace),
         }
-    }
-
-    /// Continues certifying POIs beyond the k-th for caching, up to the
-    /// configured `server_fetch` (cache capacity): the paper's client
-    /// caches "as many NN as its cache capacity allows", and the certain
-    /// set is a downward-closed prefix of the true ranking, so verification
-    /// can simply keep walking candidates in ascending distance until the
-    /// first failure.
-    fn extend_certains<B: Borrow<CacheEntry>>(
-        &self,
-        query: Point,
-        peers: &[B],
-        results: &[HeapEntry],
-    ) -> Vec<HeapEntry> {
-        let limit = self.config.server_fetch.saturating_sub(results.len());
-        if limit == 0 || peers.is_empty() || results.iter().any(|e| !e.certain) {
-            // Only a fully-certain result set is a known prefix of the true
-            // ranking; accepted-uncertain answers cannot be extended.
-            return Vec::new();
-        }
-        let region = crate::multiple::CertainRegion::build(peers, self.config.region_method);
-        // Candidates beyond the current result set, ascending by distance.
-        let mut candidates: Vec<(f64, crate::heap::HeapEntry)> = Vec::new();
-        let mut seen: std::collections::HashSet<u64> =
-            results.iter().map(|e| e.poi.poi_id).collect();
-        for peer in peers.iter().map(|p| p.borrow()) {
-            for nn in &peer.neighbors {
-                if seen.insert(nn.poi_id) {
-                    let dist = query.dist(nn.position);
-                    candidates.push((
-                        dist,
-                        HeapEntry {
-                            poi: *nn,
-                            dist,
-                            certain: true,
-                        },
-                    ));
-                }
-            }
-        }
-        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let mut out = Vec::new();
-        for (dist, entry) in candidates {
-            if out.len() >= limit {
-                break;
-            }
-            // Certain via any single peer (Lemma 3.2) or the merged region
-            // (Lemma 3.8); certainty is monotone in the distance, so the
-            // first failure ends the extension.
-            let single_ok = peers.iter().map(|p| p.borrow()).any(|p| {
-                crate::verify::is_certain(
-                    query,
-                    p.query_location,
-                    p.farthest_distance(),
-                    entry.poi.position,
-                )
-            });
-            if single_ok || (!region.is_empty() && region.covers_candidate(query, dist)) {
-                out.push(entry);
-            } else {
-                break;
-            }
-        }
-        out
     }
 
     /// Runs the full Algorithm 1 against `server`.
@@ -241,105 +190,150 @@ impl SennEngine {
         peers: &[B],
         server: &dyn SpatialServer,
     ) -> SennOutcome {
-        let (heap, resolution) = self.peer_phases(query, k, peers);
-        let bounds = bounds_from_heap(&heap);
-        if let Some(resolution) = resolution {
-            let results = heap.into_entries();
-            let extra_certain = self.extend_certains(query, peers, &results);
-            return SennOutcome {
-                results,
-                extra_certain,
-                resolution,
-                bounds,
-                heap_state: None,
-                server_accesses: None,
-            };
-        }
-        let heap_state = heap.state();
-
-        // Residual server query. With a lower bound `lb`, the server skips
-        // POIs strictly inside the verified circle — exactly the certain
-        // entries below `lb` — and re-reports boundary POIs, which the
-        // merge dedupes.
-        let strictly_below = match bounds.lower {
-            Some(lb) => heap.certain().iter().filter(|e| e.dist < lb - EPS).count(),
-            None => 0,
-        };
-        let need = k - strictly_below.min(k);
-        let fetch = need.max(self.config.server_fetch);
-        // The branch-expanding upper bound is a bound on the k-th NN; when
-        // the cache policy over-fetches beyond k ("query for as many NN as
-        // its cache capacity allows"), the extra results lie beyond it, so
-        // only the lower bound may be forwarded.
-        let wire_bounds = if fetch > need {
-            SearchBounds {
-                upper: None,
-                lower: bounds.lower,
-            }
-        } else {
-            bounds
-        };
-        let response = server.knn(query, fetch, wire_bounds);
-
-        // Merge: certains below the bound + authoritative server results
-        // form a complete certain prefix.
-        let mut merged: Vec<HeapEntry> = heap.certain().to_vec();
-        for (poi, dist) in response.pois {
-            if merged.iter().any(|e| e.poi.poi_id == poi.poi_id) {
-                continue;
-            }
-            merged.push(HeapEntry {
-                poi,
-                dist,
-                certain: true,
-            });
-        }
-        merged.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap());
-        let extra_certain = if merged.len() > k {
-            merged.split_off(k)
-        } else {
-            Vec::new()
-        };
-        SennOutcome {
-            results: merged,
-            extra_certain,
-            resolution: Resolution::Server,
-            bounds,
-            heap_state: Some(heap_state),
-            server_accesses: Some(response.node_accesses),
-        }
+        self.query_with(query, k, peers, server, &mut QueryContext::new())
     }
 
-    /// Steps 1–5 of Algorithm 1. Returns the heap and the resolution when
-    /// the peer phases completed the query.
-    fn peer_phases<B: Borrow<CacheEntry>>(
+    /// [`Self::query`] against a caller-owned [`QueryContext`] (the
+    /// allocation-reusing batch entry point).
+    pub fn query_with<B: Borrow<CacheEntry>>(
         &self,
         query: Point,
         k: usize,
         peers: &[B],
-    ) -> (ResultHeap, Option<Resolution>) {
-        // Borrow, never clone: a dense batch touches hundreds of peer
-        // entries per query and each entry owns a neighbor Vec.
-        let mut sorted: Vec<&CacheEntry> = peers
-            .iter()
-            .map(|p| p.borrow())
-            .filter(|p| !p.is_empty())
-            .collect();
-        sort_peers_by_query_location(query, &mut sorted);
-        let mut heap = ResultHeap::new(k);
-        if knn_single_all(query, &sorted, &mut heap) {
-            return (heap, Some(Resolution::SinglePeer));
+        server: &dyn SpatialServer,
+        ctx: &mut QueryContext,
+    ) -> SennOutcome {
+        let resolution = self.run_peer_stages(query, k, peers, ctx);
+        let bounds = bounds_from_heap(&ctx.heap);
+        if let Some(resolution) = resolution {
+            let results = ctx.heap.entries().to_vec();
+            let extra_certain = self.extend_certains(query, peers, &results, &mut ctx.verify);
+            ctx.trace.resolutions.push(resolution);
+            return SennOutcome {
+                results,
+                extra_certain,
+                bounds,
+                heap_state: None,
+                trace: std::mem::take(&mut ctx.trace),
+            };
         }
-        if !sorted.is_empty() {
-            knn_multiple(query, &sorted, self.config.region_method, &mut heap);
-            if heap.is_certain_complete() {
-                return (heap, Some(Resolution::MultiPeer));
+        let heap_state = ctx.heap.state();
+
+        let started = Instant::now();
+        let residual = server_residual(ctx, query, k, bounds, self.config.server_fetch, server);
+        ctx.trace
+            .record_stage(Stage::ServerResidual, started.elapsed().as_nanos() as u64);
+        ctx.trace.resolutions.push(Resolution::Server);
+        ctx.trace.server_accesses += residual.node_accesses;
+        ctx.trace.server_contacted = true;
+        SennOutcome {
+            results: residual.results,
+            extra_certain: residual.extra_certain,
+            bounds,
+            heap_state: Some(heap_state),
+            trace: std::mem::take(&mut ctx.trace),
+        }
+    }
+
+    /// Runs PeerProbe → SingleVerify → MultiVerify (steps 1–5 of
+    /// Algorithm 1) through the context, timing each stage. Returns the
+    /// resolution when the peer stages completed the query.
+    fn run_peer_stages<B: Borrow<CacheEntry>>(
+        &self,
+        query: Point,
+        k: usize,
+        peers: &[B],
+        ctx: &mut QueryContext,
+    ) -> Option<Resolution> {
+        ctx.begin(k);
+        let started = Instant::now();
+        peer_probe(ctx, query, peers);
+        ctx.trace
+            .record_stage(Stage::PeerProbe, started.elapsed().as_nanos() as u64);
+
+        let started = Instant::now();
+        let done = single_verify(ctx, query, peers);
+        ctx.trace
+            .record_stage(Stage::SingleVerify, started.elapsed().as_nanos() as u64);
+        if done {
+            return Some(Resolution::SinglePeer);
+        }
+
+        if !ctx.order.is_empty() {
+            let started = Instant::now();
+            let done = multi_verify(ctx, query, peers, self.config.region_method);
+            ctx.trace
+                .record_stage(Stage::MultiVerify, started.elapsed().as_nanos() as u64);
+            if done {
+                return Some(Resolution::MultiPeer);
             }
         }
-        if heap.is_full() && self.config.accept_uncertain {
-            return (heap, Some(Resolution::AcceptedUncertain));
+        (ctx.heap.is_full() && self.config.accept_uncertain)
+            .then_some(Resolution::AcceptedUncertain)
+    }
+
+    /// Continues certifying POIs beyond the k-th for caching, up to the
+    /// configured `server_fetch` (cache capacity): the paper's client
+    /// caches "as many NN as its cache capacity allows", and the certain
+    /// set is a downward-closed prefix of the true ranking, so verification
+    /// can simply keep walking candidates in ascending distance until the
+    /// first failure.
+    ///
+    /// This cache-extension walk runs outside the four timed stages: it
+    /// serves the *next* query's cache, not this query's answer. The
+    /// certain region is rebuilt from the peers in their original
+    /// (unsorted) order, exactly like `CertainRegion::build`.
+    fn extend_certains<B: Borrow<CacheEntry>>(
+        &self,
+        query: Point,
+        peers: &[B],
+        results: &[HeapEntry],
+        scratch: &mut VerifyScratch,
+    ) -> Vec<HeapEntry> {
+        let limit = self.config.server_fetch.saturating_sub(results.len());
+        if limit == 0 || peers.is_empty() || results.iter().any(|e| !e.certain) {
+            // Only a fully-certain result set is a known prefix of the true
+            // ranking; accepted-uncertain answers cannot be extended.
+            return Vec::new();
         }
-        (heap, None)
+        collect_circles(peers.iter().map(|p| p.borrow()), &mut scratch.circles);
+        let region = CertainRegion::from_circles(&scratch.circles, self.config.region_method);
+        // Candidates beyond the current result set, ascending by distance.
+        scratch.seen.clear();
+        scratch.seen.extend(results.iter().map(|e| e.poi.poi_id));
+        collect_candidates(
+            query,
+            peers.iter().map(|p| p.borrow()),
+            &mut scratch.candidates,
+            &mut scratch.seen,
+        );
+        let mut out = Vec::new();
+        for &(dist, poi) in &scratch.candidates {
+            if out.len() >= limit {
+                break;
+            }
+            // Certain via any single peer (Lemma 3.2) or the merged region
+            // (Lemma 3.8); certainty is monotone in the distance, so the
+            // first failure ends the extension.
+            let single_ok = peers.iter().map(|p| p.borrow()).any(|p| {
+                crate::verify::is_certain(
+                    query,
+                    p.query_location,
+                    p.farthest_distance(),
+                    poi.position,
+                )
+            });
+            if single_ok || (!region.is_empty() && region.covers_candidate(query, dist)) {
+                out.push(HeapEntry {
+                    poi,
+                    dist,
+                    certain: true,
+                });
+            } else {
+                break;
+            }
+        }
+        out
     }
 }
 
@@ -397,7 +391,7 @@ mod tests {
         let peer = honest_peer(Point::new(0.1, 0.0), &pois, 3);
         let engine = SennEngine::default();
         let out = engine.query_peers_only(Point::new(0.0, 0.0), 2, std::slice::from_ref(&peer));
-        assert_eq!(out.resolution, Resolution::SinglePeer);
+        assert_eq!(out.resolution(), Resolution::SinglePeer);
         assert_eq!(out.certain().len(), 2);
         assert_eq!(out.certain()[0].poi.poi_id, 0);
         assert_eq!(out.certain()[1].poi.poi_id, 1);
@@ -412,9 +406,9 @@ mod tests {
         let engine = SennEngine::default();
         let q = Point::new(20.2, 3.3);
         let out = engine.query::<CacheEntry>(q, 5, &[], &server);
-        assert_eq!(out.resolution, Resolution::Server);
+        assert_eq!(out.resolution(), Resolution::Server);
         assert!(out.bounds.is_none());
-        assert!(out.server_accesses.unwrap() > 0);
+        assert!(out.server_accesses().unwrap() > 0);
         let want = true_knn(&pois, q, 5);
         assert_eq!(out.results.len(), 5);
         for (r, (wd, wi)) in out.results.iter().zip(&want) {
@@ -436,7 +430,7 @@ mod tests {
         let peer = honest_peer(Point::new(50.5, 50.2), &pois, 4);
         let engine = SennEngine::default();
         let out = engine.query(q, 8, std::slice::from_ref(&peer), &server);
-        assert_eq!(out.resolution, Resolution::Server);
+        assert_eq!(out.resolution(), Resolution::Server);
         assert!(
             out.bounds.lower.is_some(),
             "peer verification should yield a lower bound"
@@ -459,7 +453,7 @@ mod tests {
             ..Default::default()
         });
         let out = engine.query_peers_only(Point::ORIGIN, 2, std::slice::from_ref(&peer));
-        assert_eq!(out.resolution, Resolution::AcceptedUncertain);
+        assert_eq!(out.resolution(), Resolution::AcceptedUncertain);
         assert_eq!(out.results.len(), 2);
         assert!(out.results.iter().all(|e| !e.certain));
         assert_eq!(out.certain().len(), 0);
@@ -520,7 +514,7 @@ mod tests {
                     "trial {trial}: got dist {} want {} (resolution {:?})",
                     r.dist,
                     wd,
-                    out.resolution
+                    out.resolution()
                 );
             }
             // Certain entries really are certain.
@@ -536,11 +530,60 @@ mod tests {
     }
 
     #[test]
+    fn context_reuse_is_hygienic_across_randomized_worlds() {
+        // Property (satellite): running query B in a context that already
+        // ran query A equals running B in a fresh context — no scratch
+        // state leaks across a batch.
+        let mut rng = Rng(0xfeed5eed | 1);
+        let mut shared = QueryContext::new();
+        for trial in 0..80 {
+            let n = 10 + (rng.next() * 60.0) as usize;
+            let pois: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.next() * 100.0, rng.next() * 100.0))
+                .collect();
+            let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+            let engine = SennEngine::new(SennConfig {
+                accept_uncertain: trial % 3 == 0,
+                server_fetch: (trial % 4) * 3,
+                ..Default::default()
+            });
+            let q = Point::new(rng.next() * 100.0, rng.next() * 100.0);
+            let k = 1 + (rng.next() * 7.0) as usize;
+            let peers: Vec<CacheEntry> = (0..(rng.next() * 4.0) as usize)
+                .map(|_| {
+                    let loc = Point::new(
+                        q.x + rng.next() * 30.0 - 15.0,
+                        q.y + rng.next() * 30.0 - 15.0,
+                    );
+                    honest_peer(loc, &pois, 1 + (rng.next() * 8.0) as usize)
+                })
+                .collect();
+            let shared_out = engine.query_with(q, k, &peers, &server, &mut shared);
+            let fresh_out = engine.query(q, k, &peers, &server);
+            assert_eq!(shared_out.results, fresh_out.results, "trial {trial}");
+            assert_eq!(
+                shared_out.extra_certain, fresh_out.extra_certain,
+                "trial {trial}"
+            );
+            assert_eq!(shared_out.bounds, fresh_out.bounds, "trial {trial}");
+            assert_eq!(shared_out.heap_state, fresh_out.heap_state, "trial {trial}");
+            assert_eq!(
+                shared_out.trace.resolutions, fresh_out.trace.resolutions,
+                "trial {trial}"
+            );
+            assert_eq!(
+                shared_out.trace.server_accesses, fresh_out.trace.server_accesses,
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
     fn peers_with_empty_caches_are_ignored() {
         let empty = CacheEntry::new(Point::ORIGIN, vec![]);
         let engine = SennEngine::default();
         let out = engine.query_peers_only(Point::new(1.0, 1.0), 2, std::slice::from_ref(&empty));
-        assert_eq!(out.resolution, Resolution::Unresolved);
+        assert_eq!(out.resolution(), Resolution::Unresolved);
         assert!(out.results.is_empty());
     }
 
@@ -584,7 +627,30 @@ mod tests {
         let p4 = mk(Point::new(0.7, 0.0), &[(103, 1.0, -0.9), (104, 2.05, 0.0)]);
         let engine = SennEngine::default();
         let out = engine.query_peers_only(q, 1, &[p3, p4]);
-        assert_eq!(out.resolution, Resolution::MultiPeer);
+        assert_eq!(out.resolution(), Resolution::MultiPeer);
         assert_eq!(out.certain()[0].poi.poi_id, 100);
+    }
+
+    #[test]
+    fn stage_timings_cover_the_stages_that_ran() {
+        let pois: Vec<Point> = (0..30).map(|i| Point::new(i as f64, 0.0)).collect();
+        let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+        let engine = SennEngine::default();
+        // Server-bound query: probe + single ran, server residual ran.
+        let out = engine.query::<CacheEntry>(Point::new(5.5, 3.0), 3, &[], &server);
+        assert_eq!(out.trace.stage_calls[0], 1, "peer probe runs once");
+        assert_eq!(out.trace.stage_calls[1], 1, "single verify runs once");
+        assert_eq!(out.trace.stage_calls[2], 0, "no peers: multi skipped");
+        assert_eq!(out.trace.stage_calls[3], 1, "server residual ran");
+        // Peer-resolved query: no server stage.
+        let peer = honest_peer(Point::new(5.0, 0.1), &pois, 6);
+        let out = engine.query(
+            Point::new(5.2, 0.0),
+            2,
+            std::slice::from_ref(&peer),
+            &server,
+        );
+        assert_eq!(out.resolution(), Resolution::SinglePeer);
+        assert_eq!(out.trace.stage_calls[3], 0, "peer-resolved: no server");
     }
 }

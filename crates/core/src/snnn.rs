@@ -2,27 +2,37 @@
 //! (SNNN) query (Section 3.4).
 //!
 //! SNNN extends IER (Incremental Euclidean Restriction): run SENN for the
-//! `k` Euclidean NNs, compute their network distances on the host's local
-//! modeling graph, and keep pulling the next Euclidean NN (peers first,
+//! `k` Euclidean NNs, compute their target-metric distances with the
+//! [`DistanceModel`], and keep pulling the next Euclidean NN (peers first,
 //! then server) while its Euclidean distance is within the current k-th
-//! network distance — sound because `ED <= ND` (the Euclidean lower-bound
-//! property).
+//! target distance — sound because `ED <= ND` (the Euclidean lower-bound
+//! property, part of the [`DistanceModel`] contract).
 //!
-//! The network-distance kernel is injected as a closure so the algorithm
-//! stays independent of the graph representation; `senn-sim` wires it to
-//! `senn-network`'s A\* search. The closure must respect the lower-bound
-//! property (`nd(p) >= ED(query, p)`), which every real road network does.
+//! The expansion loop is a generic driver over any [`DistanceModel`]:
+//! `senn_network::NetworkDistance` wraps A\*/Dijkstra for the road-network
+//! metric, while the degenerate [`crate::distance::Euclidean`] model makes
+//! the driver collapse to plain SENN. Every SENN round runs through the
+//! same staged pipeline ([`crate::pipeline`]) as Algorithm 1, and all
+//! rounds fold into one [`QueryTrace`].
+
+use std::borrow::Borrow;
 
 use senn_cache::{CacheEntry, CachedNn};
 use senn_geom::Point;
 
-use crate::senn::{Resolution, SennEngine};
+use crate::distance::DistanceModel;
+use crate::pipeline::QueryContext;
+use crate::senn::SennEngine;
 use crate::server::SpatialServer;
+use crate::trace::QueryTrace;
 
 /// Configuration of the SNNN search.
 #[derive(Clone, Copy, Debug)]
 pub struct SnnnConfig {
     /// Safety cap on the number of extra Euclidean NNs pulled beyond `k`.
+    /// When the cap ends the expansion before the distance bound confirms
+    /// the answer, the outcome's trace carries
+    /// [`QueryTrace::cap_hit`] — the results may be inexact.
     pub max_expansion: usize,
 }
 
@@ -37,7 +47,7 @@ impl Default for SnnnConfig {
 pub struct SnnnNeighbor {
     /// The POI.
     pub poi: CachedNn,
-    /// Network distance from the query point.
+    /// Network (target-metric) distance from the query point.
     pub network_dist: f64,
     /// Euclidean distance from the query point.
     pub euclid_dist: f64,
@@ -48,67 +58,84 @@ pub struct SnnnNeighbor {
 pub struct SnnnOutcome {
     /// The `k` network-nearest POIs, ascending by network distance.
     pub results: Vec<SnnnNeighbor>,
-    /// Number of SENN invocations performed (1 + expansions).
-    pub senn_calls: usize,
-    /// Total server node accesses across all SENN calls.
-    pub server_accesses: u64,
-    /// Resolution of each SENN call, in order.
-    pub resolutions: Vec<Resolution>,
+    /// The unified trace of every SENN round: per-round resolutions,
+    /// total server accesses, stage timings and the expansion
+    /// [`QueryTrace::cap_hit`] flag.
+    pub trace: QueryTrace,
 }
 
-/// Runs Algorithm 2.
-///
-/// `network_dist(p)` returns the network distance from the query point to
-/// a POI at `p`, or `None` when unreachable (treated as infinitely far).
-pub fn snnn_query<F>(
+impl SnnnOutcome {
+    /// Number of SENN invocations performed (1 + expansions).
+    pub fn senn_calls(&self) -> usize {
+        self.trace.senn_rounds()
+    }
+}
+
+/// Runs Algorithm 2 with a fresh [`QueryContext`].
+pub fn snnn_query<B: Borrow<CacheEntry>, M: DistanceModel>(
     engine: &SennEngine,
     query: Point,
     k: usize,
-    peers: &[CacheEntry],
+    peers: &[B],
     server: &dyn SpatialServer,
-    network_dist: F,
+    model: &mut M,
     config: SnnnConfig,
-) -> SnnnOutcome
-where
-    F: Fn(Point) -> Option<f64>,
-{
-    let mut senn_calls = 0usize;
-    let mut server_accesses = 0u64;
-    let mut resolutions = Vec::new();
+) -> SnnnOutcome {
+    snnn_query_with(
+        engine,
+        query,
+        k,
+        peers,
+        server,
+        model,
+        config,
+        &mut QueryContext::new(),
+    )
+}
 
-    let mut run_senn = |kk: usize| {
-        senn_calls += 1;
-        let out = engine.query(query, kk, peers, server);
-        server_accesses += out.server_accesses.unwrap_or(0);
-        resolutions.push(out.resolution);
-        out
-    };
+/// Runs Algorithm 2 against a caller-owned [`QueryContext`] (the
+/// allocation-reusing batch entry point).
+///
+/// `model` supplies the target metric; it must respect the Euclidean
+/// lower-bound property (see [`DistanceModel`]).
+#[allow(clippy::too_many_arguments)]
+pub fn snnn_query_with<B: Borrow<CacheEntry>, M: DistanceModel>(
+    engine: &SennEngine,
+    query: Point,
+    k: usize,
+    peers: &[B],
+    server: &dyn SpatialServer,
+    model: &mut M,
+    config: SnnnConfig,
+    ctx: &mut QueryContext,
+) -> SnnnOutcome {
+    let mut trace = QueryTrace::new();
 
-    // Step 1: the k Euclidean NNs via SENN, ranked by network distance.
-    let initial = run_senn(k);
+    // Step 1: the k Euclidean NNs via SENN, ranked by the target metric.
+    let initial = engine.query_with(query, k, peers, server, ctx);
+    trace.absorb(&initial.trace);
     let mut results: Vec<SnnnNeighbor> = initial
         .results
         .iter()
         .map(|e| SnnnNeighbor {
             poi: e.poi,
-            network_dist: network_dist(e.poi.position).unwrap_or(f64::INFINITY),
+            network_dist: model
+                .distance(query, e.poi.position)
+                .unwrap_or(f64::INFINITY),
             euclid_dist: e.dist,
         })
         .collect();
     results.sort_by(|a, b| a.network_dist.partial_cmp(&b.network_dist).unwrap());
 
     if results.len() < k {
-        // Fewer than k POIs exist at all: done.
-        return SnnnOutcome {
-            results,
-            senn_calls,
-            server_accesses,
-            resolutions,
-        };
+        // Fewer than k POIs exist at all: done, no expansion to truncate.
+        return SnnnOutcome { results, trace };
     }
 
     // Step 2: incremental Euclidean expansion until the next Euclidean NN
-    // falls beyond the network-distance search bound.
+    // falls beyond the target-distance search bound. Unless one of the
+    // break conditions confirms that bound, the cap truncated the search.
+    let mut cap_hit = true;
     for i in 1..=config.max_expansion {
         let s_bound = results[k - 1].network_dist;
         if !s_bound.is_finite() {
@@ -116,18 +143,23 @@ where
             // Fall through with an infinite bound (expansion continues
             // until POIs run out or the cap hits).
         }
-        let expanded = run_senn(k + i);
+        let expanded = engine.query_with(query, k + i, peers, server, ctx);
+        trace.absorb(&expanded.trace);
         if expanded.results.len() < k + i {
+            cap_hit = false;
             break; // the world has no more POIs
         }
         let next = expanded.results[k + i - 1];
         if next.dist > s_bound {
-            break; // Euclidean lower bound exceeds the k-th network dist
+            cap_hit = false;
+            break; // Euclidean lower bound exceeds the k-th target dist
         }
         if results.iter().any(|r| r.poi.poi_id == next.poi.poi_id) {
             continue; // already ranked (ties can reorder across calls)
         }
-        let nd = network_dist(next.poi.position).unwrap_or(f64::INFINITY);
+        let nd = model
+            .distance(query, next.poi.position)
+            .unwrap_or(f64::INFINITY);
         if nd < s_bound {
             results[k - 1] = SnnnNeighbor {
                 poi: next.poi,
@@ -137,19 +169,16 @@ where
             results.sort_by(|a, b| a.network_dist.partial_cmp(&b.network_dist).unwrap());
         }
     }
+    trace.cap_hit = cap_hit;
 
-    SnnnOutcome {
-        results,
-        senn_calls,
-        server_accesses,
-        resolutions,
-    }
+    SnnnOutcome { results, trace }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::senn::SennConfig;
+    use crate::distance::Euclidean;
+    use crate::senn::{Resolution, SennConfig};
     use crate::server::RTreeServer;
 
     struct Rng(u64);
@@ -162,18 +191,21 @@ mod tests {
         }
     }
 
-    /// Manhattan distance is a valid "network distance": it dominates the
+    /// Manhattan distance is a valid target metric: it dominates the
     /// Euclidean distance and models a dense grid of streets.
-    fn manhattan(q: Point) -> impl Fn(Point) -> Option<f64> {
-        move |p: Point| Some((p.x - q.x).abs() + (p.y - q.y).abs())
+    struct Manhattan;
+    impl DistanceModel for Manhattan {
+        fn distance(&mut self, q: Point, p: Point) -> Option<f64> {
+            Some((p.x - q.x).abs() + (p.y - q.y).abs())
+        }
     }
 
     fn brute_network_knn(pois: &[Point], q: Point, k: usize) -> Vec<(f64, usize)> {
-        let nd = manhattan(q);
+        let mut nd = Manhattan;
         let mut v: Vec<(f64, usize)> = pois
             .iter()
             .enumerate()
-            .map(|(i, p)| (nd(*p).unwrap(), i))
+            .map(|(i, p)| (nd.distance(q, *p).unwrap(), i))
             .collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         v.truncate(k);
@@ -192,17 +224,18 @@ mod tests {
             let q = Point::new(rng.next() * 100.0, rng.next() * 100.0);
             let k = 1 + (rng.next() * 6.0) as usize;
             let engine = SennEngine::default();
-            let out = snnn_query(
+            let out = snnn_query::<CacheEntry, _>(
                 &engine,
                 q,
                 k,
                 &[],
                 &server,
-                manhattan(q),
+                &mut Manhattan,
                 SnnnConfig::default(),
             );
             let want = brute_network_knn(&pois, q, k);
             assert_eq!(out.results.len(), k.min(n), "trial {trial}");
+            assert!(!out.trace.cap_hit, "trial {trial}: expansion truncated");
             for (r, (wd, _)) in out.results.iter().zip(&want) {
                 assert!(
                     (r.network_dist - wd).abs() < 1e-9,
@@ -215,20 +248,20 @@ mod tests {
     }
 
     #[test]
-    fn euclidean_equals_network_degenerates_to_senn() {
+    fn euclidean_model_degenerates_to_senn() {
         // With ND == ED the first SENN call is already the answer and one
         // expansion call suffices to confirm the bound.
         let pois: Vec<Point> = (0..20).map(|i| Point::new(i as f64 * 3.0, 0.0)).collect();
         let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
         let q = Point::new(10.0, 0.0);
         let engine = SennEngine::default();
-        let out = snnn_query(
+        let out = snnn_query::<CacheEntry, _>(
             &engine,
             q,
             3,
             &[],
             &server,
-            |p| Some(q.dist(p)),
+            &mut Euclidean,
             SnnnConfig::default(),
         );
         let mut dists: Vec<f64> = pois.iter().map(|p| q.dist(*p)).collect();
@@ -236,7 +269,13 @@ mod tests {
         for (r, want) in out.results.iter().zip(&dists) {
             assert!((r.network_dist - want).abs() < 1e-9);
         }
-        assert!(out.senn_calls >= 2);
+        // The SENN answer under the same engine agrees rank by rank.
+        let senn = engine.query::<CacheEntry>(q, 3, &[], &server);
+        for (s, r) in senn.results.iter().zip(&out.results) {
+            assert_eq!(s.poi.poi_id, r.poi.poi_id);
+        }
+        assert!(out.senn_calls() >= 2);
+        assert!(!out.trace.cap_hit);
     }
 
     #[test]
@@ -249,15 +288,26 @@ mod tests {
         let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
         let q = Point::ORIGIN;
         // POI 0 is unreachable over the "network".
-        let nd = move |p: Point| {
-            if p == Point::new(1.0, 0.0) {
-                None
-            } else {
-                Some(q.dist(p) * 1.5)
+        struct Holey;
+        impl DistanceModel for Holey {
+            fn distance(&mut self, q: Point, p: Point) -> Option<f64> {
+                if p == Point::new(1.0, 0.0) {
+                    None
+                } else {
+                    Some(q.dist(p) * 1.5)
+                }
             }
-        };
+        }
         let engine = SennEngine::default();
-        let out = snnn_query(&engine, q, 2, &[], &server, nd, SnnnConfig::default());
+        let out = snnn_query::<CacheEntry, _>(
+            &engine,
+            q,
+            2,
+            &[],
+            &server,
+            &mut Holey,
+            SnnnConfig::default(),
+        );
         assert_eq!(out.results.len(), 2);
         assert_eq!(out.results[0].poi.poi_id, 1);
         assert_eq!(out.results[1].poi.poi_id, 2);
@@ -269,16 +319,58 @@ mod tests {
         let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
         let q = Point::ORIGIN;
         let engine = SennEngine::default();
-        let out = snnn_query(
+        let out = snnn_query::<CacheEntry, _>(
             &engine,
             q,
             5,
             &[],
             &server,
-            manhattan(q),
+            &mut Manhattan,
             SnnnConfig::default(),
         );
         assert_eq!(out.results.len(), 2);
+        assert!(!out.trace.cap_hit, "no expansion ran, nothing truncated");
+    }
+
+    #[test]
+    fn expansion_cap_is_flagged() {
+        // A tight cap ends the expansion before the bound is confirmed —
+        // the trace must say so (the satellite bugfix: silent truncation).
+        let mut rng = Rng(0xcab | 1);
+        let pois: Vec<Point> = (0..60)
+            .map(|_| Point::new(rng.next() * 100.0, rng.next() * 100.0))
+            .collect();
+        let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+        let q = Point::new(50.0, 50.0);
+        let engine = SennEngine::default();
+        // An adversarial metric that inflates distances heavily keeps the
+        // search bound far out, so a 1-step cap must truncate.
+        struct Inflated;
+        impl DistanceModel for Inflated {
+            fn distance(&mut self, q: Point, p: Point) -> Option<f64> {
+                Some(q.dist(p) * 50.0 + 1000.0)
+            }
+        }
+        let capped = snnn_query::<CacheEntry, _>(
+            &engine,
+            q,
+            3,
+            &[],
+            &server,
+            &mut Inflated,
+            SnnnConfig { max_expansion: 1 },
+        );
+        assert!(capped.trace.cap_hit, "1-step cap must be reported");
+        let uncapped = snnn_query::<CacheEntry, _>(
+            &engine,
+            q,
+            3,
+            &[],
+            &server,
+            &mut Inflated,
+            SnnnConfig::default(),
+        );
+        assert!(!uncapped.trace.cap_hit);
     }
 
     #[test]
@@ -313,7 +405,7 @@ mod tests {
             3,
             std::slice::from_ref(&peer),
             &server,
-            manhattan(q),
+            &mut Manhattan,
             SnnnConfig::default(),
         );
         let want = brute_network_knn(&pois, q, 3);
@@ -321,7 +413,10 @@ mod tests {
             assert!((r.network_dist - wd).abs() < 1e-9);
         }
         assert!(
-            out.resolutions.iter().any(|r| *r != Resolution::Server),
+            out.trace
+                .resolutions
+                .iter()
+                .any(|r| *r != Resolution::Server),
             "at least some SENN calls should be peer-resolved"
         );
     }

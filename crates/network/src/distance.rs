@@ -1,0 +1,140 @@
+//! The road-network implementation of `senn-core`'s distance-model seam.
+//!
+//! [`NetworkDistance`] anchors a query point to its nearest modeling-graph
+//! node and computes point-to-point network distances with A\* over a
+//! reusable [`DijkstraScratch`] — the same convention the IER/INE kNN
+//! baselines use: straight-line leg from the query point to its snap node,
+//! shortest path through the graph, straight-line leg from the POI's snap
+//! node to the POI.
+//!
+//! Plugged into `senn_core::snnn_query`, this model turns the generic
+//! IER driver into Algorithm 2 proper; the Euclidean lower-bound property
+//! the driver relies on holds because every edge of the modeling graph is
+//! at least as long as the straight line between its endpoints.
+
+use senn_core::DistanceModel;
+use senn_geom::Point;
+
+use crate::graph::{NodeId, RoadNetwork};
+use crate::locator::NodeLocator;
+use crate::shortest_path::{astar_distance_with, DijkstraScratch};
+
+/// A [`DistanceModel`] over a road network: A\* from the anchored query
+/// node, with owned search scratch reused across calls (and across
+/// queries, via [`NetworkDistance::rebase`]).
+pub struct NetworkDistance<'a> {
+    net: &'a RoadNetwork,
+    locator: &'a NodeLocator,
+    query_node: NodeId,
+    scratch: DijkstraScratch,
+}
+
+impl<'a> NetworkDistance<'a> {
+    /// Anchors the model at the network node nearest to `query`. Returns
+    /// `None` when the network has no nodes.
+    pub fn new(net: &'a RoadNetwork, locator: &'a NodeLocator, query: Point) -> Option<Self> {
+        let query_node = locator.nearest(query)?;
+        Some(NetworkDistance {
+            net,
+            locator,
+            query_node,
+            scratch: DijkstraScratch::new(),
+        })
+    }
+
+    /// Anchors the model at an explicit query node (callers that already
+    /// snapped the query point).
+    pub fn anchored(net: &'a RoadNetwork, locator: &'a NodeLocator, query_node: NodeId) -> Self {
+        NetworkDistance {
+            net,
+            locator,
+            query_node,
+            scratch: DijkstraScratch::new(),
+        }
+    }
+
+    /// The node the query point is anchored to.
+    pub fn query_node(&self) -> NodeId {
+        self.query_node
+    }
+
+    /// Re-anchors the model for a new query point, keeping the search
+    /// scratch — the reuse hook for batch drivers issuing many SNNN
+    /// queries. Returns false (leaving the anchor unchanged) when the
+    /// locator finds no node.
+    pub fn rebase(&mut self, query: Point) -> bool {
+        match self.locator.nearest(query) {
+            Some(n) => {
+                self.query_node = n;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl DistanceModel for NetworkDistance<'_> {
+    /// `|query → snap(query)| + A*(snap(query), snap(p)) + |snap(p) → p|`,
+    /// or `None` when `p` cannot be snapped or no path exists.
+    fn distance(&mut self, query: Point, p: Point) -> Option<f64> {
+        let pn = self.locator.nearest(p)?;
+        let core = astar_distance_with(self.net, self.query_node, pn, &mut self.scratch)?;
+        Some(query.dist(self.net.position(self.query_node)) + core + self.net.position(pn).dist(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_network, GeneratorConfig};
+    use crate::shortest_path::astar_distance;
+
+    #[test]
+    fn matches_the_manual_astar_convention() {
+        let net = generate_network(&GeneratorConfig::city(2000.0, 3));
+        let locator = NodeLocator::new(&net);
+        let q = Point::new(700.0, 900.0);
+        let mut model = NetworkDistance::new(&net, &locator, q).unwrap();
+        let qn = model.query_node();
+        for p in [
+            Point::new(100.0, 100.0),
+            Point::new(1900.0, 1500.0),
+            Point::new(1000.0, 1000.0),
+        ] {
+            let pn = locator.nearest(p).unwrap();
+            let want = astar_distance(&net, qn, pn)
+                .map(|core| q.dist(net.position(qn)) + core + net.position(pn).dist(p));
+            assert_eq!(model.distance(q, p), want);
+        }
+    }
+
+    #[test]
+    fn dominates_euclidean() {
+        let net = generate_network(&GeneratorConfig::city(1500.0, 9));
+        let locator = NodeLocator::new(&net);
+        let q = Point::new(750.0, 750.0);
+        let mut model = NetworkDistance::new(&net, &locator, q).unwrap();
+        for i in 0..20 {
+            let p = Point::new(75.0 * i as f64, 1500.0 - 70.0 * i as f64);
+            if let Some(nd) = model.distance(q, p) {
+                assert!(nd >= q.dist(p) - 1e-9, "ED lower bound violated at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rebase_moves_the_anchor() {
+        let net = generate_network(&GeneratorConfig::city(1500.0, 5));
+        let locator = NodeLocator::new(&net);
+        let a = Point::new(100.0, 100.0);
+        let b = Point::new(1400.0, 1300.0);
+        let mut model = NetworkDistance::new(&net, &locator, a).unwrap();
+        let from_a = model.distance(a, b);
+        assert!(model.rebase(b));
+        assert_eq!(model.query_node(), locator.nearest(b).unwrap());
+        let near_b = model.distance(b, b).unwrap();
+        // Anchored at b, the distance to b itself is just the two snap
+        // legs — far smaller than the cross-map path.
+        assert!(near_b <= from_a.unwrap());
+    }
+}

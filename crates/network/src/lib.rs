@@ -23,9 +23,12 @@
 //!   line between its endpoints), plus one-to-many distance maps.
 //! * [`poi`] + [`knn`] — POIs snapped onto the network and the **IER** /
 //!   **INE** network-kNN baselines used by SNNN.
+//! * [`distance`] — [`NetworkDistance`], the road-network implementation
+//!   of `senn-core`'s `DistanceModel` seam (A\* over reusable scratch).
 //! * [`generator`] — the seeded synthetic network generator.
 
 pub mod alt;
+pub mod distance;
 pub mod generator;
 pub mod graph;
 pub mod io;
@@ -35,6 +38,7 @@ pub mod poi;
 pub mod shortest_path;
 
 pub use alt::{alt_distance, AltIndex};
+pub use distance::NetworkDistance;
 pub use generator::{generate_network, GeneratorConfig};
 pub use graph::{NodeId, RoadClass, RoadNetwork};
 pub use io::{network_to_string, parse_network, ParseError};

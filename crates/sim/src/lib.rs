@@ -20,10 +20,14 @@
 //! );
 //! ```
 
+mod cache_step;
+mod comms;
 pub mod experiments;
 pub mod grid;
 pub mod metrics;
+mod movement;
 pub mod params;
+mod query_step;
 pub mod report;
 pub mod simulator;
 

@@ -11,6 +11,8 @@
 
 use std::collections::BTreeMap;
 
+use senn_core::{QueryTrace, Resolution};
+
 /// Latency cost model for the paper's "improving access latency" claim.
 ///
 /// Per query: one ad-hoc round-trip per peer cache entry received (peer
@@ -91,6 +93,10 @@ pub struct Metrics {
     /// Sum over accepted-uncertain answers of the relative distance
     /// inflation `(sum of returned distances / sum of true distances) - 1`.
     pub uncertain_inflation_sum: f64,
+    /// Queries whose SNNN expansion hit `max_expansion` before the network
+    /// bound was confirmed (always 0 for pure-Euclidean runs; the flag
+    /// rides in on [`QueryTrace::cap_hit`]).
+    pub expansion_cap_hits: u64,
 }
 
 impl Metrics {
@@ -102,6 +108,23 @@ impl Metrics {
     /// Resets every counter (used at the end of warm-up).
     pub fn reset(&mut self) {
         *self = Metrics::default();
+    }
+
+    /// Folds one query's [`QueryTrace`] into the counters: attribution of
+    /// the initial kNN round (the paper's accounting unit), plus the
+    /// expansion-cap flag. Sim-side measurements that need world state
+    /// (grading, heap states, EINN/INN accesses) are added by the caller.
+    pub fn record_trace(&mut self, trace: &QueryTrace) {
+        self.queries += 1;
+        match trace.resolution() {
+            Resolution::SinglePeer => self.single_peer += 1,
+            Resolution::MultiPeer => self.multi_peer += 1,
+            Resolution::AcceptedUncertain => self.accepted_uncertain += 1,
+            Resolution::Server | Resolution::Unresolved => self.server += 1,
+        }
+        if trace.cap_hit {
+            self.expansion_cap_hits += 1;
+        }
     }
 
     /// SQRR: fraction of queries hitting the server, in `[0, 1]`.
@@ -189,6 +212,7 @@ impl Metrics {
         self.peer_records_received += other.peer_records_received;
         self.uncertain_exact += other.uncertain_exact;
         self.uncertain_inflation_sum += other.uncertain_inflation_sum;
+        self.expansion_cap_hits += other.expansion_cap_hits;
         for (k, s) in &other.per_k {
             let e = self.per_k.entry(*k).or_default();
             e.queries += s.queries;

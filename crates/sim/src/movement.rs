@@ -1,0 +1,106 @@
+//! Host movement (the mobile-host module's mobility half, Section 4.1):
+//! the world's movement mode, per-host mobility construction, and the
+//! per-interval advance step that carries every host forward in simulated
+//! time. The Poisson draw shared by batch sizing and POI churn lives here
+//! too, since both model event arrivals over the same intervals.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use senn_geom::Point;
+use senn_mobility::{HostMobility, RandomWaypoint, RoadMover, RoadMoverConfig, WaypointConfig};
+use senn_network::{NodeLocator, RoadNetwork};
+
+use crate::simulator::Simulator;
+
+/// Movement mode of the mobile hosts (Section 4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MovementMode {
+    /// Hosts follow the road network at per-segment speed limits.
+    RoadNetwork,
+    /// Hosts move freely (random waypoint) at a fixed velocity.
+    FreeMovement,
+}
+
+/// Builds one host's mobility state: parked hosts stay at their start
+/// position; movers follow the configured mode.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_mobility(
+    mode: MovementMode,
+    start: Point,
+    moves: bool,
+    network: &RoadNetwork,
+    locator: &NodeLocator,
+    mover_cfg: RoadMoverConfig,
+    waypoint_cfg: WaypointConfig,
+    rng: &mut SmallRng,
+) -> HostMobility {
+    if !moves {
+        return HostMobility::Parked(start);
+    }
+    match mode {
+        MovementMode::FreeMovement => {
+            HostMobility::Free(RandomWaypoint::new(start, waypoint_cfg, rng))
+        }
+        MovementMode::RoadNetwork => {
+            let node = locator.nearest(start).expect("network non-empty");
+            HostMobility::Road(RoadMover::new(network, node, mover_cfg))
+        }
+    }
+}
+
+impl Simulator {
+    /// Moves every host forward by `dt` seconds.
+    pub(crate) fn advance_movement(&mut self, dt: f64) {
+        let net = self.network.as_ref();
+        for host in &mut self.hosts {
+            host.mobility.step(net, dt, &mut host.rng);
+        }
+    }
+}
+
+/// Draws a Poisson-distributed count (Knuth's method; λ stays small here
+/// because it is per-interval).
+pub(crate) fn poisson(lambda: f64, rng: &mut SmallRng) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 700.0 {
+        // Normal approximation for very large λ (full-size Table 4 runs).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
+        return (lambda + z * lambda.sqrt()).round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_sanity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut total = 0u64;
+        for _ in 0..2000 {
+            total += poisson(3.0, &mut rng);
+        }
+        let mean = total as f64 / 2000.0;
+        assert!((mean - 3.0).abs() < 0.2, "poisson mean {mean}");
+        assert_eq!(poisson(0.0, &mut rng), 0);
+        // Large-λ path.
+        let big = poisson(10_000.0, &mut rng);
+        assert!((big as f64 - 10_000.0).abs() < 500.0);
+    }
+}

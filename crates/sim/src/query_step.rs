@@ -1,0 +1,213 @@
+//! The query step of the batch engine: planning (every random draw, in
+//! batch order), executing each plan as a pure function of the frozen
+//! world snapshot via the staged SENN kernel, and the measurement-only
+//! server calls (grading, EINN/INN shadow) that ride along.
+//!
+//! Execution takes `&self` only — no RNG, no metrics, no cache writes.
+//! Anything mutable is returned in the [`QueryOutcome`] and folded in by
+//! the merge phase ([`crate::cache_step`]), which is what lets the batch
+//! fan out across threads while producing bit-identical
+//! [`Metrics`](crate::metrics::Metrics).
+
+use senn_cache::{CacheEntry, CachedNn};
+use senn_core::{QueryTrace, Resolution, SearchBounds, SpatialServer};
+
+use crate::comms::WorkerScratch;
+use crate::simulator::{KChoice, Simulator};
+
+/// One planned query of a batch. Every random draw happens up front in
+/// batch order, so executing a plan is a pure function of the frozen world
+/// snapshot and can run on any thread.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct QueryPlan {
+    pub(crate) querier: u32,
+    pub(crate) k: usize,
+}
+
+/// The flat, thread-crossing result of executing one planned query —
+/// everything the merge phase needs to update metrics and caches. The
+/// kernel's [`QueryTrace`] travels whole: attribution, server accounting,
+/// the expansion-cap flag and the per-stage timings all come from it.
+pub(crate) struct QueryOutcome {
+    pub(crate) trace: QueryTrace,
+    pub(crate) remote_entries: u64,
+    pub(crate) remote_records: u64,
+    pub(crate) graded: bool,
+    pub(crate) wrong: bool,
+    pub(crate) uncertain_exact: bool,
+    pub(crate) uncertain_inflation: f64,
+    pub(crate) heap_state_idx: Option<usize>,
+    pub(crate) einn_accesses: u64,
+    pub(crate) inn_accesses: Option<u64>,
+    pub(crate) cache_entry: Option<CacheEntry>,
+}
+
+impl Simulator {
+    /// Phase 1 — plan: the only place the batch touches RNG streams.
+    /// Draw order matches the sequential engine: querier from the
+    /// simulator stream, then that host's own stream for `k`.
+    pub(crate) fn plan_batch(&mut self, n: usize) -> Vec<QueryPlan> {
+        use rand::Rng;
+        let mut plans = Vec::with_capacity(n);
+        for _ in 0..n {
+            let querier = self.rng.gen_range(0..self.hosts.len());
+            let k = match self.config.k_choice {
+                KChoice::Fixed(k) => k,
+                KChoice::Uniform(lo, hi) => self.hosts[querier].rng.gen_range(lo..=hi.max(lo)),
+                KChoice::MeanLambda => {
+                    let max_k = (2 * self.config.params.lambda_knn).saturating_sub(1).max(1);
+                    self.hosts[querier].rng.gen_range(1..=max_k)
+                }
+            };
+            plans.push(QueryPlan {
+                querier: querier as u32,
+                k,
+            });
+        }
+        plans
+    }
+
+    /// Executes every planned query of a batch against the frozen
+    /// snapshot, fanning out across worker threads. Each worker owns one
+    /// [`WorkerScratch`] — and therefore one reused `QueryContext` — for
+    /// its whole share of the batch.
+    #[cfg(feature = "parallel")]
+    pub(crate) fn execute_batch(&self, plans: &[QueryPlan]) -> Vec<QueryOutcome> {
+        let threads = self.config.threads.unwrap_or_else(senn_par::worker_count);
+        senn_par::par_map_with_threads(plans, threads, WorkerScratch::new, |scratch, _, plan| {
+            self.execute_query(plan, scratch)
+        })
+    }
+
+    /// Sequential fallback when the `parallel` feature is disabled.
+    #[cfg(not(feature = "parallel"))]
+    pub(crate) fn execute_batch(&self, plans: &[QueryPlan]) -> Vec<QueryOutcome> {
+        let mut scratch = WorkerScratch::new();
+        plans
+            .iter()
+            .map(|plan| self.execute_query(plan, &mut scratch))
+            .collect()
+    }
+
+    /// Executes one planned SENN query against the frozen batch snapshot:
+    /// peer gathering ([`Simulator::gather_peers`]), the staged kernel
+    /// (`SennEngine::query_with` over the worker's reused context), then
+    /// the measurement-only grading and PAR shadow searches.
+    fn execute_query<'a>(
+        &'a self,
+        plan: &QueryPlan,
+        scratch: &mut WorkerScratch<'a>,
+    ) -> QueryOutcome {
+        let k = plan.k;
+        let q = self.grid.positions()[plan.querier as usize];
+        let own_count = self.gather_peers(plan, &mut scratch.comms);
+        let peers = &scratch.comms.peers;
+
+        let outcome = self
+            .engine
+            .query_with(q, k, peers, &self.server, &mut scratch.ctx);
+
+        // P2P communication overhead: every non-empty peer entry crosses
+        // the ad-hoc channel once ("it may increase the communication
+        // overheads among mobile hosts" — quantified here). The querier's
+        // own cache entry is local and free.
+        let remote_entries = (peers.len() - own_count) as u64;
+        let remote_records = peers[own_count..]
+            .iter()
+            .map(|e| e.len() as u64)
+            .sum::<u64>();
+
+        let matches_truth = |truth: &senn_core::ServerResponse| {
+            truth.pois.len() == outcome.results.len()
+                && truth
+                    .pois
+                    .iter()
+                    .zip(&outcome.results)
+                    .all(|((t, _), r)| t.poi_id == r.poi.poi_id)
+        };
+        let mut graded = false;
+        let mut wrong = false;
+        if self.config.poi_churn_per_hour > 0.0
+            && matches!(
+                outcome.resolution(),
+                Resolution::SinglePeer | Resolution::MultiPeer
+            )
+        {
+            // Under churn, stale caches can certify objects that are no
+            // longer the true NNs. Grade against current ground truth.
+            let truth = self.server.knn(q, k, SearchBounds::NONE);
+            graded = true;
+            wrong = !matches_truth(&truth);
+        }
+
+        let mut uncertain_exact = false;
+        let mut uncertain_inflation = 0.0;
+        let mut heap_state_idx = None;
+        let mut einn_accesses = 0;
+        let mut inn_accesses = None;
+        match outcome.resolution() {
+            Resolution::SinglePeer | Resolution::MultiPeer => {}
+            Resolution::AcceptedUncertain => {
+                // Grade the accepted answer against ground truth (a
+                // measurement-only server call, not counted in PAR).
+                let truth = self.server.knn(q, k, SearchBounds::NONE);
+                uncertain_exact = matches_truth(&truth);
+                let true_sum: f64 = truth.pois.iter().map(|(_, d)| d).sum();
+                let got_sum: f64 = outcome.results.iter().map(|r| r.dist).sum();
+                if true_sum > 0.0 {
+                    uncertain_inflation = (got_sum / true_sum - 1.0).max(0.0);
+                }
+            }
+            Resolution::Server | Resolution::Unresolved => {
+                heap_state_idx = outcome.heap_state.map(|state| {
+                    use senn_core::HeapState;
+                    match state {
+                        HeapState::FullMixed => 0,
+                        HeapState::FullUncertain => 1,
+                        HeapState::PartialMixed => 2,
+                        HeapState::PartialCertain => 3,
+                        HeapState::PartialUncertain => 4,
+                        HeapState::Empty => 5,
+                    }
+                });
+                // PAR measurement (Section 4.4): "the server module executes
+                // both the original INN algorithm and our extended INN
+                // algorithm (EINN) to compare the performance". Both run on
+                // the pure k-query; the client's C_Size over-fetch (cache
+                // refill) is protocol, not part of the comparison.
+                let strictly_below = match outcome.bounds.lower {
+                    Some(lb) => outcome
+                        .results
+                        .iter()
+                        .filter(|e| e.certain && e.dist < lb - senn_geom::EPS)
+                        .count(),
+                    None => 0,
+                };
+                let need = k.saturating_sub(strictly_below).max(1);
+                einn_accesses = self.server.knn(q, need, outcome.bounds).node_accesses;
+                if self.config.compare_inn {
+                    inn_accesses = Some(self.server.knn(q, k, SearchBounds::NONE).node_accesses);
+                }
+            }
+        }
+
+        // Cache policy 1: store the certain NNs of the most recent query.
+        let cacheable: Vec<CachedNn> = outcome.cacheable().iter().map(|e| e.poi).collect();
+        let cache_entry =
+            (!cacheable.is_empty()).then(|| CacheEntry::new(q, cacheable).at_time(self.time));
+
+        QueryOutcome {
+            trace: outcome.trace,
+            remote_entries,
+            remote_records,
+            graded,
+            wrong,
+            uncertain_exact,
+            uncertain_inflation,
+            heap_state_idx,
+            einn_accesses,
+            inn_accesses,
+            cache_entry,
+        }
+    }
+}

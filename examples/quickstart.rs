@@ -56,7 +56,9 @@ fn main() {
 
     println!(
         "query @ ({:.0},{:.0}), k=2 → resolved by {:?}",
-        q.x, q.y, outcome.resolution
+        q.x,
+        q.y,
+        outcome.resolution()
     );
     for (rank, e) in outcome.results.iter().enumerate() {
         let name = stations[e.poi.poi_id as usize].0;
@@ -70,9 +72,9 @@ fn main() {
             if e.certain { "certain" } else { "uncertain" }
         );
     }
-    assert_eq!(outcome.resolution, Resolution::SinglePeer);
+    assert_eq!(outcome.resolution(), Resolution::SinglePeer);
     assert!(
-        outcome.server_accesses.is_none(),
+        outcome.server_accesses().is_none(),
         "no server pages were read"
     );
     println!("server was never contacted — the peer's cache answered everything.");

@@ -15,7 +15,7 @@ use mobishare_senn::core::{
 };
 use mobishare_senn::geom::Point;
 use mobishare_senn::mobility::{RoadMover, RoadMoverConfig};
-use mobishare_senn::network::{astar_distance, generate_network, GeneratorConfig, NodeLocator};
+use mobishare_senn::network::{generate_network, GeneratorConfig, NetworkDistance, NodeLocator};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -58,25 +58,22 @@ fn main() {
             car.step(&net, 1.0, &mut rng);
         }
         let q = car.position();
-        let qn = locator.nearest(q).unwrap();
         let peers: Vec<PeerCacheEntry> = cache.iter().cloned().collect();
+        let mut model = NetworkDistance::new(&net, &locator, q).unwrap();
         let out = snnn_query(
             &engine,
             q,
             k,
             &peers,
             &server,
-            |p| {
-                let pn = locator.nearest(p)?;
-                let core = astar_distance(&net, qn, pn)?;
-                Some(q.dist(net.position(qn)) + core + net.position(pn).dist(p))
-            },
+            &mut model,
             SnnnConfig::default(),
         );
         // Count how much of the SNNN work the rolling cache absorbed: the
         // expansion calls ask for ever-larger k and eventually need the
         // server, but the initial k-NN round is what the paper attributes.
         let first_peer = out
+            .trace
             .resolutions
             .first()
             .is_some_and(|r| *r != Resolution::Server);
@@ -88,7 +85,7 @@ fn main() {
             stop,
             q.x,
             q.y,
-            out.senn_calls,
+            out.senn_calls(),
             if first_peer {
                 "kNN round peer-answered"
             } else {

@@ -40,7 +40,7 @@ fn lying_peer_produces_detectably_wrong_certains() {
     let q = Point::new(5.0, 0.0);
     let out = engine.query_peers_only(q, 1, std::slice::from_ref(&liar));
     assert_eq!(
-        out.resolution,
+        out.resolution(),
         Resolution::SinglePeer,
         "the lie goes through"
     );

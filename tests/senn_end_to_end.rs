@@ -71,7 +71,7 @@ fn senn_always_returns_true_knn() {
                 "trial {trial} rank {i}: dist {} vs true {} ({:?})",
                 r.dist,
                 wd,
-                out.resolution
+                out.resolution()
             );
         }
     }
@@ -142,7 +142,7 @@ fn region_methods_agree_on_resolution_soundness() {
                 ..Default::default()
             });
             let out = engine.query_peers_only(q, k, &peers);
-            if out.resolution != Resolution::Unresolved {
+            if out.resolution() != Resolution::Unresolved {
                 *counter += 1;
                 let want = true_knn(&pois, q, k);
                 for (rank, e) in out.certain().iter().enumerate() {

@@ -5,8 +5,8 @@
 use mobishare_senn::core::{snnn_query, PeerCacheEntry, RTreeServer, SennEngine, SnnnConfig};
 use mobishare_senn::geom::Point;
 use mobishare_senn::network::{
-    astar_distance, dijkstra_map, generate_network, ier_knn, ine_knn, GeneratorConfig, NetworkPois,
-    NodeLocator,
+    dijkstra_map, generate_network, ier_knn, ine_knn, GeneratorConfig, NetworkDistance,
+    NetworkPois, NodeLocator,
 };
 use mobishare_senn::rtree::RStarTree;
 use rand::rngs::SmallRng;
@@ -77,17 +77,14 @@ fn snnn_agrees_with_ier_ine_and_brute_force() {
         let want = brute(&w, q, k);
         let ier = ier_knn(&w.net, &w.pois, &w.tree, q, qn, k);
         let ine = ine_knn(&w.net, &w.pois, q, qn, k);
-        let snnn = snnn_query(
+        let mut model = NetworkDistance::anchored(&w.net, &w.locator, qn);
+        let snnn = snnn_query::<mobishare_senn::core::PeerCacheEntry, _>(
             &engine,
             q,
             k,
             &[],
             &w.server,
-            |p| {
-                let pn = w.locator.nearest(p)?;
-                let core = astar_distance(&w.net, qn, pn)?;
-                Some(q.dist(w.net.position(qn)) + core + w.net.position(pn).dist(p))
-            },
+            &mut model,
             SnnnConfig::default(),
         );
         assert_eq!(ier.len(), k);
@@ -131,21 +128,18 @@ fn snnn_with_warm_peer_avoids_server_for_euclidean_phase() {
             .map(|&(_, i)| (i as u64, w.positions[i]))
             .collect(),
     );
+    let mut model = NetworkDistance::anchored(&w.net, &w.locator, qn);
     let out = snnn_query(
         &engine,
         q,
         3,
         std::slice::from_ref(&peer),
         &w.server,
-        |p| {
-            let pn = w.locator.nearest(p)?;
-            let core = astar_distance(&w.net, qn, pn)?;
-            Some(q.dist(w.net.position(qn)) + core + w.net.position(pn).dist(p))
-        },
+        &mut model,
         SnnnConfig::default(),
     );
     assert_eq!(
-        out.server_accesses, 0,
+        out.trace.server_accesses, 0,
         "warm peer should spare the server entirely"
     );
     assert_eq!(out.results.len(), 3);

@@ -197,7 +197,7 @@ pub mod prop {
             VecStrategy { element, len }
         }
 
-        /// The result of [`vec`].
+        /// The result of [`vec()`].
         #[derive(Clone, Debug)]
         pub struct VecStrategy<S> {
             element: S,
