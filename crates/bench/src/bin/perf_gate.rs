@@ -1,66 +1,95 @@
 //! Performance gate: runs a fixed simulation scenario with the batch
-//! engine in sequential and parallel mode, plus a small microbenchmark
-//! suite over the query hot paths, and writes the measurements as JSON.
+//! engine in sequential, parallel, and sharded-service mode, measures
+//! batched-versus-sequential server submission throughput, runs a small
+//! microbenchmark suite over the query hot paths, and writes the
+//! measurements as JSON.
 //!
-//! The JSON file (`BENCH_PR2.json` by default) is committed alongside the
-//! code so every PR leaves a machine-readable perf trajectory behind:
-//! compare `queries_per_sec`, the per-stage `stages` breakdown and the
-//! `ns_per_iter` entries across revisions to see whether a change paid for
-//! itself. The gate also re-asserts the engine contract — parallel metrics
-//! must equal sequential metrics — so a perf regression hunt can never
-//! silently trade away determinism.
+//! The JSON file (`BENCH_PR3.json` by default, schema `senn-perf-gate-v3`)
+//! is committed alongside the code so every PR leaves a machine-readable
+//! perf trajectory behind: compare `queries_per_sec`, the per-stage
+//! `stages` breakdown, the `service` throughput block and the
+//! `ns_per_iter` entries across revisions to see whether a change paid
+//! for itself. The gate also re-asserts the engine contract — parallel
+//! and sharded metrics must equal sequential metrics — so a perf
+//! regression hunt can never silently trade away determinism.
 //!
 //! Usage:
 //!
 //! ```text
-//! perf_gate [--quick] [--out PATH]
+//! perf_gate [--quick] [--shards N] [--out PATH]
 //! ```
 //!
 //! `--quick` shrinks the scenario and microbench budgets for CI smoke
-//! runs; the full run uses a 10 000-host scenario.
+//! runs; the full run uses a 10 000-host scenario. `--shards` sets the
+//! strip count of the sharded sim leg and the service microbench
+//! (default 4).
 
 use std::time::Instant;
 
 use senn_bench::{random_points, random_server, BenchRng};
-use senn_core::{SearchBounds, SpatialServer};
-use senn_core::{STAGE_COUNT, STAGE_NAMES};
+use senn_core::service::{ServerRequest, SpatialService};
+use senn_core::{SearchBounds, STAGE_COUNT, STAGE_NAMES};
 use senn_geom::Point;
 use senn_network::{
     generate_network, ier_knn_with, ine_knn_with, DijkstraScratch, GeneratorConfig, NetworkPois,
     NodeLocator,
 };
 use senn_rtree::RStarTree;
-use senn_sim::{BatchStats, Metrics, ParamSet, SimConfig, SimParams, Simulator};
+use senn_server::ShardedService;
+use senn_sim::{BatchStats, Metrics, ParamSet, ServiceMetrics, SimConfig, SimParams, Simulator};
 
 struct Args {
     quick: bool,
+    shards: usize,
     out: String,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
-        out: "BENCH_PR2.json".to_string(),
+        shards: 4,
+        out: "BENCH_PR3.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .expect("--shards needs a count")
+                    .parse()
+                    .expect("--shards needs an integer");
+                assert!(args.shards >= 1, "--shards must be >= 1");
+            }
             "--out" => args.out = it.next().expect("--out needs a path"),
-            other => panic!("unknown argument {other:?} (expected --quick / --out PATH)"),
+            other => {
+                panic!("unknown argument {other:?} (expected --quick / --shards N / --out PATH)")
+            }
         }
     }
     args
 }
 
-/// One simulation leg: fixed scenario, fixed seed, explicit thread count.
-fn run_sim(params: SimParams, threads: usize) -> (Metrics, BatchStats, f64) {
-    let mut cfg = SimConfig::new(params, 20_060_402); // fixed gate seed
-    cfg.threads = Some(threads);
+/// One simulation leg: fixed scenario, fixed seed, explicit thread and
+/// shard counts. Returns the service metrics too when the leg ran the
+/// sharded backend.
+fn run_sim(
+    params: SimParams,
+    threads: usize,
+    shards: usize,
+) -> (Metrics, BatchStats, f64, Option<ServiceMetrics>) {
+    let cfg = SimConfig::new(params, 20_060_402) // fixed gate seed
+        .to_builder()
+        .threads(threads)
+        .server_shards(shards)
+        .build();
     let mut sim = Simulator::new(cfg);
     let started = Instant::now();
     let metrics = sim.run();
-    (metrics, *sim.batch_stats(), started.elapsed().as_secs_f64())
+    let wall = started.elapsed().as_secs_f64();
+    let service = sim.service_metrics();
+    (metrics, *sim.batch_stats(), wall, service)
 }
 
 /// Times `f` until the budget is spent and returns (iters, ns/iter).
@@ -97,7 +126,7 @@ fn microbenches(quick: bool) -> Vec<Micro> {
         };
         time_micro(budget, || {
             let q = next_q();
-            std::hint::black_box(server.knn(q, 10, SearchBounds::NONE));
+            std::hint::black_box(server.knn_one(q, 10, SearchBounds::NONE));
         })
     };
     out.push(Micro {
@@ -149,6 +178,84 @@ fn microbenches(quick: bool) -> Vec<Micro> {
         ns_per_iter: ns,
     });
     out
+}
+
+/// Throughput of one service backend over the same request batch, as
+/// requests/sec when submitted as a single batch versus one request per
+/// `submit` call (the pre-batching access pattern).
+struct ServiceLeg {
+    label: String,
+    batched_rps: f64,
+    sequential_rps: f64,
+    replies_checked: usize,
+}
+
+fn service_throughput(
+    label: &str,
+    service: &dyn SpatialService,
+    requests: &[ServerRequest],
+    budget: f64,
+) -> ServiceLeg {
+    let (batched_iters, batched_ns) = time_micro(budget, || {
+        std::hint::black_box(service.submit(requests));
+    });
+    let (seq_iters, seq_ns) = time_micro(budget, || {
+        for r in requests {
+            std::hint::black_box(service.submit(std::slice::from_ref(r)));
+        }
+    });
+    let _ = (batched_iters, seq_iters);
+    let n = requests.len() as f64;
+    ServiceLeg {
+        label: label.to_string(),
+        batched_rps: n / (batched_ns / 1e9),
+        sequential_rps: n / (seq_ns / 1e9),
+        replies_checked: requests.len(),
+    }
+}
+
+/// Batched-vs-sequential server throughput over identical kNN batches on
+/// a 10k-POI world: the single R*-tree reference backend against the
+/// sharded backend, plus the sharded backend's per-shard accounting.
+fn service_benches(quick: bool, shards: usize) -> (Vec<ServiceLeg>, ServiceMetrics, usize) {
+    let budget = if quick { 0.05 } else { 0.25 };
+    let world: Vec<(u64, Point)> = random_points(10_000, 30_000.0, 7)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p))
+        .collect();
+    let batch_size = if quick { 64 } else { 256 };
+    let requests: Vec<ServerRequest> = random_points(batch_size, 30_000.0, 13)
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| ServerRequest::plain(i as u64, q, 10))
+        .collect();
+
+    let single = random_server(10_000, 30_000.0, 7);
+    let sharded = ShardedService::new(world, shards);
+
+    // Correctness first: both backends must agree on every reply before
+    // their throughput is worth comparing.
+    let a = single.submit(&requests);
+    let b = sharded.submit(&requests);
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.id, rb.id);
+        let ids_a: Vec<u64> = ra.response.pois.iter().map(|(p, _)| p.poi_id).collect();
+        let ids_b: Vec<u64> = rb.response.pois.iter().map(|(p, _)| p.poi_id).collect();
+        assert_eq!(ids_a, ids_b, "sharded reply diverged for request {}", ra.id);
+    }
+    // Snapshot the per-shard accounting now, while it covers exactly the
+    // one correctness batch — counters stay deterministic run to run
+    // (the throughput loops below repeat the batch a timing-dependent
+    // number of times).
+    let sm = sharded.metrics();
+
+    let legs = vec![
+        service_throughput("rtree_1shard", &single, &requests, budget),
+        service_throughput(&format!("sharded_{shards}"), &sharded, &requests, budget),
+    ];
+    (legs, sm, batch_size)
 }
 
 fn fmt_f64(x: f64) -> String {
@@ -220,6 +327,48 @@ fn sim_leg_json(label: &str, m: &Metrics, b: &BatchStats, wall_secs: f64) -> Str
     )
 }
 
+fn shard_metrics_json(sm: &ServiceMetrics) -> String {
+    let rows: Vec<String> = sm
+        .shards
+        .iter()
+        .map(|s| {
+            format!(
+                concat!(
+                    "      {{ \"shard\": {}, \"pois\": {}, \"requests\": {}, ",
+                    "\"node_accesses\": {}, \"skipped\": {}, \"max_queue_depth\": {}, ",
+                    "\"p50_batch_ms\": {}, \"p99_batch_ms\": {} }}"
+                ),
+                s.shard,
+                s.pois,
+                s.requests,
+                s.node_accesses,
+                s.skipped,
+                s.max_queue_depth,
+                fmt_f64(s.p50_batch_ms),
+                fmt_f64(s.p99_batch_ms),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "    \"batches\": {},\n",
+            "    \"requests\": {},\n",
+            "    \"node_accesses\": {},\n",
+            "    \"p50_batch_ms\": {},\n",
+            "    \"p99_batch_ms\": {},\n",
+            "    \"shards\": [\n{}\n    ]\n",
+            "  }}"
+        ),
+        sm.batches,
+        sm.requests,
+        sm.node_accesses(),
+        fmt_f64(sm.p50_batch_ms),
+        fmt_f64(sm.p99_batch_ms),
+        rows.join(",\n"),
+    )
+}
+
 fn main() {
     let args = parse_args();
     let hw = std::thread::available_parallelism()
@@ -237,28 +386,40 @@ fn main() {
     params.t_execution_hours = if args.quick { 0.02 } else { 0.05 };
 
     eprintln!(
-        "perf_gate: scenario hosts={} pois={} duration={}h quick={} cores={}",
-        params.mh_number, params.poi_number, params.t_execution_hours, args.quick, hw
+        "perf_gate: scenario hosts={} pois={} duration={}h quick={} shards={} cores={}",
+        params.mh_number, params.poi_number, params.t_execution_hours, args.quick, args.shards, hw
     );
 
-    let (seq_m, seq_b, seq_wall) = run_sim(params, 1);
+    let (seq_m, seq_b, seq_wall, _) = run_sim(params, 1, 1);
     eprintln!(
         "perf_gate: sequential {:.2}s wall, {:.0} q/s",
         seq_wall,
         seq_b.queries_per_sec()
     );
     let par_threads = hw.max(2);
-    let (par_m, par_b, par_wall) = run_sim(params, par_threads);
+    let (par_m, par_b, par_wall, _) = run_sim(params, par_threads, 1);
     eprintln!(
         "perf_gate: parallel({par_threads}) {:.2}s wall, {:.0} q/s",
         par_wall,
         par_b.queries_per_sec()
     );
+    let (shard_m, shard_b, shard_wall, shard_sm) = run_sim(params, par_threads, args.shards);
+    eprintln!(
+        "perf_gate: sharded({}) {:.2}s wall, {:.0} q/s",
+        args.shards,
+        shard_wall,
+        shard_b.queries_per_sec()
+    );
 
-    // The gate's correctness half: parallel must reproduce sequential.
+    // The gate's correctness half: parallel and sharded runs must both
+    // reproduce the sequential single-tree metrics bit for bit.
     assert_eq!(
         seq_m, par_m,
         "parallel engine diverged from sequential metrics"
+    );
+    assert_eq!(
+        seq_m, shard_m,
+        "sharded service diverged from single-tree metrics"
     );
 
     let speedup = if seq_b.exec_secs > 0.0 && par_b.exec_secs > 0.0 {
@@ -266,6 +427,31 @@ fn main() {
     } else {
         1.0
     };
+
+    let (service_legs, service_sm, batch_size) = service_benches(args.quick, args.shards);
+    for leg in &service_legs {
+        eprintln!(
+            "perf_gate: service {} batched {:.0} req/s, sequential {:.0} req/s",
+            leg.label, leg.batched_rps, leg.sequential_rps
+        );
+    }
+    let service_json: Vec<String> = service_legs
+        .iter()
+        .map(|l| {
+            format!(
+                concat!(
+                    "      {{ \"backend\": \"{}\", \"batched_requests_per_sec\": {}, ",
+                    "\"sequential_requests_per_sec\": {}, \"batch_speedup\": {}, ",
+                    "\"requests_per_batch\": {} }}"
+                ),
+                l.label,
+                fmt_f64(l.batched_rps),
+                fmt_f64(l.sequential_rps),
+                fmt_f64(l.batched_rps / l.sequential_rps),
+                l.replies_checked,
+            )
+        })
+        .collect();
 
     let micros = microbenches(args.quick);
     let micro_json: Vec<String> = micros
@@ -280,13 +466,19 @@ fn main() {
         })
         .collect();
 
+    let sim_service_json = shard_sm
+        .as_ref()
+        .map(|sm| format!(",\n  \"sim_service_metrics\": {}", shard_metrics_json(sm)))
+        .unwrap_or_default();
+
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"senn-perf-gate-v2\",\n",
+            "  \"schema\": \"senn-perf-gate-v3\",\n",
             "  \"quick\": {},\n",
             "  \"available_parallelism\": {},\n",
             "  \"parallel_threads\": {},\n",
+            "  \"shards\": {},\n",
             "  \"scenario\": {{\n",
             "    \"param_set\": \"{}\",\n",
             "    \"hosts\": {},\n",
@@ -297,8 +489,15 @@ fn main() {
             "  \"sim\": {{\n",
             "{},\n",
             "{},\n",
+            "{},\n",
             "    \"speedup_queries_per_sec\": {},\n",
             "    \"metrics_identical\": true\n",
+            "  }}{},\n",
+            "  \"service\": {{\n",
+            "    \"batch_size\": {},\n",
+            "    \"pois\": 10000,\n",
+            "    \"legs\": [\n{}\n    ],\n",
+            "    \"bench_service_metrics\": {}\n",
             "  }},\n",
             "  \"micro\": [\n",
             "{}\n",
@@ -308,13 +507,19 @@ fn main() {
         args.quick,
         hw,
         par_threads,
+        args.shards,
         params.set.name(),
         params.mh_number,
         params.poi_number,
         fmt_f64(params.t_execution_hours),
         sim_leg_json("sequential", &seq_m, &seq_b, seq_wall),
         sim_leg_json("parallel", &par_m, &par_b, par_wall),
+        sim_leg_json("sharded", &shard_m, &shard_b, shard_wall),
         fmt_f64(speedup),
+        sim_service_json,
+        batch_size,
+        service_json.join(",\n"),
+        shard_metrics_json(&service_sm),
         micro_json.join(",\n"),
     );
 

@@ -17,7 +17,7 @@ use senn_cache::CacheEntry;
 use senn_geom::Point;
 
 use crate::senn::{Resolution, SennEngine, SennOutcome};
-use crate::server::SpatialServer;
+use crate::service::SpatialService;
 
 /// Maximum displacement from the cached query location within which a
 /// fresh kNN query is *guaranteed* to verify from this cache alone.
@@ -109,7 +109,7 @@ impl ContinuousKnn {
         &mut self,
         position: Point,
         extra_peers: &[CacheEntry],
-        server: &dyn SpatialServer,
+        server: &dyn SpatialService,
     ) -> SennOutcome {
         let mut peers: Vec<CacheEntry> = Vec::with_capacity(extra_peers.len() + 1);
         if let Some(own) = &self.cache {

@@ -22,11 +22,13 @@
 //! | [`trace`] | the unified [`QueryTrace`] outcome (attribution + accounting + stage timings) |
 //! | [`senn`] | Algorithm 1 — the SENN driver over the staged kernel |
 //! | [`snnn`] | Algorithm 2 — the SNNN/IER driver, generic over [`DistanceModel`] (§3.4) |
-//! | [`server`] | the spatial-database interface plus an R\*-tree adapter |
+//! | [`service`] | the batched request/reply service API and the retry/degradation client |
+//! | [`server`] | the R\*-tree reference backend of the service seam (§4.4) |
 //!
 //! The crate is pure logic: peers are passed in as [`PeerCacheEntry`]
-//! values, the database as a [`SpatialServer`] implementation; the
-//! simulator (`senn-sim`) wires both to real moving hosts.
+//! values, the database as a [`SpatialService`] implementation; the
+//! simulator (`senn-sim`) wires both to real moving hosts, and the
+//! `senn-server` crate provides a sharded, fault-injectable backend.
 
 pub mod bounds;
 pub mod continuous;
@@ -37,6 +39,7 @@ pub mod pipeline;
 pub mod range;
 pub mod senn;
 pub mod server;
+pub mod service;
 pub mod single;
 pub mod snnn;
 pub mod trace;
@@ -50,6 +53,40 @@ pub use range::{RangeOutcome, RangeServer};
 pub use senn::{SennConfig, SennEngine, SennOutcome};
 pub use senn_cache::{CacheEntry as PeerCacheEntry, CachedNn};
 pub use senn_rtree::SearchBounds;
-pub use server::{RTreeServer, ServerResponse, SpatialServer};
+pub use server::{RTreeServer, ServerResponse};
+pub use service::{
+    submit_with_retry, ReplyStatus, RequestOutcome, RetryPolicy, ServerReply, ServerRequest,
+    SpatialService,
+};
 pub use snnn::{snnn_query, snnn_query_with, SnnnConfig, SnnnNeighbor, SnnnOutcome};
 pub use trace::{QueryTrace, Resolution, Stage, STAGE_COUNT, STAGE_NAMES};
+
+/// One-stop imports for typical users of the crate: the engines, the
+/// service seam and the message/outcome types they exchange.
+///
+/// ```
+/// use senn_core::prelude::*;
+///
+/// let server = RTreeServer::new((0..5).map(|i| (i, senn_geom::Point::new(i as f64, 0.0))));
+/// let out = SennEngine::default().query::<PeerCacheEntry>(
+///     senn_geom::Point::new(2.2, 0.0),
+///     2,
+///     &[],
+///     &server,
+/// );
+/// assert_eq!(out.results[0].poi.poi_id, 2);
+/// ```
+pub mod prelude {
+    pub use crate::heap::{HeapEntry, HeapState};
+    pub use crate::pipeline::QueryContext;
+    pub use crate::senn::{SennConfig, SennEngine, SennOutcome};
+    pub use crate::server::{RTreeServer, ServerResponse};
+    pub use crate::service::{
+        submit_with_retry, ReplyStatus, RequestOutcome, RetryPolicy, ServerReply, ServerRequest,
+        SpatialService,
+    };
+    pub use crate::snnn::{snnn_query, snnn_query_with, SnnnConfig, SnnnNeighbor, SnnnOutcome};
+    pub use crate::trace::{QueryTrace, Resolution};
+    pub use senn_cache::{CacheEntry as PeerCacheEntry, CachedNn};
+    pub use senn_rtree::SearchBounds;
+}

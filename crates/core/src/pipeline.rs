@@ -38,7 +38,8 @@ use crate::heap::{HeapEntry, ResultHeap};
 use crate::multiple::{
     collect_candidates, collect_circles, verify_candidates, CertainRegion, RegionMethod,
 };
-use crate::server::SpatialServer;
+use crate::server::ServerResponse;
+use crate::service::{ServerRequest, SpatialService};
 use crate::single::knn_single;
 use crate::trace::QueryTrace;
 
@@ -183,28 +184,43 @@ pub struct ServerResidual {
     pub node_accesses: u64,
 }
 
-/// **Stage 3 — ServerResidual**: sends the residual query to the server
-/// with the branch-expanding bounds derived from `H` (§3.3) and merges the
-/// response with the peer-verified certain prefix.
+/// Builds the wire request of **Stage 3 — ServerResidual** from the heap
+/// state after the peer stages, without contacting any service.
 ///
-/// With a lower bound `lb` the server skips POIs strictly inside the
-/// verified circle — exactly the certain entries below `lb` — and
-/// re-reports boundary POIs, which the merge dedupes. `server_fetch`
+/// With a lower bound `lb` the server will skip POIs strictly inside the
+/// verified circle — exactly the certain entries below `lb` — so the
+/// request only asks for the residual `k - strictly_below`. `server_fetch`
 /// over-fetches for the cache-refill policy; because the branch-expanding
 /// upper bound only bounds the *k-th* NN, over-fetching forwards the lower
-/// bound alone.
-pub fn server_residual(
-    ctx: &mut QueryContext,
+/// bound alone. `full_count` carries `count + strictly_below` so a degraded
+/// unpruned retry ([`ServerRequest::unpruned`]) is self-contained.
+///
+/// Splitting the build from [`merge_residual`] is what lets batch drivers
+/// collect one interval's residual requests and submit them as a single
+/// [`SpatialService::submit`] batch.
+pub fn residual_request(
+    ctx: &QueryContext,
+    id: u64,
     query: Point,
     k: usize,
     bounds: SearchBounds,
     server_fetch: usize,
-    server: &dyn SpatialServer,
-) -> ServerResidual {
+) -> ServerRequest {
+    residual_request_with(ctx.heap.certain(), id, query, k, bounds, server_fetch)
+}
+
+/// [`residual_request`] against an explicit certain prefix, for drivers
+/// that completed the peer stages earlier and no longer hold the context.
+pub fn residual_request_with(
+    certain: &[HeapEntry],
+    id: u64,
+    query: Point,
+    k: usize,
+    bounds: SearchBounds,
+    server_fetch: usize,
+) -> ServerRequest {
     let strictly_below = match bounds.lower {
-        Some(lb) => ctx
-            .heap
-            .certain()
+        Some(lb) => certain
             .iter()
             .filter(|e| e.dist < lb - senn_geom::EPS)
             .count(),
@@ -220,9 +236,34 @@ pub fn server_residual(
     } else {
         bounds
     };
-    let response = server.knn(query, fetch, wire_bounds);
+    ServerRequest {
+        id,
+        query,
+        count: fetch,
+        bounds: wire_bounds,
+        full_count: fetch + strictly_below,
+    }
+}
 
-    let mut merged: Vec<HeapEntry> = ctx.heap.certain().to_vec();
+/// Merges a service response with the peer-verified certain prefix held in
+/// `ctx` — the completion half of **Stage 3 — ServerResidual**.
+///
+/// Re-reported boundary POIs (and, after a degraded unpruned retry, the
+/// whole verified prefix) are deduplicated by POI id; the merge sorts
+/// ascending by distance and splits everything beyond `k` into
+/// `extra_certain` for the cache-refill policy.
+pub fn merge_residual(ctx: &QueryContext, k: usize, response: ServerResponse) -> ServerResidual {
+    merge_residual_with(ctx.heap.certain(), k, response)
+}
+
+/// [`merge_residual`] against an explicit certain prefix, for drivers that
+/// completed the peer stages earlier and no longer hold the context.
+pub fn merge_residual_with(
+    certain: &[HeapEntry],
+    k: usize,
+    response: ServerResponse,
+) -> ServerResidual {
+    let mut merged: Vec<HeapEntry> = certain.to_vec();
     for (poi, dist) in response.pois {
         if merged.iter().any(|e| e.poi.poi_id == poi.poi_id) {
             continue;
@@ -244,6 +285,22 @@ pub fn server_residual(
         extra_certain,
         node_accesses: response.node_accesses,
     }
+}
+
+/// **Stage 3 — ServerResidual**, one-shot form: builds the request
+/// ([`residual_request`]), submits it as a batch of one through the
+/// service, and merges the response ([`merge_residual`]).
+pub fn server_residual(
+    ctx: &mut QueryContext,
+    query: Point,
+    k: usize,
+    bounds: SearchBounds,
+    server_fetch: usize,
+    service: &dyn SpatialService,
+) -> ServerResidual {
+    let request = residual_request(ctx, 0, query, k, bounds, server_fetch);
+    let response = service.knn_one(request.query, request.count, request.bounds);
+    merge_residual(ctx, k, response)
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use senn_geom::{Circle, Point};
 
 use crate::multiple::CertainRegion;
 use crate::senn::{Resolution, SennEngine};
-use crate::server::SpatialServer;
+use crate::service::SpatialService;
 
 /// Result of a sharing-based range query.
 #[derive(Clone, Debug)]
@@ -69,7 +69,7 @@ impl SennEngine {
         server: &S,
     ) -> RangeOutcome
     where
-        S: SpatialServer + RangeServer,
+        S: SpatialService + RangeServer,
     {
         assert!(radius >= 0.0, "range radius must be non-negative");
         let usable: Vec<&CacheEntry> = peers.iter().filter(|p| !p.is_empty()).collect();

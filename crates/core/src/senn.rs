@@ -21,9 +21,11 @@ use crate::bounds::bounds_from_heap;
 use crate::heap::{HeapEntry, HeapState};
 use crate::multiple::{collect_candidates, collect_circles, CertainRegion, RegionMethod};
 use crate::pipeline::{
-    multi_verify, peer_probe, server_residual, single_verify, QueryContext, VerifyScratch,
+    merge_residual_with, multi_verify, peer_probe, residual_request_with, server_residual,
+    single_verify, QueryContext, VerifyScratch,
 };
-use crate::server::SpatialServer;
+use crate::server::ServerResponse;
+use crate::service::{ServerRequest, SpatialService};
 use crate::trace::{QueryTrace, Stage};
 
 pub use crate::trace::Resolution;
@@ -188,7 +190,7 @@ impl SennEngine {
         query: Point,
         k: usize,
         peers: &[B],
-        server: &dyn SpatialServer,
+        server: &dyn SpatialService,
     ) -> SennOutcome {
         self.query_with(query, k, peers, server, &mut QueryContext::new())
     }
@@ -200,7 +202,7 @@ impl SennEngine {
         query: Point,
         k: usize,
         peers: &[B],
-        server: &dyn SpatialServer,
+        server: &dyn SpatialService,
         ctx: &mut QueryContext,
     ) -> SennOutcome {
         let resolution = self.run_peer_stages(query, k, peers, ctx);
@@ -233,6 +235,63 @@ impl SennEngine {
             heap_state: Some(heap_state),
             trace: std::mem::take(&mut ctx.trace),
         }
+    }
+
+    /// Builds the [`ServerRequest`] that would complete an
+    /// [`Resolution::Unresolved`] outcome of [`Self::query_peers_only`] —
+    /// the deferred half of the server stage. Batch drivers collect one
+    /// request per unresolved query, submit them together through
+    /// [`crate::service::SpatialService::submit`] (typically via
+    /// [`crate::service::submit_with_retry`]), and finish each query with
+    /// [`Self::complete_residual`].
+    pub fn residual_request(
+        &self,
+        id: u64,
+        query: Point,
+        k: usize,
+        outcome: &SennOutcome,
+    ) -> ServerRequest {
+        residual_request_with(
+            outcome.certain(),
+            id,
+            query,
+            k,
+            outcome.bounds,
+            self.config.server_fetch,
+        )
+    }
+
+    /// Completes a deferred [`Resolution::Unresolved`] outcome with the
+    /// service response for its [`Self::residual_request`]. Equivalent —
+    /// result for result, trace for trace — to having called
+    /// [`Self::query`] directly (stage timing then covers only the merge;
+    /// the service round-trip is the driver's to account).
+    pub fn complete_residual(
+        &self,
+        k: usize,
+        mut outcome: SennOutcome,
+        response: ServerResponse,
+    ) -> SennOutcome {
+        debug_assert_eq!(
+            outcome.trace.resolutions.last(),
+            Some(&Resolution::Unresolved),
+            "complete_residual expects an unresolved peers-only outcome"
+        );
+        let node_accesses = response.node_accesses;
+        let started = Instant::now();
+        let residual = merge_residual_with(outcome.certain(), k, response);
+        outcome.results = residual.results;
+        outcome.extra_certain = residual.extra_certain;
+        if outcome.trace.resolutions.last() == Some(&Resolution::Unresolved) {
+            outcome.trace.resolutions.pop();
+        }
+        outcome.trace.resolutions.push(Resolution::Server);
+        outcome.trace.server_accesses += node_accesses;
+        outcome.trace.server_contacted = true;
+        outcome
+            .trace
+            .record_stage(Stage::ServerResidual, started.elapsed().as_nanos() as u64);
+        outcome
     }
 
     /// Runs PeerProbe → SingleVerify → MultiVerify (steps 1–5 of
@@ -573,6 +632,70 @@ mod tests {
             );
             assert_eq!(
                 shared_out.trace.server_accesses, fresh_out.trace.server_accesses,
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn deferred_residual_matches_direct_query() {
+        // The batch driver's split path — peers-only, build the wire
+        // request, answer it, complete — must equal the one-shot query()
+        // outcome for outcome, across randomized worlds.
+        use crate::service::SpatialService;
+        let mut rng = Rng(0xdefe44ed | 1);
+        for trial in 0..60 {
+            let n = 15 + (rng.next() * 80.0) as usize;
+            let pois: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.next() * 100.0, rng.next() * 100.0))
+                .collect();
+            let server = RTreeServer::new(pois.iter().enumerate().map(|(i, p)| (i as u64, *p)));
+            let engine = SennEngine::new(SennConfig {
+                server_fetch: (trial % 3) * 4,
+                ..Default::default()
+            });
+            let q = Point::new(rng.next() * 100.0, rng.next() * 100.0);
+            let k = 1 + (rng.next() * 7.0) as usize;
+            let peers: Vec<CacheEntry> = (0..(rng.next() * 4.0) as usize)
+                .map(|_| {
+                    let loc = Point::new(
+                        q.x + rng.next() * 30.0 - 15.0,
+                        q.y + rng.next() * 30.0 - 15.0,
+                    );
+                    honest_peer(loc, &pois, 1 + (rng.next() * 8.0) as usize)
+                })
+                .collect();
+            let direct = engine.query(q, k, &peers, &server);
+
+            let peers_only = engine.query_peers_only(q, k, &peers);
+            let deferred = if peers_only.resolution() == Resolution::Unresolved {
+                let req = engine.residual_request(trial as u64, q, k, &peers_only);
+                let resp = server.knn_one(req.query, req.count, req.bounds);
+                engine.complete_residual(k, peers_only, resp)
+            } else {
+                peers_only
+            };
+            assert_eq!(deferred.results, direct.results, "trial {trial}");
+            assert_eq!(
+                deferred.extra_certain, direct.extra_certain,
+                "trial {trial}"
+            );
+            assert_eq!(deferred.bounds, direct.bounds, "trial {trial}");
+            assert_eq!(deferred.heap_state, direct.heap_state, "trial {trial}");
+            assert_eq!(
+                deferred.trace.resolutions, direct.trace.resolutions,
+                "trial {trial}"
+            );
+            assert_eq!(
+                deferred.trace.server_accesses, direct.trace.server_accesses,
+                "trial {trial}"
+            );
+            assert_eq!(
+                deferred.trace.server_contacted, direct.trace.server_contacted,
+                "trial {trial}"
+            );
+            assert_eq!(
+                deferred.trace.stage_calls, direct.trace.stage_calls,
                 "trial {trial}"
             );
         }

@@ -1,17 +1,23 @@
-//! The remote spatial-database interface and an R\*-tree-backed
-//! implementation.
+//! The R\*-tree-backed reference implementation of the batched
+//! [`SpatialService`] seam.
 //!
 //! When peer verification cannot complete a query, the mobile host
 //! forwards it (with any pruning bounds) over the point-to-point channel.
 //! The server runs EINN — the incremental best-first search extended with
 //! the bounds (Section 3.3) — and reports its node accesses so the
 //! simulator can compute the page access rate (PAR).
+//!
+//! [`RTreeServer`] is the trivial single-shard backend: one tree, requests
+//! of a batch served one after another on the calling thread. The sharded,
+//! fan-out backend lives in the `senn-server` crate behind the same trait.
 
 use senn_cache::CachedNn;
 use senn_geom::Point;
-use senn_rtree::{RStarTree, SearchBounds};
+use senn_rtree::RStarTree;
 
-/// Result of a server-side kNN call.
+use crate::service::{ServerReply, ServerRequest, SpatialService};
+
+/// Result of one server-side kNN search.
 #[derive(Clone, Debug, Default)]
 pub struct ServerResponse {
     /// POIs in ascending distance. Under a lower bound, POIs strictly
@@ -23,17 +29,8 @@ pub struct ServerResponse {
     pub node_accesses: u64,
 }
 
-/// A remote spatial database answering kNN queries.
-pub trait SpatialServer {
-    /// Returns up to `count` nearest POIs under the given pruning bounds.
-    fn knn(&self, query: Point, count: usize, bounds: SearchBounds) -> ServerResponse;
-
-    /// Total number of POIs the server indexes.
-    fn poi_count(&self) -> usize;
-}
-
-/// A [`SpatialServer`] backed by an [`RStarTree`] whose payloads are POI
-/// identifiers.
+/// A [`SpatialService`] backed by a single [`RStarTree`] whose payloads
+/// are POI identifiers — the trivial 1-shard implementation.
 pub struct RTreeServer {
     tree: RStarTree<u64>,
 }
@@ -52,24 +49,12 @@ impl RTreeServer {
         &self.tree
     }
 
-    /// Moves POI `id` from `old_pos` to `new_pos` (e.g. a gas station
-    /// closing here and opening there). Returns false when no such POI
-    /// was indexed at `old_pos`.
-    pub fn relocate(&mut self, id: u64, old_pos: Point, new_pos: Point) -> bool {
-        if self.tree.remove(old_pos, |v| *v == id).is_none() {
-            return false;
-        }
-        self.tree.insert(new_pos, id);
-        true
-    }
-}
-
-impl SpatialServer for RTreeServer {
-    fn knn(&self, query: Point, count: usize, bounds: SearchBounds) -> ServerResponse {
-        let mut it = self.tree.nn_iter_bounded(query, bounds);
+    /// Answers one request of a batch.
+    pub(crate) fn serve(&self, request: &ServerRequest) -> ServerResponse {
+        let mut it = self.tree.nn_iter_bounded(request.query, request.bounds);
         let pois: Vec<(CachedNn, f64)> = it
             .by_ref()
-            .take(count)
+            .take(request.count)
             .map(|n| {
                 (
                     CachedNn {
@@ -86,6 +71,26 @@ impl SpatialServer for RTreeServer {
         }
     }
 
+    /// Moves POI `id` from `old_pos` to `new_pos` (e.g. a gas station
+    /// closing here and opening there). Returns false — and leaves the
+    /// tree untouched — when no such POI was indexed at `old_pos`.
+    pub fn relocate(&mut self, id: u64, old_pos: Point, new_pos: Point) -> bool {
+        if self.tree.remove(old_pos, |v| *v == id).is_none() {
+            return false;
+        }
+        self.tree.insert(new_pos, id);
+        true
+    }
+}
+
+impl SpatialService for RTreeServer {
+    fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerReply> {
+        batch
+            .iter()
+            .map(|r| ServerReply::ok(r.id, self.serve(r)))
+            .collect()
+    }
+
     fn poi_count(&self) -> usize {
         self.tree.len()
     }
@@ -94,6 +99,7 @@ impl SpatialServer for RTreeServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use senn_rtree::SearchBounds;
 
     fn server(n: usize) -> (RTreeServer, Vec<Point>) {
         let mut s = 0xfeedu64 | 1;
@@ -113,10 +119,10 @@ mod tests {
     }
 
     #[test]
-    fn knn_returns_sorted_results() {
+    fn knn_one_returns_sorted_results() {
         let (srv, pts) = server(200);
         let q = Point::new(50.0, 50.0);
-        let resp = srv.knn(q, 5, SearchBounds::NONE);
+        let resp = srv.knn_one(q, 5, SearchBounds::NONE);
         assert_eq!(resp.pois.len(), 5);
         assert!(resp.node_accesses > 0);
         for w in resp.pois.windows(2) {
@@ -129,10 +135,92 @@ mod tests {
     }
 
     #[test]
+    fn batch_replies_in_request_order_with_ids() {
+        let (srv, _) = server(100);
+        let batch: Vec<ServerRequest> = (0..8)
+            .map(|i| {
+                ServerRequest::plain(
+                    100 + i,
+                    Point::new(i as f64 * 11.0, 50.0),
+                    1 + i as usize % 3,
+                )
+            })
+            .collect();
+        let replies = srv.submit(&batch);
+        assert_eq!(replies.len(), batch.len());
+        for (req, reply) in batch.iter().zip(&replies) {
+            assert_eq!(reply.id, req.id);
+            assert_eq!(reply.response.pois.len(), req.count);
+            // Each reply equals the one-shot answer for its request.
+            let solo = srv.knn_one(req.query, req.count, req.bounds);
+            assert_eq!(reply.response.pois, solo.pois);
+        }
+    }
+
+    #[test]
     fn empty_server() {
         let srv = RTreeServer::new(vec![]);
-        let resp = srv.knn(Point::ORIGIN, 3, SearchBounds::NONE);
+        let resp = srv.knn_one(Point::ORIGIN, 3, SearchBounds::NONE);
         assert!(resp.pois.is_empty());
         assert_eq!(srv.poi_count(), 0);
+    }
+
+    #[test]
+    fn relocate_moves_poi_and_truth_follows() {
+        let mut srv = RTreeServer::new(vec![
+            (0, Point::new(10.0, 10.0)),
+            (1, Point::new(90.0, 90.0)),
+        ]);
+        assert!(srv.relocate(0, Point::new(10.0, 10.0), Point::new(80.0, 80.0)));
+        let resp = srv.knn_one(Point::new(85.0, 85.0), 2, SearchBounds::NONE);
+        assert_eq!(resp.pois[0].0.poi_id, 1);
+        assert_eq!(resp.pois[1].0.poi_id, 0);
+        assert_eq!(resp.pois[1].0.position, Point::new(80.0, 80.0));
+        assert_eq!(srv.poi_count(), 2);
+    }
+
+    /// Regression (satellite): a stale `old_pos` must fail the relocate
+    /// *and* leave the tree untouched — no phantom remove, no insert.
+    #[test]
+    fn relocate_with_stale_old_pos_is_a_noop() {
+        let pois = vec![(0u64, Point::new(10.0, 10.0)), (1, Point::new(20.0, 20.0))];
+        let mut srv = RTreeServer::new(pois.clone());
+        // Wrong position for id 0 (e.g. a second relocation raced ahead).
+        assert!(!srv.relocate(0, Point::new(11.0, 10.0), Point::new(50.0, 50.0)));
+        // Wrong id at a real position.
+        assert!(!srv.relocate(7, Point::new(10.0, 10.0), Point::new(50.0, 50.0)));
+        assert_eq!(srv.poi_count(), 2);
+        let resp = srv.knn_one(Point::ORIGIN, 2, SearchBounds::NONE);
+        let mut got: Vec<(u64, Point)> = resp
+            .pois
+            .iter()
+            .map(|(c, _)| (c.poi_id, c.position))
+            .collect();
+        got.sort_by_key(|(id, _)| *id);
+        assert_eq!(got, pois, "tree contents changed on a failed relocate");
+    }
+
+    /// Regression (satellite): under a lower bound the boundary POI is
+    /// re-reported (it defines the verified circle), POIs strictly inside
+    /// are omitted, and the client-side merge dedupes the re-report.
+    #[test]
+    fn lower_bound_rereports_boundary_and_omits_interior() {
+        let srv = RTreeServer::new(vec![
+            (0, Point::new(1.0, 0.0)), // strictly inside the circle
+            (1, Point::new(3.0, 0.0)), // the boundary POI (defines lb)
+            (2, Point::new(5.0, 0.0)),
+            (3, Point::new(9.0, 0.0)),
+        ]);
+        let bounds = SearchBounds {
+            upper: None,
+            lower: Some(3.0),
+        };
+        let resp = srv.knn_one(Point::ORIGIN, 3, bounds);
+        let ids: Vec<u64> = resp.pois.iter().map(|(c, _)| c.poi_id).collect();
+        assert_eq!(
+            ids,
+            vec![1, 2, 3],
+            "boundary POI re-reported, interior POI omitted"
+        );
     }
 }

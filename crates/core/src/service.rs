@@ -1,0 +1,468 @@
+//! The batched spatial-service API: the request/reply message pair, the
+//! [`SpatialService`] trait whose unit of work is a **batch** of residual
+//! queries, and the client-side retry/backoff/degradation layer.
+//!
+//! ## Why a batch API
+//!
+//! Every query the peer caches cannot verify falls through to the remote
+//! spatial database (EINN over the R\*-tree, §3.3/§4.4). At
+//! millions-of-users scale those residuals arrive as a *stream of
+//! intervals*, not as isolated calls: the simulator's batch engine already
+//! collects one interval's residuals before any of them is answered, and a
+//! real backend amortizes index traversal, fan-out and scheduling across a
+//! request set. The service seam therefore speaks batches:
+//!
+//! ```text
+//! client                       service
+//!   │  submit(&[ServerRequest]) ─►  (shard fan-out, per-shard search)
+//!   │  ◄─ Vec<ServerReply>          (merge, per-shard accounting)
+//! ```
+//!
+//! [`SpatialService::submit`] answers a whole batch; replies come back in
+//! request order, each echoing its request's `id`. The single-query
+//! convenience [`SpatialService::knn_one`] routes through the same batch
+//! path — there is no separate direct-call API.
+//!
+//! ## Robustness
+//!
+//! Real services drop and delay requests. A reply therefore carries a
+//! [`ReplyStatus`]; [`submit_with_retry`] implements the client side:
+//! failed requests are re-submitted (still as batches) with exponential
+//! backoff, and when every pruned attempt failed the client degrades to
+//! the **unpruned** query ([`ServerRequest::unpruned`]) as a last resort —
+//! a pruned request that keeps timing out may be hitting a bounds-handling
+//! fault, and the unpruned form is always self-contained. All waiting is
+//! *virtual* (accounted in [`RequestOutcome::waited_ms`], never slept), so
+//! retry schedules stay deterministic and simulation-speed.
+
+use senn_geom::Point;
+use senn_rtree::SearchBounds;
+
+pub use crate::server::ServerResponse;
+
+/// One residual kNN query in a service batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServerRequest {
+    /// Client-chosen correlation id, echoed verbatim in the reply.
+    pub id: u64,
+    /// The query location.
+    pub query: Point,
+    /// POIs to return under `bounds`, ascending by distance.
+    pub count: usize,
+    /// Branch-expanding pruning bounds (§3.3). Under a lower bound the
+    /// service omits POIs strictly inside the verified circle and
+    /// re-reports the boundary POI (the client dedupes it).
+    pub bounds: SearchBounds,
+    /// POIs that would be needed if `bounds` were dropped — `count` plus
+    /// the certain prefix the lower bound lets the service skip. The
+    /// degraded (unpruned) retry of [`submit_with_retry`] asks for this
+    /// many so its answer is complete without any client-held state.
+    pub full_count: usize,
+}
+
+impl ServerRequest {
+    /// A plain unpruned request (no bounds, `count == full_count`).
+    pub fn plain(id: u64, query: Point, count: usize) -> Self {
+        ServerRequest {
+            id,
+            query,
+            count,
+            bounds: SearchBounds::NONE,
+            full_count: count,
+        }
+    }
+
+    /// The degraded form of this request: same query, bounds dropped,
+    /// `full_count` POIs requested.
+    pub fn unpruned(&self) -> Self {
+        ServerRequest {
+            id: self.id,
+            query: self.query,
+            count: self.full_count.max(self.count),
+            bounds: SearchBounds::NONE,
+            full_count: self.full_count.max(self.count),
+        }
+    }
+}
+
+/// How the service disposed of one request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// The search ran; `response` is authoritative.
+    #[default]
+    Ok,
+    /// The service (or network) dropped the request; no answer.
+    Dropped,
+    /// The service answered too late; the reply was discarded.
+    TimedOut,
+}
+
+/// The service's answer to one [`ServerRequest`].
+#[derive(Clone, Debug, Default)]
+pub struct ServerReply {
+    /// Echo of [`ServerRequest::id`].
+    pub id: u64,
+    /// Disposition; `response` is meaningful only for [`ReplyStatus::Ok`].
+    pub status: ReplyStatus,
+    /// The search result (empty unless `status` is `Ok`).
+    pub response: ServerResponse,
+    /// Service-side latency in milliseconds (simulated by fault-injecting
+    /// wrappers; `0` for in-process backends).
+    pub latency_ms: f64,
+}
+
+impl ServerReply {
+    /// A successful in-process reply.
+    pub fn ok(id: u64, response: ServerResponse) -> Self {
+        ServerReply {
+            id,
+            status: ReplyStatus::Ok,
+            response,
+            latency_ms: 0.0,
+        }
+    }
+}
+
+/// A remote spatial database answering kNN queries in batches.
+///
+/// Implementations must return exactly one reply per request, **in request
+/// order**, each echoing the request's `id`. In-process backends
+/// ([`crate::RTreeServer`], the sharded service in `senn-server`) always
+/// reply [`ReplyStatus::Ok`]; fault-injecting wrappers may drop or time
+/// out individual requests.
+pub trait SpatialService {
+    /// Answers a batch of residual queries.
+    fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerReply>;
+
+    /// Total number of POIs the service indexes.
+    fn poi_count(&self) -> usize;
+
+    /// Single-query convenience routed through [`Self::submit`] — a batch
+    /// of one. Infallible backends return the search result; on a dropped
+    /// or timed-out reply this returns an empty response (callers that
+    /// need retry semantics use [`submit_with_retry`]).
+    fn knn_one(&self, query: Point, count: usize, bounds: SearchBounds) -> ServerResponse {
+        let request = ServerRequest {
+            id: 0,
+            query,
+            count,
+            bounds,
+            full_count: count,
+        };
+        let mut replies = self.submit(std::slice::from_ref(&request));
+        match replies.pop() {
+            Some(r) if r.status == ReplyStatus::Ok => r.response,
+            _ => ServerResponse::default(),
+        }
+    }
+}
+
+impl<S: SpatialService + ?Sized> SpatialService for &S {
+    fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerReply> {
+        (**self).submit(batch)
+    }
+
+    fn poi_count(&self) -> usize {
+        (**self).poi_count()
+    }
+
+    fn knn_one(&self, query: Point, count: usize, bounds: SearchBounds) -> ServerResponse {
+        (**self).knn_one(query, count, bounds)
+    }
+}
+
+/// Client-side retry/backoff policy for [`submit_with_retry`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts with the pruned request, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Virtual backoff before the first retry, milliseconds.
+    pub backoff_base_ms: f64,
+    /// Multiplier applied to the backoff after every retry round.
+    pub backoff_factor: f64,
+    /// After `max_attempts` pruned failures, degrade to the unpruned
+    /// query ([`ServerRequest::unpruned`]) as a final attempt.
+    pub degrade_unpruned: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 50.0,
+            backoff_factor: 2.0,
+            degrade_unpruned: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries, no degradation: one attempt, take it or leave it.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_attempts: 1,
+        backoff_base_ms: 0.0,
+        backoff_factor: 1.0,
+        degrade_unpruned: false,
+    };
+}
+
+/// What the retry layer delivered for one request.
+#[derive(Clone, Debug, Default)]
+pub struct RequestOutcome {
+    /// The answer (empty when `failed`).
+    pub response: ServerResponse,
+    /// Re-submissions after the first attempt (degraded attempt included).
+    pub retries: u32,
+    /// Attempts that ended in [`ReplyStatus::TimedOut`].
+    pub timeouts: u32,
+    /// Attempts that ended in [`ReplyStatus::Dropped`].
+    pub drops: u32,
+    /// True when the answer came from the degraded (unpruned) fallback.
+    pub degraded: bool,
+    /// True when every attempt failed; `response` is empty and the caller
+    /// must fall back to whatever it verified locally.
+    pub failed: bool,
+    /// Virtual wall time spent waiting: service latencies of every attempt
+    /// plus the exponential backoff between rounds.
+    pub waited_ms: f64,
+}
+
+/// Submits `requests` through `service`, retrying failed requests in
+/// (re-batched) rounds per `policy`. Returns one outcome per request, in
+/// request order. Purely deterministic for a deterministic service: retry
+/// rounds re-submit failures in their original request order.
+pub fn submit_with_retry(
+    service: &dyn SpatialService,
+    requests: &[ServerRequest],
+    policy: &RetryPolicy,
+) -> Vec<RequestOutcome> {
+    let mut outcomes: Vec<RequestOutcome> =
+        requests.iter().map(|_| RequestOutcome::default()).collect();
+    if requests.is_empty() {
+        return outcomes;
+    }
+    // Indices (into `requests`) still awaiting an answer.
+    let mut open: Vec<usize> = (0..requests.len()).collect();
+    let mut round_batch: Vec<ServerRequest> = Vec::new();
+    let mut backoff = policy.backoff_base_ms;
+    let attempts = policy.max_attempts.max(1);
+    for attempt in 0..attempts {
+        if open.is_empty() {
+            break;
+        }
+        round_batch.clear();
+        round_batch.extend(open.iter().map(|&i| requests[i]));
+        if attempt > 0 {
+            for &i in &open {
+                outcomes[i].retries += 1;
+                outcomes[i].waited_ms += backoff;
+            }
+            backoff *= policy.backoff_factor;
+        }
+        let replies = service.submit(&round_batch);
+        debug_assert_eq!(replies.len(), round_batch.len(), "one reply per request");
+        let mut still_open = Vec::new();
+        for (&i, reply) in open.iter().zip(&replies) {
+            let out = &mut outcomes[i];
+            out.waited_ms += reply.latency_ms;
+            match reply.status {
+                ReplyStatus::Ok => out.response = reply.response.clone(),
+                ReplyStatus::TimedOut => {
+                    out.timeouts += 1;
+                    still_open.push(i);
+                }
+                ReplyStatus::Dropped => {
+                    out.drops += 1;
+                    still_open.push(i);
+                }
+            }
+        }
+        open = still_open;
+    }
+    // Graceful degradation: one unpruned attempt for whatever is left.
+    if !open.is_empty() && policy.degrade_unpruned {
+        round_batch.clear();
+        round_batch.extend(open.iter().map(|&i| requests[i].unpruned()));
+        for &i in &open {
+            outcomes[i].retries += 1;
+            outcomes[i].waited_ms += backoff;
+        }
+        let replies = service.submit(&round_batch);
+        let mut still_open = Vec::new();
+        for (&i, reply) in open.iter().zip(&replies) {
+            let out = &mut outcomes[i];
+            out.waited_ms += reply.latency_ms;
+            match reply.status {
+                ReplyStatus::Ok => {
+                    out.response = reply.response.clone();
+                    out.degraded = true;
+                }
+                ReplyStatus::TimedOut => {
+                    out.timeouts += 1;
+                    still_open.push(i);
+                }
+                ReplyStatus::Dropped => {
+                    out.drops += 1;
+                    still_open.push(i);
+                }
+            }
+        }
+        open = still_open;
+    }
+    for i in open {
+        outcomes[i].failed = true;
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RTreeServer;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn server() -> RTreeServer {
+        RTreeServer::new((0..40).map(|i| (i as u64, Point::new(i as f64, 0.0))))
+    }
+
+    /// A service that fails each request's first `fail_first` attempts.
+    struct Flaky {
+        inner: RTreeServer,
+        fail_first: u32,
+        calls: AtomicU64,
+        drop_instead: bool,
+    }
+
+    impl SpatialService for Flaky {
+        fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerReply> {
+            let call = self.calls.fetch_add(1, Ordering::SeqCst);
+            if call < self.fail_first as u64 {
+                return batch
+                    .iter()
+                    .map(|r| ServerReply {
+                        id: r.id,
+                        status: if self.drop_instead {
+                            ReplyStatus::Dropped
+                        } else {
+                            ReplyStatus::TimedOut
+                        },
+                        response: ServerResponse::default(),
+                        latency_ms: 7.0,
+                    })
+                    .collect();
+            }
+            self.inner.submit(batch)
+        }
+
+        fn poi_count(&self) -> usize {
+            self.inner.poi_count()
+        }
+    }
+
+    #[test]
+    fn knn_one_routes_through_submit() {
+        let srv = server();
+        let resp = srv.knn_one(Point::new(10.2, 0.0), 3, SearchBounds::NONE);
+        assert_eq!(resp.pois.len(), 3);
+        assert_eq!(resp.pois[0].0.poi_id, 10);
+    }
+
+    #[test]
+    fn infallible_service_needs_no_retry() {
+        let srv = server();
+        let reqs = [
+            ServerRequest::plain(0, Point::new(3.4, 0.0), 2),
+            ServerRequest::plain(1, Point::new(20.0, 0.0), 1),
+        ];
+        let outs = submit_with_retry(&srv, &reqs, &RetryPolicy::default());
+        assert_eq!(outs.len(), 2);
+        for out in &outs {
+            assert_eq!(out.retries, 0);
+            assert!(!out.failed && !out.degraded);
+        }
+        assert_eq!(outs[0].response.pois[0].0.poi_id, 3);
+        assert_eq!(outs[1].response.pois[0].0.poi_id, 20);
+    }
+
+    #[test]
+    fn retries_then_succeeds_with_attributed_timeouts() {
+        let svc = Flaky {
+            inner: server(),
+            fail_first: 2,
+            calls: AtomicU64::new(0),
+            drop_instead: false,
+        };
+        let reqs = [ServerRequest::plain(9, Point::new(5.1, 0.0), 2)];
+        let outs = submit_with_retry(&svc, &reqs, &RetryPolicy::default());
+        assert_eq!(outs[0].retries, 2);
+        assert_eq!(outs[0].timeouts, 2);
+        assert_eq!(outs[0].drops, 0);
+        assert!(!outs[0].failed && !outs[0].degraded);
+        assert_eq!(outs[0].response.pois[0].0.poi_id, 5);
+        // Virtual wait: two 7 ms latencies for the failures, one 0 ms
+        // success, plus 50 + 100 backoff.
+        assert!((outs[0].waited_ms - (7.0 + 50.0 + 7.0 + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrades_to_unpruned_after_exhausted_attempts() {
+        // Fails all 3 pruned attempts; the 4th (degraded) succeeds.
+        let svc = Flaky {
+            inner: server(),
+            fail_first: 3,
+            calls: AtomicU64::new(0),
+            drop_instead: true,
+        };
+        let req = ServerRequest {
+            id: 0,
+            query: Point::new(4.2, 0.0),
+            count: 1,
+            bounds: SearchBounds {
+                upper: None,
+                lower: Some(1.0),
+            },
+            full_count: 3,
+        };
+        let outs = submit_with_retry(&svc, &[req], &RetryPolicy::default());
+        assert!(outs[0].degraded);
+        assert!(!outs[0].failed);
+        assert_eq!(outs[0].drops, 3);
+        assert_eq!(outs[0].retries, 3, "two pruned retries plus the fallback");
+        // Unpruned fallback asked for full_count POIs without bounds.
+        assert_eq!(outs[0].response.pois.len(), 3);
+        assert_eq!(outs[0].response.pois[0].0.poi_id, 4);
+    }
+
+    #[test]
+    fn total_failure_is_reported_not_panicked() {
+        let svc = Flaky {
+            inner: server(),
+            fail_first: u32::MAX,
+            calls: AtomicU64::new(0),
+            drop_instead: false,
+        };
+        let reqs = [ServerRequest::plain(0, Point::ORIGIN, 2)];
+        let outs = submit_with_retry(&svc, &reqs, &RetryPolicy::default());
+        assert!(outs[0].failed);
+        assert!(outs[0].response.pois.is_empty());
+        assert_eq!(outs[0].timeouts, 4, "3 pruned + 1 degraded attempt");
+    }
+
+    #[test]
+    fn unpruned_form_is_self_contained() {
+        let req = ServerRequest {
+            id: 3,
+            query: Point::ORIGIN,
+            count: 2,
+            bounds: SearchBounds {
+                upper: Some(9.0),
+                lower: Some(4.0),
+            },
+            full_count: 6,
+        };
+        let u = req.unpruned();
+        assert!(u.bounds.is_none());
+        assert_eq!(u.count, 6);
+        assert_eq!(u.id, 3);
+    }
+}

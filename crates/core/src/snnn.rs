@@ -23,7 +23,7 @@ use senn_geom::Point;
 use crate::distance::DistanceModel;
 use crate::pipeline::QueryContext;
 use crate::senn::SennEngine;
-use crate::server::SpatialServer;
+use crate::service::SpatialService;
 use crate::trace::QueryTrace;
 
 /// Configuration of the SNNN search.
@@ -77,7 +77,7 @@ pub fn snnn_query<B: Borrow<CacheEntry>, M: DistanceModel>(
     query: Point,
     k: usize,
     peers: &[B],
-    server: &dyn SpatialServer,
+    server: &dyn SpatialService,
     model: &mut M,
     config: SnnnConfig,
 ) -> SnnnOutcome {
@@ -104,7 +104,7 @@ pub fn snnn_query_with<B: Borrow<CacheEntry>, M: DistanceModel>(
     query: Point,
     k: usize,
     peers: &[B],
-    server: &dyn SpatialServer,
+    server: &dyn SpatialService,
     model: &mut M,
     config: SnnnConfig,
     ctx: &mut QueryContext,

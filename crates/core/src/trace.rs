@@ -83,6 +83,20 @@ pub struct QueryTrace {
     /// expansion before the network-distance bound confirmed the answer —
     /// the results may be inexact (see `SnnnConfig::max_expansion`).
     pub cap_hit: bool,
+    /// Re-submissions the retry layer performed for this query's residual
+    /// requests (degraded attempts included; `0` when every attempt
+    /// succeeded first time or the server was never needed).
+    pub server_retries: u32,
+    /// Residual-request attempts that ended in a timeout.
+    pub server_timeouts: u32,
+    /// Residual-request attempts the service (or network) dropped.
+    pub server_drops: u32,
+    /// True when at least one residual answer came from the degraded
+    /// (unpruned) fallback of `submit_with_retry`.
+    pub server_degraded: bool,
+    /// True when a residual request exhausted every attempt and the query
+    /// fell back to whatever the peers verified locally.
+    pub server_failed: bool,
     /// Wall-clock nanoseconds spent per stage (observation only; never
     /// fed back into any algorithmic decision).
     pub stage_nanos: [u64; STAGE_COUNT],
@@ -102,6 +116,11 @@ impl QueryTrace {
         self.server_accesses = 0;
         self.server_contacted = false;
         self.cap_hit = false;
+        self.server_retries = 0;
+        self.server_timeouts = 0;
+        self.server_drops = 0;
+        self.server_degraded = false;
+        self.server_failed = false;
         self.stage_nanos = [0; STAGE_COUNT];
         self.stage_calls = [0; STAGE_COUNT];
     }
@@ -134,10 +153,25 @@ impl QueryTrace {
         self.server_accesses += round.server_accesses;
         self.server_contacted |= round.server_contacted;
         self.cap_hit |= round.cap_hit;
+        self.server_retries += round.server_retries;
+        self.server_timeouts += round.server_timeouts;
+        self.server_drops += round.server_drops;
+        self.server_degraded |= round.server_degraded;
+        self.server_failed |= round.server_failed;
         for i in 0..STAGE_COUNT {
             self.stage_nanos[i] += round.stage_nanos[i];
             self.stage_calls[i] += round.stage_calls[i];
         }
+    }
+
+    /// Attributes the retry layer's disposition of one residual request
+    /// (a `senn_core::service::RequestOutcome`) to this query.
+    pub fn record_service_outcome(&mut self, outcome: &crate::service::RequestOutcome) {
+        self.server_retries += outcome.retries;
+        self.server_timeouts += outcome.timeouts;
+        self.server_drops += outcome.drops;
+        self.server_degraded |= outcome.degraded;
+        self.server_failed |= outcome.failed;
     }
 }
 
@@ -198,8 +232,41 @@ mod tests {
         t.server_accesses = 3;
         t.server_contacted = true;
         t.cap_hit = true;
+        t.server_retries = 2;
+        t.server_timeouts = 1;
+        t.server_drops = 1;
+        t.server_degraded = true;
+        t.server_failed = true;
         t.record_stage(Stage::MultiVerify, 5);
         t.reset();
         assert_eq!(t, QueryTrace::new());
+    }
+
+    #[test]
+    fn service_outcome_attribution_accumulates() {
+        use crate::service::RequestOutcome;
+        let mut t = QueryTrace::new();
+        t.record_service_outcome(&RequestOutcome {
+            retries: 2,
+            timeouts: 1,
+            drops: 1,
+            degraded: true,
+            ..Default::default()
+        });
+        t.record_service_outcome(&RequestOutcome {
+            retries: 1,
+            timeouts: 1,
+            failed: true,
+            ..Default::default()
+        });
+        assert_eq!(t.server_retries, 3);
+        assert_eq!(t.server_timeouts, 2);
+        assert_eq!(t.server_drops, 1);
+        assert!(t.server_degraded && t.server_failed);
+        // Absorption carries the attribution along.
+        let mut total = QueryTrace::new();
+        total.absorb(&t);
+        assert_eq!(total.server_retries, 3);
+        assert!(total.server_degraded && total.server_failed);
     }
 }

@@ -1,0 +1,345 @@
+//! Seeded fault injection for any [`SpatialService`]: per-request latency,
+//! timeout and drop schedules, deterministic under a fixed seed.
+//!
+//! The wrapper draws its schedule from a SplitMix64 stream, one draw pair
+//! per request **in submission order** — so a fixed seed and a fixed
+//! request sequence reproduce the exact same faults, retry counts and
+//! latencies, no matter how many threads the wrapped backend fans out to.
+//! A [`FaultConfig::disabled`] wrapper is a pure passthrough: it performs
+//! no draws at all, which keeps metrics bit-identical to running the inner
+//! service bare (regression-tested in `senn-sim`).
+//!
+//! Latencies are *virtual*: they are reported on the reply (and folded
+//! into retry accounting by `senn_core::service::submit_with_retry`), never
+//! slept. Timed-out requests still execute on the inner service — the
+//! server did the work, the client just stopped waiting — so per-shard
+//! counters keep ticking, while dropped requests never reach it.
+
+use std::sync::Mutex;
+
+use senn_core::service::{ReplyStatus, ServerReply, ServerRequest, SpatialService};
+
+/// Deterministic SplitMix64 stream (no external RNG dependency).
+#[derive(Clone, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Configuration of the fault-injecting wrapper.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the fault schedule.
+    pub seed: u64,
+    /// Probability that a request is dropped before reaching the backend.
+    pub drop_prob: f64,
+    /// Mean of the exponential service-latency distribution, milliseconds
+    /// (`0` = no added latency).
+    pub mean_latency_ms: f64,
+    /// Client patience: a drawn latency above this turns the reply into
+    /// [`ReplyStatus::TimedOut`]. Use [`f64::INFINITY`] for no timeout.
+    pub timeout_ms: f64,
+}
+
+impl FaultConfig {
+    /// A wrapper that injects nothing — submit is a pure passthrough and
+    /// the RNG is never advanced.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            seed: 0,
+            drop_prob: 0.0,
+            mean_latency_ms: 0.0,
+            timeout_ms: f64::INFINITY,
+        }
+    }
+
+    /// A moderately hostile network: 5% drops, 20 ms mean latency, 100 ms
+    /// client patience.
+    pub fn lossy(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            drop_prob: 0.05,
+            mean_latency_ms: 20.0,
+            timeout_ms: 100.0,
+        }
+    }
+
+    /// True when the wrapper cannot alter any reply.
+    pub fn is_disabled(&self) -> bool {
+        self.drop_prob <= 0.0 && self.mean_latency_ms <= 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::disabled()
+    }
+}
+
+/// A [`SpatialService`] decorator injecting seeded faults (see the module
+/// docs for the exact schedule semantics).
+pub struct FaultyService<S> {
+    inner: S,
+    config: FaultConfig,
+    rng: Mutex<SplitMix64>,
+}
+
+impl<S> FaultyService<S> {
+    /// Wraps `inner` with the given fault schedule.
+    pub fn new(inner: S, config: FaultConfig) -> Self {
+        FaultyService {
+            inner,
+            config,
+            rng: Mutex::new(SplitMix64(config.seed)),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped service (e.g. to relocate POIs on a
+    /// mutable backend; the fault schedule is unaffected).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps the inner service.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: SpatialService> SpatialService for FaultyService<S> {
+    fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerReply> {
+        if self.config.is_disabled() {
+            return self.inner.submit(batch);
+        }
+        // Draw the whole schedule up front, in request order, under one
+        // lock hold — batch composition fully determines the draws.
+        let plan: Vec<(ReplyStatus, f64)> = {
+            let mut rng = self.rng.lock().unwrap();
+            batch
+                .iter()
+                .map(|_| {
+                    let dropped = rng.next_f64() < self.config.drop_prob;
+                    let latency = if self.config.mean_latency_ms > 0.0 {
+                        // Exponential via inverse CDF; 1 - u avoids ln(0).
+                        -self.config.mean_latency_ms * (1.0 - rng.next_f64()).ln()
+                    } else {
+                        0.0
+                    };
+                    if dropped {
+                        // The client hears nothing and gives up at its
+                        // patience limit (or immediately without one).
+                        let waited = if self.config.timeout_ms.is_finite() {
+                            self.config.timeout_ms
+                        } else {
+                            latency
+                        };
+                        (ReplyStatus::Dropped, waited)
+                    } else if latency > self.config.timeout_ms {
+                        (ReplyStatus::TimedOut, self.config.timeout_ms)
+                    } else {
+                        (ReplyStatus::Ok, latency)
+                    }
+                })
+                .collect()
+        };
+        // Everything that wasn't dropped reaches the backend — including
+        // timed-out requests, whose answers the client discards.
+        let reached: Vec<ServerRequest> = batch
+            .iter()
+            .zip(&plan)
+            .filter(|(_, (status, _))| *status != ReplyStatus::Dropped)
+            .map(|(r, _)| *r)
+            .collect();
+        let mut inner_replies = self.inner.submit(&reached).into_iter();
+        batch
+            .iter()
+            .zip(&plan)
+            .map(|(r, &(status, latency_ms))| match status {
+                ReplyStatus::Dropped => ServerReply {
+                    id: r.id,
+                    status,
+                    response: Default::default(),
+                    latency_ms,
+                },
+                _ => {
+                    let reply = inner_replies
+                        .next()
+                        .expect("inner service must reply to every request");
+                    debug_assert_eq!(reply.id, r.id);
+                    ServerReply {
+                        id: r.id,
+                        status: if reply.status == ReplyStatus::Ok {
+                            status
+                        } else {
+                            reply.status
+                        },
+                        response: if status == ReplyStatus::Ok {
+                            reply.response
+                        } else {
+                            Default::default()
+                        },
+                        latency_ms: latency_ms + reply.latency_ms,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn poi_count(&self) -> usize {
+        self.inner.poi_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senn_core::service::submit_with_retry;
+    use senn_core::{RTreeServer, RetryPolicy};
+    use senn_geom::Point;
+    use senn_rtree::SearchBounds;
+
+    fn server() -> RTreeServer {
+        RTreeServer::new((0..50).map(|i| (i as u64, Point::new(i as f64, 0.0))))
+    }
+
+    fn batch(n: u64) -> Vec<ServerRequest> {
+        (0..n)
+            .map(|i| ServerRequest::plain(i, Point::new(i as f64 * 0.9, 0.3), 3))
+            .collect()
+    }
+
+    #[test]
+    fn disabled_wrapper_is_pure_passthrough() {
+        let plain = server();
+        let wrapped = FaultyService::new(server(), FaultConfig::disabled());
+        let reqs = batch(12);
+        let a = plain.submit(&reqs);
+        let b = wrapped.submit(&reqs);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.status, y.status);
+            assert_eq!(x.latency_ms, y.latency_ms);
+            assert_eq!(x.response.pois, y.response.pois);
+            assert_eq!(x.response.node_accesses, y.response.node_accesses);
+        }
+    }
+
+    #[test]
+    fn fixed_seed_reproduces_the_exact_schedule() {
+        let mk = || {
+            FaultyService::new(
+                server(),
+                FaultConfig {
+                    seed: 0xDEAD,
+                    drop_prob: 0.3,
+                    mean_latency_ms: 30.0,
+                    timeout_ms: 60.0,
+                },
+            )
+        };
+        let reqs = batch(64);
+        let a: Vec<_> = mk()
+            .submit(&reqs)
+            .iter()
+            .map(|r| (r.status, r.latency_ms.to_bits()))
+            .collect();
+        let b: Vec<_> = mk()
+            .submit(&reqs)
+            .iter()
+            .map(|r| (r.status, r.latency_ms.to_bits()))
+            .collect();
+        assert_eq!(a, b, "same seed, same requests ⇒ same faults, bit for bit");
+        assert!(
+            a.iter().any(|(s, _)| *s != ReplyStatus::Ok),
+            "schedule should actually inject faults"
+        );
+        assert!(a.iter().any(|(s, _)| *s == ReplyStatus::Ok));
+    }
+
+    #[test]
+    fn retry_layer_recovers_from_faults_without_panics() {
+        let svc = FaultyService::new(server(), FaultConfig::lossy(42));
+        let reqs = batch(100);
+        let outcomes = submit_with_retry(&svc, &reqs, &RetryPolicy::default());
+        assert_eq!(outcomes.len(), 100);
+        let truth = server();
+        let mut recovered = 0;
+        for (req, out) in reqs.iter().zip(&outcomes) {
+            if out.failed {
+                assert!(out.response.pois.is_empty());
+                continue;
+            }
+            recovered += 1;
+            let want = truth.knn_one(req.query, req.count, SearchBounds::NONE);
+            assert_eq!(out.response.pois, want.pois, "request {}", req.id);
+        }
+        assert!(recovered >= 95, "retries should recover nearly everything");
+        let total_retries: u32 = outcomes.iter().map(|o| o.retries).sum();
+        assert!(total_retries > 0, "a 5% drop rate over 100 queries retries");
+    }
+
+    #[test]
+    fn deterministic_retry_counts_under_fixed_seed() {
+        let run = || {
+            let svc = FaultyService::new(server(), FaultConfig::lossy(7));
+            let outcomes = submit_with_retry(&svc, &batch(80), &RetryPolicy::default());
+            outcomes
+                .iter()
+                .map(|o| (o.retries, o.timeouts, o.drops, o.degraded, o.failed))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "fixed seed ⇒ identical retry accounting");
+    }
+
+    #[test]
+    fn timeouts_attributed_when_latency_exceeds_patience() {
+        // Mean latency far above the patience: almost everything times out.
+        let svc = FaultyService::new(
+            server(),
+            FaultConfig {
+                seed: 3,
+                drop_prob: 0.0,
+                mean_latency_ms: 500.0,
+                timeout_ms: 1.0,
+            },
+        );
+        let replies = svc.submit(&batch(32));
+        let timeouts = replies
+            .iter()
+            .filter(|r| r.status == ReplyStatus::TimedOut)
+            .count();
+        assert!(timeouts >= 30, "expected near-universal timeouts");
+        for r in &replies {
+            if r.status == ReplyStatus::TimedOut {
+                assert!(r.response.pois.is_empty(), "late answers are discarded");
+                assert!(
+                    (r.latency_ms - 1.0).abs() < 1e-9,
+                    "client waits its patience"
+                );
+            }
+        }
+    }
+}

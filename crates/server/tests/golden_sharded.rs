@@ -1,0 +1,162 @@
+//! Golden equivalence: the sharded service must return results identical
+//! (same POI ids, same distances, same pruning-bound semantics) to the
+//! single-tree `RTreeServer` on a fixed-seed workload — for every shard
+//! count, including through the fault wrapper and the retry layer.
+
+use senn_core::service::{submit_with_retry, RetryPolicy, ServerRequest, SpatialService};
+use senn_core::RTreeServer;
+use senn_geom::Point;
+use senn_rtree::SearchBounds;
+use senn_server::{FaultConfig, FaultyService, ShardedService};
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn world(n: usize, seed: u64) -> Vec<(u64, Point)> {
+    let mut rng = Rng(seed | 1);
+    (0..n)
+        .map(|i| {
+            (
+                i as u64,
+                Point::new(rng.next() * 2000.0, rng.next() * 2000.0),
+            )
+        })
+        .collect()
+}
+
+/// A fixed-seed workload mixing unpruned requests with upper, lower and
+/// two-sided branch-expanding bounds — the full wire-bounds vocabulary.
+fn workload(count: usize, seed: u64) -> Vec<ServerRequest> {
+    let mut rng = Rng(seed | 1);
+    (0..count)
+        .map(|i| {
+            let query = Point::new(rng.next() * 2000.0, rng.next() * 2000.0);
+            let k = 1 + (rng.next() * 9.0) as usize;
+            let bounds = match i % 4 {
+                0 => SearchBounds::NONE,
+                1 => SearchBounds {
+                    upper: Some(50.0 + rng.next() * 300.0),
+                    lower: None,
+                },
+                2 => SearchBounds {
+                    upper: None,
+                    lower: Some(rng.next() * 60.0),
+                },
+                _ => {
+                    let lower = rng.next() * 60.0;
+                    SearchBounds {
+                        upper: Some(lower + 40.0 + rng.next() * 250.0),
+                        lower: Some(lower),
+                    }
+                }
+            };
+            ServerRequest {
+                id: i as u64,
+                query,
+                count: k,
+                bounds,
+                full_count: k + 2,
+            }
+        })
+        .collect()
+}
+
+fn assert_equivalent(golden: &RTreeServer, svc: &dyn SpatialService, reqs: &[ServerRequest]) {
+    let got = svc.submit(reqs);
+    assert_eq!(got.len(), reqs.len());
+    for (req, reply) in reqs.iter().zip(&got) {
+        let want = golden.knn_one(req.query, req.count, req.bounds);
+        assert_eq!(reply.id, req.id);
+        let got_ids: Vec<u64> = reply.response.pois.iter().map(|(p, _)| p.poi_id).collect();
+        let want_ids: Vec<u64> = want.pois.iter().map(|(p, _)| p.poi_id).collect();
+        assert_eq!(
+            got_ids, want_ids,
+            "request {} (bounds {:?}): POI ids diverge",
+            req.id, req.bounds
+        );
+        for ((_, gd), (_, wd)) in reply.response.pois.iter().zip(&want.pois) {
+            assert_eq!(gd.to_bits(), wd.to_bits(), "request {}: distance", req.id);
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_single_tree_across_shard_counts() {
+    let pois = world(3000, 0x5eed);
+    let golden = RTreeServer::new(pois.clone());
+    let reqs = workload(400, 0xfeed);
+    for shards in [1, 2, 3, 4, 7, 16] {
+        let svc = ShardedService::new(pois.clone(), shards);
+        assert_equivalent(&golden, &svc, &reqs);
+    }
+}
+
+#[test]
+fn sharded_matches_after_relocations() {
+    let pois = world(800, 0x1111);
+    let mut golden = RTreeServer::new(pois.clone());
+    let mut svc = ShardedService::new(pois.clone(), 4);
+    // Churn a tenth of the POIs to new positions, including cross-strip
+    // moves, then re-check equivalence.
+    let mut rng = Rng(0x2222 | 1);
+    for (id, old) in pois.iter().take(80) {
+        let new = Point::new(rng.next() * 2000.0, rng.next() * 2000.0);
+        assert!(golden.relocate(*id, *old, new));
+        assert!(svc.relocate(*id, *old, new));
+    }
+    assert_eq!(svc.poi_count(), golden.poi_count());
+    assert_equivalent(&golden, &svc, &workload(200, 0x3333));
+}
+
+#[test]
+fn faulty_sharded_service_converges_to_golden_answers() {
+    // Sharding + fault injection + retry: every recovered answer must
+    // still equal the single-tree answer, and nothing panics.
+    let pois = world(1500, 0xaaaa);
+    let golden = RTreeServer::new(pois.clone());
+    let svc = FaultyService::new(ShardedService::new(pois, 3), FaultConfig::lossy(99));
+    let reqs = workload(300, 0xbbbb);
+    let outcomes = submit_with_retry(&svc, &reqs, &RetryPolicy::default());
+    let mut failed = 0;
+    for (req, out) in reqs.iter().zip(&outcomes) {
+        if out.failed {
+            failed += 1;
+            continue;
+        }
+        // A degraded answer used the unpruned request; compare against the
+        // unpruned golden answer in that case.
+        let want = if out.degraded {
+            let u = req.unpruned();
+            golden.knn_one(u.query, u.count, u.bounds)
+        } else {
+            golden.knn_one(req.query, req.count, req.bounds)
+        };
+        let got_ids: Vec<u64> = out.response.pois.iter().map(|(p, _)| p.poi_id).collect();
+        let want_ids: Vec<u64> = want.pois.iter().map(|(p, _)| p.poi_id).collect();
+        assert_eq!(got_ids, want_ids, "request {}", req.id);
+    }
+    assert!(failed <= 3, "retry + degradation should recover nearly all");
+}
+
+#[test]
+fn per_shard_accesses_reconcile_on_the_golden_workload() {
+    let pois = world(2000, 0xcccc);
+    let svc = ShardedService::new(pois, 4);
+    let reqs = workload(250, 0xdddd);
+    let replies = svc.submit(&reqs);
+    let per_reply: u64 = replies.iter().map(|r| r.response.node_accesses).sum();
+    let m = svc.metrics();
+    assert_eq!(m.node_accesses(), per_reply);
+    assert_eq!(m.requests, 250);
+    assert!(
+        m.shards.iter().all(|s| s.requests > 0),
+        "a spread workload touches every shard: {m:?}"
+    );
+}

@@ -35,4 +35,11 @@ pub use experiments::{ExpOptions, MixPoint, MixSeries, ModeComparison, PageAcces
 pub use grid::HostGrid;
 pub use metrics::{KStats, LatencyModel, Metrics};
 pub use params::{ParamSet, SimParams};
-pub use simulator::{BatchStats, CachePolicy, KChoice, MovementMode, SimConfig, Simulator};
+pub use simulator::{
+    BatchStats, CachePolicy, KChoice, MovementMode, SimConfig, SimConfigBuilder, Simulator,
+};
+
+// Service-seam knobs a simulation config can carry, re-exported so callers
+// configuring faults or retries need only this crate.
+pub use senn_core::service::RetryPolicy;
+pub use senn_server::{FaultConfig, ServiceMetrics, ShardMetrics};

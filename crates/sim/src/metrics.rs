@@ -97,6 +97,20 @@ pub struct Metrics {
     /// bound was confirmed (always 0 for pure-Euclidean runs; the flag
     /// rides in on [`QueryTrace::cap_hit`]).
     pub expansion_cap_hits: u64,
+    /// Residual-request re-submissions performed by the service retry
+    /// layer, degraded attempts included (always 0 for a fault-free
+    /// service).
+    pub server_retries: u64,
+    /// Residual-request attempts that ended in a service timeout.
+    pub server_timeouts: u64,
+    /// Residual-request attempts the service (or network) dropped.
+    pub server_drops: u64,
+    /// Queries whose residual answer came from the degraded (unpruned)
+    /// fallback after every pruned attempt failed.
+    pub server_degraded: u64,
+    /// Queries whose residual request exhausted every attempt — the host
+    /// kept whatever the peers verified locally.
+    pub server_failed: u64,
 }
 
 impl Metrics {
@@ -124,6 +138,15 @@ impl Metrics {
         }
         if trace.cap_hit {
             self.expansion_cap_hits += 1;
+        }
+        self.server_retries += trace.server_retries as u64;
+        self.server_timeouts += trace.server_timeouts as u64;
+        self.server_drops += trace.server_drops as u64;
+        if trace.server_degraded {
+            self.server_degraded += 1;
+        }
+        if trace.server_failed {
+            self.server_failed += 1;
         }
     }
 
@@ -180,6 +203,18 @@ impl Metrics {
         ratio(self.peer_answers_wrong, self.peer_answers_graded)
     }
 
+    /// Fraction of server-bound queries whose residual answer came from
+    /// the degraded (unpruned) fallback.
+    pub fn degraded_rate(&self) -> f64 {
+        ratio(self.server_degraded, self.server)
+    }
+
+    /// Fraction of server-bound queries whose residual request failed
+    /// outright (every attempt exhausted).
+    pub fn failed_request_rate(&self) -> f64 {
+        ratio(self.server_failed, self.server)
+    }
+
     /// Fraction of accepted-uncertain answers that were exactly right.
     pub fn uncertain_exact_rate(&self) -> f64 {
         ratio(self.uncertain_exact, self.accepted_uncertain)
@@ -213,6 +248,11 @@ impl Metrics {
         self.uncertain_exact += other.uncertain_exact;
         self.uncertain_inflation_sum += other.uncertain_inflation_sum;
         self.expansion_cap_hits += other.expansion_cap_hits;
+        self.server_retries += other.server_retries;
+        self.server_timeouts += other.server_timeouts;
+        self.server_drops += other.server_drops;
+        self.server_degraded += other.server_degraded;
+        self.server_failed += other.server_failed;
         for (k, s) in &other.per_k {
             let e = self.per_k.entry(*k).or_default();
             e.queries += s.queries;

@@ -1,16 +1,35 @@
 //! The query step of the batch engine: planning (every random draw, in
 //! batch order), executing each plan as a pure function of the frozen
-//! world snapshot via the staged SENN kernel, and the measurement-only
-//! server calls (grading, EINN/INN shadow) that ride along.
+//! world snapshot via the staged SENN kernel, the **interval-batched**
+//! residual round-trip through the configured [`SpatialService`], and the
+//! measurement-only server calls (grading, EINN/INN shadow) that ride
+//! along.
 //!
-//! Execution takes `&self` only — no RNG, no metrics, no cache writes.
+//! One query batch flows through three passes:
+//!
+//! 1. **execute** (parallel, `&self` only) — peer gathering plus the peer
+//!    stages of the SENN kernel; queries the peers cannot finish come back
+//!    [`Resolution::Unresolved`].
+//! 2. **submit** (main thread) — all unresolved queries of the interval
+//!    become one [`ServerRequest`] batch, submitted through the service
+//!    seam via [`submit_with_retry`] (retries, backoff and unpruned
+//!    degradation included), then completed with
+//!    `SennEngine::complete_residual`. Batch composition is fixed by plan
+//!    order, so seeded fault schedules are reproducible and independent of
+//!    worker-thread count.
+//! 3. **measure** (parallel, `&self` only) — grading against ground truth
+//!    and the PAR shadow searches, always against the concrete truth
+//!    [`RTreeServer`](senn_core::RTreeServer) so metrics are invariant to
+//!    the configured backend (shard count, fault wrapper).
+//!
 //! Anything mutable is returned in the [`QueryOutcome`] and folded in by
-//! the merge phase ([`crate::cache_step`]), which is what lets the batch
-//! fan out across threads while producing bit-identical
+//! the merge phase ([`crate::cache_step`]) in query-index order, which is
+//! what lets the batch fan out across threads while producing bit-identical
 //! [`Metrics`](crate::metrics::Metrics).
 
 use senn_cache::{CacheEntry, CachedNn};
-use senn_core::{QueryTrace, Resolution, SearchBounds, SpatialServer};
+use senn_core::service::{submit_with_retry, ServerRequest, SpatialService};
+use senn_core::{QueryTrace, Resolution, SearchBounds, SennOutcome};
 
 use crate::comms::WorkerScratch;
 use crate::simulator::{KChoice, Simulator};
@@ -24,10 +43,41 @@ pub(crate) struct QueryPlan {
     pub(crate) k: usize,
 }
 
-/// The flat, thread-crossing result of executing one planned query —
-/// everything the merge phase needs to update metrics and caches. The
-/// kernel's [`QueryTrace`] travels whole: attribution, server accounting,
-/// the expansion-cap flag and the per-stage timings all come from it.
+/// One query mid-batch: the kernel outcome so far (peers-only after the
+/// execute pass; final after the submit pass) plus the P2P overhead counts
+/// that were measured while the peer snapshot was still borrowed.
+pub(crate) struct PendingQuery {
+    pub(crate) outcome: SennOutcome,
+    pub(crate) remote_entries: u64,
+    pub(crate) remote_records: u64,
+}
+
+impl PendingQuery {
+    /// True while the query still needs the service round-trip.
+    fn needs_server(&self) -> bool {
+        self.outcome.resolution() == Resolution::Unresolved
+    }
+}
+
+/// The measurement-only observations of one finished query — everything
+/// that needs world ground truth (grading, heap states, the EINN/INN
+/// shadow) or the frozen snapshot time (the cache entry).
+pub(crate) struct Measured {
+    pub(crate) graded: bool,
+    pub(crate) wrong: bool,
+    pub(crate) uncertain_exact: bool,
+    pub(crate) uncertain_inflation: f64,
+    pub(crate) heap_state_idx: Option<usize>,
+    pub(crate) einn_accesses: u64,
+    pub(crate) inn_accesses: Option<u64>,
+    pub(crate) cache_entry: Option<CacheEntry>,
+}
+
+/// The flat, thread-crossing result of one planned query — everything the
+/// merge phase needs to update metrics and caches. The kernel's
+/// [`QueryTrace`] travels whole: attribution, server accounting (retry and
+/// degradation dispositions included), the expansion-cap flag and the
+/// per-stage timings all come from it.
 pub(crate) struct QueryOutcome {
     pub(crate) trace: QueryTrace,
     pub(crate) remote_entries: u64,
@@ -40,6 +90,25 @@ pub(crate) struct QueryOutcome {
     pub(crate) einn_accesses: u64,
     pub(crate) inn_accesses: Option<u64>,
     pub(crate) cache_entry: Option<CacheEntry>,
+}
+
+impl QueryOutcome {
+    /// Joins the pipeline halves for the merge fold.
+    pub(crate) fn assemble(pending: PendingQuery, measured: Measured) -> Self {
+        QueryOutcome {
+            trace: pending.outcome.trace,
+            remote_entries: pending.remote_entries,
+            remote_records: pending.remote_records,
+            graded: measured.graded,
+            wrong: measured.wrong,
+            uncertain_exact: measured.uncertain_exact,
+            uncertain_inflation: measured.uncertain_inflation,
+            heap_state_idx: measured.heap_state_idx,
+            einn_accesses: measured.einn_accesses,
+            inn_accesses: measured.inn_accesses,
+            cache_entry: measured.cache_entry,
+        }
+    }
 }
 
 impl Simulator {
@@ -67,12 +136,12 @@ impl Simulator {
         plans
     }
 
-    /// Executes every planned query of a batch against the frozen
+    /// Executes the peer stages of every planned query against the frozen
     /// snapshot, fanning out across worker threads. Each worker owns one
     /// [`WorkerScratch`] — and therefore one reused `QueryContext` — for
     /// its whole share of the batch.
     #[cfg(feature = "parallel")]
-    pub(crate) fn execute_batch(&self, plans: &[QueryPlan]) -> Vec<QueryOutcome> {
+    pub(crate) fn execute_batch(&self, plans: &[QueryPlan]) -> Vec<PendingQuery> {
         let threads = self.config.threads.unwrap_or_else(senn_par::worker_count);
         senn_par::par_map_with_threads(plans, threads, WorkerScratch::new, |scratch, _, plan| {
             self.execute_query(plan, scratch)
@@ -81,7 +150,7 @@ impl Simulator {
 
     /// Sequential fallback when the `parallel` feature is disabled.
     #[cfg(not(feature = "parallel"))]
-    pub(crate) fn execute_batch(&self, plans: &[QueryPlan]) -> Vec<QueryOutcome> {
+    pub(crate) fn execute_batch(&self, plans: &[QueryPlan]) -> Vec<PendingQuery> {
         let mut scratch = WorkerScratch::new();
         plans
             .iter()
@@ -89,23 +158,22 @@ impl Simulator {
             .collect()
     }
 
-    /// Executes one planned SENN query against the frozen batch snapshot:
-    /// peer gathering ([`Simulator::gather_peers`]), the staged kernel
-    /// (`SennEngine::query_with` over the worker's reused context), then
-    /// the measurement-only grading and PAR shadow searches.
+    /// Executes one planned SENN query up to the server seam: peer
+    /// gathering ([`Simulator::gather_peers`]) and the peer stages of the
+    /// staged kernel (`SennEngine::query_peers_only_with` over the
+    /// worker's reused context).
     fn execute_query<'a>(
         &'a self,
         plan: &QueryPlan,
         scratch: &mut WorkerScratch<'a>,
-    ) -> QueryOutcome {
-        let k = plan.k;
+    ) -> PendingQuery {
         let q = self.grid.positions()[plan.querier as usize];
         let own_count = self.gather_peers(plan, &mut scratch.comms);
         let peers = &scratch.comms.peers;
 
         let outcome = self
             .engine
-            .query_with(q, k, peers, &self.server, &mut scratch.ctx);
+            .query_peers_only_with(q, plan.k, peers, &mut scratch.ctx);
 
         // P2P communication overhead: every non-empty peer entry crosses
         // the ad-hoc channel once ("it may increase the communication
@@ -116,6 +184,115 @@ impl Simulator {
             .iter()
             .map(|e| e.len() as u64)
             .sum::<u64>();
+
+        PendingQuery {
+            outcome,
+            remote_entries,
+            remote_records,
+        }
+    }
+
+    /// Phase 3b — submit: collects the interval's unresolved queries into
+    /// **one** [`ServerRequest`] batch (request `id` = query index),
+    /// submits it through the configured service with the configured retry
+    /// policy, attributes each request's disposition to its query's trace,
+    /// and completes every answered query via
+    /// `SennEngine::complete_residual`. Queries whose every attempt failed
+    /// stay [`Resolution::Unresolved`] — the host keeps whatever the peers
+    /// verified locally.
+    pub(crate) fn submit_residual_batch(
+        &self,
+        plans: &[QueryPlan],
+        pendings: Vec<PendingQuery>,
+    ) -> Vec<PendingQuery> {
+        let open: Vec<usize> = pendings
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.needs_server())
+            .map(|(i, _)| i)
+            .collect();
+        if open.is_empty() {
+            return pendings;
+        }
+        let requests: Vec<ServerRequest> = open
+            .iter()
+            .map(|&i| {
+                let q = self.grid.positions()[plans[i].querier as usize];
+                self.engine
+                    .residual_request(i as u64, q, plans[i].k, &pendings[i].outcome)
+            })
+            .collect();
+        let mut results: Vec<Option<_>> = (0..pendings.len()).map(|_| None).collect();
+        for (&i, result) in open.iter().zip(submit_with_retry(
+            &self.service,
+            &requests,
+            &self.config.retry,
+        )) {
+            results[i] = Some(result);
+        }
+        pendings
+            .into_iter()
+            .zip(results)
+            .enumerate()
+            .map(|(i, (mut pending, result))| {
+                if let Some(result) = result {
+                    pending.outcome.trace.record_service_outcome(&result);
+                    if !result.failed {
+                        // `complete_residual` also merges degraded
+                        // (unpruned) answers correctly: the certain prefix
+                        // is deduplicated by POI id.
+                        let peers_only = pending.outcome;
+                        pending.outcome =
+                            self.engine
+                                .complete_residual(plans[i].k, peers_only, result.response);
+                    }
+                }
+                pending
+            })
+            .collect()
+    }
+
+    /// Phase 3c — measure: grading and PAR shadow searches for every
+    /// finalized query, fanned out across worker threads (the shadow
+    /// R\*-tree searches dominate this pass). Pure reads of `&self`.
+    #[cfg(feature = "parallel")]
+    pub(crate) fn measure_batch(
+        &self,
+        plans: &[QueryPlan],
+        pendings: &[PendingQuery],
+    ) -> Vec<Measured> {
+        let threads = self.config.threads.unwrap_or_else(senn_par::worker_count);
+        senn_par::par_map_with_threads(
+            pendings,
+            threads,
+            || (),
+            |(), i, pending| self.measure_query(&plans[i], pending),
+        )
+    }
+
+    /// Sequential fallback when the `parallel` feature is disabled.
+    #[cfg(not(feature = "parallel"))]
+    pub(crate) fn measure_batch(
+        &self,
+        plans: &[QueryPlan],
+        pendings: &[PendingQuery],
+    ) -> Vec<Measured> {
+        pendings
+            .iter()
+            .enumerate()
+            .map(|(i, pending)| self.measure_query(&plans[i], pending))
+            .collect()
+    }
+
+    /// The measurement-only observations of one finished query. Every
+    /// server call here runs against the concrete truth
+    /// [`RTreeServer`](senn_core::RTreeServer) (never the configured
+    /// service), so the recorded metrics are invariant to shard count and
+    /// fault injection.
+    fn measure_query(&self, plan: &QueryPlan, pending: &PendingQuery) -> Measured {
+        let k = plan.k;
+        let q = self.grid.positions()[plan.querier as usize];
+        let outcome = &pending.outcome;
 
         let matches_truth = |truth: &senn_core::ServerResponse| {
             truth.pois.len() == outcome.results.len()
@@ -135,7 +312,7 @@ impl Simulator {
         {
             // Under churn, stale caches can certify objects that are no
             // longer the true NNs. Grade against current ground truth.
-            let truth = self.server.knn(q, k, SearchBounds::NONE);
+            let truth = self.server.knn_one(q, k, SearchBounds::NONE);
             graded = true;
             wrong = !matches_truth(&truth);
         }
@@ -150,7 +327,7 @@ impl Simulator {
             Resolution::AcceptedUncertain => {
                 // Grade the accepted answer against ground truth (a
                 // measurement-only server call, not counted in PAR).
-                let truth = self.server.knn(q, k, SearchBounds::NONE);
+                let truth = self.server.knn_one(q, k, SearchBounds::NONE);
                 uncertain_exact = matches_truth(&truth);
                 let true_sum: f64 = truth.pois.iter().map(|(_, d)| d).sum();
                 let got_sum: f64 = outcome.results.iter().map(|r| r.dist).sum();
@@ -184,9 +361,10 @@ impl Simulator {
                     None => 0,
                 };
                 let need = k.saturating_sub(strictly_below).max(1);
-                einn_accesses = self.server.knn(q, need, outcome.bounds).node_accesses;
+                einn_accesses = self.server.knn_one(q, need, outcome.bounds).node_accesses;
                 if self.config.compare_inn {
-                    inn_accesses = Some(self.server.knn(q, k, SearchBounds::NONE).node_accesses);
+                    inn_accesses =
+                        Some(self.server.knn_one(q, k, SearchBounds::NONE).node_accesses);
                 }
             }
         }
@@ -196,10 +374,7 @@ impl Simulator {
         let cache_entry =
             (!cacheable.is_empty()).then(|| CacheEntry::new(q, cacheable).at_time(self.time));
 
-        QueryOutcome {
-            trace: outcome.trace,
-            remote_entries,
-            remote_records,
+        Measured {
             graded,
             wrong,
             uncertain_exact,

@@ -19,11 +19,15 @@
 //! random draw, in batch order, against the live RNG streams), **execute**
 //! (each planned query reads a frozen snapshot of host positions, caches
 //! and the server — a pure function, fanned out across worker threads when
-//! the `parallel` feature is on), and **merge** (outcomes are folded into
-//! the metrics and host caches in query-index order). Because the fold
-//! order is fixed by the plan, the parallel engine produces bit-identical
-//! [`Metrics`] to the sequential path. All queries of a batch see the
-//! cache state from the start of the batch; stores land at merge time.
+//! the `parallel` feature is on; the interval's residual queries are
+//! collected into **one** service batch and submitted through the
+//! configured [`SpatialService`] backend with retry/degradation), and
+//! **merge** (outcomes are folded into the metrics and host caches in
+//! query-index order). Because the fold order is fixed by the plan — and
+//! the service batch composition by plan order — the parallel engine
+//! produces bit-identical [`Metrics`] to the sequential path, seeded fault
+//! injection included. All queries of a batch see the cache state from the
+//! start of the batch; stores land at merge time.
 //!
 //! The steps live in sibling modules, each owning one concern of the
 //! loop: `movement` (host mobility + the Poisson draw), `comms` (peer
@@ -37,10 +41,12 @@ use rand::{Rng, SeedableRng};
 
 use senn_cache::{LruCache, MostRecentCache};
 use senn_core::multiple::RegionMethod;
+use senn_core::service::{RetryPolicy, ServerReply, ServerRequest, SpatialService};
 use senn_core::{RTreeServer, SennConfig, SennEngine, STAGE_COUNT};
 use senn_geom::{Point, Rect};
 use senn_mobility::{HostMobility, RoadMoverConfig, WaypointConfig};
 use senn_network::{generate_network, GeneratorConfig, NodeLocator, RoadNetwork};
+use senn_server::{FaultConfig, FaultyService, ServiceMetrics, ShardedService};
 
 pub use crate::cache_step::CachePolicy;
 pub use crate::movement::MovementMode;
@@ -49,7 +55,7 @@ use crate::cache_step::HostCache;
 use crate::grid::HostGrid;
 use crate::metrics::Metrics;
 use crate::movement::{build_mobility, poisson};
-use crate::params::SimParams;
+use crate::params::{ParamSet, SimParams};
 
 /// How the number of requested neighbors `k` is chosen per query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,11 +110,28 @@ pub struct SimConfig {
     /// overrides), `Some(1)` forces the in-process sequential path.
     /// Metrics are identical either way; only wall time changes.
     pub threads: Option<usize>,
+    /// Shard count of the residual-query service backend: `1` serves from
+    /// the single-tree [`RTreeServer`] reference backend, `> 1`
+    /// strip-partitions the POI set across that many R\*-tree shards
+    /// (`senn_server::ShardedService`). Query results — and therefore
+    /// every recorded metric — are identical either way; only server-side
+    /// fan-out and per-shard accounting change.
+    pub server_shards: usize,
+    /// Seeded fault injection on the service seam (`None` = no faults; a
+    /// disabled config is a pure passthrough and leaves [`Metrics`]
+    /// bit-identical). Faults are drawn per request in batch-submission
+    /// order, so a fixed seed reproduces the exact same retry counts
+    /// regardless of worker-thread count.
+    pub fault: Option<FaultConfig>,
+    /// Client-side retry/backoff/degradation policy for residual batches
+    /// (inert when the service never fails).
+    pub retry: RetryPolicy,
 }
 
 impl SimConfig {
     /// Defaults for a parameter set: road-network mode, 20 % warm-up, 10 s
-    /// mean batch interval, polygonized regions, random `k`, INN shadow on.
+    /// mean batch interval, polygonized regions, random `k`, INN shadow
+    /// on, single-shard fault-free service.
     pub fn new(params: SimParams, seed: u64) -> Self {
         SimConfig {
             params,
@@ -124,6 +147,191 @@ impl SimConfig {
             poi_churn_per_hour: 0.0,
             cache_ttl_secs: None,
             threads: None,
+            server_shards: 1,
+            fault: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Starts a fluent builder from [`SimConfig::default`].
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Turns this configuration back into a builder for further tweaks.
+    pub fn to_builder(self) -> SimConfigBuilder {
+        SimConfigBuilder { config: self }
+    }
+}
+
+impl Default for SimConfig {
+    /// The paper's dense-urban baseline: Los Angeles 2×2 miles, seed 0.
+    fn default() -> Self {
+        SimConfig::new(SimParams::two_by_two(ParamSet::LosAngeles), 0)
+    }
+}
+
+/// Fluent construction of a [`SimConfig`] — new knobs (like the service
+/// backend and retry policy) get a builder method instead of breaking
+/// every struct-literal call site. Every method overrides one field;
+/// everything not set keeps the [`SimConfig::default`] value.
+///
+/// ```
+/// use senn_sim::SimConfig;
+///
+/// let cfg = SimConfig::builder()
+///     .seed(7)
+///     .threads(2)
+///     .server_shards(4)
+///     .build();
+/// assert_eq!(cfg.server_shards, 4);
+/// assert_eq!(cfg.threads, Some(2));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Table 3/4 parameter set.
+    pub fn params(mut self, params: SimParams) -> Self {
+        self.config.params = params;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Road-network or free movement.
+    pub fn mode(mut self, mode: MovementMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Fraction of `T_execution` discarded as warm-up.
+    pub fn warmup_frac(mut self, frac: f64) -> Self {
+        self.config.warmup_frac = frac;
+        self
+    }
+
+    /// Mean spacing of query batches, seconds.
+    pub fn mean_interval_secs(mut self, secs: f64) -> Self {
+        self.config.mean_interval_secs = secs;
+        self
+    }
+
+    /// Certain-region representation used by `kNN_multiple`.
+    pub fn region_method(mut self, method: RegionMethod) -> Self {
+        self.config.region_method = method;
+        self
+    }
+
+    /// How each query's `k` is drawn.
+    pub fn k_choice(mut self, choice: KChoice) -> Self {
+        self.config.k_choice = choice;
+        self
+    }
+
+    /// Whether to run the baseline INN shadow for the PAR comparison.
+    pub fn compare_inn(mut self, on: bool) -> Self {
+        self.config.compare_inn = on;
+        self
+    }
+
+    /// Host-side cache policy.
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.config.cache_policy = policy;
+        self
+    }
+
+    /// Accept a full heap of uncertain answers instead of the server.
+    pub fn accept_uncertain(mut self, on: bool) -> Self {
+        self.config.accept_uncertain = on;
+        self
+    }
+
+    /// Expected POI relocations per simulated hour.
+    pub fn poi_churn_per_hour(mut self, per_hour: f64) -> Self {
+        self.config.poi_churn_per_hour = per_hour;
+        self
+    }
+
+    /// Time-to-live for cached entries (`None` disables invalidation).
+    pub fn cache_ttl_secs(mut self, ttl: Option<f64>) -> Self {
+        self.config.cache_ttl_secs = ttl;
+        self
+    }
+
+    /// Worker threads for the batch engine.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = Some(threads);
+        self
+    }
+
+    /// Shard count of the residual-query service backend (≥ 1).
+    pub fn server_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "the service needs at least one shard");
+        self.config.server_shards = shards;
+        self
+    }
+
+    /// Seeded fault injection on the service seam.
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.config.fault = Some(fault);
+        self
+    }
+
+    /// Client-side retry/backoff/degradation policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> SimConfig {
+        self.config
+    }
+}
+
+/// The configurable backend behind the sim's residual-query service seam.
+/// `RTreeServer` stays the trivial 1-shard implementation of the batched
+/// trait; higher shard counts use the strip-partitioned service. Both
+/// return identical answers (golden-tested in `senn-server`), so the
+/// choice never leaks into [`Metrics`].
+pub(crate) enum ServiceBackend {
+    Plain(RTreeServer),
+    Sharded(ShardedService),
+}
+
+impl ServiceBackend {
+    /// Mirrors a POI relocation into the backend's index. Returns `false`
+    /// when `old` is stale (the index stays untouched), exactly like
+    /// [`RTreeServer::relocate`].
+    fn relocate(&mut self, id: u64, old: Point, new: Point) -> bool {
+        match self {
+            ServiceBackend::Plain(s) => s.relocate(id, old, new),
+            ServiceBackend::Sharded(s) => s.relocate(id, old, new),
+        }
+    }
+}
+
+impl SpatialService for ServiceBackend {
+    fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerReply> {
+        match self {
+            ServiceBackend::Plain(s) => s.submit(batch),
+            ServiceBackend::Sharded(s) => s.submit(batch),
+        }
+    }
+
+    fn poi_count(&self) -> usize {
+        match self {
+            ServiceBackend::Plain(s) => s.poi_count(),
+            ServiceBackend::Sharded(s) => s.poi_count(),
         }
     }
 }
@@ -141,7 +349,12 @@ pub struct Simulator {
     pub(crate) network: Option<RoadNetwork>,
     /// Current POI positions, indexed by POI id (ground truth mirror).
     pub(crate) poi_positions: Vec<Point>,
+    /// The truth server: measurement-only calls (grading, the EINN/INN
+    /// shadow) always run here so metrics are invariant to the backend.
     pub(crate) server: RTreeServer,
+    /// The service seam residual batches go through: the configured
+    /// backend behind the (possibly disabled) fault wrapper.
+    pub(crate) service: FaultyService<ServiceBackend>,
     pub(crate) engine: SennEngine,
     pub(crate) hosts: Vec<Host>,
     pub(crate) rng: SmallRng,
@@ -238,6 +451,16 @@ impl Simulator {
             pois.push((i as u64, p));
         }
         let poi_positions: Vec<Point> = pois.iter().map(|(_, p)| *p).collect();
+        assert!(
+            config.server_shards >= 1,
+            "the service needs at least one shard"
+        );
+        let backend = if config.server_shards > 1 {
+            ServiceBackend::Sharded(ShardedService::new(pois.clone(), config.server_shards))
+        } else {
+            ServiceBackend::Plain(RTreeServer::new(pois.clone()))
+        };
+        let service = FaultyService::new(backend, config.fault.unwrap_or_default());
         let server = RTreeServer::new(pois);
 
         // Hosts: random start positions; `M_Percentage` of them move.
@@ -293,6 +516,7 @@ impl Simulator {
             network: Some(network),
             poi_positions,
             server,
+            service,
             engine,
             hosts,
             rng,
@@ -315,9 +539,18 @@ impl Simulator {
         self.network.as_ref()
     }
 
-    /// The server module.
+    /// The server module (the ground-truth single-tree backend).
     pub fn server(&self) -> &RTreeServer {
         &self.server
+    }
+
+    /// Per-shard observability counters of the residual-query service —
+    /// `Some` when the sharded backend is configured (`server_shards > 1`).
+    pub fn service_metrics(&self) -> Option<ServiceMetrics> {
+        match self.service.inner() {
+            ServiceBackend::Sharded(s) => Some(s.metrics()),
+            ServiceBackend::Plain(_) => None,
+        }
     }
 
     /// Collected metrics (post warm-up).
@@ -372,6 +605,9 @@ impl Simulator {
             let new_pos = Point::new(self.rng.gen_range(0.0..side), self.rng.gen_range(0.0..side));
             let old = self.poi_positions[id];
             if self.server.relocate(id as u64, old, new_pos) {
+                // The service backend mirrors the truth server's index.
+                let mirrored = self.service.inner_mut().relocate(id as u64, old, new_pos);
+                debug_assert!(mirrored, "service backend diverged from truth server");
                 self.poi_positions[id] = new_pos;
             }
         }
@@ -404,18 +640,26 @@ impl Simulator {
             &self.pos_buf,
         );
 
-        // Phase 3 — execute against the frozen snapshot (crate::query_step);
-        // outcomes come back in query-index order regardless of thread
+        // Phase 3 — execute against the frozen snapshot (crate::query_step),
+        // in three passes: the parallel peer stages, then ONE interval
+        // batch of every residual through the service seam (retry and
+        // degradation included), then the parallel measurement pass.
+        // Results come back in query-index order regardless of thread
         // scheduling.
         let started = std::time::Instant::now();
-        let outcomes = self.execute_batch(&plans);
+        let pendings = self.execute_batch(&plans);
+        let pendings = self.submit_residual_batch(&plans, pendings);
+        let measures = self.measure_batch(&plans, &pendings);
         self.batch_stats
             .record(started.elapsed().as_secs_f64(), n as u64);
 
         // Phase 4 — merge in query order (crate::cache_step): exactly the
         // fold a sequential left-to-right execution would perform.
-        for (plan, outcome) in plans.iter().zip(outcomes) {
-            self.apply_outcome(plan, outcome);
+        for ((plan, pending), measured) in plans.iter().zip(pendings).zip(measures) {
+            self.apply_outcome(
+                plan,
+                crate::query_step::QueryOutcome::assemble(pending, measured),
+            );
         }
     }
 }

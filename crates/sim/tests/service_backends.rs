@@ -1,0 +1,139 @@
+//! The simulator's residual batches through the configurable service
+//! seam: shard-count invariance of every recorded metric, bit-identical
+//! passthrough of a disabled fault wrapper, seeded fault determinism
+//! across thread counts, and graceful degradation accounting under a
+//! hostile service.
+
+use senn_sim::{FaultConfig, Metrics, ParamSet, SimConfig, SimParams, Simulator};
+
+fn base(seed: u64) -> SimConfig {
+    let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+    params.t_execution_hours = 0.05; // 3 simulated minutes
+    SimConfig::new(params, seed)
+}
+
+fn run(cfg: SimConfig) -> Metrics {
+    Simulator::new(cfg).run()
+}
+
+#[test]
+fn sharded_backend_reproduces_single_tree_metrics() {
+    // The sharded service must return answers identical to the 1-shard
+    // RTreeServer backend, so the whole metrics block — attribution,
+    // PAR shadows, cache-driven peer rates — is invariant to shard count.
+    let single = run(base(42));
+    for shards in [2, 3, 5] {
+        let sharded = run(base(42).to_builder().server_shards(shards).build());
+        assert_eq!(single, sharded, "metrics diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn sharded_backend_tracks_relocations_under_churn() {
+    // POI churn relocates in both the truth server and the service
+    // backend; a sharded backend routes relocations across strips and must
+    // keep answering exactly like the single tree.
+    let mk = |shards: usize| {
+        let mut cfg = base(31);
+        cfg.params.t_execution_hours = 0.15;
+        cfg.compare_inn = false;
+        cfg.poi_churn_per_hour = 16.0;
+        cfg.server_shards = shards;
+        run(cfg)
+    };
+    let single = mk(1);
+    assert!(single.peer_answers_graded > 0, "churn runs grade answers");
+    assert_eq!(single, mk(3));
+}
+
+#[test]
+fn per_shard_counters_account_every_residual_request() {
+    let cfg = base(11).to_builder().server_shards(2).build();
+    let mut sim = Simulator::new(cfg);
+    let m = sim.run();
+    let sm = sim
+        .service_metrics()
+        .expect("sharded backend exposes metrics");
+    assert_eq!(sm.shards.len(), 2);
+    // Warm-up queries also hit the service, so the request counter is at
+    // least the steady-state server-bound count; retry rounds can only
+    // add to it.
+    assert!(
+        sm.requests >= m.server,
+        "service saw {} requests for {} server-bound queries",
+        sm.requests,
+        m.server
+    );
+    assert!(sm.node_accesses() > 0);
+    let per_shard: u64 = sm.shards.iter().map(|s| s.requests).sum();
+    assert!(per_shard >= sm.requests, "every request lands on ≥ 1 shard");
+}
+
+#[test]
+fn disabled_fault_wrapper_is_bit_identical() {
+    // `fault: None` and an explicitly disabled fault config must both be
+    // pure passthroughs: exact same Metrics, f64 sums included.
+    let plain = run(base(42));
+    let wrapped = run(base(42).to_builder().fault(FaultConfig::disabled()).build());
+    assert_eq!(plain, wrapped);
+    assert_eq!(plain.server_retries, 0);
+    assert_eq!(plain.server_drops + plain.server_timeouts, 0);
+    assert_eq!(plain.server_degraded + plain.server_failed, 0);
+}
+
+#[test]
+fn seeded_faults_are_deterministic_and_thread_invariant() {
+    // Fault schedules are drawn per request in batch-submission order, and
+    // batch composition is fixed by the plan — so a fixed seed reproduces
+    // identical retry counts no matter how many worker threads execute.
+    let mk = |threads: usize| {
+        base(7)
+            .to_builder()
+            .server_shards(2)
+            .fault(FaultConfig::lossy(99))
+            .threads(threads)
+            .build()
+    };
+    let a = run(mk(1));
+    let b = run(mk(4));
+    let c = run(mk(4));
+    assert_eq!(b, c, "same seed, same threads ⇒ identical metrics");
+    assert_eq!(a, b, "fault schedule must not depend on thread count");
+}
+
+#[test]
+fn hostile_service_degrades_gracefully_without_panics() {
+    // Heavy drops + a timeout tighter than the mean latency: the run must
+    // complete, attribute every query exactly once, and account the
+    // retries/degradations in Metrics.
+    let mut cfg = base(3);
+    cfg.params.t_execution_hours = 0.1;
+    cfg.compare_inn = false;
+    let cfg = cfg
+        .to_builder()
+        .server_shards(2)
+        .fault(FaultConfig {
+            seed: 5,
+            drop_prob: 0.45,
+            mean_latency_ms: 30.0,
+            timeout_ms: 35.0,
+        })
+        .build();
+    let m = run(cfg);
+    assert!(m.queries > 0);
+    assert_eq!(
+        m.queries,
+        m.single_peer + m.multi_peer + m.server + m.accepted_uncertain,
+        "every query attributed exactly once even under faults"
+    );
+    assert!(m.server_retries > 0, "heavy faults must trigger retries");
+    assert!(m.server_drops + m.server_timeouts > 0);
+    assert!(
+        m.server_degraded + m.server_failed > 0,
+        "some requests must exhaust the pruned attempts"
+    );
+    // Failed residuals still record a heap state (they stay server-bound).
+    let states: u64 = m.heap_states.iter().sum();
+    assert_eq!(states, m.server);
+    assert!(m.degraded_rate() <= 1.0 && m.failed_request_rate() <= 1.0);
+}

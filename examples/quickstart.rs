@@ -8,7 +8,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use mobishare_senn::core::{PeerCacheEntry, RTreeServer, Resolution, SennConfig, SennEngine};
+use mobishare_senn::core::prelude::*;
 use mobishare_senn::geom::Point;
 
 fn main() {
@@ -78,4 +78,15 @@ fn main() {
         "no server pages were read"
     );
     println!("server was never contacted — the peer's cache answered everything.");
+
+    // Had the cache fallen short, the residual would go out over the
+    // batched service API: one ServerRequest per unresolved query, one
+    // submit() per interval. The same seam a sharded backend implements.
+    let request = ServerRequest::plain(0, q, 2);
+    let replies = server.submit(std::slice::from_ref(&request));
+    assert_eq!(replies[0].status, ReplyStatus::Ok);
+    println!(
+        "(for comparison, one batched server request would have cost {} node accesses)",
+        replies[0].response.node_accesses
+    );
 }

@@ -10,9 +10,7 @@
 //! cargo run --release --example road_trip
 //! ```
 
-use mobishare_senn::core::{
-    snnn_query, PeerCacheEntry, RTreeServer, Resolution, SennEngine, SnnnConfig,
-};
+use mobishare_senn::core::prelude::*;
 use mobishare_senn::geom::Point;
 use mobishare_senn::mobility::{RoadMover, RoadMoverConfig};
 use mobishare_senn::network::{generate_network, GeneratorConfig, NetworkDistance, NodeLocator};
