@@ -1,17 +1,22 @@
 //! Performance gate: runs a fixed simulation scenario with the batch
-//! engine in sequential, parallel, and sharded-service mode, measures
-//! batched-versus-sequential server submission throughput, runs a small
-//! microbenchmark suite over the query hot paths, and writes the
-//! measurements as JSON.
+//! engine in sequential, parallel, and sharded-service mode, runs the
+//! network-mode SNNN scenario once per distance model, measures
+//! batched-versus-sequential server submission throughput, compares the
+//! search effort of the Dijkstra/A\*/ALT metrics on a large road grid,
+//! runs a small microbenchmark suite over the query hot paths, and
+//! writes the measurements as JSON.
 //!
-//! The JSON file (`BENCH_PR3.json` by default, schema `senn-perf-gate-v3`)
+//! The JSON file (`BENCH_PR4.json` by default, schema `senn-perf-gate-v4`)
 //! is committed alongside the code so every PR leaves a machine-readable
 //! perf trajectory behind: compare `queries_per_sec`, the per-stage
-//! `stages` breakdown, the `service` throughput block and the
+//! `stages` breakdown, the `snnn` per-model legs, the `service`
+//! throughput block, the `metric` search-effort counters and the
 //! `ns_per_iter` entries across revisions to see whether a change paid
 //! for itself. The gate also re-asserts the engine contract — parallel
-//! and sharded metrics must equal sequential metrics — so a perf
-//! regression hunt can never silently trade away determinism.
+//! and sharded metrics must equal sequential metrics, the A\* and ALT
+//! SNNN runs must record identical Metrics, and the three counting
+//! searches must agree on every sampled distance — so a perf regression
+//! hunt can never silently trade away determinism.
 //!
 //! Usage:
 //!
@@ -31,12 +36,15 @@ use senn_core::service::{ServerRequest, SpatialService};
 use senn_core::{SearchBounds, STAGE_COUNT, STAGE_NAMES};
 use senn_geom::Point;
 use senn_network::{
-    generate_network, ier_knn_with, ine_knn_with, DijkstraScratch, GeneratorConfig, NetworkPois,
-    NodeLocator,
+    counting_alt, counting_astar, counting_dijkstra, generate_network, ier_knn_with, ine_knn_with,
+    AltIndex, DijkstraScratch, GeneratorConfig, NetworkPois, NodeLocator, SearchStats,
 };
 use senn_rtree::RStarTree;
 use senn_server::ShardedService;
-use senn_sim::{BatchStats, Metrics, ParamSet, ServiceMetrics, SimConfig, SimParams, Simulator};
+use senn_sim::{
+    BatchStats, Metrics, NetworkModelKind, ParamSet, ServiceMetrics, SimConfig, SimParams,
+    Simulator,
+};
 
 struct Args {
     quick: bool,
@@ -48,7 +56,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         shards: 4,
-        out: "BENCH_PR3.json".to_string(),
+        out: "BENCH_PR4.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -90,6 +98,135 @@ fn run_sim(
     let wall = started.elapsed().as_secs_f64();
     let service = sim.service_metrics();
     (metrics, *sim.batch_stats(), wall, service)
+}
+
+/// One network-mode (SNNN) leg: the Table-3 2×2-mile scenario with a
+/// pluggable road-distance model threaded through the batch engine.
+struct SnnnLeg {
+    label: &'static str,
+    metrics: Metrics,
+    stats: BatchStats,
+    wall_secs: f64,
+}
+
+fn run_snnn_leg(label: &'static str, quick: bool, kind: NetworkModelKind) -> SnnnLeg {
+    let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+    params.t_execution_hours = if quick { 0.02 } else { 0.1 };
+    let cfg = SimConfig::new(params, 20_060_402)
+        .to_builder()
+        .distance_model(kind)
+        .build();
+    let mut sim = Simulator::new(cfg);
+    let started = Instant::now();
+    let metrics = sim.run();
+    let wall_secs = started.elapsed().as_secs_f64();
+    SnnnLeg {
+        label,
+        metrics,
+        stats: *sim.batch_stats(),
+        wall_secs,
+    }
+}
+
+/// Runs the three distance models over the same scenario and re-asserts
+/// the interchangeability contract: A\* and ALT compute the same
+/// distances, so their whole Metrics blocks must coincide bit for bit.
+fn snnn_benches(quick: bool) -> Vec<SnnnLeg> {
+    let legs = vec![
+        run_snnn_leg("astar", quick, NetworkModelKind::AStar),
+        run_snnn_leg("alt", quick, NetworkModelKind::Alt { landmarks: 8 }),
+        run_snnn_leg(
+            "timedep",
+            quick,
+            NetworkModelKind::TimeDependent { start_hour: 8.0 },
+        ),
+    ];
+    assert_eq!(
+        legs[0].metrics, legs[1].metrics,
+        "ALT model diverged from the A* model on the SNNN leg"
+    );
+    for leg in &legs {
+        assert_eq!(
+            leg.metrics.queries,
+            leg.metrics.single_peer
+                + leg.metrics.multi_peer
+                + leg.metrics.server
+                + leg.metrics.accepted_uncertain,
+            "{}: every SNNN query attributed exactly once",
+            leg.label
+        );
+    }
+    legs
+}
+
+/// Search-effort totals of one counting search over the sampled pairs.
+struct MetricAlgo {
+    name: &'static str,
+    stats: SearchStats,
+}
+
+/// Large-grid heuristic-quality leg: the same node pairs solved by plain
+/// Dijkstra, Euclidean A\* and ALT. All three must agree on every
+/// distance to 1e-9 (same metric, different heuristics); ALT must relax
+/// strictly fewer edges than A\* — that gap is what the landmark index
+/// buys and what this leg tracks across revisions.
+fn metric_benches(quick: bool) -> (usize, usize, usize, Vec<MetricAlgo>) {
+    let side = if quick { 3000.0 } else { 8000.0 };
+    let pair_count = if quick { 16 } else { 64 };
+    let net = generate_network(&GeneratorConfig::city(side, 42));
+    let index = AltIndex::build_seeded(&net, 8, 42);
+    let mut rng = BenchRng::new(0x5eed);
+    let n = net.node_count() as f64;
+
+    let mut dij = SearchStats::default();
+    let mut astar = SearchStats::default();
+    let mut alt = SearchStats::default();
+    let mut reachable = 0usize;
+    for _ in 0..pair_count {
+        let from = (rng.next_f64() * n) as u32;
+        let to = (rng.next_f64() * n) as u32;
+        let (dd, sd) = counting_dijkstra(&net, from, to);
+        let (da, sa) = counting_astar(&net, from, to);
+        let (dl, sl) = counting_alt(&net, &index, from, to);
+        match (dd, da, dl) {
+            (Some(dd), Some(da), Some(dl)) => {
+                assert!(
+                    (dd - da).abs() < 1e-9 && (dd - dl).abs() < 1e-9,
+                    "metric leg: heuristics disagreed on {from}->{to}: \
+                     dijkstra {dd}, astar {da}, alt {dl}"
+                );
+                reachable += 1;
+            }
+            (None, None, None) => {}
+            _ => panic!("metric leg: reachability disagreed on {from}->{to}"),
+        }
+        dij.add(sd);
+        astar.add(sa);
+        alt.add(sl);
+    }
+    assert!(reachable > 0, "metric leg sampled no reachable pairs");
+    assert!(
+        alt.relaxed < astar.relaxed,
+        "ALT must relax fewer edges than A* on the large grid \
+         (alt {} vs astar {})",
+        alt.relaxed,
+        astar.relaxed
+    );
+    let algos = vec![
+        MetricAlgo {
+            name: "dijkstra",
+            stats: dij,
+        },
+        MetricAlgo {
+            name: "astar",
+            stats: astar,
+        },
+        MetricAlgo {
+            name: "alt",
+            stats: alt,
+        },
+    ];
+    (net.node_count(), pair_count, reachable, algos)
 }
 
 /// Times `f` until the budget is spent and returns (iters, ns/iter).
@@ -327,6 +464,67 @@ fn sim_leg_json(label: &str, m: &Metrics, b: &BatchStats, wall_secs: f64) -> Str
     )
 }
 
+fn snnn_leg_json(leg: &SnnnLeg) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"wall_secs\": {},\n",
+            "      \"queries\": {},\n",
+            "      \"queries_per_sec\": {},\n",
+            "      \"snnn_rounds\": {},\n",
+            "      \"expansion_cap_hits\": {},\n",
+            "      \"single_peer\": {},\n",
+            "      \"multi_peer\": {},\n",
+            "      \"server\": {},\n",
+            "      \"stages\": [\n",
+            "{}\n",
+            "      ]\n",
+            "    }}"
+        ),
+        leg.label,
+        fmt_f64(leg.wall_secs),
+        leg.stats.queries,
+        fmt_f64(leg.stats.queries_per_sec()),
+        leg.stats.snnn_rounds,
+        leg.metrics.expansion_cap_hits,
+        leg.metrics.single_peer,
+        leg.metrics.multi_peer,
+        leg.metrics.server,
+        stages_json(&leg.stats),
+    )
+}
+
+fn metric_json(nodes: usize, pairs: usize, reachable: usize, algos: &[MetricAlgo]) -> String {
+    let rows: Vec<String> = algos
+        .iter()
+        .map(|a| {
+            format!(
+                "      {{ \"name\": \"{}\", \"settled\": {}, \"relaxed\": {} }}",
+                a.name, a.stats.settled, a.stats.relaxed
+            )
+        })
+        .collect();
+    let astar = algos.iter().find(|a| a.name == "astar").expect("astar leg");
+    let alt = algos.iter().find(|a| a.name == "alt").expect("alt leg");
+    format!(
+        concat!(
+            "{{\n",
+            "    \"nodes\": {},\n",
+            "    \"landmarks\": 8,\n",
+            "    \"pairs\": {},\n",
+            "    \"reachable\": {},\n",
+            "    \"alt_vs_astar_relaxed_ratio\": {},\n",
+            "    \"algorithms\": [\n{}\n    ]\n",
+            "  }}"
+        ),
+        nodes,
+        pairs,
+        reachable,
+        fmt_f64(alt.stats.relaxed as f64 / astar.stats.relaxed as f64),
+        rows.join(",\n"),
+    )
+}
+
 fn shard_metrics_json(sm: &ServiceMetrics) -> String {
     let rows: Vec<String> = sm
         .shards
@@ -428,6 +626,26 @@ fn main() {
         1.0
     };
 
+    let snnn_legs = snnn_benches(args.quick);
+    for leg in &snnn_legs {
+        eprintln!(
+            "perf_gate: snnn {} {:.2}s wall, {} queries, {} rounds, {} cap hits",
+            leg.label,
+            leg.wall_secs,
+            leg.stats.queries,
+            leg.stats.snnn_rounds,
+            leg.metrics.expansion_cap_hits
+        );
+    }
+
+    let (metric_nodes, metric_pairs, metric_reachable, metric_algos) = metric_benches(args.quick);
+    for a in &metric_algos {
+        eprintln!(
+            "perf_gate: metric {} settled {} relaxed {}",
+            a.name, a.stats.settled, a.stats.relaxed
+        );
+    }
+
     let (service_legs, service_sm, batch_size) = service_benches(args.quick, args.shards);
     for leg in &service_legs {
         eprintln!(
@@ -471,10 +689,12 @@ fn main() {
         .map(|sm| format!(",\n  \"sim_service_metrics\": {}", shard_metrics_json(sm)))
         .unwrap_or_default();
 
+    let snnn_json: Vec<String> = snnn_legs.iter().map(snnn_leg_json).collect();
+
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"senn-perf-gate-v3\",\n",
+            "  \"schema\": \"senn-perf-gate-v4\",\n",
             "  \"quick\": {},\n",
             "  \"available_parallelism\": {},\n",
             "  \"parallel_threads\": {},\n",
@@ -493,6 +713,11 @@ fn main() {
             "    \"speedup_queries_per_sec\": {},\n",
             "    \"metrics_identical\": true\n",
             "  }}{},\n",
+            "  \"snnn\": {{\n",
+            "{},\n",
+            "    \"astar_alt_metrics_identical\": true\n",
+            "  }},\n",
+            "  \"metric\": {},\n",
             "  \"service\": {{\n",
             "    \"batch_size\": {},\n",
             "    \"pois\": 10000,\n",
@@ -517,6 +742,8 @@ fn main() {
         sim_leg_json("sharded", &shard_m, &shard_b, shard_wall),
         fmt_f64(speedup),
         sim_service_json,
+        snnn_json.join(",\n"),
+        metric_json(metric_nodes, metric_pairs, metric_reachable, &metric_algos),
         batch_size,
         service_json.join(",\n"),
         shard_metrics_json(&service_sm),

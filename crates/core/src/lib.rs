@@ -58,7 +58,7 @@ pub use service::{
     submit_with_retry, ReplyStatus, RequestOutcome, RetryPolicy, ServerReply, ServerRequest,
     SpatialService,
 };
-pub use snnn::{snnn_query, snnn_query_with, SnnnConfig, SnnnNeighbor, SnnnOutcome};
+pub use snnn::{snnn_query, snnn_query_with, SnnnConfig, SnnnExpansion, SnnnNeighbor, SnnnOutcome};
 pub use trace::{QueryTrace, Resolution, Stage, STAGE_COUNT, STAGE_NAMES};
 
 /// One-stop imports for typical users of the crate: the engines, the

@@ -71,6 +71,149 @@ impl SnnnOutcome {
     }
 }
 
+/// The ranking/termination state machine of one SNNN expansion,
+/// factored out of [`snnn_query_with`] so batch drivers (the simulator's
+/// network mode) that serve each Euclidean round through their own
+/// channel — deferred residual batches, retry policies — share the exact
+/// expansion logic with the library driver instead of re-implementing it.
+///
+/// Protocol: [`SnnnExpansion::begin`] with the initial `k`-NN round, then
+/// while [`SnnnExpansion::needs_round`] run a SENN round asking
+/// [`SnnnExpansion::next_k`] Euclidean NNs and [`SnnnExpansion::offer`]
+/// its results. The driver decides the round budget; when it stops while
+/// [`SnnnExpansion::cap_hit`] is true, the answer is unconfirmed and the
+/// outcome's trace must say so.
+#[derive(Clone, Debug)]
+pub struct SnnnExpansion {
+    query: Point,
+    k: usize,
+    results: Vec<SnnnNeighbor>,
+    /// Euclidean rounds offered so far (round `i` asks `k + i` NNs).
+    rounds: usize,
+    /// True once no further round can change the results.
+    finished: bool,
+    /// True when the distance bound (or POI exhaustion) confirmed the
+    /// answer — the opposite of a cap/abort truncation.
+    confirmed: bool,
+}
+
+impl SnnnExpansion {
+    /// Ranks the initial Euclidean `k`-NN round under the target metric.
+    /// When the world holds fewer than `k` POIs the expansion is already
+    /// finished (and confirmed: there is nothing left to pull).
+    pub fn begin<M: DistanceModel>(
+        query: Point,
+        k: usize,
+        initial: &[crate::heap::HeapEntry],
+        model: &mut M,
+    ) -> Self {
+        let mut results: Vec<SnnnNeighbor> = initial
+            .iter()
+            .map(|e| SnnnNeighbor {
+                poi: e.poi,
+                network_dist: model
+                    .distance(query, e.poi.position)
+                    .unwrap_or(f64::INFINITY),
+                euclid_dist: e.dist,
+            })
+            .collect();
+        results.sort_by(|a, b| a.network_dist.partial_cmp(&b.network_dist).unwrap());
+        let exhausted = results.len() < k;
+        SnnnExpansion {
+            query,
+            k,
+            results,
+            rounds: 0,
+            finished: exhausted,
+            confirmed: exhausted,
+        }
+    }
+
+    /// True while another Euclidean round could still change the answer.
+    pub fn needs_round(&self) -> bool {
+        !self.finished
+    }
+
+    /// The `k'` the next Euclidean round must ask for.
+    pub fn next_k(&self) -> usize {
+        self.k + self.rounds + 1
+    }
+
+    /// Offers the results of the round that asked [`SnnnExpansion::next_k`]
+    /// NNs: either the round's last NN confirms the distance bound (or the
+    /// world ran out of POIs) and the expansion finishes, or the new
+    /// candidate is ranked into the result set.
+    pub fn offer<M: DistanceModel>(
+        &mut self,
+        round_results: &[crate::heap::HeapEntry],
+        model: &mut M,
+    ) {
+        if self.finished {
+            return;
+        }
+        self.rounds += 1;
+        let target = self.k + self.rounds;
+        let s_bound = self.results[self.k - 1].network_dist;
+        if round_results.len() < target {
+            // The world has no more POIs.
+            self.finished = true;
+            self.confirmed = true;
+            return;
+        }
+        let next = round_results[target - 1];
+        if next.dist > s_bound {
+            // The Euclidean lower bound exceeds the k-th target distance.
+            self.finished = true;
+            self.confirmed = true;
+            return;
+        }
+        if self.results.iter().any(|r| r.poi.poi_id == next.poi.poi_id) {
+            return; // already ranked (ties can reorder across calls)
+        }
+        let nd = model
+            .distance(self.query, next.poi.position)
+            .unwrap_or(f64::INFINITY);
+        if nd < s_bound {
+            self.results[self.k - 1] = SnnnNeighbor {
+                poi: next.poi,
+                network_dist: nd,
+                euclid_dist: next.dist,
+            };
+            self.results
+                .sort_by(|a, b| a.network_dist.partial_cmp(&b.network_dist).unwrap());
+        }
+    }
+
+    /// Ends the expansion without confirmation — for drivers whose round
+    /// channel failed (e.g. a residual request that exhausted every
+    /// attempt). [`SnnnExpansion::cap_hit`] stays true: the answer is the
+    /// best ranking seen, but it is unconfirmed.
+    pub fn abort(&mut self) {
+        self.finished = true;
+    }
+
+    /// True when the expansion ended (or would end, if the driver stops
+    /// here) without the distance bound confirming the answer.
+    pub fn cap_hit(&self) -> bool {
+        !self.confirmed
+    }
+
+    /// Euclidean rounds offered so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The current ranking, ascending by target-metric distance.
+    pub fn results(&self) -> &[SnnnNeighbor] {
+        &self.results
+    }
+
+    /// Consumes the expansion into its final ranking.
+    pub fn into_results(self) -> Vec<SnnnNeighbor> {
+        self.results
+    }
+}
+
 /// Runs Algorithm 2 with a fresh [`QueryContext`].
 pub fn snnn_query<B: Borrow<CacheEntry>, M: DistanceModel>(
     engine: &SennEngine,
@@ -114,64 +257,30 @@ pub fn snnn_query_with<B: Borrow<CacheEntry>, M: DistanceModel>(
     // Step 1: the k Euclidean NNs via SENN, ranked by the target metric.
     let initial = engine.query_with(query, k, peers, server, ctx);
     trace.absorb(&initial.trace);
-    let mut results: Vec<SnnnNeighbor> = initial
-        .results
-        .iter()
-        .map(|e| SnnnNeighbor {
-            poi: e.poi,
-            network_dist: model
-                .distance(query, e.poi.position)
-                .unwrap_or(f64::INFINITY),
-            euclid_dist: e.dist,
-        })
-        .collect();
-    results.sort_by(|a, b| a.network_dist.partial_cmp(&b.network_dist).unwrap());
+    let mut expansion = SnnnExpansion::begin(query, k, &initial.results, model);
 
-    if results.len() < k {
+    if !expansion.needs_round() {
         // Fewer than k POIs exist at all: done, no expansion to truncate.
-        return SnnnOutcome { results, trace };
+        return SnnnOutcome {
+            results: expansion.into_results(),
+            trace,
+        };
     }
 
     // Step 2: incremental Euclidean expansion until the next Euclidean NN
-    // falls beyond the target-distance search bound. Unless one of the
-    // break conditions confirms that bound, the cap truncated the search.
-    let mut cap_hit = true;
-    for i in 1..=config.max_expansion {
-        let s_bound = results[k - 1].network_dist;
-        if !s_bound.is_finite() {
-            // Some current candidates are unreachable: any POI can improve.
-            // Fall through with an infinite bound (expansion continues
-            // until POIs run out or the cap hits).
-        }
-        let expanded = engine.query_with(query, k + i, peers, server, ctx);
+    // falls beyond the target-distance search bound. Unless the state
+    // machine confirms that bound, the cap truncated the search.
+    while expansion.needs_round() && expansion.rounds() < config.max_expansion {
+        let expanded = engine.query_with(query, expansion.next_k(), peers, server, ctx);
         trace.absorb(&expanded.trace);
-        if expanded.results.len() < k + i {
-            cap_hit = false;
-            break; // the world has no more POIs
-        }
-        let next = expanded.results[k + i - 1];
-        if next.dist > s_bound {
-            cap_hit = false;
-            break; // Euclidean lower bound exceeds the k-th target dist
-        }
-        if results.iter().any(|r| r.poi.poi_id == next.poi.poi_id) {
-            continue; // already ranked (ties can reorder across calls)
-        }
-        let nd = model
-            .distance(query, next.poi.position)
-            .unwrap_or(f64::INFINITY);
-        if nd < s_bound {
-            results[k - 1] = SnnnNeighbor {
-                poi: next.poi,
-                network_dist: nd,
-                euclid_dist: next.dist,
-            };
-            results.sort_by(|a, b| a.network_dist.partial_cmp(&b.network_dist).unwrap());
-        }
+        expansion.offer(&expanded.results, model);
     }
-    trace.cap_hit = cap_hit;
+    trace.cap_hit = expansion.cap_hit();
 
-    SnnnOutcome { results, trace }
+    SnnnOutcome {
+        results: expansion.into_results(),
+        trace,
+    }
 }
 
 #[cfg(test)]

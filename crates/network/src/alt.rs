@@ -7,13 +7,15 @@
 //! `d(u, t) >= |d(L, t) - d(L, u)|` as an admissible, consistent heuristic
 //! that is much tighter on road networks. This is an extension over the
 //! paper (which uses plain Dijkstra) and is benchmarked against Dijkstra
-//! and Euclidean A\* in `network_knn`.
+//! and Euclidean A\* in `network_knn` and the perf gate's metric leg.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use senn_geom::Point;
+
 use crate::graph::{NodeId, RoadNetwork};
-use crate::shortest_path::dijkstra_map;
+use crate::shortest_path::{dijkstra_map, DijkstraScratch};
 
 /// Preprocessed landmark distances for ALT queries.
 #[derive(Clone, Debug)]
@@ -24,20 +26,38 @@ pub struct AltIndex {
 }
 
 impl AltIndex {
-    /// Builds the index with `count` landmarks chosen by farthest-point
-    /// selection (the standard "avoid" -like greedy: each new landmark is
-    /// the node farthest from all previous ones), seeded from node 0.
+    /// Builds the index with up to `count` landmarks chosen by
+    /// farthest-point selection, seeded from node 0 (see
+    /// [`AltIndex::build_seeded`]).
     pub fn build(net: &RoadNetwork, count: usize) -> Self {
+        Self::build_seeded(net, count, 0)
+    }
+
+    /// Builds the index with up to `count` landmarks chosen by
+    /// farthest-point selection (the standard "avoid"-like greedy: each
+    /// new landmark is the node farthest from all previous ones). The
+    /// first landmark is `seed % node_count`, and ties in the greedy pick
+    /// are broken toward the lowest node id — the landmark set is a pure
+    /// function of `(net, count, seed)`.
+    ///
+    /// When `count` meets or exceeds the number of distinct nodes
+    /// reachable from the seed landmark, selection stops early and the
+    /// index simply holds fewer landmarks: no panic, and never a
+    /// duplicate landmark (every extra duplicate would cost a full
+    /// Dijkstra map while adding zero pruning power).
+    pub fn build_seeded(net: &RoadNetwork, count: usize, seed: u64) -> Self {
         assert!(count >= 1, "need at least one landmark");
         let n = net.node_count();
-        let mut landmarks: Vec<NodeId> = Vec::with_capacity(count);
-        let mut dist: Vec<Vec<f64>> = Vec::with_capacity(count);
+        let mut landmarks: Vec<NodeId> = Vec::with_capacity(count.min(n));
+        let mut dist: Vec<Vec<f64>> = Vec::with_capacity(count.min(n));
         if n == 0 {
             return AltIndex { dist, landmarks };
         }
         let mut min_dist = vec![f64::INFINITY; n];
-        let mut next = 0u32;
+        let mut chosen = vec![false; n];
+        let mut next = (seed % n as u64) as NodeId;
         for _ in 0..count.min(n) {
+            chosen[next as usize] = true;
             landmarks.push(next);
             let d = dijkstra_map(net, next, None);
             for v in 0..n {
@@ -46,14 +66,23 @@ impl AltIndex {
                 }
             }
             dist.push(d);
-            // Farthest reachable node from all landmarks so far.
-            next = min_dist
-                .iter()
-                .enumerate()
-                .filter(|(_, d)| d.is_finite())
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(i, _)| i as u32)
-                .unwrap_or(0);
+            // Farthest not-yet-chosen node reachable from the landmarks so
+            // far; strictly-greater comparison breaks ties toward the
+            // lowest node id, keeping the set deterministic.
+            let mut best: Option<(usize, f64)> = None;
+            for (v, &dv) in min_dist.iter().enumerate() {
+                if chosen[v] || !dv.is_finite() {
+                    continue;
+                }
+                if best.is_none_or(|(_, bd)| dv > bd) {
+                    best = Some((v, dv));
+                }
+            }
+            match best {
+                Some((v, _)) => next = v as NodeId,
+                // Every reachable node is already a landmark: clamp.
+                None => break,
+            }
         }
         AltIndex { dist, landmarks }
     }
@@ -103,6 +132,98 @@ impl Ord for HeapItem {
     }
 }
 
+/// Search-effort counters of one label-setting run (see
+/// [`counting_dijkstra`] / [`counting_astar`] / [`counting_alt`]): how
+/// many nodes were settled (popped with their final distance) and how
+/// many edges were scanned from settled nodes. Both shrink as the
+/// heuristic tightens, which is what the perf gate's metric leg records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes settled (popped from the queue with their final distance).
+    pub settled: u64,
+    /// Edges scanned (relaxation attempts) from settled nodes.
+    pub relaxed: u64,
+}
+
+impl SearchStats {
+    /// Accumulates another run's counters (for multi-query totals).
+    pub fn add(&mut self, other: SearchStats) {
+        self.settled += other.settled;
+        self.relaxed += other.relaxed;
+    }
+}
+
+/// Label-setting search with an arbitrary admissible heuristic, counting
+/// settled nodes and edge relaxations. The distance result is identical
+/// for every admissible, consistent heuristic — only the counters change.
+fn counting_search(
+    net: &RoadNetwork,
+    from: NodeId,
+    to: NodeId,
+    h: impl Fn(NodeId) -> f64,
+) -> (Option<f64>, SearchStats) {
+    let n = net.node_count();
+    let mut stats = SearchStats::default();
+    if from as usize >= n || to as usize >= n {
+        return (None, stats);
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[from as usize] = 0.0;
+    heap.push(HeapItem {
+        priority: h(from),
+        dist: 0.0,
+        node: from,
+    });
+    while let Some(HeapItem { dist: d, node, .. }) = heap.pop() {
+        if d > dist[node as usize] {
+            continue;
+        }
+        stats.settled += 1;
+        if node == to {
+            return (Some(d), stats);
+        }
+        for e in net.neighbors(node) {
+            stats.relaxed += 1;
+            let nd = d + e.length;
+            if nd < dist[e.to as usize] {
+                dist[e.to as usize] = nd;
+                heap.push(HeapItem {
+                    priority: nd + h(e.to),
+                    dist: nd,
+                    node: e.to,
+                });
+            }
+        }
+    }
+    (None, stats)
+}
+
+/// Plain Dijkstra with effort counters (the heuristic-quality baseline).
+pub fn counting_dijkstra(
+    net: &RoadNetwork,
+    from: NodeId,
+    to: NodeId,
+) -> (Option<f64>, SearchStats) {
+    counting_search(net, from, to, |_| 0.0)
+}
+
+/// Euclidean-heuristic A\* with effort counters.
+pub fn counting_astar(net: &RoadNetwork, from: NodeId, to: NodeId) -> (Option<f64>, SearchStats) {
+    let goal: Point = net.position(to);
+    counting_search(net, from, to, |v| net.position(v).dist(goal))
+}
+
+/// ALT-heuristic A\* with effort counters.
+pub fn counting_alt(
+    net: &RoadNetwork,
+    index: &AltIndex,
+    from: NodeId,
+    to: NodeId,
+) -> (Option<f64>, SearchStats) {
+    counting_search(net, from, to, |v| index.lower_bound(v, to))
+}
+
 /// Network distance via A\* with the ALT heuristic; `None` when
 /// unreachable. Also returns the number of settled nodes (for the
 /// heuristic-quality comparison in the benches).
@@ -112,37 +233,40 @@ pub fn alt_distance(
     from: NodeId,
     to: NodeId,
 ) -> (Option<f64>, usize) {
-    let n = net.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut settled = 0usize;
-    let mut heap = BinaryHeap::new();
-    dist[from as usize] = 0.0;
-    heap.push(HeapItem {
-        priority: index.lower_bound(from, to),
-        dist: 0.0,
-        node: from,
-    });
-    while let Some(HeapItem { dist: d, node, .. }) = heap.pop() {
-        if d > dist[node as usize] {
+    let (d, stats) = counting_alt(net, index, from, to);
+    (d, stats.settled as usize)
+}
+
+/// [`alt_distance`] against a caller-managed [`DijkstraScratch`] — the
+/// allocation-free entry point the [`crate::distance::AltDistance`] model
+/// uses on the SNNN hot path.
+pub fn alt_distance_with(
+    net: &RoadNetwork,
+    index: &AltIndex,
+    from: NodeId,
+    to: NodeId,
+    scratch: &mut DijkstraScratch,
+) -> Option<f64> {
+    scratch.begin(net.node_count());
+    scratch.set_dist(from, 0.0, NodeId::MAX);
+    scratch.push(index.lower_bound(from, to), 0.0, from);
+    while let Some(item) = scratch.pop() {
+        let (d, node) = (item.dist, item.node);
+        if d > scratch.dist(node) {
             continue;
         }
-        settled += 1;
         if node == to {
-            return (Some(d), settled);
+            return Some(d);
         }
         for e in net.neighbors(node) {
             let nd = d + e.length;
-            if nd < dist[e.to as usize] {
-                dist[e.to as usize] = nd;
-                heap.push(HeapItem {
-                    priority: nd + index.lower_bound(e.to, to),
-                    dist: nd,
-                    node: e.to,
-                });
+            if nd < scratch.dist(e.to) {
+                scratch.set_dist(e.to, nd, node);
+                scratch.push(nd + index.lower_bound(e.to, to), nd, e.to);
             }
         }
     }
-    (None, settled)
+    None
 }
 
 #[cfg(test)]
@@ -168,6 +292,46 @@ mod tests {
     }
 
     #[test]
+    fn oversized_landmark_count_clamps_without_duplicates() {
+        // Regression: `count >= node_count` used to re-pick already-chosen
+        // landmarks once every reachable node's min-distance was covered.
+        let net = net();
+        let n = net.node_count();
+        for count in [n, n + 1, n * 2] {
+            let idx = AltIndex::build(&net, count);
+            assert!(idx.landmarks().len() <= n);
+            let mut ls = idx.landmarks().to_vec();
+            ls.sort_unstable();
+            ls.dedup();
+            assert_eq!(ls.len(), idx.landmarks().len(), "duplicates at {count}");
+        }
+        // A tiny connected graph: every node becomes a landmark, exactly once.
+        let mut tiny = RoadNetwork::new();
+        let a = tiny.add_node(senn_geom::Point::new(0.0, 0.0));
+        let b = tiny.add_node(senn_geom::Point::new(10.0, 0.0));
+        let c = tiny.add_node(senn_geom::Point::new(0.0, 10.0));
+        tiny.add_edge(a, b, crate::graph::RoadClass::Local);
+        tiny.add_edge(b, c, crate::graph::RoadClass::Local);
+        let idx = AltIndex::build(&tiny, 16);
+        let mut ls = idx.landmarks().to_vec();
+        ls.sort_unstable();
+        assert_eq!(ls, vec![a, b, c]);
+    }
+
+    #[test]
+    fn landmark_set_is_deterministic_per_seed() {
+        let net = net();
+        let a = AltIndex::build_seeded(&net, 6, 7);
+        let b = AltIndex::build_seeded(&net, 6, 7);
+        assert_eq!(a.landmarks(), b.landmarks());
+        // The seed picks the first landmark.
+        let n = net.node_count() as u64;
+        assert_eq!(a.landmarks()[0], (7 % n) as NodeId);
+        let c = AltIndex::build_seeded(&net, 6, 8);
+        assert_eq!(c.landmarks()[0], (8 % n) as NodeId);
+    }
+
+    #[test]
     fn alt_distance_matches_dijkstra() {
         let net = net();
         let idx = AltIndex::build(&net, 4);
@@ -185,29 +349,47 @@ mod tests {
     }
 
     #[test]
+    fn scratch_variant_matches_allocating_variant() {
+        let net = net();
+        let idx = AltIndex::build(&net, 4);
+        let n = net.node_count() as u32;
+        let mut scratch = DijkstraScratch::new();
+        for i in 0..30u32 {
+            let from = (i * 41) % n;
+            let to = (i * 89 + 5) % n;
+            let (want, _) = alt_distance(&net, &idx, from, to);
+            assert_eq!(
+                alt_distance_with(&net, &idx, from, to, &mut scratch),
+                want,
+                "{from}->{to}"
+            );
+        }
+    }
+
+    #[test]
     fn alt_settles_fewer_nodes_than_dijkstra() {
         let net = net();
         let idx = AltIndex::build(&net, 6);
         let n = net.node_count() as u32;
-        let mut alt_total = 0usize;
-        let mut dij_total = 0usize;
+        let mut alt_total = SearchStats::default();
+        let mut dij_total = SearchStats::default();
         for i in 0..20u32 {
             let from = (i * 53) % n;
             let to = (i * 197 + 7) % n;
-            let (_, alt_settled) = alt_distance(&net, &idx, from, to);
-            // Count Dijkstra settlements via a full map truncated at the
-            // target distance (a fair proxy: label-setting settles every
-            // node closer than the target).
-            if let Some(d) = dijkstra_distance(&net, from, to) {
-                let map = dijkstra_map(&net, from, Some(d));
-                dij_total += map.iter().filter(|x| x.is_finite()).count();
-                alt_total += alt_settled;
+            let (d, alt_stats) = counting_alt(&net, &idx, from, to);
+            if d.is_some() {
+                let (_, dij_stats) = counting_dijkstra(&net, from, to);
+                alt_total.add(alt_stats);
+                dij_total.add(dij_stats);
             }
         }
         assert!(
-            alt_total * 2 < dij_total * 3,
-            "ALT should settle clearly fewer nodes ({alt_total} vs {dij_total})"
+            alt_total.settled * 2 < dij_total.settled * 3,
+            "ALT should settle clearly fewer nodes ({} vs {})",
+            alt_total.settled,
+            dij_total.settled
         );
+        assert!(alt_total.relaxed < dij_total.relaxed);
     }
 
     #[test]
@@ -237,6 +419,7 @@ mod tests {
         let mut one = RoadNetwork::new();
         let a = one.add_node(senn_geom::Point::new(1.0, 1.0));
         let idx = AltIndex::build(&one, 2);
+        assert_eq!(idx.landmarks().len(), 1, "a single node clamps to itself");
         let (d, _) = alt_distance(&one, &idx, a, a);
         assert_eq!(d, Some(0.0));
     }

@@ -1,21 +1,32 @@
-//! The road-network implementation of `senn-core`'s distance-model seam.
+//! The road-network implementations of `senn-core`'s distance-model seam.
 //!
-//! [`NetworkDistance`] anchors a query point to its nearest modeling-graph
-//! node and computes point-to-point network distances with A\* over a
-//! reusable [`DijkstraScratch`] — the same convention the IER/INE kNN
-//! baselines use: straight-line leg from the query point to its snap node,
-//! shortest path through the graph, straight-line leg from the POI's snap
-//! node to the POI.
+//! All three models share one convention — anchor the query point to its
+//! nearest modeling-graph node, run a label-setting search over a
+//! reusable [`DijkstraScratch`], and add the straight-line legs to/from
+//! the snap nodes (the same convention the IER/INE kNN baselines use):
 //!
-//! Plugged into `senn_core::snnn_query`, this model turns the generic
+//! * [`NetworkDistance`] — A\* with the Euclidean heuristic (the PR-2
+//!   baseline model).
+//! * [`AltDistance`] — A\* with the precomputed landmark lower bounds of
+//!   an [`AltIndex`]; identical distances, fewer settled nodes.
+//! * [`TimeDependentCost`] — congestion-weighted cost over per-class
+//!   speed limits and a time-of-day multiplier. Each edge costs
+//!   `length × (v_ref / v_class) × congestion(class, hour)` where `v_ref`
+//!   is the primary-road speed limit and every factor is ≥ 1 — i.e. the
+//!   free-flow-normalized travel time expressed in meters, so congestion
+//!   only *lengthens* edges.
+//!
+//! Plugged into `senn_core::snnn_query`, these models turn the generic
 //! IER driver into Algorithm 2 proper; the Euclidean lower-bound property
 //! the driver relies on holds because every edge of the modeling graph is
-//! at least as long as the straight line between its endpoints.
+//! at least as long as the straight line between its endpoints — and for
+//! [`TimeDependentCost`] because its per-edge factor never drops below 1.
 
 use senn_core::DistanceModel;
 use senn_geom::Point;
 
-use crate::graph::{NodeId, RoadNetwork};
+use crate::alt::{alt_distance_with, AltIndex};
+use crate::graph::{NodeId, RoadClass, RoadNetwork};
 use crate::locator::NodeLocator;
 use crate::shortest_path::{astar_distance_with, DijkstraScratch};
 
@@ -83,6 +94,231 @@ impl DistanceModel for NetworkDistance<'_> {
     }
 }
 
+/// A [`DistanceModel`] over a road network using the ALT heuristic of a
+/// prebuilt [`AltIndex`]: identical distances to [`NetworkDistance`]
+/// (both are exact label-setting searches), typically with far fewer
+/// settled nodes on grid-like networks where the Euclidean heuristic is
+/// weak.
+pub struct AltDistance<'a> {
+    net: &'a RoadNetwork,
+    locator: &'a NodeLocator,
+    index: &'a AltIndex,
+    query_node: NodeId,
+    scratch: DijkstraScratch,
+}
+
+impl<'a> AltDistance<'a> {
+    /// Anchors the model at the network node nearest to `query`. Returns
+    /// `None` when the network has no nodes.
+    pub fn new(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        index: &'a AltIndex,
+        query: Point,
+    ) -> Option<Self> {
+        let query_node = locator.nearest(query)?;
+        Some(AltDistance {
+            net,
+            locator,
+            index,
+            query_node,
+            scratch: DijkstraScratch::new(),
+        })
+    }
+
+    /// Anchors the model at an explicit query node.
+    pub fn anchored(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        index: &'a AltIndex,
+        query_node: NodeId,
+    ) -> Self {
+        AltDistance {
+            net,
+            locator,
+            index,
+            query_node,
+            scratch: DijkstraScratch::new(),
+        }
+    }
+
+    /// The node the query point is anchored to.
+    pub fn query_node(&self) -> NodeId {
+        self.query_node
+    }
+
+    /// Re-anchors the model for a new query point, keeping the search
+    /// scratch and the landmark index. Returns false (leaving the anchor
+    /// unchanged) when the locator finds no node.
+    pub fn rebase(&mut self, query: Point) -> bool {
+        match self.locator.nearest(query) {
+            Some(n) => {
+                self.query_node = n;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl DistanceModel for AltDistance<'_> {
+    /// Same convention as [`NetworkDistance`], with the ALT core search.
+    fn distance(&mut self, query: Point, p: Point) -> Option<f64> {
+        let pn = self.locator.nearest(p)?;
+        let core = alt_distance_with(self.net, self.index, self.query_node, pn, &mut self.scratch)?;
+        Some(query.dist(self.net.position(self.query_node)) + core + self.net.position(pn).dist(p))
+    }
+}
+
+/// Congestion multiplier for a road class at an hour of day in `[0, 24)`.
+///
+/// A deterministic commuter profile: morning (7–9h) and evening (16–19h)
+/// rush hours congest primary roads the most, the daytime shoulder keeps
+/// a mild slowdown, nights flow freely. Always ≥ 1 — congestion can only
+/// slow an edge down, which is what keeps [`TimeDependentCost`] a valid
+/// [`DistanceModel`] (the Euclidean lower bound survives).
+pub fn congestion_factor(class: RoadClass, hour_of_day: f64) -> f64 {
+    let h = hour_of_day.rem_euclid(24.0);
+    let rush = (7.0..9.0).contains(&h) || (16.0..19.0).contains(&h);
+    let day = (9.0..16.0).contains(&h) || (19.0..22.0).contains(&h);
+    match (class, rush, day) {
+        (RoadClass::Primary, true, _) => 1.6,
+        (RoadClass::Secondary, true, _) => 1.35,
+        (RoadClass::Local, true, _) => 1.15,
+        (RoadClass::Primary, _, true) => 1.2,
+        (RoadClass::Secondary, _, true) => 1.1,
+        (RoadClass::Local, _, true) => 1.05,
+        _ => 1.0,
+    }
+}
+
+/// Per-edge cost multiplier of the time-dependent model: the free-flow
+/// speed penalty of the class relative to the primary-road reference,
+/// times the hour's congestion. Always ≥ 1.
+pub fn time_cost_multiplier(class: RoadClass, hour_of_day: f64) -> f64 {
+    let v_ref = RoadClass::Primary.speed_limit_mph();
+    (v_ref / class.speed_limit_mph()) * congestion_factor(class, hour_of_day)
+}
+
+/// A time-dependent [`DistanceModel`]: congestion-weighted travel cost
+/// over per-class speed limits, normalized so the unit stays meters (the
+/// free-flow travel time at the primary-road reference speed).
+///
+/// Each edge costs `length × time_cost_multiplier(class, hour)`; both
+/// factors are ≥ 1, so every path costs at least its geometric length and
+/// the Euclidean lower-bound contract holds — which also makes the
+/// Euclidean heuristic admissible for the internal A\* search. The snap
+/// legs to/from the network are walked off-road at the reference speed
+/// (plain Euclidean length), exactly like [`NetworkDistance`].
+pub struct TimeDependentCost<'a> {
+    net: &'a RoadNetwork,
+    locator: &'a NodeLocator,
+    query_node: NodeId,
+    hour: f64,
+    scratch: DijkstraScratch,
+}
+
+impl<'a> TimeDependentCost<'a> {
+    /// Anchors the model at the network node nearest to `query`, with the
+    /// clock at `hour_of_day` (wrapped into `[0, 24)`). Returns `None`
+    /// when the network has no nodes.
+    pub fn new(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        query: Point,
+        hour_of_day: f64,
+    ) -> Option<Self> {
+        let query_node = locator.nearest(query)?;
+        Some(Self::anchored(net, locator, query_node, hour_of_day))
+    }
+
+    /// Anchors the model at an explicit query node.
+    pub fn anchored(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        query_node: NodeId,
+        hour_of_day: f64,
+    ) -> Self {
+        TimeDependentCost {
+            net,
+            locator,
+            query_node,
+            hour: hour_of_day.rem_euclid(24.0),
+            scratch: DijkstraScratch::new(),
+        }
+    }
+
+    /// The node the query point is anchored to.
+    pub fn query_node(&self) -> NodeId {
+        self.query_node
+    }
+
+    /// The current time of day, hours in `[0, 24)`.
+    pub fn hour(&self) -> f64 {
+        self.hour
+    }
+
+    /// Moves the clock (wrapped into `[0, 24)`).
+    pub fn set_hour(&mut self, hour_of_day: f64) {
+        self.hour = hour_of_day.rem_euclid(24.0);
+    }
+
+    /// Re-anchors the model for a new query point, keeping the scratch.
+    /// Returns false (leaving the anchor unchanged) when the locator
+    /// finds no node.
+    pub fn rebase(&mut self, query: Point) -> bool {
+        match self.locator.nearest(query) {
+            Some(n) => {
+                self.query_node = n;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Minimum congestion-weighted cost between two nodes at the model's
+    /// current hour (A\* with the Euclidean heuristic — admissible since
+    /// every weighted edge costs at least its length).
+    fn core_cost(&mut self, from: NodeId, to: NodeId) -> Option<f64> {
+        let net = self.net;
+        let n = net.node_count();
+        let goal = net.position(to);
+        let hour = self.hour;
+        let scratch = &mut self.scratch;
+        scratch.begin(n);
+        scratch.set_dist(from, 0.0, NodeId::MAX);
+        scratch.push(net.position(from).dist(goal), 0.0, from);
+        while let Some(item) = scratch.pop() {
+            let (d, node) = (item.dist, item.node);
+            if d > scratch.dist(node) {
+                continue;
+            }
+            if node == to {
+                return Some(d);
+            }
+            for e in net.neighbors(node) {
+                let nd = d + e.length * time_cost_multiplier(e.class, hour);
+                if nd < scratch.dist(e.to) {
+                    scratch.set_dist(e.to, nd, node);
+                    scratch.push(nd + net.position(e.to).dist(goal), nd, e.to);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl DistanceModel for TimeDependentCost<'_> {
+    /// `|query → snap(query)| + weighted_cost(snap(query), snap(p)) +
+    /// |snap(p) → p|`, or `None` when `p` cannot be snapped or no path
+    /// exists.
+    fn distance(&mut self, query: Point, p: Point) -> Option<f64> {
+        let pn = self.locator.nearest(p)?;
+        let core = self.core_cost(self.query_node, pn)?;
+        Some(query.dist(self.net.position(self.query_node)) + core + self.net.position(pn).dist(p))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +354,78 @@ mod tests {
             let p = Point::new(75.0 * i as f64, 1500.0 - 70.0 * i as f64);
             if let Some(nd) = model.distance(q, p) {
                 assert!(nd >= q.dist(p) - 1e-9, "ED lower bound violated at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn alt_model_matches_astar_model() {
+        let net = generate_network(&GeneratorConfig::city(2000.0, 8));
+        let locator = NodeLocator::new(&net);
+        let index = AltIndex::build(&net, 5);
+        let q = Point::new(400.0, 1600.0);
+        let mut astar = NetworkDistance::new(&net, &locator, q).unwrap();
+        let mut alt = AltDistance::new(&net, &locator, &index, q).unwrap();
+        assert_eq!(astar.query_node(), alt.query_node());
+        for i in 0..25 {
+            let p = Point::new(80.0 * i as f64, 70.0 * i as f64);
+            match (astar.distance(q, p), alt.distance(q, p)) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "at {p:?}: {a} vs {b}"),
+                (a, b) => assert_eq!(a.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_only_slows_edges() {
+        for class in [RoadClass::Primary, RoadClass::Secondary, RoadClass::Local] {
+            for tenth in 0..240 {
+                let h = tenth as f64 / 10.0;
+                assert!(congestion_factor(class, h) >= 1.0);
+                assert!(time_cost_multiplier(class, h) >= 1.0 - 1e-12);
+            }
+        }
+        // Free flow on a primary road at night is the exact reference.
+        assert!((time_cost_multiplier(RoadClass::Primary, 3.0) - 1.0).abs() < 1e-12);
+        // Rush hour strictly dominates the night profile.
+        for class in [RoadClass::Primary, RoadClass::Secondary, RoadClass::Local] {
+            assert!(time_cost_multiplier(class, 8.0) > time_cost_multiplier(class, 3.0));
+        }
+    }
+
+    #[test]
+    fn time_dependent_cost_dominates_network_distance() {
+        let net = generate_network(&GeneratorConfig::city(1800.0, 12));
+        let locator = NodeLocator::new(&net);
+        let q = Point::new(900.0, 900.0);
+        let mut nd = NetworkDistance::new(&net, &locator, q).unwrap();
+        let mut td = TimeDependentCost::new(&net, &locator, q, 8.0).unwrap();
+        for i in 0..20 {
+            let p = Point::new(90.0 * i as f64, 1800.0 - 85.0 * i as f64);
+            if let (Some(net_d), Some(time_d)) = (nd.distance(q, p), td.distance(q, p)) {
+                // Weighted edges cost at least their length, so the
+                // time-dependent optimum can never undercut the metric
+                // optimum — and both dominate the Euclidean distance.
+                assert!(time_d >= net_d - 1e-9, "at {p:?}: {time_d} < {net_d}");
+                assert!(time_d >= q.dist(p) - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rush_hour_never_beats_free_flow() {
+        let net = generate_network(&GeneratorConfig::city(1500.0, 21));
+        let locator = NodeLocator::new(&net);
+        let q = Point::new(200.0, 1300.0);
+        let mut td = TimeDependentCost::new(&net, &locator, q, 3.0).unwrap();
+        for i in 0..15 {
+            let p = Point::new(100.0 * i as f64, 95.0 * i as f64);
+            let night = td.distance(q, p);
+            td.set_hour(8.5);
+            let rush = td.distance(q, p);
+            td.set_hour(3.0);
+            if let (Some(n), Some(r)) = (night, rush) {
+                assert!(r >= n - 1e-9, "rush {r} beat night {n} at {p:?}");
             }
         }
     }

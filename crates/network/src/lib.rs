@@ -23,8 +23,11 @@
 //!   line between its endpoints), plus one-to-many distance maps.
 //! * [`poi`] + [`knn`] — POIs snapped onto the network and the **IER** /
 //!   **INE** network-kNN baselines used by SNNN.
-//! * [`distance`] — [`NetworkDistance`], the road-network implementation
-//!   of `senn-core`'s `DistanceModel` seam (A\* over reusable scratch).
+//! * [`distance`] — the road-network implementations of `senn-core`'s
+//!   `DistanceModel` seam: [`NetworkDistance`] (Euclidean-heuristic A\*),
+//!   [`AltDistance`] (landmark lower bounds) and [`TimeDependentCost`]
+//!   (congestion-weighted per-class speed limits), all over reusable
+//!   scratch.
 //! * [`generator`] — the seeded synthetic network generator.
 
 pub mod alt;
@@ -37,8 +40,13 @@ pub mod locator;
 pub mod poi;
 pub mod shortest_path;
 
-pub use alt::{alt_distance, AltIndex};
-pub use distance::NetworkDistance;
+pub use alt::{
+    alt_distance, alt_distance_with, counting_alt, counting_astar, counting_dijkstra, AltIndex,
+    SearchStats,
+};
+pub use distance::{
+    congestion_factor, time_cost_multiplier, AltDistance, NetworkDistance, TimeDependentCost,
+};
 pub use generator::{generate_network, GeneratorConfig};
 pub use graph::{NodeId, RoadClass, RoadNetwork};
 pub use io::{network_to_string, parse_network, ParseError};

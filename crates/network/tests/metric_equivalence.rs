@@ -1,0 +1,307 @@
+//! Metric-equivalence property suite: the proof obligations behind the
+//! simulator's pluggable distance models.
+//!
+//! The SNNN expansion (Algorithm 2) is sound iff the [`DistanceModel`]
+//! respects the Euclidean lower bound, and the simulator's cross-model
+//! metrics-equality tests lean on the three exact road metrics agreeing
+//! on every distance. This suite checks both families of claims on
+//! generated jittered-grid networks:
+//!
+//! * Dijkstra ≡ A\* ≡ ALT to 1e-9 (A\* vs ALT bit-identical — they sum
+//!   the same shortest path left-to-right);
+//! * ALT landmark lower bounds are admissible and never negative;
+//! * the network metric obeys the triangle inequality and dominates the
+//!   straight-line distance;
+//! * the time-dependent metric dominates the length metric at every hour
+//!   and never beats its own free-flow night cost;
+//! * the library SNNN driver returns the same result set under the A\*
+//!   and ALT models;
+//! * landmark selection is deterministic per seed.
+
+use proptest::prelude::*;
+use senn_core::distance::DistanceModel;
+use senn_core::{snnn_query, RTreeServer, SennEngine, SnnnConfig};
+use senn_geom::Point;
+use senn_network::{
+    counting_alt, counting_astar, counting_dijkstra, AltDistance, AltIndex, NetworkDistance,
+    NodeLocator, RoadClass, RoadNetwork, TimeDependentCost,
+};
+
+/// Deterministic generator state for grid jitter (proptest drives the
+/// seed; the construction itself must be reproducible from it).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A connected W×H grid road network with jittered node positions and
+/// mixed road classes. Jitter keeps shortest paths unique (no exact
+/// ties), which is what lets the equivalence assertions be exact.
+fn grid_network(w: usize, h: usize, seed: u64) -> RoadNetwork {
+    let mut net = RoadNetwork::new();
+    let mut rng = Mix(seed | 1);
+    let spacing = 250.0;
+    for y in 0..h {
+        for x in 0..w {
+            let jx = (rng.unit() - 0.5) * 80.0;
+            let jy = (rng.unit() - 0.5) * 80.0;
+            net.add_node(Point::new(x as f64 * spacing + jx, y as f64 * spacing + jy));
+        }
+    }
+    let classes = [RoadClass::Primary, RoadClass::Secondary, RoadClass::Local];
+    let id = |x: usize, y: usize| (y * w + x) as u32;
+    for y in 0..h {
+        for x in 0..w {
+            let class = classes[(rng.next() % 3) as usize];
+            if x + 1 < w {
+                net.add_edge(id(x, y), id(x + 1, y), class);
+            }
+            if y + 1 < h {
+                net.add_edge(id(x, y), id(x, y + 1), class);
+            }
+        }
+    }
+    net
+}
+
+/// A handful of well-spread node pairs of a network, seeded.
+fn node_pairs(net: &RoadNetwork, seed: u64, count: usize) -> Vec<(u32, u32)> {
+    let n = net.node_count() as u64;
+    let mut rng = Mix(seed ^ 0xabcd);
+    (0..count)
+        .map(|_| ((rng.next() % n) as u32, (rng.next() % n) as u32))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The three search engines compute the same distance on every sampled
+    /// pair: Dijkstra within 1e-9 of A*, and A* vs ALT **bit-identical**
+    /// (the agreement the simulator's whole-Metrics equality rides on).
+    #[test]
+    fn dijkstra_astar_alt_agree(
+        w in 2usize..7,
+        h in 2usize..7,
+        seed in any::<u64>(),
+        landmarks in 1usize..6,
+    ) {
+        let net = grid_network(w, h, seed);
+        let index = AltIndex::build_seeded(&net, landmarks, seed);
+        for (a, b) in node_pairs(&net, seed, 12) {
+            let (dij, _) = counting_dijkstra(&net, a, b);
+            let (ast, _) = counting_astar(&net, a, b);
+            let (alt, _) = counting_alt(&net, &index, a, b);
+            prop_assert_eq!(dij.is_some(), ast.is_some());
+            prop_assert_eq!(ast.is_some(), alt.is_some());
+            if let (Some(d), Some(s), Some(l)) = (dij, ast, alt) {
+                prop_assert!((d - s).abs() < 1e-9, "dijkstra {d} vs astar {s}");
+                prop_assert!(s == l, "astar {s} vs alt {l} not bit-identical");
+            }
+        }
+    }
+
+    /// Every landmark lower bound is admissible (≤ the true distance) and
+    /// non-negative — the ALT heuristic's correctness condition.
+    #[test]
+    fn alt_lower_bounds_admissible(
+        w in 2usize..7,
+        h in 2usize..7,
+        seed in any::<u64>(),
+        landmarks in 1usize..8,
+    ) {
+        let net = grid_network(w, h, seed);
+        let index = AltIndex::build_seeded(&net, landmarks, seed ^ 1);
+        for (a, b) in node_pairs(&net, seed, 16) {
+            let lb = index.lower_bound(a, b);
+            prop_assert!(lb >= 0.0);
+            if let (Some(d), _) = counting_dijkstra(&net, a, b) {
+                prop_assert!(lb <= d + 1e-9, "lower bound {lb} exceeds distance {d}");
+            }
+        }
+    }
+
+    /// The network metric is a metric: triangle inequality over sampled
+    /// triples, and symmetric (the graph is undirected).
+    #[test]
+    fn network_distance_is_a_metric(
+        w in 2usize..6,
+        h in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let net = grid_network(w, h, seed);
+        let mut rng = Mix(seed ^ 0x7777);
+        let n = net.node_count() as u64;
+        for _ in 0..8 {
+            let (a, b, c) = (
+                (rng.next() % n) as u32,
+                (rng.next() % n) as u32,
+                (rng.next() % n) as u32,
+            );
+            let d = |x, y| counting_dijkstra(&net, x, y).0.unwrap();
+            prop_assert!((d(a, b) - d(b, a)).abs() < 1e-9, "asymmetric distance");
+            prop_assert!(
+                d(a, c) <= d(a, b) + d(b, c) + 1e-9,
+                "triangle inequality violated"
+            );
+            // The graph embeds its geometry: network distance dominates
+            // the straight line (every edge is at least its chord).
+            prop_assert!(d(a, b) + 1e-9 >= net.position(a).dist(net.position(b)));
+        }
+    }
+
+    /// Model-level Euclidean lower bound and time-dependent domination:
+    /// `ED ≤ NetworkDistance ≤ TimeDependentCost` for arbitrary off-network
+    /// query/POI points at an arbitrary hour.
+    #[test]
+    fn time_dependent_dominates_length_metric(
+        w in 2usize..6,
+        h in 2usize..6,
+        seed in any::<u64>(),
+        qx in 0.0..1200.0f64,
+        qy in 0.0..1200.0f64,
+        px in 0.0..1200.0f64,
+        py in 0.0..1200.0f64,
+        hour in 0.0..24.0f64,
+    ) {
+        let net = grid_network(w, h, seed);
+        let locator = NodeLocator::new(&net);
+        let (q, p) = (Point::new(qx, qy), Point::new(px, py));
+        let mut nd = NetworkDistance::new(&net, &locator, q).unwrap();
+        let mut td = TimeDependentCost::new(&net, &locator, q, hour).unwrap();
+        let network = nd.distance(q, p).unwrap();
+        let timed = td.distance(q, p).unwrap();
+        prop_assert!(network + 1e-9 >= q.dist(p), "ED lower bound violated");
+        prop_assert!(timed + 1e-9 >= network, "congestion sped an edge up");
+    }
+
+    /// Metamorphic: no hour of day beats the free-flow night cost — the
+    /// congestion profile can only slow edges down.
+    #[test]
+    fn no_hour_beats_free_flow(
+        w in 2usize..6,
+        h in 2usize..6,
+        seed in any::<u64>(),
+        hour in 0.0..24.0f64,
+    ) {
+        let net = grid_network(w, h, seed);
+        let locator = NodeLocator::new(&net);
+        for (a, b) in node_pairs(&net, seed, 6) {
+            let (q, p) = (net.position(a), net.position(b));
+            let mut td = TimeDependentCost::new(&net, &locator, q, hour).unwrap();
+            let at_hour = td.distance(q, p).unwrap();
+            td.set_hour(3.0); // free flow on every class
+            let night = td.distance(q, p).unwrap();
+            prop_assert!(
+                at_hour + 1e-9 >= night,
+                "cost at {hour}h ({at_hour}) beats free flow ({night})"
+            );
+        }
+    }
+
+    /// The library SNNN driver returns the same result set — same POI ids
+    /// in the same order, distances within 1e-9 — under the A* model and
+    /// the ALT model.
+    #[test]
+    fn snnn_result_sets_agree_across_exact_models(
+        w in 3usize..7,
+        h in 3usize..7,
+        seed in any::<u64>(),
+        k in 1usize..5,
+        landmarks in 1usize..5,
+    ) {
+        let net = grid_network(w, h, seed);
+        let locator = NodeLocator::new(&net);
+        let index = AltIndex::build_seeded(&net, landmarks, seed);
+        // POIs jittered off grid nodes; the query sits mid-area.
+        let mut rng = Mix(seed ^ 0xbeef);
+        let pois: Vec<(u64, Point)> = (0..net.node_count())
+            .step_by(2)
+            .enumerate()
+            .map(|(i, n)| {
+                let pos = net.position(n as u32);
+                (
+                    i as u64,
+                    Point::new(pos.x + rng.unit() * 40.0, pos.y + rng.unit() * 40.0),
+                )
+            })
+            .collect();
+        prop_assume!(pois.len() > k);
+        let server = RTreeServer::new(pois);
+        let q = Point::new(
+            rng.unit() * (w as f64) * 250.0,
+            rng.unit() * (h as f64) * 250.0,
+        );
+        let engine = SennEngine::default();
+        let mut astar = NetworkDistance::new(&net, &locator, q).unwrap();
+        let mut alt = AltDistance::new(&net, &locator, &index, q).unwrap();
+        let a = snnn_query::<senn_core::PeerCacheEntry, _>(
+            &engine, q, k, &[], &server, &mut astar, SnnnConfig::default(),
+        );
+        let b = snnn_query::<senn_core::PeerCacheEntry, _>(
+            &engine, q, k, &[], &server, &mut alt, SnnnConfig::default(),
+        );
+        prop_assert_eq!(a.results.len(), b.results.len());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            prop_assert_eq!(x.poi.poi_id, y.poi.poi_id);
+            prop_assert!((x.network_dist - y.network_dist).abs() < 1e-9);
+        }
+        prop_assert_eq!(a.trace.cap_hit, b.trace.cap_hit);
+    }
+
+    /// Landmark selection is a pure function of (network, count, seed).
+    #[test]
+    fn landmark_selection_deterministic_per_seed(
+        w in 2usize..7,
+        h in 2usize..7,
+        seed in any::<u64>(),
+        landmarks in 1usize..9,
+    ) {
+        let net = grid_network(w, h, seed);
+        let a = AltIndex::build_seeded(&net, landmarks, seed);
+        let b = AltIndex::build_seeded(&net, landmarks, seed);
+        prop_assert_eq!(a.landmarks(), b.landmarks());
+        prop_assert_eq!(
+            a.landmarks()[0] as u64,
+            seed % net.node_count() as u64,
+            "first landmark is pinned by the seed"
+        );
+    }
+}
+
+/// ALT's stronger heuristic never relaxes more edges than plain Dijkstra
+/// on a sizable grid, and typically strictly fewer — the pruning claim
+/// the perf gate quantifies on the large-grid leg.
+#[test]
+fn alt_prunes_against_dijkstra_on_large_grid() {
+    let net = grid_network(18, 18, 0x5eed);
+    let index = AltIndex::build_seeded(&net, 6, 42);
+    let mut total_dij = 0u64;
+    let mut total_alt = 0u64;
+    for (a, b) in node_pairs(&net, 9, 24) {
+        let (d, sd) = counting_dijkstra(&net, a, b);
+        let (l, sl) = counting_alt(&net, &index, a, b);
+        assert_eq!(d.is_some(), l.is_some());
+        if let (Some(d), Some(l)) = (d, l) {
+            assert!((d - l).abs() < 1e-9);
+        }
+        assert!(sl.settled <= sd.settled, "ALT settled more than Dijkstra");
+        total_dij += sd.relaxed;
+        total_alt += sl.relaxed;
+    }
+    assert!(
+        total_alt < total_dij,
+        "ALT relaxed {total_alt} vs Dijkstra {total_dij}"
+    );
+}

@@ -368,4 +368,138 @@ mod tests {
         assert_eq!(a.queries, 0);
         assert!(a.per_k.is_empty());
     }
+
+    /// A metrics block with every counter distinct and nonzero, so a
+    /// merge that drops or crosses any field changes the result.
+    fn dense(off: u64) -> Metrics {
+        let mut m = Metrics {
+            queries: 100 + off,
+            single_peer: 1 + off,
+            multi_peer: 2 + off,
+            accepted_uncertain: 3 + off,
+            server: 4 + off,
+            einn_accesses: 5 + off,
+            inn_accesses: 6 + off,
+            peer_entries_received: 7 + off,
+            peer_records_received: 8 + off,
+            heap_states: [9 + off, 10 + off, 11 + off, 12 + off, 13 + off, 14 + off],
+            peer_answers_graded: 15 + off,
+            peer_answers_wrong: 16 + off,
+            uncertain_exact: 17 + off,
+            uncertain_inflation_sum: 0.25 * (off + 1) as f64,
+            expansion_cap_hits: 18 + off,
+            server_retries: 19 + off,
+            server_timeouts: 20 + off,
+            server_drops: 21 + off,
+            server_degraded: 22 + off,
+            server_failed: 23 + off,
+            ..Metrics::default()
+        };
+        m.per_k.insert(
+            1 + off as usize,
+            KStats {
+                queries: 30 + off,
+                einn_accesses: 31 + off,
+                inn_accesses: 32 + off,
+            },
+        );
+        m.per_k.insert(
+            50,
+            KStats {
+                queries: 33 + off,
+                einn_accesses: 34 + off,
+                inn_accesses: 35 + off,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn merge_covers_fault_counters_and_cap_hits() {
+        // The PR-3 fault counters and the SNNN cap counter must all
+        // survive a merge — a regression here silently under-reports
+        // degraded service periods.
+        let mut a = dense(0);
+        let b = dense(1000);
+        a.merge(&b);
+        assert_eq!(a.expansion_cap_hits, 18 + 1018);
+        assert_eq!(a.server_retries, 19 + 1019);
+        assert_eq!(a.server_timeouts, 20 + 1020);
+        assert_eq!(a.server_drops, 21 + 1021);
+        assert_eq!(a.server_degraded, 22 + 1022);
+        assert_eq!(a.server_failed, 23 + 1023);
+        assert_eq!(a.peer_answers_graded, 15 + 1015);
+        assert_eq!(a.peer_answers_wrong, 16 + 1016);
+        assert_eq!(a.uncertain_exact, 17 + 1017);
+        assert!((a.uncertain_inflation_sum - (0.25 + 0.25 * 1001.0)).abs() < 1e-12);
+        for (i, s) in a.heap_states.iter().enumerate() {
+            assert_eq!(*s, (9 + i as u64) + (1009 + i as u64));
+        }
+        // Disjoint per_k keys are kept, shared keys summed.
+        assert_eq!(a.per_k[&1].queries, 30);
+        assert_eq!(a.per_k[&1001].queries, 1030);
+        assert_eq!(a.per_k[&50].einn_accesses, 34 + 1034);
+    }
+
+    #[test]
+    fn merge_is_associative_and_has_identity() {
+        let (x, y, z) = (dense(0), dense(7), dense(400));
+        let mut left = x.clone();
+        left.merge(&y);
+        left.merge(&z);
+        let mut yz = y.clone();
+        yz.merge(&z);
+        let mut right = x.clone();
+        right.merge(&yz);
+        assert_eq!(left, right, "merge must be associative");
+
+        let mut with_id = x.clone();
+        with_id.merge(&Metrics::default());
+        assert_eq!(with_id, x, "the empty block is a right identity");
+        let mut id_with = Metrics::default();
+        id_with.merge(&x);
+        assert_eq!(id_with, x, "the empty block is a left identity");
+    }
+
+    #[test]
+    fn merge_of_record_trace_halves_matches_recording_in_one_block() {
+        // Splitting a trace stream across two blocks and merging must
+        // equal recording everything into one block — the property the
+        // parallel fold relies on.
+        use senn_core::QueryTrace;
+        let mut traces = Vec::new();
+        for i in 0..12u32 {
+            let mut t = QueryTrace::new();
+            t.resolutions.push(match i % 4 {
+                0 => Resolution::SinglePeer,
+                1 => Resolution::MultiPeer,
+                2 => Resolution::Server,
+                _ => Resolution::Unresolved,
+            });
+            t.cap_hit = i % 3 == 0;
+            t.server_retries = i;
+            t.server_timeouts = i / 2;
+            t.server_drops = i / 3;
+            t.server_degraded = i % 5 == 0;
+            t.server_failed = i % 7 == 0;
+            traces.push(t);
+        }
+        let mut whole = Metrics::new();
+        for t in &traces {
+            whole.record_trace(t);
+        }
+        let mut first = Metrics::new();
+        let mut second = Metrics::new();
+        for (i, t) in traces.iter().enumerate() {
+            if i < 5 {
+                first.record_trace(t);
+            } else {
+                second.record_trace(t);
+            }
+        }
+        first.merge(&second);
+        assert_eq!(first, whole);
+        assert!(whole.expansion_cap_hits > 0);
+        assert!(whole.server_retries > 0);
+    }
 }

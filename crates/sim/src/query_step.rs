@@ -29,10 +29,12 @@
 
 use senn_cache::{CacheEntry, CachedNn};
 use senn_core::service::{submit_with_retry, ServerRequest, SpatialService};
-use senn_core::{QueryTrace, Resolution, SearchBounds, SennOutcome};
+use senn_core::{DistanceModel, QueryTrace, Resolution, SearchBounds, SennOutcome, SnnnExpansion};
+use senn_geom::Point;
+use senn_network::{AltDistance, NetworkDistance, TimeDependentCost};
 
 use crate::comms::WorkerScratch;
-use crate::simulator::{KChoice, Simulator};
+use crate::simulator::{KChoice, NetworkModelKind, Simulator};
 
 /// One planned query of a batch. Every random draw happens up front in
 /// batch order, so executing a plan is a pure function of the frozen world
@@ -107,6 +109,37 @@ impl QueryOutcome {
             einn_accesses: measured.einn_accesses,
             inn_accesses: measured.inn_accesses,
             cache_entry: measured.cache_entry,
+        }
+    }
+}
+
+/// The configured network metric, instantiated once per batch over the
+/// world's road network (models own their search scratch, so reusing one
+/// across the batch keeps the expand pass allocation-free after warm-up).
+enum ActiveModel<'a> {
+    AStar(NetworkDistance<'a>),
+    Alt(AltDistance<'a>),
+    Time(TimeDependentCost<'a>),
+}
+
+impl ActiveModel<'_> {
+    /// Re-anchors the model at a new query point; false when the locator
+    /// finds no node (the anchor is left unchanged).
+    fn rebase(&mut self, query: Point) -> bool {
+        match self {
+            ActiveModel::AStar(m) => m.rebase(query),
+            ActiveModel::Alt(m) => m.rebase(query),
+            ActiveModel::Time(m) => m.rebase(query),
+        }
+    }
+}
+
+impl DistanceModel for ActiveModel<'_> {
+    fn distance(&mut self, query: Point, p: Point) -> Option<f64> {
+        match self {
+            ActiveModel::AStar(m) => m.distance(query, p),
+            ActiveModel::Alt(m) => m.distance(query, p),
+            ActiveModel::Time(m) => m.distance(query, p),
         }
     }
 }
@@ -250,6 +283,119 @@ impl Simulator {
                 pending
             })
             .collect()
+    }
+
+    /// Phase 3b½ — expand (network mode only): runs the SNNN incremental
+    /// Euclidean expansion (Algorithm 2) for every query the batch already
+    /// resolved, under the configured [`NetworkModelKind`]. Rounds run on
+    /// the **main thread in query-index order**: each round's residual
+    /// goes through the configured service as its own batch, so seeded
+    /// fault schedules stay a pure function of submission order —
+    /// independent of worker-thread count.
+    ///
+    /// Expansion refines *which* POIs the host would rank first under the
+    /// road metric; it never rewrites the initial round's `results`,
+    /// `bounds` or `heap_state` (the paper's accounting unit — grading,
+    /// the EINN/INN shadow and the cache store all read the initial
+    /// Euclidean round). What it adds to the trace: the expansion rounds'
+    /// resolutions/stage timings, their service dispositions, and the
+    /// [`QueryTrace::cap_hit`] flag when the round budget (or a failed
+    /// round residual) ended the expansion unconfirmed.
+    pub(crate) fn expand_network_batch(
+        &self,
+        plans: &[QueryPlan],
+        mut pendings: Vec<PendingQuery>,
+    ) -> (Vec<PendingQuery>, u64) {
+        let Some(kind) = self.config.distance_model else {
+            return (pendings, 0);
+        };
+        let net = self
+            .network
+            .as_ref()
+            .expect("validated at build time: network mode keeps the road network");
+        let mut model = match kind {
+            NetworkModelKind::AStar => {
+                match NetworkDistance::new(net, &self.locator, Point::ORIGIN) {
+                    Some(m) => ActiveModel::AStar(m),
+                    None => return (pendings, 0), // empty graph: nothing to rank with
+                }
+            }
+            NetworkModelKind::Alt { .. } => {
+                let index = self
+                    .alt_index
+                    .as_ref()
+                    .expect("ALT index is built with the world");
+                match AltDistance::new(net, &self.locator, index, Point::ORIGIN) {
+                    Some(m) => ActiveModel::Alt(m),
+                    None => return (pendings, 0),
+                }
+            }
+            NetworkModelKind::TimeDependent { start_hour } => {
+                let hour = start_hour + self.time / 3600.0;
+                match TimeDependentCost::new(net, &self.locator, Point::ORIGIN, hour) {
+                    Some(m) => ActiveModel::Time(m),
+                    None => return (pendings, 0),
+                }
+            }
+        };
+        let mut scratch = WorkerScratch::new();
+        let mut rounds_total = 0u64;
+        for (i, (plan, pending)) in plans.iter().zip(pendings.iter_mut()).enumerate() {
+            match pending.outcome.resolution() {
+                Resolution::SinglePeer | Resolution::MultiPeer | Resolution::Server => {}
+                // Unresolved (the interval residual failed outright) or
+                // accepted-uncertain: no verified Euclidean kNN to expand.
+                _ => continue,
+            }
+            if pending.outcome.results.iter().any(|e| !e.certain) {
+                continue;
+            }
+            let q = self.grid.positions()[plan.querier as usize];
+            if !model.rebase(q) {
+                continue;
+            }
+            let mut exp = SnnnExpansion::begin(q, plan.k, &pending.outcome.results, &mut model);
+            while exp.needs_round() && exp.rounds() < self.config.snnn_max_expansion {
+                rounds_total += 1;
+                let kk = exp.next_k();
+                self.gather_peers(plan, &mut scratch.comms);
+                let round = self.engine.query_peers_only_with(
+                    q,
+                    kk,
+                    &scratch.comms.peers,
+                    &mut scratch.ctx,
+                );
+                let round = if round.resolution() == Resolution::Unresolved {
+                    let req = self.engine.residual_request(i as u64, q, kk, &round);
+                    let result = submit_with_retry(
+                        &self.service,
+                        std::slice::from_ref(&req),
+                        &self.config.retry,
+                    )
+                    .pop()
+                    .expect("one request, one outcome");
+                    pending.outcome.trace.record_service_outcome(&result);
+                    if result.failed {
+                        // The round could not be served: keep the best
+                        // ranking seen, flagged unconfirmed below.
+                        pending.outcome.trace.absorb(&round.trace);
+                        exp.abort();
+                        break;
+                    }
+                    self.engine.complete_residual(kk, round, result.response)
+                } else {
+                    round
+                };
+                pending.outcome.trace.absorb(&round.trace);
+                if round.results.iter().any(|e| !e.certain) {
+                    exp.abort();
+                    break;
+                }
+                exp.offer(&round.results, &mut model);
+            }
+            pending.outcome.trace.cap_hit = exp.cap_hit();
+        }
+        (pendings, rounds_total)
     }
 
     /// Phase 3c — measure: grading and PAR shadow searches for every

@@ -57,6 +57,75 @@ use crate::metrics::Metrics;
 use crate::movement::{build_mobility, poisson};
 use crate::params::{ParamSet, SimParams};
 
+/// The target metric of network-mode (SNNN) queries — which
+/// `DistanceModel` implementation ranks candidates during the incremental
+/// Euclidean expansion (Algorithm 2). All three are exact road metrics
+/// respecting the Euclidean lower bound, so the expansion stays sound;
+/// they differ in how the shortest-path search is driven (and, for
+/// [`NetworkModelKind::TimeDependent`], in what the edge weights mean).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NetworkModelKind {
+    /// Euclidean-heuristic A\* over edge lengths
+    /// (`senn_network::NetworkDistance`).
+    AStar,
+    /// ALT (A\*, Landmarks, Triangle inequality) over the same edge
+    /// lengths: distances are identical to [`NetworkModelKind::AStar`],
+    /// but the landmark lower bounds prune the search harder
+    /// (`senn_network::AltDistance`).
+    Alt {
+        /// Landmarks to select (clamped to the node count; must be ≥ 1).
+        landmarks: usize,
+    },
+    /// Travel-time metric: per-class speed limits with a time-of-day
+    /// congestion multiplier (`senn_network::TimeDependentCost`). The
+    /// query hour advances with simulated time from `start_hour`.
+    TimeDependent {
+        /// Hour of day `[0, 24)` at simulation start.
+        start_hour: f64,
+    },
+}
+
+/// A [`SimConfig`] that cannot run: the combination of knobs is rejected
+/// at build time ([`SimConfigBuilder::try_build`] /
+/// [`SimConfig::validate`]) instead of panicking mid-simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// A network distance model was requested together with
+    /// [`MovementMode::FreeMovement`]. Free movement drops the road
+    /// network from the world model, so there is no graph to run the
+    /// metric on.
+    NetworkModelWithoutRoadNetwork,
+    /// A network distance model was requested together with
+    /// `accept_uncertain`. Uncertain answers have no grading against the
+    /// Euclidean ground truth, so expanding them under a network metric
+    /// would rank unverified candidates — the combination is unsound.
+    NetworkModelWithUncertainAnswers,
+    /// `Alt { landmarks: 0 }` — the ALT index needs at least one landmark.
+    AltWithoutLandmarks,
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimConfigError::NetworkModelWithoutRoadNetwork => write!(
+                f,
+                "a network distance model requires MovementMode::RoadNetwork \
+                 (free movement has no road graph to run the metric on)"
+            ),
+            SimConfigError::NetworkModelWithUncertainAnswers => write!(
+                f,
+                "a network distance model cannot rank uncertain answers; \
+                 disable accept_uncertain"
+            ),
+            SimConfigError::AltWithoutLandmarks => {
+                write!(f, "the ALT model needs at least one landmark")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
 /// How the number of requested neighbors `k` is chosen per query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KChoice {
@@ -126,6 +195,15 @@ pub struct SimConfig {
     /// Client-side retry/backoff/degradation policy for residual batches
     /// (inert when the service never fails).
     pub retry: RetryPolicy,
+    /// Target metric for network-mode queries: `None` (the default) runs
+    /// plain Euclidean SENN; `Some(kind)` runs every query as SNNN
+    /// (Algorithm 2) under that road metric — peer probe, verification
+    /// and batched server residual per expansion round. Requires
+    /// [`MovementMode::RoadNetwork`] (validated at build time).
+    pub distance_model: Option<NetworkModelKind>,
+    /// Safety cap on Euclidean expansion rounds per SNNN query; truncated
+    /// expansions are counted in [`Metrics::expansion_cap_hits`].
+    pub snnn_max_expansion: usize,
 }
 
 impl SimConfig {
@@ -150,7 +228,28 @@ impl SimConfig {
             server_shards: 1,
             fault: None,
             retry: RetryPolicy::default(),
+            distance_model: None,
+            snnn_max_expansion: 256,
         }
+    }
+
+    /// Checks cross-field invariants — the combinations
+    /// [`SimConfigBuilder::try_build`] rejects. [`Simulator::new`] calls
+    /// this, so an invalid hand-assembled config fails fast with the same
+    /// typed reason.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if let Some(kind) = self.distance_model {
+            if self.mode != MovementMode::RoadNetwork {
+                return Err(SimConfigError::NetworkModelWithoutRoadNetwork);
+            }
+            if self.accept_uncertain {
+                return Err(SimConfigError::NetworkModelWithUncertainAnswers);
+            }
+            if let NetworkModelKind::Alt { landmarks: 0 } = kind {
+                return Err(SimConfigError::AltWithoutLandmarks);
+            }
+        }
+        Ok(())
     }
 
     /// Starts a fluent builder from [`SimConfig::default`].
@@ -292,9 +391,34 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Target metric for network-mode (SNNN) queries.
+    pub fn distance_model(mut self, kind: NetworkModelKind) -> Self {
+        self.config.distance_model = Some(kind);
+        self
+    }
+
+    /// Safety cap on Euclidean expansion rounds per SNNN query.
+    pub fn snnn_max_expansion(mut self, rounds: usize) -> Self {
+        self.config.snnn_max_expansion = rounds;
+        self
+    }
+
+    /// Finishes the build, rejecting invalid knob combinations (e.g. a
+    /// network distance model without a road network) with a typed error
+    /// instead of a runtime panic.
+    pub fn try_build(self) -> Result<SimConfig, SimConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+
     /// Finishes the build.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid knob combination — use
+    /// [`SimConfigBuilder::try_build`] to handle the error.
     pub fn build(self) -> SimConfig {
-        self.config
+        self.try_build().expect("invalid SimConfig")
     }
 }
 
@@ -347,6 +471,11 @@ pub struct Simulator {
     pub(crate) config: SimConfig,
     pub(crate) area: Rect,
     pub(crate) network: Option<RoadNetwork>,
+    /// Point-to-node snapper over `network` (SNNN models anchor queries
+    /// and POIs through it).
+    pub(crate) locator: NodeLocator,
+    /// Landmark index for [`NetworkModelKind::Alt`], built once per world.
+    pub(crate) alt_index: Option<senn_network::AltIndex>,
     /// Current POI positions, indexed by POI id (ground truth mirror).
     pub(crate) poi_positions: Vec<Point>,
     /// The truth server: measurement-only calls (grading, the EINN/INN
@@ -391,6 +520,9 @@ pub struct BatchStats {
     pub stage_nanos: [u64; STAGE_COUNT],
     /// Times each pipeline stage ran, summed over every executed query.
     pub stage_calls: [u64; STAGE_COUNT],
+    /// SNNN expansion rounds executed across all batches (0 unless a
+    /// [`NetworkModelKind`] is configured).
+    pub snnn_rounds: u64,
 }
 
 impl BatchStats {
@@ -417,6 +549,9 @@ impl BatchStats {
 impl Simulator {
     /// Builds the world: road network (when needed), POIs, hosts.
     pub fn new(config: SimConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid SimConfig (use SimConfigBuilder::try_build to handle the error)");
         let params = &config.params;
         assert!(params.mh_number >= 1, "need at least one host");
         assert!(
@@ -510,10 +645,20 @@ impl Simulator {
         });
 
         let grid = HostGrid::build(area, config.params.tx_range_m.max(1.0), &[]);
+        // The ALT landmark index is part of the world: built once, seeded
+        // by the master seed so runs are reproducible.
+        let alt_index = match config.distance_model {
+            Some(NetworkModelKind::Alt { landmarks }) => Some(
+                senn_network::AltIndex::build_seeded(&network, landmarks, config.seed),
+            ),
+            _ => None,
+        };
         Simulator {
             config,
             area,
             network: Some(network),
+            locator,
+            alt_index,
             poi_positions,
             server,
             service,
@@ -649,7 +794,12 @@ impl Simulator {
         let started = std::time::Instant::now();
         let pendings = self.execute_batch(&plans);
         let pendings = self.submit_residual_batch(&plans, pendings);
+        // Network-mode only: SNNN expansion rounds on the main thread, in
+        // query-index order (round residuals go through the configured
+        // service one by one, keeping fault schedules thread-invariant).
+        let (pendings, rounds) = self.expand_network_batch(&plans, pendings);
         let measures = self.measure_batch(&plans, &pendings);
+        self.batch_stats.snnn_rounds += rounds;
         self.batch_stats
             .record(started.elapsed().as_secs_f64(), n as u64);
 
@@ -773,6 +923,55 @@ mod tests {
         assert_eq!(m.expansion_cap_hits, 0);
         // Server-resolved queries each ran the residual stage.
         assert!(stats.stage_calls[3] >= m.server);
+    }
+
+    #[test]
+    fn network_model_without_road_network_is_rejected_at_build_time() {
+        let err = SimConfig::builder()
+            .mode(MovementMode::FreeMovement)
+            .distance_model(NetworkModelKind::AStar)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, SimConfigError::NetworkModelWithoutRoadNetwork);
+        // The message names the fix, not just the failure.
+        assert!(err.to_string().contains("RoadNetwork"));
+    }
+
+    #[test]
+    fn network_model_with_uncertain_answers_is_rejected() {
+        let err = SimConfig::builder()
+            .accept_uncertain(true)
+            .distance_model(NetworkModelKind::Alt { landmarks: 4 })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, SimConfigError::NetworkModelWithUncertainAnswers);
+    }
+
+    #[test]
+    fn alt_model_needs_landmarks() {
+        let err = SimConfig::builder()
+            .distance_model(NetworkModelKind::Alt { landmarks: 0 })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, SimConfigError::AltWithoutLandmarks);
+        // Valid combinations still build.
+        let cfg = SimConfig::builder()
+            .distance_model(NetworkModelKind::Alt { landmarks: 4 })
+            .try_build()
+            .unwrap();
+        assert_eq!(
+            cfg.distance_model,
+            Some(NetworkModelKind::Alt { landmarks: 4 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimConfig")]
+    fn build_panics_on_invalid_combination() {
+        let _ = SimConfig::builder()
+            .mode(MovementMode::FreeMovement)
+            .distance_model(NetworkModelKind::TimeDependent { start_hour: 8.0 })
+            .build();
     }
 
     #[test]

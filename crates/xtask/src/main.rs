@@ -3,6 +3,8 @@
 //! ```text
 //! cargo run -p xtask -- api            # regenerate api.txt
 //! cargo run -p xtask -- api --check    # fail if api.txt is stale
+//! cargo run -p xtask -- perf-budget --baseline BENCH_PR4.json \
+//!     --current perf-smoke.json [--max-ratio 2.5]
 //! ```
 //!
 //! The `api` task extracts every `pub` item declaration from the library
@@ -10,7 +12,16 @@
 //! form, so any change to the public surface shows up as an explicit diff
 //! in review — an API redesign has to update the snapshot in the same PR,
 //! and accidental drift fails the build.
+//!
+//! The `perf-budget` task compares the per-stage timing breakdowns of two
+//! perf-gate JSON files. It compares each stage's *share* of its leg's
+//! total time rather than absolute milliseconds, so a committed full-run
+//! baseline remains comparable to a quick CI smoke run on different
+//! hardware: if a stage that took 10% of the sequential leg suddenly
+//! takes 30%, something regressed in that stage no matter how fast the
+//! machine is. Stages below a 2% baseline share are ignored as noise.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -199,13 +210,218 @@ fn task_api(check: bool) {
     eprintln!("api: wrote {}", snapshot_path.display());
 }
 
+/// Extracts the string value of `"key": "..."` from a JSON line.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the numeric value of `"key": 1.234` from a JSON line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Per-leg stage timings (`leg -> stage -> total_ms`) of a perf-gate
+/// JSON file. The perf gate writes one `{ "stage": ..., "total_ms": ... }`
+/// line per stage inside each leg's `"stages"` array; the nearest
+/// enclosing object key names the leg (`sequential`, `astar`, ...).
+fn parse_stage_timings(text: &str) -> BTreeMap<String, BTreeMap<String, f64>> {
+    let mut out: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut last_key = String::new();
+    let mut current_leg: Option<String> = None;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if let Some(key) = line
+            .strip_suffix('{')
+            .and_then(|l| l.trim_end().strip_suffix(':'))
+            .and_then(|l| l.trim_end().strip_suffix('"'))
+            .and_then(|l| l.strip_prefix('"'))
+        {
+            last_key = key.to_string();
+            continue;
+        }
+        if line.contains("\"stages\":") {
+            current_leg = Some(last_key.clone());
+            continue;
+        }
+        if line.starts_with(']') {
+            current_leg = None;
+            continue;
+        }
+        if let (Some(leg), Some(stage), Some(ms)) = (
+            current_leg.as_ref(),
+            json_str_field(line, "stage"),
+            json_num_field(line, "total_ms"),
+        ) {
+            out.entry(leg.clone()).or_default().insert(stage, ms);
+        }
+    }
+    out
+}
+
+/// Fails (exit 1) when any stage's share of its leg grew by more than
+/// `max_ratio` between the baseline and the current perf-gate output.
+fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf-budget: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = parse_stage_timings(&read(baseline));
+    let cur = parse_stage_timings(&read(current));
+    if base.is_empty() || cur.is_empty() {
+        eprintln!(
+            "perf-budget: no stage timings found (baseline legs: {}, current legs: {})",
+            base.len(),
+            cur.len()
+        );
+        std::process::exit(2);
+    }
+
+    const NOISE_FLOOR: f64 = 0.02; // ignore stages under 2% of their leg
+    let mut violations = Vec::new();
+    let mut compared = 0usize;
+    for (leg, base_stages) in &base {
+        let Some(cur_stages) = cur.get(leg) else {
+            continue; // leg absent from the current run (e.g. older schema)
+        };
+        let base_total: f64 = base_stages.values().sum();
+        let cur_total: f64 = cur_stages.values().sum();
+        if base_total <= 0.0 || cur_total <= 0.0 {
+            continue;
+        }
+        for (stage, base_ms) in base_stages {
+            let Some(cur_ms) = cur_stages.get(stage) else {
+                continue;
+            };
+            let base_share = base_ms / base_total;
+            let cur_share = cur_ms / cur_total;
+            if base_share < NOISE_FLOOR {
+                continue;
+            }
+            compared += 1;
+            let ratio = cur_share / base_share;
+            let verdict = if ratio > max_ratio { "FAIL" } else { "ok" };
+            eprintln!(
+                "perf-budget: {leg}/{stage}: share {:.1}% -> {:.1}% (x{ratio:.2}) {verdict}",
+                base_share * 100.0,
+                cur_share * 100.0,
+            );
+            if ratio > max_ratio {
+                violations.push(format!(
+                    "{leg}/{stage} grew from {:.1}% to {:.1}% of its leg (x{ratio:.2} > x{max_ratio})",
+                    base_share * 100.0,
+                    cur_share * 100.0,
+                ));
+            }
+        }
+    }
+    if compared == 0 {
+        eprintln!("perf-budget: no comparable stages between {baseline} and {current}");
+        std::process::exit(2);
+    }
+    if violations.is_empty() {
+        eprintln!("perf-budget: {compared} stage shares within x{max_ratio} of {baseline}");
+        return;
+    }
+    eprintln!("perf-budget: per-stage budget exceeded:");
+    for v in &violations {
+        eprintln!("  {v}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
     match args.first().map(String::as_str) {
         Some("api") => task_api(args.iter().any(|a| a == "--check")),
+        Some("perf-budget") => {
+            let baseline = flag_value("--baseline").unwrap_or_else(|| {
+                eprintln!("perf-budget: --baseline PATH is required");
+                std::process::exit(2);
+            });
+            let current = flag_value("--current").unwrap_or_else(|| {
+                eprintln!("perf-budget: --current PATH is required");
+                std::process::exit(2);
+            });
+            let max_ratio: f64 = flag_value("--max-ratio")
+                .map(|v| v.parse().expect("--max-ratio needs a number"))
+                .unwrap_or(2.5);
+            task_perf_budget(&baseline, &current, max_ratio);
+        }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- api [--check]");
+            eprintln!(
+                "usage: cargo run -p xtask -- api [--check]\n       \
+                 cargo run -p xtask -- perf-budget --baseline PATH --current PATH [--max-ratio R]"
+            );
             std::process::exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "senn-perf-gate-v4",
+  "sim": {
+    "sequential": {
+      "queries": 10,
+      "stages": [
+        { "stage": "peer_probe", "calls": 5, "total_ms": 1.500, "ns_per_call": 10.0 },
+        { "stage": "server_residual", "calls": 5, "total_ms": 8.500, "ns_per_call": 10.0 }
+      ]
+    }
+  },
+  "snnn": {
+    "astar": {
+      "stages": [
+        { "stage": "peer_probe", "calls": 2, "total_ms": 0.250, "ns_per_call": 3.0 }
+      ]
+    }
+  },
+  "service": {
+    "legs": [
+      { "backend": "rtree_1shard", "batched_requests_per_sec": 100.000 }
+    ]
+  }
+}
+"#;
+
+    #[test]
+    fn stage_timings_are_keyed_by_enclosing_leg() {
+        let parsed = parse_stage_timings(SAMPLE);
+        assert_eq!(parsed.len(), 2, "sim + snnn legs, service ignored");
+        let seq = &parsed["sequential"];
+        assert_eq!(seq["peer_probe"], 1.5);
+        assert_eq!(seq["server_residual"], 8.5);
+        assert_eq!(parsed["astar"]["peer_probe"], 0.25);
+    }
+
+    #[test]
+    fn field_extractors_handle_gate_formatting() {
+        let line =
+            r#"        { "stage": "plan", "calls": 3, "total_ms": 12.345, "ns_per_call": 1.0 },"#;
+        assert_eq!(json_str_field(line, "stage").as_deref(), Some("plan"));
+        assert_eq!(json_num_field(line, "total_ms"), Some(12.345));
+        assert_eq!(json_num_field(line, "calls"), Some(3.0));
+        assert_eq!(json_num_field(line, "missing"), None);
     }
 }

@@ -184,6 +184,57 @@ tuple_strategy! {
     (A, B, C, D, E)
 }
 
+/// Types with a canonical full-range strategy (subset of upstream's
+/// `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy generating any value of the type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for a primitive type (the result of [`any`]).
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+/// `proptest::prelude::any`: the canonical full-range strategy of a type.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
 /// Namespaced strategy constructors (subset of upstream's `prop` module).
 pub mod prop {
     /// Collection strategies.
@@ -237,7 +288,8 @@ pub mod prop {
 /// Common imports (subset of `proptest::prelude`).
 pub mod prelude {
     pub use crate::prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
     pub use crate::{Just, ProptestConfig, Strategy};
 }
 
@@ -245,6 +297,18 @@ pub mod prelude {
 #[macro_export]
 macro_rules! prop_assert {
     ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition
+/// (upstream rejects-and-regenerates; this subset just moves on to the
+/// next case, which keeps generation deterministic).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
 }
 
 /// Property equality assertion; panics (no shrinking) on failure.
