@@ -3,20 +3,27 @@
 //! network-mode SNNN scenario once per distance model, measures
 //! batched-versus-sequential server submission throughput, compares the
 //! search effort of the Dijkstra/A\*/ALT metrics on a large road grid,
-//! runs a small microbenchmark suite over the query hot paths, and
-//! writes the measurements as JSON.
+//! quantifies the bound-driven expansion wins (landmark pruning of exact
+//! model evaluations; interval batching of round residuals), runs a
+//! small microbenchmark suite over the query hot paths, and writes the
+//! measurements as JSON.
 //!
-//! The JSON file (`BENCH_PR4.json` by default, schema `senn-perf-gate-v4`)
+//! The JSON file (`BENCH_PR5.json` by default, schema `senn-perf-gate-v5`)
 //! is committed alongside the code so every PR leaves a machine-readable
 //! perf trajectory behind: compare `queries_per_sec`, the per-stage
-//! `stages` breakdown, the `snnn` per-model legs, the `service`
-//! throughput block, the `metric` search-effort counters and the
-//! `ns_per_iter` entries across revisions to see whether a change paid
-//! for itself. The gate also re-asserts the engine contract — parallel
-//! and sharded metrics must equal sequential metrics, the A\* and ALT
-//! SNNN runs must record identical Metrics, and the three counting
-//! searches must agree on every sampled distance — so a perf regression
-//! hunt can never silently trade away determinism.
+//! `stages` breakdown, the `snnn` per-model legs, the `expansion`
+//! pruning/batching gauges, the `service` throughput block, the `metric`
+//! search-effort counters and the `ns_per_iter` entries across revisions
+//! to see whether a change paid for itself. The gate also re-asserts the
+//! engine contract — parallel and sharded metrics must equal sequential
+//! metrics, the A\* and ALT SNNN runs must record identical Metrics
+//! (modulo the oracle-dependent `model_evals_saved` payoff counter),
+//! pruned expansion must return bit-identical result sets while saving
+//! ≥30% of exact model evaluations, interval batching must reproduce the
+//! per-query Metrics bit for bit while collapsing service submissions at
+//! least 2×, and the three counting searches must agree on every sampled
+//! distance — so a perf regression hunt can never silently trade away
+//! determinism.
 //!
 //! Usage:
 //!
@@ -32,12 +39,17 @@
 use std::time::Instant;
 
 use senn_bench::{random_points, random_server, BenchRng};
+use senn_cache::CacheEntry;
 use senn_core::service::{ServerRequest, SpatialService};
-use senn_core::{SearchBounds, STAGE_COUNT, STAGE_NAMES};
+use senn_core::{
+    snnn_query, snnn_query_pruned, DistanceModel, RTreeServer, SearchBounds, SennEngine,
+    SnnnConfig, STAGE_COUNT, STAGE_NAMES,
+};
 use senn_geom::Point;
 use senn_network::{
     counting_alt, counting_astar, counting_dijkstra, generate_network, ier_knn_with, ine_knn_with,
-    AltIndex, DijkstraScratch, GeneratorConfig, NetworkPois, NodeLocator, SearchStats,
+    AltBound, AltDistance, AltIndex, DijkstraScratch, GeneratorConfig, NetworkPois, NodeLocator,
+    SearchStats,
 };
 use senn_rtree::RStarTree;
 use senn_server::ShardedService;
@@ -56,7 +68,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         shards: 4,
-        out: "BENCH_PR4.json".to_string(),
+        out: "BENCH_PR5.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -109,12 +121,18 @@ struct SnnnLeg {
     wall_secs: f64,
 }
 
-fn run_snnn_leg(label: &'static str, quick: bool, kind: NetworkModelKind) -> SnnnLeg {
+fn run_snnn_leg(
+    label: &'static str,
+    quick: bool,
+    kind: NetworkModelKind,
+    batched: bool,
+) -> SnnnLeg {
     let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
     params.t_execution_hours = if quick { 0.02 } else { 0.1 };
     let cfg = SimConfig::new(params, 20_060_402)
         .to_builder()
         .distance_model(kind)
+        .expansion_batching(batched)
         .build();
     let mut sim = Simulator::new(cfg);
     let started = Instant::now();
@@ -130,19 +148,35 @@ fn run_snnn_leg(label: &'static str, quick: bool, kind: NetworkModelKind) -> Snn
 
 /// Runs the three distance models over the same scenario and re-asserts
 /// the interchangeability contract: A\* and ALT compute the same
-/// distances, so their whole Metrics blocks must coincide bit for bit.
+/// distances, so their whole Metrics blocks must coincide bit for bit —
+/// except the `model_evals_saved` pruning payoff, which legitimately
+/// depends on the paired oracle (A\* runs with the free-flow Euclidean
+/// bound, ALT with the tighter landmark bound). `lb_evals` must still
+/// coincide: the candidate stream the oracle sees never depends on which
+/// oracle answers.
 fn snnn_benches(quick: bool) -> Vec<SnnnLeg> {
     let legs = vec![
-        run_snnn_leg("astar", quick, NetworkModelKind::AStar),
-        run_snnn_leg("alt", quick, NetworkModelKind::Alt { landmarks: 8 }),
+        run_snnn_leg("astar", quick, NetworkModelKind::AStar, true),
+        run_snnn_leg("alt", quick, NetworkModelKind::Alt { landmarks: 8 }, true),
         run_snnn_leg(
             "timedep",
             quick,
             NetworkModelKind::TimeDependent { start_hour: 8.0 },
+            true,
         ),
     ];
     assert_eq!(
-        legs[0].metrics, legs[1].metrics,
+        legs[0].metrics.lb_evals, legs[1].metrics.lb_evals,
+        "A* and ALT legs consulted their oracles a different number of times"
+    );
+    assert!(
+        legs[1].metrics.model_evals_saved >= legs[0].metrics.model_evals_saved,
+        "landmark bounds must prune at least as much as free-flow bounds"
+    );
+    let mut alt_normalized = legs[1].metrics.clone();
+    alt_normalized.model_evals_saved = legs[0].metrics.model_evals_saved;
+    assert_eq!(
+        legs[0].metrics, alt_normalized,
         "ALT model diverged from the A* model on the SNNN leg"
     );
     for leg in &legs {
@@ -157,6 +191,183 @@ fn snnn_benches(quick: bool) -> Vec<SnnnLeg> {
         );
     }
     legs
+}
+
+/// A [`DistanceModel`] wrapper counting exact `distance` evaluations —
+/// the expensive calls the bound-driven expansion exists to avoid.
+struct CountingModel<M> {
+    inner: M,
+    calls: u64,
+}
+
+impl<M: DistanceModel> DistanceModel for CountingModel<M> {
+    fn distance(&mut self, q: Point, p: Point) -> Option<f64> {
+        self.calls += 1;
+        self.inner.distance(q, p)
+    }
+}
+
+/// The large-grid pruning leg's totals: exact model evaluations with and
+/// without the landmark lower-bound oracle, over identical result sets.
+struct PruningLeg {
+    nodes: usize,
+    pois: usize,
+    queries: usize,
+    k: usize,
+    landmarks: usize,
+    exact_evals_unpruned: u64,
+    exact_evals_pruned: u64,
+    lb_evals: u64,
+    model_evals_saved: u64,
+}
+
+impl PruningLeg {
+    /// Fraction of the unpruned leg's exact evaluations the bounds saved.
+    fn saved_fraction(&self) -> f64 {
+        1.0 - self.exact_evals_pruned as f64 / self.exact_evals_unpruned as f64
+    }
+}
+
+/// Large-grid SNNN pruning leg: the library driver with and without the
+/// [`AltBound`] landmark oracle over the same query stream and the same
+/// ALT exact model. Asserts the result sets are identical (ids in order,
+/// distances bit for bit) and that pruning saves at least 30% of the
+/// exact model distance evaluations — the headline number of the
+/// bound-driven expansion.
+fn expansion_pruning_leg(quick: bool) -> PruningLeg {
+    let side = if quick { 3000.0 } else { 6000.0 };
+    let (poi_count, query_count) = if quick { (300, 12) } else { (1200, 48) };
+    let (k, landmarks) = (8usize, 8usize);
+    let net = generate_network(&GeneratorConfig::city(side, 42));
+    let locator = NodeLocator::new(&net);
+    let index = AltIndex::build_seeded(&net, landmarks, 42);
+    let pois: Vec<(u64, Point)> = random_points(poi_count, side, 7)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p))
+        .collect();
+    let server = RTreeServer::new(pois);
+    let engine = SennEngine::default();
+    let queries = random_points(query_count, side, 13);
+
+    let mut leg = PruningLeg {
+        nodes: net.node_count(),
+        pois: poi_count,
+        queries: query_count,
+        k,
+        landmarks,
+        exact_evals_unpruned: 0,
+        exact_evals_pruned: 0,
+        lb_evals: 0,
+        model_evals_saved: 0,
+    };
+    for &q in &queries {
+        let mut plain_model = CountingModel {
+            inner: AltDistance::new(&net, &locator, &index, q).expect("non-empty network"),
+            calls: 0,
+        };
+        let plain = snnn_query::<CacheEntry, _>(
+            &engine,
+            q,
+            k,
+            &[],
+            &server,
+            &mut plain_model,
+            SnnnConfig::default(),
+        );
+        let mut pruned_model = CountingModel {
+            inner: AltDistance::new(&net, &locator, &index, q).expect("non-empty network"),
+            calls: 0,
+        };
+        let mut oracle = AltBound::new(&net, &locator, &index, q).expect("non-empty network");
+        let pruned = snnn_query_pruned::<CacheEntry, _, _>(
+            &engine,
+            q,
+            k,
+            &[],
+            &server,
+            &mut pruned_model,
+            &mut oracle,
+            SnnnConfig::default(),
+        );
+        // Correctness first: pruning must be invisible in the answer.
+        assert_eq!(
+            plain.results.len(),
+            pruned.results.len(),
+            "pruning changed the result count"
+        );
+        for (a, b) in plain.results.iter().zip(&pruned.results) {
+            assert_eq!(a.poi.poi_id, b.poi.poi_id, "pruning reordered the top k");
+            assert_eq!(
+                a.network_dist.to_bits(),
+                b.network_dist.to_bits(),
+                "pruning drifted a network distance"
+            );
+        }
+        assert_eq!(plain.trace.cap_hit, pruned.trace.cap_hit);
+        assert_eq!(
+            plain.trace.lb_evals, pruned.trace.lb_evals,
+            "the candidate stream must not depend on the oracle"
+        );
+        leg.exact_evals_unpruned += plain_model.calls;
+        leg.exact_evals_pruned += pruned_model.calls;
+        leg.lb_evals += pruned.trace.lb_evals;
+        leg.model_evals_saved += pruned.trace.model_evals_saved;
+    }
+    assert!(
+        leg.saved_fraction() >= 0.30,
+        "landmark pruning saved only {:.1}% of exact evaluations (need >= 30%): {} -> {}",
+        leg.saved_fraction() * 100.0,
+        leg.exact_evals_unpruned,
+        leg.exact_evals_pruned,
+    );
+    leg
+}
+
+/// The interval-batching leg's totals: service submissions of the SNNN
+/// expand pass under the two submission layouts of the same scenario.
+struct BatchingLeg {
+    snnn_rounds: u64,
+    submissions_batched: u64,
+    submissions_per_query: u64,
+}
+
+impl BatchingLeg {
+    /// How many times fewer `submit` calls the interval batching makes.
+    fn collapse_ratio(&self) -> f64 {
+        self.submissions_per_query as f64 / self.submissions_batched as f64
+    }
+}
+
+/// Interval-batching leg: the golden SNNN scenario under the
+/// interval-batched and the per-query (PR-4) submission layouts. The
+/// whole `Metrics` blocks must be bit-identical — batching is purely a
+/// submission-layout change — while the batched layout must make at
+/// least 2× fewer service submissions.
+fn expansion_batching_leg(quick: bool) -> BatchingLeg {
+    let batched = run_snnn_leg("astar_batched", quick, NetworkModelKind::AStar, true);
+    let per_query = run_snnn_leg("astar_per_query", quick, NetworkModelKind::AStar, false);
+    assert_eq!(
+        batched.metrics, per_query.metrics,
+        "interval batching changed the fault-free Metrics"
+    );
+    assert_eq!(
+        batched.stats.snnn_rounds, per_query.stats.snnn_rounds,
+        "interval batching changed the expansion round count"
+    );
+    let leg = BatchingLeg {
+        snnn_rounds: batched.stats.snnn_rounds,
+        submissions_batched: batched.stats.snnn_submissions,
+        submissions_per_query: per_query.stats.snnn_submissions,
+    };
+    assert!(leg.submissions_batched > 0, "scenario never hit the server");
+    assert!(
+        leg.submissions_per_query >= 2 * leg.submissions_batched,
+        "interval batching collapsed submissions only {} -> {} (need >= 2x)",
+        leg.submissions_per_query,
+        leg.submissions_batched,
+    );
+    leg
 }
 
 /// Search-effort totals of one counting search over the sampled pairs.
@@ -472,6 +683,9 @@ fn snnn_leg_json(leg: &SnnnLeg) -> String {
             "      \"queries\": {},\n",
             "      \"queries_per_sec\": {},\n",
             "      \"snnn_rounds\": {},\n",
+            "      \"snnn_submissions\": {},\n",
+            "      \"lb_evals\": {},\n",
+            "      \"model_evals_saved\": {},\n",
             "      \"expansion_cap_hits\": {},\n",
             "      \"single_peer\": {},\n",
             "      \"multi_peer\": {},\n",
@@ -486,11 +700,59 @@ fn snnn_leg_json(leg: &SnnnLeg) -> String {
         leg.stats.queries,
         fmt_f64(leg.stats.queries_per_sec()),
         leg.stats.snnn_rounds,
+        leg.stats.snnn_submissions,
+        leg.metrics.lb_evals,
+        leg.metrics.model_evals_saved,
         leg.metrics.expansion_cap_hits,
         leg.metrics.single_peer,
         leg.metrics.multi_peer,
         leg.metrics.server,
         stages_json(&leg.stats),
+    )
+}
+
+/// The `expansion` JSON block: the pruning and batching gauges the
+/// `xtask perf-budget` task tracks against the committed baseline.
+fn expansion_json(pruning: &PruningLeg, batching: &BatchingLeg) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"pruning\": {{\n",
+            "      \"nodes\": {},\n",
+            "      \"pois\": {},\n",
+            "      \"queries\": {},\n",
+            "      \"k\": {},\n",
+            "      \"landmarks\": {},\n",
+            "      \"exact_evals_unpruned\": {},\n",
+            "      \"exact_evals_pruned\": {},\n",
+            "      \"lb_evals\": {},\n",
+            "      \"model_evals_saved\": {},\n",
+            "      \"saved_fraction\": {},\n",
+            "      \"results_identical\": true\n",
+            "    }},\n",
+            "    \"batching\": {{\n",
+            "      \"snnn_rounds\": {},\n",
+            "      \"submissions_per_query\": {},\n",
+            "      \"submissions_batched\": {},\n",
+            "      \"collapse_ratio\": {},\n",
+            "      \"metrics_identical\": true\n",
+            "    }}\n",
+            "  }}"
+        ),
+        pruning.nodes,
+        pruning.pois,
+        pruning.queries,
+        pruning.k,
+        pruning.landmarks,
+        pruning.exact_evals_unpruned,
+        pruning.exact_evals_pruned,
+        pruning.lb_evals,
+        pruning.model_evals_saved,
+        fmt_f64(pruning.saved_fraction()),
+        batching.snnn_rounds,
+        batching.submissions_per_query,
+        batching.submissions_batched,
+        fmt_f64(batching.collapse_ratio()),
     )
 }
 
@@ -638,6 +900,23 @@ fn main() {
         );
     }
 
+    let pruning = expansion_pruning_leg(args.quick);
+    eprintln!(
+        "perf_gate: expansion pruning saved {:.1}% of exact evals ({} -> {}) over {} queries",
+        pruning.saved_fraction() * 100.0,
+        pruning.exact_evals_unpruned,
+        pruning.exact_evals_pruned,
+        pruning.queries,
+    );
+    let batching = expansion_batching_leg(args.quick);
+    eprintln!(
+        "perf_gate: expansion batching collapsed submissions x{:.2} ({} -> {}) over {} rounds",
+        batching.collapse_ratio(),
+        batching.submissions_per_query,
+        batching.submissions_batched,
+        batching.snnn_rounds,
+    );
+
     let (metric_nodes, metric_pairs, metric_reachable, metric_algos) = metric_benches(args.quick);
     for a in &metric_algos {
         eprintln!(
@@ -694,7 +973,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"senn-perf-gate-v4\",\n",
+            "  \"schema\": \"senn-perf-gate-v5\",\n",
             "  \"quick\": {},\n",
             "  \"available_parallelism\": {},\n",
             "  \"parallel_threads\": {},\n",
@@ -717,6 +996,7 @@ fn main() {
             "{},\n",
             "    \"astar_alt_metrics_identical\": true\n",
             "  }},\n",
+            "  \"expansion\": {},\n",
             "  \"metric\": {},\n",
             "  \"service\": {{\n",
             "    \"batch_size\": {},\n",
@@ -743,6 +1023,7 @@ fn main() {
         fmt_f64(speedup),
         sim_service_json,
         snnn_json.join(",\n"),
+        expansion_json(&pruning, &batching),
         metric_json(metric_nodes, metric_pairs, metric_reachable, &metric_algos),
         batch_size,
         service_json.join(",\n"),

@@ -46,7 +46,7 @@ pub mod trace;
 pub mod verify;
 
 pub use continuous::{validity_radius, ContinuousKnn, ContinuousStats};
-pub use distance::{DistanceModel, Euclidean};
+pub use distance::{DistanceModel, Euclidean, EuclideanBound, LowerBoundOracle, NeverPrune};
 pub use heap::{HeapEntry, HeapState, ResultHeap};
 pub use pipeline::{QueryContext, VerifyScratch};
 pub use range::{RangeOutcome, RangeServer};
@@ -58,7 +58,10 @@ pub use service::{
     submit_with_retry, ReplyStatus, RequestOutcome, RetryPolicy, ServerReply, ServerRequest,
     SpatialService,
 };
-pub use snnn::{snnn_query, snnn_query_with, SnnnConfig, SnnnExpansion, SnnnNeighbor, SnnnOutcome};
+pub use snnn::{
+    snnn_query, snnn_query_pruned, snnn_query_pruned_with, snnn_query_with, SnnnConfig,
+    SnnnExpansion, SnnnNeighbor, SnnnOutcome,
+};
 pub use trace::{QueryTrace, Resolution, Stage, STAGE_COUNT, STAGE_NAMES};
 
 /// One-stop imports for typical users of the crate: the engines, the
@@ -77,6 +80,9 @@ pub use trace::{QueryTrace, Resolution, Stage, STAGE_COUNT, STAGE_NAMES};
 /// assert_eq!(out.results[0].poi.poi_id, 2);
 /// ```
 pub mod prelude {
+    pub use crate::distance::{
+        DistanceModel, Euclidean, EuclideanBound, LowerBoundOracle, NeverPrune,
+    };
     pub use crate::heap::{HeapEntry, HeapState};
     pub use crate::pipeline::QueryContext;
     pub use crate::senn::{SennConfig, SennEngine, SennOutcome};
@@ -85,7 +91,10 @@ pub mod prelude {
         submit_with_retry, ReplyStatus, RequestOutcome, RetryPolicy, ServerReply, ServerRequest,
         SpatialService,
     };
-    pub use crate::snnn::{snnn_query, snnn_query_with, SnnnConfig, SnnnNeighbor, SnnnOutcome};
+    pub use crate::snnn::{
+        snnn_query, snnn_query_pruned, snnn_query_pruned_with, snnn_query_with, SnnnConfig,
+        SnnnNeighbor, SnnnOutcome,
+    };
     pub use crate::trace::{QueryTrace, Resolution};
     pub use senn_cache::{CacheEntry as PeerCacheEntry, CachedNn};
     pub use senn_rtree::SearchBounds;

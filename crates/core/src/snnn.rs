@@ -20,7 +20,7 @@ use std::borrow::Borrow;
 use senn_cache::{CacheEntry, CachedNn};
 use senn_geom::Point;
 
-use crate::distance::DistanceModel;
+use crate::distance::{DistanceModel, LowerBoundOracle, NeverPrune};
 use crate::pipeline::QueryContext;
 use crate::senn::SennEngine;
 use crate::service::SpatialService;
@@ -95,6 +95,15 @@ pub struct SnnnExpansion {
     /// True when the distance bound (or POI exhaustion) confirmed the
     /// answer — the opposite of a cap/abort truncation.
     confirmed: bool,
+    /// Lower-bound oracle consultations performed so far.
+    lb_evals: u64,
+    /// Exact model evaluations skipped because the lower bound already
+    /// exceeded the k-th network distance.
+    model_evals_saved: u64,
+    /// When enabled ([`SnnnExpansion::record_skips`]), every skipped
+    /// candidate as `(poi_id, lower_bound)` — the conformance suite
+    /// audits that each bound genuinely exceeded the final k-th distance.
+    skip_log: Option<Vec<(u64, f64)>>,
 }
 
 impl SnnnExpansion {
@@ -126,7 +135,34 @@ impl SnnnExpansion {
             rounds: 0,
             finished: exhausted,
             confirmed: exhausted,
+            lb_evals: 0,
+            model_evals_saved: 0,
+            skip_log: None,
         }
+    }
+
+    /// Enables the skip audit log consumed by the conformance suite.
+    pub fn record_skips(&mut self) {
+        self.skip_log = Some(Vec::new());
+    }
+
+    /// The audited skips as `(poi_id, lower_bound)` pairs (empty unless
+    /// [`SnnnExpansion::record_skips`] was enabled before the rounds ran).
+    pub fn skipped(&self) -> &[(u64, f64)] {
+        self.skip_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Lower-bound oracle consultations performed so far. Identical
+    /// across oracles for the same query stream — the candidate sequence
+    /// never depends on the oracle, only on the (oracle-invariant)
+    /// result set.
+    pub fn lb_evals(&self) -> u64 {
+        self.lb_evals
+    }
+
+    /// Exact model evaluations the oracle's bounds made unnecessary.
+    pub fn model_evals_saved(&self) -> u64 {
+        self.model_evals_saved
     }
 
     /// True while another Euclidean round could still change the answer.
@@ -143,10 +179,32 @@ impl SnnnExpansion {
     /// NNs: either the round's last NN confirms the distance bound (or the
     /// world ran out of POIs) and the expansion finishes, or the new
     /// candidate is ranked into the result set.
+    ///
+    /// Equivalent to [`SnnnExpansion::offer_pruned`] under the vacuous
+    /// [`NeverPrune`] oracle: every candidate is evaluated exactly.
     pub fn offer<M: DistanceModel>(
         &mut self,
         round_results: &[crate::heap::HeapEntry],
         model: &mut M,
+    ) {
+        self.offer_pruned(round_results, model, &mut NeverPrune);
+    }
+
+    /// [`SnnnExpansion::offer`] with bound-driven pruning: before paying
+    /// for an exact model evaluation the candidate's lower bound is
+    /// consulted, and when `lb >= s_bound` (the current k-th network
+    /// distance) the evaluation is skipped — the exact distance `nd`
+    /// satisfies `nd >= lb >= s_bound`, so the replacement test
+    /// `nd < s_bound` could never pass. Skipping therefore changes no
+    /// result, no round count and no termination decision: pruned and
+    /// unpruned expansion are observationally identical except for the
+    /// [`SnnnExpansion::lb_evals`] / [`SnnnExpansion::model_evals_saved`]
+    /// counters (proven in `tests/expansion_pruning.rs`).
+    pub fn offer_pruned<M: DistanceModel, O: LowerBoundOracle>(
+        &mut self,
+        round_results: &[crate::heap::HeapEntry],
+        model: &mut M,
+        oracle: &mut O,
     ) {
         if self.finished {
             return;
@@ -169,6 +227,16 @@ impl SnnnExpansion {
         }
         if self.results.iter().any(|r| r.poi.poi_id == next.poi.poi_id) {
             return; // already ranked (ties can reorder across calls)
+        }
+        self.lb_evals += 1;
+        let lb = oracle.lower_bound(self.query, next.poi.position);
+        if lb >= s_bound {
+            // The bound alone rules the candidate out of the top k.
+            self.model_evals_saved += 1;
+            if let Some(log) = &mut self.skip_log {
+                log.push((next.poi.poi_id, lb));
+            }
+            return;
         }
         let nd = model
             .distance(self.query, next.poi.position)
@@ -240,7 +308,9 @@ pub fn snnn_query<B: Borrow<CacheEntry>, M: DistanceModel>(
 /// allocation-reusing batch entry point).
 ///
 /// `model` supplies the target metric; it must respect the Euclidean
-/// lower-bound property (see [`DistanceModel`]).
+/// lower-bound property (see [`DistanceModel`]). Every candidate is
+/// evaluated exactly; use [`snnn_query_pruned_with`] to skip evaluations
+/// an admissible lower bound already rules out.
 #[allow(clippy::too_many_arguments)]
 pub fn snnn_query_with<B: Borrow<CacheEntry>, M: DistanceModel>(
     engine: &SennEngine,
@@ -249,6 +319,62 @@ pub fn snnn_query_with<B: Borrow<CacheEntry>, M: DistanceModel>(
     peers: &[B],
     server: &dyn SpatialService,
     model: &mut M,
+    config: SnnnConfig,
+    ctx: &mut QueryContext,
+) -> SnnnOutcome {
+    snnn_query_pruned_with(
+        engine,
+        query,
+        k,
+        peers,
+        server,
+        model,
+        &mut NeverPrune,
+        config,
+        ctx,
+    )
+}
+
+/// Runs Algorithm 2 with bound-driven pruning and a fresh
+/// [`QueryContext`]: `oracle` must lower-bound `model` (see
+/// [`LowerBoundOracle`]); candidates whose bound already exceeds the
+/// current k-th network distance are never evaluated exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn snnn_query_pruned<B: Borrow<CacheEntry>, M: DistanceModel, O: LowerBoundOracle>(
+    engine: &SennEngine,
+    query: Point,
+    k: usize,
+    peers: &[B],
+    server: &dyn SpatialService,
+    model: &mut M,
+    oracle: &mut O,
+    config: SnnnConfig,
+) -> SnnnOutcome {
+    snnn_query_pruned_with(
+        engine,
+        query,
+        k,
+        peers,
+        server,
+        model,
+        oracle,
+        config,
+        &mut QueryContext::new(),
+    )
+}
+
+/// [`snnn_query_pruned`] against a caller-owned [`QueryContext`]. The
+/// outcome's trace carries the pruning counters
+/// ([`QueryTrace::lb_evals`] / [`QueryTrace::model_evals_saved`]).
+#[allow(clippy::too_many_arguments)]
+pub fn snnn_query_pruned_with<B: Borrow<CacheEntry>, M: DistanceModel, O: LowerBoundOracle>(
+    engine: &SennEngine,
+    query: Point,
+    k: usize,
+    peers: &[B],
+    server: &dyn SpatialService,
+    model: &mut M,
+    oracle: &mut O,
     config: SnnnConfig,
     ctx: &mut QueryContext,
 ) -> SnnnOutcome {
@@ -273,9 +399,11 @@ pub fn snnn_query_with<B: Borrow<CacheEntry>, M: DistanceModel>(
     while expansion.needs_round() && expansion.rounds() < config.max_expansion {
         let expanded = engine.query_with(query, expansion.next_k(), peers, server, ctx);
         trace.absorb(&expanded.trace);
-        expansion.offer(&expanded.results, model);
+        expansion.offer_pruned(&expanded.results, model, oracle);
     }
     trace.cap_hit = expansion.cap_hit();
+    trace.lb_evals = expansion.lb_evals();
+    trace.model_evals_saved = expansion.model_evals_saved();
 
     SnnnOutcome {
         results: expansion.into_results(),

@@ -97,6 +97,13 @@ pub struct QueryTrace {
     /// True when a residual request exhausted every attempt and the query
     /// fell back to whatever the peers verified locally.
     pub server_failed: bool,
+    /// Lower-bound oracle consultations the SNNN expansion performed
+    /// (`0` for plain SENN and for expansions that never reached the
+    /// candidate stage).
+    pub lb_evals: u64,
+    /// Exact model distance evaluations the expansion skipped because an
+    /// admissible lower bound already exceeded the k-th network distance.
+    pub model_evals_saved: u64,
     /// Wall-clock nanoseconds spent per stage (observation only; never
     /// fed back into any algorithmic decision).
     pub stage_nanos: [u64; STAGE_COUNT],
@@ -121,6 +128,8 @@ impl QueryTrace {
         self.server_drops = 0;
         self.server_degraded = false;
         self.server_failed = false;
+        self.lb_evals = 0;
+        self.model_evals_saved = 0;
         self.stage_nanos = [0; STAGE_COUNT];
         self.stage_calls = [0; STAGE_COUNT];
     }
@@ -158,6 +167,8 @@ impl QueryTrace {
         self.server_drops += round.server_drops;
         self.server_degraded |= round.server_degraded;
         self.server_failed |= round.server_failed;
+        self.lb_evals += round.lb_evals;
+        self.model_evals_saved += round.model_evals_saved;
         for i in 0..STAGE_COUNT {
             self.stage_nanos[i] += round.stage_nanos[i];
             self.stage_calls[i] += round.stage_calls[i];
@@ -198,6 +209,8 @@ mod tests {
         b.resolutions.push(Resolution::Server);
         b.server_accesses = 7;
         b.server_contacted = true;
+        b.lb_evals = 5;
+        b.model_evals_saved = 2;
         b.record_stage(Stage::ServerResidual, 20);
         total.absorb(&a);
         total.absorb(&b);
@@ -205,6 +218,8 @@ mod tests {
         assert_eq!(total.resolution(), Resolution::SinglePeer);
         assert_eq!(total.server_accesses, 7);
         assert!(total.server_contacted);
+        assert_eq!(total.lb_evals, 5);
+        assert_eq!(total.model_evals_saved, 2);
         assert_eq!(total.stage_calls, [1, 0, 0, 1]);
         assert_eq!(total.stage_nanos, [10, 0, 0, 20]);
     }
@@ -237,6 +252,8 @@ mod tests {
         t.server_drops = 1;
         t.server_degraded = true;
         t.server_failed = true;
+        t.lb_evals = 4;
+        t.model_evals_saved = 2;
         t.record_stage(Stage::MultiVerify, 5);
         t.reset();
         assert_eq!(t, QueryTrace::new());

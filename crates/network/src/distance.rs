@@ -22,7 +22,7 @@
 //! at least as long as the straight line between its endpoints — and for
 //! [`TimeDependentCost`] because its per-edge factor never drops below 1.
 
-use senn_core::DistanceModel;
+use senn_core::{DistanceModel, LowerBoundOracle};
 use senn_geom::Point;
 
 use crate::alt::{alt_distance_with, AltIndex};
@@ -167,6 +167,102 @@ impl DistanceModel for AltDistance<'_> {
         let pn = self.locator.nearest(p)?;
         let core = alt_distance_with(self.net, self.index, self.query_node, pn, &mut self.scratch)?;
         Some(query.dist(self.net.position(self.query_node)) + core + self.net.position(pn).dist(p))
+    }
+}
+
+/// A [`LowerBoundOracle`] from the landmark table of an [`AltIndex`]: a
+/// search-free lower bound on all three road models' distances, used by
+/// SNNN's pruned expansion to skip exact evaluations.
+///
+/// The bound is the larger of two admissible estimates:
+///
+/// * the free-flow Euclidean distance `|q → p|` (the [`DistanceModel`]
+///   contract's `ED <= ND`), and
+/// * the snap-leg decomposition `|q → snap(q)| + alt_lb(snap(q), snap(p))
+///   + |snap(p) → p|`, where `alt_lb` is the landmark triangle bound —
+///   a lower bound on the length core shared by [`NetworkDistance`] and
+///   [`AltDistance`], and (since every weighted edge costs at least its
+///   length) on [`TimeDependentCost`]'s core too.
+///
+/// Degenerate placements stay sound without any clamping: when the query
+/// point coincides with a candidate (or sits exactly on a snap node of
+/// its own candidate segment) both estimates collapse to the exact snap
+/// legs — `alt_lb(n, n) = 0`, never negative — so the bound is `0` when
+/// the exact distance is `0` and never exceeds it (regression-tested by
+/// the degenerate-placement proptest in `tests/metric_equivalence.rs`).
+/// When `p` cannot be snapped the oracle falls back to the Euclidean
+/// estimate alone.
+pub struct AltBound<'a> {
+    net: &'a RoadNetwork,
+    locator: &'a NodeLocator,
+    index: &'a AltIndex,
+    query_node: NodeId,
+}
+
+impl<'a> AltBound<'a> {
+    /// Anchors the oracle at the network node nearest to `query`. Returns
+    /// `None` when the network has no nodes.
+    pub fn new(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        index: &'a AltIndex,
+        query: Point,
+    ) -> Option<Self> {
+        let query_node = locator.nearest(query)?;
+        Some(AltBound {
+            net,
+            locator,
+            index,
+            query_node,
+        })
+    }
+
+    /// Anchors the oracle at an explicit query node (callers that already
+    /// snapped the query point — keeps the oracle's anchor in lockstep
+    /// with the paired model's).
+    pub fn anchored(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        index: &'a AltIndex,
+        query_node: NodeId,
+    ) -> Self {
+        AltBound {
+            net,
+            locator,
+            index,
+            query_node,
+        }
+    }
+
+    /// The node the query point is anchored to.
+    pub fn query_node(&self) -> NodeId {
+        self.query_node
+    }
+
+    /// Re-anchors the oracle for a new query point. Returns false
+    /// (leaving the anchor unchanged) when the locator finds no node.
+    pub fn rebase(&mut self, query: Point) -> bool {
+        match self.locator.nearest(query) {
+            Some(n) => {
+                self.query_node = n;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl LowerBoundOracle for AltBound<'_> {
+    fn lower_bound(&mut self, query: Point, p: Point) -> f64 {
+        let euclid = query.dist(p);
+        let Some(pn) = self.locator.nearest(p) else {
+            return euclid;
+        };
+        let snapped = query.dist(self.net.position(self.query_node))
+            + self.index.lower_bound(self.query_node, pn)
+            + self.net.position(pn).dist(p);
+        debug_assert!(snapped >= 0.0, "landmark bounds are never negative");
+        euclid.max(snapped)
     }
 }
 
@@ -428,6 +524,57 @@ mod tests {
                 assert!(r >= n - 1e-9, "rush {r} beat night {n} at {p:?}");
             }
         }
+    }
+
+    #[test]
+    fn alt_bound_is_admissible_for_all_three_models() {
+        let net = generate_network(&GeneratorConfig::city(2000.0, 8));
+        let locator = NodeLocator::new(&net);
+        let index = AltIndex::build(&net, 5);
+        let q = Point::new(400.0, 1600.0);
+        let mut bound = AltBound::new(&net, &locator, &index, q).unwrap();
+        let mut astar = NetworkDistance::new(&net, &locator, q).unwrap();
+        let mut alt = AltDistance::new(&net, &locator, &index, q).unwrap();
+        let mut td = TimeDependentCost::new(&net, &locator, q, 8.0).unwrap();
+        assert_eq!(bound.query_node(), astar.query_node());
+        let mut tight = 0usize;
+        for i in 0..25 {
+            let p = Point::new(80.0 * i as f64, 70.0 * i as f64);
+            let lb = bound.lower_bound(q, p);
+            assert!(lb >= 0.0);
+            assert!(lb >= q.dist(p) - 1e-9, "never looser than Euclidean");
+            for exact in [astar.distance(q, p), alt.distance(q, p), td.distance(q, p)]
+                .into_iter()
+                .flatten()
+            {
+                assert!(lb <= exact + 1e-9, "bound {lb} overshot exact {exact}");
+            }
+            if let Some(exact) = astar.distance(q, p) {
+                if lb > q.dist(p) + 1e-9 && lb <= exact + 1e-9 {
+                    tight += 1;
+                }
+            }
+        }
+        assert!(
+            tight > 0,
+            "the landmark term should beat plain Euclidean somewhere"
+        );
+    }
+
+    #[test]
+    fn alt_bound_is_zero_on_its_own_snap_node() {
+        // The admissibility edge: a query point lying exactly on an
+        // auxiliary (snap) node of its own candidate segment must bound
+        // the zero self-distance by exactly 0, not a negative clamp.
+        let net = generate_network(&GeneratorConfig::city(1500.0, 5));
+        let locator = NodeLocator::new(&net);
+        let index = AltIndex::build(&net, 4);
+        let q = net.position(locator.nearest(Point::new(700.0, 700.0)).unwrap());
+        let mut bound = AltBound::new(&net, &locator, &index, q).unwrap();
+        let lb = bound.lower_bound(q, q);
+        assert_eq!(lb, 0.0, "self-bound on a snap node must be exactly zero");
+        let mut model = NetworkDistance::new(&net, &locator, q).unwrap();
+        assert_eq!(model.distance(q, q), Some(0.0));
     }
 
     #[test]

@@ -45,7 +45,8 @@ pub use alt::{
     SearchStats,
 };
 pub use distance::{
-    congestion_factor, time_cost_multiplier, AltDistance, NetworkDistance, TimeDependentCost,
+    congestion_factor, time_cost_multiplier, AltBound, AltDistance, NetworkDistance,
+    TimeDependentCost,
 };
 pub use generator::{generate_network, GeneratorConfig};
 pub use graph::{NodeId, RoadClass, RoadNetwork};

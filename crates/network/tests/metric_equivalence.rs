@@ -10,6 +10,10 @@
 //! * Dijkstra ≡ A\* ≡ ALT to 1e-9 (A\* vs ALT bit-identical — they sum
 //!   the same shortest path left-to-right);
 //! * ALT landmark lower bounds are admissible and never negative;
+//! * the [`AltBound`] oracle stays within `[0, exact]` for all three
+//!   models even under degenerate placements — a query point sitting
+//!   exactly on an auxiliary (snap) node of its own candidate segment
+//!   bounds the zero self-distance by exactly 0, never a negative clamp;
 //! * the network metric obeys the triangle inequality and dominates the
 //!   straight-line distance;
 //! * the time-dependent metric dominates the length metric at every hour
@@ -19,12 +23,12 @@
 //! * landmark selection is deterministic per seed.
 
 use proptest::prelude::*;
-use senn_core::distance::DistanceModel;
+use senn_core::distance::{DistanceModel, LowerBoundOracle};
 use senn_core::{snnn_query, RTreeServer, SennEngine, SnnnConfig};
 use senn_geom::Point;
 use senn_network::{
-    counting_alt, counting_astar, counting_dijkstra, AltDistance, AltIndex, NetworkDistance,
-    NodeLocator, RoadClass, RoadNetwork, TimeDependentCost,
+    counting_alt, counting_astar, counting_dijkstra, AltBound, AltDistance, AltIndex,
+    NetworkDistance, NodeLocator, RoadClass, RoadNetwork, TimeDependentCost,
 };
 
 /// Deterministic generator state for grid jitter (proptest drives the
@@ -129,6 +133,61 @@ proptest! {
             if let (Some(d), _) = counting_dijkstra(&net, a, b) {
                 prop_assert!(lb <= d + 1e-9, "lower bound {lb} exceeds distance {d}");
             }
+        }
+    }
+
+    /// Admissibility edge of the [`AltBound`] oracle under degenerate
+    /// placements: the query point sits *exactly* on an auxiliary (snap)
+    /// node of its own candidate segment — i.e. on the node the locator
+    /// anchors it to — and the candidate is the query itself, a point on
+    /// the same snap node, or another exact node position. In every case
+    /// `0 ≤ bound ≤ exact` must hold for all three road models, and the
+    /// self-placement must bound the zero distance by exactly `0` (not a
+    /// negative value clamped or otherwise).
+    #[test]
+    fn alt_bound_admissible_under_degenerate_placements(
+        w in 2usize..6,
+        h in 2usize..6,
+        seed in any::<u64>(),
+        landmarks in 1usize..6,
+        hour in 0.0..24.0f64,
+    ) {
+        let net = grid_network(w, h, seed);
+        let locator = NodeLocator::new(&net);
+        let index = AltIndex::build_seeded(&net, landmarks, seed);
+        for (a, b) in node_pairs(&net, seed, 8) {
+            // Anchor the query exactly on node `a` — the oracle and all
+            // three models snap it to `a` itself (zero snap leg).
+            let q = net.position(a);
+            let mut bound = AltBound::new(&net, &locator, &index, q).unwrap();
+            let mut astar = NetworkDistance::new(&net, &locator, q).unwrap();
+            let mut alt = AltDistance::new(&net, &locator, &index, q).unwrap();
+            let mut td = TimeDependentCost::new(&net, &locator, q, hour).unwrap();
+            // Candidates: the query itself (self-distance 0), the exact
+            // position of node `b`, and a point midway to `b`'s position
+            // (snaps to whichever node is nearest — still degenerate
+            // because the query leg stays on its own snap node).
+            let mid = Point::new(
+                (q.x + net.position(b).x) / 2.0,
+                (q.y + net.position(b).y) / 2.0,
+            );
+            for p in [q, net.position(b), mid] {
+                let lb = bound.lower_bound(q, p);
+                prop_assert!(lb >= 0.0, "negative bound {lb} for degenerate placement");
+                prop_assert!(lb >= q.dist(p) - 1e-9, "looser than Euclidean");
+                for exact in [astar.distance(q, p), alt.distance(q, p), td.distance(q, p)]
+                    .into_iter()
+                    .flatten()
+                {
+                    prop_assert!(
+                        lb <= exact + 1e-9,
+                        "bound {lb} overshot exact {exact} at degenerate placement"
+                    );
+                }
+            }
+            // The self-placement: distance 0, bound exactly 0.
+            prop_assert_eq!(bound.lower_bound(q, q), 0.0);
+            prop_assert_eq!(astar.distance(q, q), Some(0.0));
         }
     }
 

@@ -1,10 +1,17 @@
 //! Seeded fault injection for any [`SpatialService`]: per-request latency,
 //! timeout and drop schedules, deterministic under a fixed seed.
 //!
-//! The wrapper draws its schedule from a SplitMix64 stream, one draw pair
-//! per request **in submission order** — so a fixed seed and a fixed
-//! request sequence reproduce the exact same faults, retry counts and
-//! latencies, no matter how many threads the wrapped backend fans out to.
+//! Each request's fate is a pure function of `(seed, request id, per-id
+//! attempt ordinal)`: the wrapper counts how many times it has seen each
+//! request id and mixes `(seed, id, ordinal)` through a SplitMix64
+//! finalizer to seed the two draws (drop, latency) for that attempt. The
+//! schedule is therefore **keyed, not positional** — splitting a batch
+//! into singles, merging rounds from many queries into one interval
+//! batch, or re-ordering unrelated requests leaves every individual
+//! request's fault sequence untouched. A fixed seed and a fixed per-id
+//! submission history reproduce the exact same faults, retry counts and
+//! latencies, no matter how many threads or shards the wrapped backend
+//! fans out to, and no matter how the client coalesces its submissions.
 //! A [`FaultConfig::disabled`] wrapper is a pure passthrough: it performs
 //! no draws at all, which keeps metrics bit-identical to running the inner
 //! service bare (regression-tested in `senn-sim`).
@@ -15,6 +22,7 @@
 //! server did the work, the client just stopped waiting — so per-shard
 //! counters keep ticking, while dropped requests never reach it.
 
+use std::collections::HashMap;
 use std::sync::Mutex;
 
 use senn_core::service::{ReplyStatus, ServerReply, ServerRequest, SpatialService};
@@ -36,6 +44,13 @@ impl SplitMix64 {
     fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+}
+
+/// SplitMix64 finalizer: a bijective avalanche mix of one word.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Configuration of the fault-injecting wrapper.
@@ -93,7 +108,9 @@ impl Default for FaultConfig {
 pub struct FaultyService<S> {
     inner: S,
     config: FaultConfig,
-    rng: Mutex<SplitMix64>,
+    /// Per-request-id attempt counters: how many times each id has been
+    /// submitted so far. Keys the per-attempt fault draws.
+    attempts: Mutex<HashMap<u64, u64>>,
 }
 
 impl<S> FaultyService<S> {
@@ -102,7 +119,7 @@ impl<S> FaultyService<S> {
         FaultyService {
             inner,
             config,
-            rng: Mutex::new(SplitMix64(config.seed)),
+            attempts: Mutex::new(HashMap::new()),
         }
     }
 
@@ -133,13 +150,23 @@ impl<S: SpatialService> SpatialService for FaultyService<S> {
         if self.config.is_disabled() {
             return self.inner.submit(batch);
         }
-        // Draw the whole schedule up front, in request order, under one
-        // lock hold — batch composition fully determines the draws.
+        // Draw the whole schedule up front under one lock hold. Each
+        // request's draws are keyed by (seed, id, per-id attempt ordinal),
+        // so batch composition and ordering never influence any fate —
+        // only how often each id has been submitted does.
         let plan: Vec<(ReplyStatus, f64)> = {
-            let mut rng = self.rng.lock().unwrap();
+            let mut attempts = self.attempts.lock().unwrap();
             batch
                 .iter()
-                .map(|_| {
+                .map(|req| {
+                    let ordinal = attempts.entry(req.id).or_insert(0);
+                    let key = mix64(
+                        self.config
+                            .seed
+                            .wrapping_add(mix64(req.id).wrapping_add(mix64(*ordinal))),
+                    );
+                    *ordinal += 1;
+                    let mut rng = SplitMix64(key);
                     let dropped = rng.next_f64() < self.config.drop_prob;
                     let latency = if self.config.mean_latency_ms > 0.0 {
                         // Exponential via inverse CDF; 1 - u avoids ln(0).
@@ -312,6 +339,84 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run(), "fixed seed ⇒ identical retry accounting");
+    }
+
+    #[test]
+    fn fault_schedule_is_invariant_to_batch_splitting() {
+        // The same per-id submission history must yield bit-identical
+        // fates whether the requests arrive as one batch, as singles, or
+        // interleaved with other ids — the keyed draws depend only on
+        // (seed, id, attempt ordinal).
+        let cfg = FaultConfig {
+            seed: 0xFEED,
+            drop_prob: 0.35,
+            mean_latency_ms: 25.0,
+            timeout_ms: 40.0,
+        };
+        let reqs = batch(40);
+        let whole: Vec<_> = FaultyService::new(server(), cfg)
+            .submit(&reqs)
+            .iter()
+            .map(|r| (r.id, r.status, r.latency_ms.to_bits()))
+            .collect();
+        // Singles, submitted one by one.
+        let svc = FaultyService::new(server(), cfg);
+        let singles: Vec<_> = reqs
+            .iter()
+            .flat_map(|r| svc.submit(std::slice::from_ref(r)))
+            .map(|r| (r.id, r.status, r.latency_ms.to_bits()))
+            .collect();
+        assert_eq!(whole, singles, "splitting a batch must not move faults");
+        // Reverse submission order: each id's fate is still its own.
+        let svc = FaultyService::new(server(), cfg);
+        let mut reversed: Vec<_> = reqs
+            .iter()
+            .rev()
+            .flat_map(|r| svc.submit(std::slice::from_ref(r)))
+            .map(|r| (r.id, r.status, r.latency_ms.to_bits()))
+            .collect();
+        reversed.reverse();
+        assert_eq!(whole, reversed, "reordering ids must not move faults");
+        assert!(
+            whole.iter().any(|(_, s, _)| *s != ReplyStatus::Ok),
+            "schedule should actually inject faults"
+        );
+    }
+
+    #[test]
+    fn resubmitting_an_id_advances_its_own_fault_stream_only() {
+        let cfg = FaultConfig {
+            seed: 9,
+            drop_prob: 0.5,
+            mean_latency_ms: 10.0,
+            timeout_ms: 50.0,
+        };
+        // Submit id 0 three times on one service: the three fates follow
+        // the id's private ordinal stream.
+        let svc = FaultyService::new(server(), cfg);
+        let req = batch(1);
+        let fates: Vec<_> = (0..3)
+            .map(|_| {
+                let r = &svc.submit(&req)[0];
+                (r.status, r.latency_ms.to_bits())
+            })
+            .collect();
+        // Interleaving a different id between the attempts changes nothing.
+        let svc = FaultyService::new(server(), cfg);
+        let other = ServerRequest::plain(77, Point::new(5.0, 5.0), 3);
+        let mut interleaved = Vec::new();
+        for _ in 0..3 {
+            let r = &svc.submit(&req)[0];
+            interleaved.push((r.status, r.latency_ms.to_bits()));
+            svc.submit(std::slice::from_ref(&other));
+        }
+        assert_eq!(fates, interleaved, "foreign ids must not perturb a stream");
+        // The per-attempt fates are not all identical for this seed — the
+        // ordinal genuinely keys the draw.
+        assert!(
+            fates.windows(2).any(|w| w[0] != w[1]),
+            "attempt ordinal must vary the fate (seed chosen to show it)"
+        );
     }
 
     #[test]

@@ -111,6 +111,13 @@ pub struct Metrics {
     /// Queries whose residual request exhausted every attempt — the host
     /// kept whatever the peers verified locally.
     pub server_failed: u64,
+    /// Lower-bound oracle consultations performed by SNNN's pruned
+    /// expansion (0 for Euclidean runs, which never expand). Identical
+    /// across oracles: the candidate stream never depends on the bound.
+    pub lb_evals: u64,
+    /// Exact model distance evaluations the oracle's bounds skipped —
+    /// the pruning payoff (0 under the vacuous `NeverPrune` oracle).
+    pub model_evals_saved: u64,
 }
 
 impl Metrics {
@@ -148,6 +155,8 @@ impl Metrics {
         if trace.server_failed {
             self.server_failed += 1;
         }
+        self.lb_evals += trace.lb_evals;
+        self.model_evals_saved += trace.model_evals_saved;
     }
 
     /// SQRR: fraction of queries hitting the server, in `[0, 1]`.
@@ -253,6 +262,8 @@ impl Metrics {
         self.server_drops += other.server_drops;
         self.server_degraded += other.server_degraded;
         self.server_failed += other.server_failed;
+        self.lb_evals += other.lb_evals;
+        self.model_evals_saved += other.model_evals_saved;
         for (k, s) in &other.per_k {
             let e = self.per_k.entry(*k).or_default();
             e.queries += s.queries;
@@ -393,6 +404,8 @@ mod tests {
             server_drops: 21 + off,
             server_degraded: 22 + off,
             server_failed: 23 + off,
+            lb_evals: 24 + off,
+            model_evals_saved: 25 + off,
             ..Metrics::default()
         };
         m.per_k.insert(
@@ -428,6 +441,8 @@ mod tests {
         assert_eq!(a.server_drops, 21 + 1021);
         assert_eq!(a.server_degraded, 22 + 1022);
         assert_eq!(a.server_failed, 23 + 1023);
+        assert_eq!(a.lb_evals, 24 + 1024);
+        assert_eq!(a.model_evals_saved, 25 + 1025);
         assert_eq!(a.peer_answers_graded, 15 + 1015);
         assert_eq!(a.peer_answers_wrong, 16 + 1016);
         assert_eq!(a.uncertain_exact, 17 + 1017);
@@ -482,6 +497,8 @@ mod tests {
             t.server_drops = i / 3;
             t.server_degraded = i % 5 == 0;
             t.server_failed = i % 7 == 0;
+            t.lb_evals = (2 * i) as u64;
+            t.model_evals_saved = (i / 2) as u64;
             traces.push(t);
         }
         let mut whole = Metrics::new();
@@ -501,5 +518,6 @@ mod tests {
         assert_eq!(first, whole);
         assert!(whole.expansion_cap_hits > 0);
         assert!(whole.server_retries > 0);
+        assert!(whole.lb_evals > 0 && whole.model_evals_saved > 0);
     }
 }

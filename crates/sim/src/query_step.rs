@@ -29,9 +29,12 @@
 
 use senn_cache::{CacheEntry, CachedNn};
 use senn_core::service::{submit_with_retry, ServerRequest, SpatialService};
-use senn_core::{DistanceModel, QueryTrace, Resolution, SearchBounds, SennOutcome, SnnnExpansion};
+use senn_core::{
+    DistanceModel, EuclideanBound, LowerBoundOracle, QueryTrace, Resolution, SearchBounds,
+    SennOutcome, SnnnExpansion,
+};
 use senn_geom::Point;
-use senn_network::{AltDistance, NetworkDistance, TimeDependentCost};
+use senn_network::{AltBound, AltDistance, NetworkDistance, TimeDependentCost};
 
 use crate::comms::WorkerScratch;
 use crate::simulator::{KChoice, NetworkModelKind, Simulator};
@@ -142,6 +145,41 @@ impl DistanceModel for ActiveModel<'_> {
             ActiveModel::Time(m) => m.distance(query, p),
         }
     }
+}
+
+/// The lower-bound oracle paired with the configured model: landmark
+/// bounds when the ALT index exists, the free-flow Euclidean bound
+/// otherwise (admissible for every model by the `ED <= ND` contract).
+enum ActiveOracle<'a> {
+    Euclid(EuclideanBound),
+    Alt(AltBound<'a>),
+}
+
+impl ActiveOracle<'_> {
+    /// Re-anchors the oracle at a new query point, mirroring the model's
+    /// [`ActiveModel::rebase`] (the Euclidean bound needs no anchor).
+    fn rebase(&mut self, query: Point) -> bool {
+        match self {
+            ActiveOracle::Euclid(_) => true,
+            ActiveOracle::Alt(o) => o.rebase(query),
+        }
+    }
+}
+
+impl LowerBoundOracle for ActiveOracle<'_> {
+    fn lower_bound(&mut self, query: Point, p: Point) -> f64 {
+        match self {
+            ActiveOracle::Euclid(o) => o.lower_bound(query, p),
+            ActiveOracle::Alt(o) => o.lower_bound(query, p),
+        }
+    }
+}
+
+/// One query's in-flight expansion during the lockstep-batched expand
+/// pass: its index into the batch plus the shared state machine.
+struct ActiveExpansion {
+    idx: usize,
+    exp: SnnnExpansion,
 }
 
 impl Simulator {
@@ -288,36 +326,60 @@ impl Simulator {
     /// Phase 3b½ — expand (network mode only): runs the SNNN incremental
     /// Euclidean expansion (Algorithm 2) for every query the batch already
     /// resolved, under the configured [`NetworkModelKind`]. Rounds run on
-    /// the **main thread in query-index order**: each round's residual
-    /// goes through the configured service as its own batch, so seeded
-    /// fault schedules stay a pure function of submission order —
-    /// independent of worker-thread count.
+    /// the **main thread in query-index order**; every residual goes
+    /// through the configured service, and the keyed `FaultyService`
+    /// draws make each request's fate a pure function of its id and
+    /// attempt ordinal — independent of worker-thread count, shard count,
+    /// and how the rounds are coalesced into batches.
+    ///
+    /// Two submission layouts share the exact expansion logic:
+    ///
+    /// * **interval-batched** (default, `SimConfig::expansion_batching`):
+    ///   all still-active queries advance in lockstep; each round's
+    ///   unresolved residuals are coalesced into **one** `ServerRequest`
+    ///   batch per interval-round (plan order preserved).
+    /// * **per-query**: each query runs all its rounds to completion with
+    ///   one submission per round — the PR-4 access pattern, kept as the
+    ///   equivalence baseline (`tests/batched_expansion.rs` proves the
+    ///   two layouts produce bit-identical Metrics).
+    ///
+    /// Candidate verification is bound-driven in both layouts: an
+    /// [`ActiveOracle`] (ALT landmark bounds when the index exists, the
+    /// free-flow Euclidean bound otherwise) is consulted before every
+    /// exact model evaluation, and evaluations the bound already rules
+    /// out are skipped — counted by [`QueryTrace::lb_evals`] /
+    /// [`QueryTrace::model_evals_saved`].
     ///
     /// Expansion refines *which* POIs the host would rank first under the
     /// road metric; it never rewrites the initial round's `results`,
     /// `bounds` or `heap_state` (the paper's accounting unit — grading,
     /// the EINN/INN shadow and the cache store all read the initial
     /// Euclidean round). What it adds to the trace: the expansion rounds'
-    /// resolutions/stage timings, their service dispositions, and the
-    /// [`QueryTrace::cap_hit`] flag when the round budget (or a failed
-    /// round residual) ended the expansion unconfirmed.
+    /// resolutions/stage timings, their service dispositions, the pruning
+    /// counters, and the [`QueryTrace::cap_hit`] flag when the round
+    /// budget (or a failed round residual) ended the expansion
+    /// unconfirmed.
+    ///
+    /// Returns `(pendings, rounds_total, submissions)` where
+    /// `submissions` counts the expand pass's `submit_with_retry` calls —
+    /// the number the interval batching divides.
     pub(crate) fn expand_network_batch(
         &self,
         plans: &[QueryPlan],
-        mut pendings: Vec<PendingQuery>,
-    ) -> (Vec<PendingQuery>, u64) {
+        pendings: Vec<PendingQuery>,
+    ) -> (Vec<PendingQuery>, u64, u64) {
         let Some(kind) = self.config.distance_model else {
-            return (pendings, 0);
+            return (pendings, 0, 0);
         };
         let net = self
             .network
             .as_ref()
             .expect("validated at build time: network mode keeps the road network");
-        let mut model = match kind {
+        let model = match kind {
             NetworkModelKind::AStar => {
                 match NetworkDistance::new(net, &self.locator, Point::ORIGIN) {
                     Some(m) => ActiveModel::AStar(m),
-                    None => return (pendings, 0), // empty graph: nothing to rank with
+                    None => return (pendings, 0, 0), // empty graph: nothing to rank with
                 }
             }
             NetworkModelKind::Alt { .. } => {
@@ -327,31 +389,66 @@ impl Simulator {
                     .expect("ALT index is built with the world");
                 match AltDistance::new(net, &self.locator, index, Point::ORIGIN) {
                     Some(m) => ActiveModel::Alt(m),
-                    None => return (pendings, 0),
+                    None => return (pendings, 0, 0),
                 }
             }
             NetworkModelKind::TimeDependent { start_hour } => {
                 let hour = start_hour + self.time / 3600.0;
                 match TimeDependentCost::new(net, &self.locator, Point::ORIGIN, hour) {
                     Some(m) => ActiveModel::Time(m),
-                    None => return (pendings, 0),
+                    None => return (pendings, 0, 0),
                 }
             }
         };
+        let oracle = match (kind, self.alt_index.as_ref()) {
+            (NetworkModelKind::Alt { .. }, Some(index)) => ActiveOracle::Alt(
+                AltBound::new(net, &self.locator, index, Point::ORIGIN)
+                    .expect("model construction proved the locator non-empty"),
+            ),
+            _ => ActiveOracle::Euclid(EuclideanBound),
+        };
+        if self.config.expansion_batching {
+            self.expand_lockstep(plans, pendings, model, oracle)
+        } else {
+            self.expand_per_query(plans, pendings, model, oracle)
+        }
+    }
+
+    /// True when the query's resolved Euclidean round qualifies for SNNN
+    /// expansion: an attributed resolution with an all-certain result set.
+    fn expansion_eligible(pending: &PendingQuery) -> bool {
+        matches!(
+            pending.outcome.resolution(),
+            Resolution::SinglePeer | Resolution::MultiPeer | Resolution::Server
+        ) && pending.outcome.results.iter().all(|e| e.certain)
+    }
+
+    /// Finalizes one finished expansion into its query's trace.
+    fn finish_expansion(pending: &mut PendingQuery, exp: &SnnnExpansion) {
+        pending.outcome.trace.cap_hit = exp.cap_hit();
+        pending.outcome.trace.lb_evals = exp.lb_evals();
+        pending.outcome.trace.model_evals_saved = exp.model_evals_saved();
+    }
+
+    /// The per-query submission layout: each eligible query runs all its
+    /// expansion rounds before the next query starts, one
+    /// `submit_with_retry` call per round that needs the server.
+    fn expand_per_query(
+        &self,
+        plans: &[QueryPlan],
+        mut pendings: Vec<PendingQuery>,
+        mut model: ActiveModel<'_>,
+        mut oracle: ActiveOracle<'_>,
+    ) -> (Vec<PendingQuery>, u64, u64) {
         let mut scratch = WorkerScratch::new();
         let mut rounds_total = 0u64;
+        let mut submissions = 0u64;
         for (i, (plan, pending)) in plans.iter().zip(pendings.iter_mut()).enumerate() {
-            match pending.outcome.resolution() {
-                Resolution::SinglePeer | Resolution::MultiPeer | Resolution::Server => {}
-                // Unresolved (the interval residual failed outright) or
-                // accepted-uncertain: no verified Euclidean kNN to expand.
-                _ => continue,
-            }
-            if pending.outcome.results.iter().any(|e| !e.certain) {
+            if !Self::expansion_eligible(pending) {
                 continue;
             }
             let q = self.grid.positions()[plan.querier as usize];
-            if !model.rebase(q) {
+            if !model.rebase(q) || !oracle.rebase(q) {
                 continue;
             }
             let mut exp = SnnnExpansion::begin(q, plan.k, &pending.outcome.results, &mut model);
@@ -367,6 +464,7 @@ impl Simulator {
                 );
                 let round = if round.resolution() == Resolution::Unresolved {
                     let req = self.engine.residual_request(i as u64, q, kk, &round);
+                    submissions += 1;
                     let result = submit_with_retry(
                         &self.service,
                         std::slice::from_ref(&req),
@@ -391,11 +489,129 @@ impl Simulator {
                     exp.abort();
                     break;
                 }
-                exp.offer(&round.results, &mut model);
+                exp.offer_pruned(&round.results, &mut model, &mut oracle);
             }
-            pending.outcome.trace.cap_hit = exp.cap_hit();
+            Self::finish_expansion(pending, &exp);
         }
-        (pendings, rounds_total)
+        (pendings, rounds_total, submissions)
+    }
+
+    /// The interval-batched layout: every eligible query advances one
+    /// expansion round per iteration, and all of the iteration's
+    /// unresolved residuals travel in **one** `ServerRequest` batch (plan
+    /// order preserved; request `id` = query index, exactly as in the
+    /// per-query layout, so the keyed fault schedule is identical).
+    fn expand_lockstep(
+        &self,
+        plans: &[QueryPlan],
+        mut pendings: Vec<PendingQuery>,
+        mut model: ActiveModel<'_>,
+        mut oracle: ActiveOracle<'_>,
+    ) -> (Vec<PendingQuery>, u64, u64) {
+        let mut scratch = WorkerScratch::new();
+        let mut rounds_total = 0u64;
+        let mut submissions = 0u64;
+
+        // Start every eligible query's expansion (plan order). Queries
+        // whose expansion is already settled at begin time — the world
+        // holds fewer than `k` POIs, or a zero round budget — finalize
+        // immediately, exactly like the per-query layout.
+        let mut active: Vec<ActiveExpansion> = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            if !Self::expansion_eligible(&pendings[i]) {
+                continue;
+            }
+            let q = self.grid.positions()[plan.querier as usize];
+            if !model.rebase(q) || !oracle.rebase(q) {
+                continue;
+            }
+            let exp = SnnnExpansion::begin(q, plan.k, &pendings[i].outcome.results, &mut model);
+            if exp.needs_round() && self.config.snnn_max_expansion > 0 {
+                active.push(ActiveExpansion { idx: i, exp });
+            } else {
+                Self::finish_expansion(&mut pendings[i], &exp);
+            }
+        }
+
+        while !active.is_empty() {
+            // Probe pass: run every still-active query's peer round and
+            // stage the unresolved residuals for one coalesced batch.
+            let mut round_outcomes: Vec<Option<SennOutcome>> = Vec::with_capacity(active.len());
+            let mut requests: Vec<ServerRequest> = Vec::new();
+            let mut request_slots: Vec<usize> = Vec::new();
+            let mut failed: Vec<bool> = vec![false; active.len()];
+            for a in active.iter() {
+                let plan = &plans[a.idx];
+                let q = self.grid.positions()[plan.querier as usize];
+                rounds_total += 1;
+                let kk = a.exp.next_k();
+                self.gather_peers(plan, &mut scratch.comms);
+                let round = self.engine.query_peers_only_with(
+                    q,
+                    kk,
+                    &scratch.comms.peers,
+                    &mut scratch.ctx,
+                );
+                if round.resolution() == Resolution::Unresolved {
+                    requests.push(self.engine.residual_request(a.idx as u64, q, kk, &round));
+                    request_slots.push(round_outcomes.len());
+                }
+                round_outcomes.push(Some(round));
+            }
+
+            // Submit pass: one service batch for the whole round.
+            if !requests.is_empty() {
+                submissions += 1;
+                let results = submit_with_retry(&self.service, &requests, &self.config.retry);
+                for (&slot, result) in request_slots.iter().zip(results) {
+                    let a = &active[slot];
+                    pendings[a.idx]
+                        .outcome
+                        .trace
+                        .record_service_outcome(&result);
+                    if result.failed {
+                        failed[slot] = true;
+                    } else {
+                        let kk = a.exp.next_k();
+                        let peers_only = round_outcomes[slot].take().expect("staged above");
+                        round_outcomes[slot] = Some(self.engine.complete_residual(
+                            kk,
+                            peers_only,
+                            result.response,
+                        ));
+                    }
+                }
+            }
+
+            // Offer pass (plan order): fold each round into its query's
+            // trace and expansion state, then retire finished expansions.
+            let mut still_active = Vec::with_capacity(active.len());
+            for (slot, mut a) in active.into_iter().enumerate() {
+                let pending = &mut pendings[a.idx];
+                let round = round_outcomes[slot].take().expect("staged above");
+                pending.outcome.trace.absorb(&round.trace);
+                if failed[slot] || round.results.iter().any(|e| !e.certain) {
+                    // The round could not be served (or came back
+                    // uncertain): keep the best ranking seen, unconfirmed.
+                    a.exp.abort();
+                    Self::finish_expansion(pending, &a.exp);
+                    continue;
+                }
+                let q = self.grid.positions()[plans[a.idx].querier as usize];
+                // Anchors moved while other queries ran their rounds;
+                // re-anchor for this query (it succeeded at begin time).
+                model.rebase(q);
+                oracle.rebase(q);
+                a.exp.offer_pruned(&round.results, &mut model, &mut oracle);
+                if a.exp.needs_round() && a.exp.rounds() < self.config.snnn_max_expansion {
+                    still_active.push(a);
+                } else {
+                    Self::finish_expansion(pending, &a.exp);
+                }
+            }
+            active = still_active;
+        }
+        (pendings, rounds_total, submissions)
     }
 
     /// Phase 3c — measure: grading and PAR shadow searches for every

@@ -188,9 +188,10 @@ pub struct SimConfig {
     pub server_shards: usize,
     /// Seeded fault injection on the service seam (`None` = no faults; a
     /// disabled config is a pure passthrough and leaves [`Metrics`]
-    /// bit-identical). Faults are drawn per request in batch-submission
-    /// order, so a fixed seed reproduces the exact same retry counts
-    /// regardless of worker-thread count.
+    /// bit-identical). Each request's fate is keyed by
+    /// `(seed, request id, attempt ordinal)`, so a fixed seed reproduces
+    /// the exact same retry counts regardless of worker-thread count,
+    /// shard count, or how submissions are coalesced into batches.
     pub fault: Option<FaultConfig>,
     /// Client-side retry/backoff/degradation policy for residual batches
     /// (inert when the service never fails).
@@ -204,6 +205,15 @@ pub struct SimConfig {
     /// Safety cap on Euclidean expansion rounds per SNNN query; truncated
     /// expansions are counted in [`Metrics::expansion_cap_hits`].
     pub snnn_max_expansion: usize,
+    /// Submission layout of the SNNN expand pass: `true` (the default)
+    /// coalesces every eligible query's same-round residuals into one
+    /// `ServerRequest` batch per interval-round; `false` submits one
+    /// request per query-round (the PR-4 access pattern). Metrics are
+    /// bit-identical either way — the keyed fault schedule sees the same
+    /// per-id attempt stream — only the submission count changes
+    /// (`BatchStats::snnn_submissions`; proven in
+    /// `tests/batched_expansion.rs`).
+    pub expansion_batching: bool,
 }
 
 impl SimConfig {
@@ -230,6 +240,7 @@ impl SimConfig {
             retry: RetryPolicy::default(),
             distance_model: None,
             snnn_max_expansion: 256,
+            expansion_batching: true,
         }
     }
 
@@ -403,6 +414,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Submission layout of the SNNN expand pass: `true` (default)
+    /// batches every same-round residual per interval, `false` submits
+    /// one request per query-round. Metrics are identical either way.
+    pub fn expansion_batching(mut self, batched: bool) -> Self {
+        self.config.expansion_batching = batched;
+        self
+    }
+
     /// Finishes the build, rejecting invalid knob combinations (e.g. a
     /// network distance model without a road network) with a typed error
     /// instead of a runtime panic.
@@ -523,6 +542,11 @@ pub struct BatchStats {
     /// SNNN expansion rounds executed across all batches (0 unless a
     /// [`NetworkModelKind`] is configured).
     pub snnn_rounds: u64,
+    /// Service submissions (`submit_with_retry` calls) the SNNN expand
+    /// pass performed across all batches: with interval batching one per
+    /// round that needed the server, without it one per query-round —
+    /// the denominator of the batching win tracked by `perf_gate`.
+    pub snnn_submissions: u64,
 }
 
 impl BatchStats {
@@ -795,11 +819,14 @@ impl Simulator {
         let pendings = self.execute_batch(&plans);
         let pendings = self.submit_residual_batch(&plans, pendings);
         // Network-mode only: SNNN expansion rounds on the main thread, in
-        // query-index order (round residuals go through the configured
-        // service one by one, keeping fault schedules thread-invariant).
-        let (pendings, rounds) = self.expand_network_batch(&plans, pendings);
+        // query-index order — interval-batched by default, with bound-
+        // driven candidate pruning (round residuals go through the
+        // configured service; the keyed fault schedule is invariant to
+        // threads, shards and batch layout).
+        let (pendings, rounds, submissions) = self.expand_network_batch(&plans, pendings);
         let measures = self.measure_batch(&plans, &pendings);
         self.batch_stats.snnn_rounds += rounds;
+        self.batch_stats.snnn_submissions += submissions;
         self.batch_stats
             .record(started.elapsed().as_secs_f64(), n as u64);
 

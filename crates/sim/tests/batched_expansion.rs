@@ -1,0 +1,171 @@
+//! Interval-batched SNNN expansion is a pure submission-layout change.
+//!
+//! PR 5's tentpole coalesces all eligible queries' same-round residuals
+//! into one `ServerRequest` batch per interval instead of one service
+//! submission per query-round. Because the fault service draws each
+//! request's fate from `(seed, request id, per-id attempt ordinal)` —
+//! never from batch composition — the two layouts must be
+//! observationally identical. This suite pins that claim:
+//!
+//! * batched and per-query runs produce **bit-identical whole
+//!   [`Metrics`]**, fault-free and under a seeded lossy service;
+//! * the equality holds across 1/2 worker threads × 1/3 server shards;
+//! * batching collapses service submissions by at least 2× on the
+//!   golden workload while executing the same number of rounds;
+//! * the golden attribution pinned since PR 4 survives both layouts.
+
+use senn_sim::{FaultConfig, Metrics, NetworkModelKind, ParamSet, SimConfig, SimParams, Simulator};
+
+fn base(seed: u64) -> SimConfig {
+    let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+    params.t_execution_hours = 0.05; // 3 simulated minutes
+    SimConfig::new(params, seed)
+}
+
+/// Runs and returns `(metrics, snnn_rounds, snnn_submissions)`.
+fn run(cfg: SimConfig) -> (Metrics, u64, u64) {
+    let mut sim = Simulator::new(cfg);
+    let m = sim.run();
+    let stats = sim.batch_stats();
+    (m, stats.snnn_rounds, stats.snnn_submissions)
+}
+
+#[test]
+fn batched_and_per_query_metrics_are_bit_identical_fault_free() {
+    for kind in [
+        NetworkModelKind::AStar,
+        NetworkModelKind::Alt { landmarks: 4 },
+        NetworkModelKind::TimeDependent { start_hour: 8.0 },
+    ] {
+        let mk = |batched: bool| {
+            base(42)
+                .to_builder()
+                .distance_model(kind)
+                .expansion_batching(batched)
+                .build()
+        };
+        let (batched, rounds_b, subs_b) = run(mk(true));
+        let (per_query, rounds_q, subs_q) = run(mk(false));
+        assert_eq!(batched, per_query, "{kind:?}: layouts diverged");
+        assert_eq!(rounds_b, rounds_q, "{kind:?}: round counts diverged");
+        assert!(
+            subs_b <= subs_q,
+            "{kind:?}: batching submitted more ({subs_b}) than per-query ({subs_q})"
+        );
+    }
+}
+
+#[test]
+fn batched_and_per_query_metrics_are_bit_identical_under_faults() {
+    // The keyed fault schedule is a pure function of (seed, request id,
+    // per-id attempt ordinal); both layouts submit the same per-id
+    // request history, so even a lossy service cannot tell them apart.
+    let mk = |batched: bool| {
+        base(7)
+            .to_builder()
+            .distance_model(NetworkModelKind::AStar)
+            .fault(FaultConfig::lossy(99))
+            .expansion_batching(batched)
+            .build()
+    };
+    let (batched, rounds_b, _) = run(mk(true));
+    let (per_query, rounds_q, _) = run(mk(false));
+    assert!(
+        batched.server_retries > 0,
+        "lossy config exercised no retries — the test proves nothing"
+    );
+    assert_eq!(
+        batched, per_query,
+        "fault schedules diverged across layouts"
+    );
+    assert_eq!(rounds_b, rounds_q);
+}
+
+#[test]
+fn layout_equality_holds_across_threads_and_shards() {
+    let mk = |batched: bool, threads: usize, shards: usize| {
+        base(11)
+            .to_builder()
+            .distance_model(NetworkModelKind::Alt { landmarks: 4 })
+            .fault(FaultConfig::lossy(5))
+            .threads(threads)
+            .server_shards(shards)
+            .expansion_batching(batched)
+            .build()
+    };
+    let reference = run(mk(true, 1, 1));
+    for threads in [1usize, 2] {
+        for shards in [1usize, 2, 3] {
+            let batched = run(mk(true, threads, shards));
+            let per_query = run(mk(false, threads, shards));
+            assert_eq!(
+                (batched.0.clone(), batched.1),
+                (per_query.0.clone(), per_query.1),
+                "layouts diverged at {threads} threads x {shards} shards"
+            );
+            assert_eq!(
+                (batched.0, batched.1),
+                (reference.0.clone(), reference.1),
+                "{threads} threads x {shards} shards drifted from 1x1"
+            );
+        }
+    }
+}
+
+#[test]
+fn batching_collapses_submissions_at_least_two_fold() {
+    // Per-query: one submission per query-round that needs the server.
+    // Batched: one submission per interval-round with any residual. On
+    // the golden workload (many concurrent queries per interval) that
+    // is well over the 2x the acceptance gate demands.
+    let mk = |batched: bool| {
+        base(42)
+            .to_builder()
+            .distance_model(NetworkModelKind::AStar)
+            .expansion_batching(batched)
+            .build()
+    };
+    let (_, rounds_b, subs_batched) = run(mk(true));
+    let (_, rounds_q, subs_per_query) = run(mk(false));
+    assert_eq!(rounds_b, rounds_q, "layouts must execute the same rounds");
+    assert!(subs_batched > 0, "the golden workload reaches the server");
+    assert!(
+        subs_per_query >= 2 * subs_batched,
+        "expected >=2x collapse, got {subs_per_query} -> {subs_batched}"
+    );
+}
+
+#[test]
+fn golden_attribution_is_pinned_in_both_layouts() {
+    // Same pin as network_mode.rs's golden test: seed 42, LA 2x2, A*.
+    // Batching must not move a single query between resolution classes.
+    for batched in [true, false] {
+        let (m, rounds, _) = run(base(42)
+            .to_builder()
+            .distance_model(NetworkModelKind::AStar)
+            .expansion_batching(batched)
+            .build());
+        let golden = [
+            ("queries", m.queries),
+            ("single_peer", m.single_peer),
+            ("multi_peer", m.multi_peer),
+            ("server", m.server),
+            ("einn_accesses", m.einn_accesses),
+            ("inn_accesses", m.inn_accesses),
+            ("snnn_rounds", rounds),
+        ];
+        assert_eq!(
+            golden,
+            [
+                ("queries", 65),
+                ("single_peer", 17),
+                ("multi_peer", 0),
+                ("server", 48),
+                ("einn_accesses", 193),
+                ("inn_accesses", 194),
+                ("snnn_rounds", 200),
+            ],
+            "golden drifted with expansion_batching({batched})"
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p xtask -- api            # regenerate api.txt
 //! cargo run -p xtask -- api --check    # fail if api.txt is stale
-//! cargo run -p xtask -- perf-budget --baseline BENCH_PR4.json \
+//! cargo run -p xtask -- perf-budget --baseline BENCH_PR5.json \
 //!     --current perf-smoke.json [--max-ratio 2.5]
 //! ```
 //!
@@ -20,6 +20,14 @@
 //! hardware: if a stage that took 10% of the sequential leg suddenly
 //! takes 30%, something regressed in that stage no matter how fast the
 //! machine is. Stages below a 2% baseline share are ignored as noise.
+//!
+//! Since schema v5 the gate also emits the bound-driven `expansion`
+//! gauges (`saved_fraction` of exact model evaluations pruned,
+//! `collapse_ratio` of interval-batched service submissions). Both are
+//! bigger-is-better and hardware-independent (pure counter ratios), so
+//! the budget fails when the current run's gauge drops below the
+//! baseline's divided by `max_ratio` — the counterpart of a stage share
+//! growing by `max_ratio`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -268,8 +276,49 @@ fn parse_stage_timings(text: &str) -> BTreeMap<String, BTreeMap<String, f64>> {
     out
 }
 
+/// The bigger-is-better expansion gauges of a perf-gate JSON file
+/// (schema v5+): `expansion.pruning.saved_fraction` and
+/// `expansion.batching.collapse_ratio`, keyed by their enclosing block.
+/// Empty for pre-v5 files — the caller treats that as "nothing to
+/// compare", not an error, so old baselines keep working.
+fn parse_expansion_gauges(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut in_expansion = false;
+    let mut last_key = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if let Some(key) = line
+            .strip_suffix('{')
+            .and_then(|l| l.trim_end().strip_suffix(':'))
+            .and_then(|l| l.trim_end().strip_suffix('"'))
+            .and_then(|l| l.strip_prefix('"'))
+        {
+            if key == "expansion" {
+                in_expansion = true;
+            } else if in_expansion && (key == "pruning" || key == "batching") {
+                last_key = key.to_string();
+            } else if in_expansion {
+                // A sibling top-level block ends the expansion section.
+                in_expansion = false;
+            }
+            continue;
+        }
+        if !in_expansion {
+            continue;
+        }
+        for gauge in ["saved_fraction", "collapse_ratio"] {
+            if let Some(v) = json_num_field(line, gauge) {
+                out.insert(format!("{last_key}/{gauge}"), v);
+            }
+        }
+    }
+    out
+}
+
 /// Fails (exit 1) when any stage's share of its leg grew by more than
-/// `max_ratio` between the baseline and the current perf-gate output.
+/// `max_ratio` between the baseline and the current perf-gate output,
+/// or any bigger-is-better expansion gauge shrank by more than
+/// `max_ratio` against the baseline.
 fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -277,8 +326,10 @@ fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
             std::process::exit(2);
         })
     };
-    let base = parse_stage_timings(&read(baseline));
-    let cur = parse_stage_timings(&read(current));
+    let base_text = read(baseline);
+    let cur_text = read(current);
+    let base = parse_stage_timings(&base_text);
+    let cur = parse_stage_timings(&cur_text);
     if base.is_empty() || cur.is_empty() {
         eprintln!(
             "perf-budget: no stage timings found (baseline legs: {}, current legs: {})",
@@ -326,12 +377,38 @@ fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
             }
         }
     }
+    // Expansion gauges (schema v5+): bigger is better, so the budget is
+    // the mirror image of the stage-share check — the current gauge must
+    // not fall below the baseline's divided by `max_ratio`.
+    let base_gauges = parse_expansion_gauges(&base_text);
+    let cur_gauges = parse_expansion_gauges(&cur_text);
+    for (gauge, base_v) in &base_gauges {
+        let Some(cur_v) = cur_gauges.get(gauge) else {
+            continue; // gauge absent from the current run (older schema)
+        };
+        if *base_v <= 0.0 {
+            continue;
+        }
+        compared += 1;
+        let floor = base_v / max_ratio;
+        let verdict = if *cur_v < floor { "FAIL" } else { "ok" };
+        eprintln!(
+            "perf-budget: expansion/{gauge}: {base_v:.3} -> {cur_v:.3} (floor {floor:.3}) {verdict}"
+        );
+        if *cur_v < floor {
+            violations.push(format!(
+                "expansion/{gauge} fell from {base_v:.3} to {cur_v:.3} (< {floor:.3} = baseline / x{max_ratio})"
+            ));
+        }
+    }
     if compared == 0 {
         eprintln!("perf-budget: no comparable stages between {baseline} and {current}");
         std::process::exit(2);
     }
     if violations.is_empty() {
-        eprintln!("perf-budget: {compared} stage shares within x{max_ratio} of {baseline}");
+        eprintln!(
+            "perf-budget: {compared} stage shares / gauges within x{max_ratio} of {baseline}"
+        );
         return;
     }
     eprintln!("perf-budget: per-stage budget exceeded:");
@@ -413,6 +490,63 @@ mod tests {
         assert_eq!(seq["peer_probe"], 1.5);
         assert_eq!(seq["server_residual"], 8.5);
         assert_eq!(parsed["astar"]["peer_probe"], 0.25);
+    }
+
+    const SAMPLE_V5: &str = r#"{
+  "schema": "senn-perf-gate-v5",
+  "snnn": {
+    "astar": {
+      "stages": [
+        { "stage": "peer_probe", "calls": 2, "total_ms": 0.250, "ns_per_call": 3.0 }
+      ]
+    }
+  },
+  "expansion": {
+    "pruning": {
+      "exact_evals_unpruned": 1100,
+      "exact_evals_pruned": 565,
+      "saved_fraction": 0.486,
+      "results_identical": true
+    },
+    "batching": {
+      "submissions_per_query": 215,
+      "submissions_batched": 95,
+      "collapse_ratio": 2.263,
+      "metrics_identical": true
+    }
+  },
+  "metric": {
+    "nodes": 4000,
+    "alt_vs_astar_relaxed_ratio": 0.282
+  }
+}
+"#;
+
+    #[test]
+    fn expansion_gauges_are_keyed_by_block() {
+        let gauges = parse_expansion_gauges(SAMPLE_V5);
+        assert_eq!(
+            gauges.len(),
+            2,
+            "exactly the two tracked gauges: {gauges:?}"
+        );
+        assert_eq!(gauges["pruning/saved_fraction"], 0.486);
+        assert_eq!(gauges["batching/collapse_ratio"], 2.263);
+    }
+
+    #[test]
+    fn expansion_gauges_absent_from_pre_v5_schema() {
+        // The v4 sample has no expansion block; the parser must return
+        // nothing rather than misattribute some other ratio field.
+        assert!(parse_expansion_gauges(SAMPLE).is_empty());
+    }
+
+    #[test]
+    fn expansion_gauges_ignore_lookalike_fields_outside_the_block() {
+        // `alt_vs_astar_relaxed_ratio` in the metric block (after the
+        // expansion section closed) must not be picked up.
+        let gauges = parse_expansion_gauges(SAMPLE_V5);
+        assert!(gauges.keys().all(|k| !k.contains("relaxed")));
     }
 
     #[test]

@@ -3,8 +3,12 @@
 //! The build environment has no crates.io access, so this vendored crate
 //! implements exactly the surface the workspace's property tests use:
 //!
-//! * [`Strategy`] with `prop_map`, implemented for numeric ranges, tuples
-//!   of strategies, and [`prop::collection::vec`];
+//! * [`Strategy`] with `prop_map` and `boxed`, implemented for numeric
+//!   ranges, tuples of strategies, and [`prop::collection::vec`] (whose
+//!   length accepts exclusive ranges, inclusive ranges, or a fixed size
+//!   via [`prop::collection::SizeRange`]);
+//! * [`Union`] / the [`prop_oneof!`] macro for choosing uniformly among
+//!   heterogeneous strategies of one value type;
 //! * `prop::bool::ANY`;
 //! * the [`proptest!`] macro with `#![proptest_config(..)]` support;
 //! * [`prop_assert!`] / [`prop_assert_eq!`] (mapped onto std asserts).
@@ -92,6 +96,67 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Erases the strategy's concrete type, so strategies built from
+    /// different combinators (but producing one value type) can live in
+    /// the same collection — the enabler for [`Union`] / [`prop_oneof!`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy (the result of [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+/// Chooses uniformly among several strategies producing one value type
+/// (the desugaring of [`prop_oneof!`]; subset of upstream's weighted
+/// `Union` — every variant here is equally likely).
+#[derive(Debug)]
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `variants`; panics if the list is empty (an empty
+    /// union can generate nothing, which upstream also rejects).
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!variants.is_empty(), "Union needs at least one variant");
+        Union { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.variants.len() as u64) as usize;
+        self.variants[i].new_value(rng)
+    }
+}
+
+/// Chooses uniformly among several strategies of one value type:
+/// `prop_oneof![Just(1), 5..10i32]`. Subset of upstream: no `weight =>`
+/// arms — every alternative is equally likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
 }
 
 /// The result of [`Strategy::prop_map`].
@@ -240,26 +305,62 @@ pub mod prop {
     /// Collection strategies.
     pub mod collection {
         use super::super::{Strategy, TestRng};
-        use std::ops::Range;
+        use std::ops::{Range, RangeInclusive};
+
+        /// An inclusive length range for collection strategies (subset of
+        /// upstream's `SizeRange`): built from an exclusive range, an
+        /// inclusive range, or a single fixed size.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub struct SizeRange {
+            min: usize,
+            max: usize,
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                SizeRange {
+                    min: r.start,
+                    max: r.end.saturating_sub(1).max(r.start),
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    min: *r.start(),
+                    max: (*r.end()).max(*r.start()),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max: n }
+            }
+        }
 
         /// A `Vec` whose length is uniform in `len` and whose elements
         /// come from `element`.
-        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
-            VecStrategy { element, len }
+        pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                len: len.into(),
+            }
         }
 
         /// The result of [`vec()`].
         #[derive(Clone, Debug)]
         pub struct VecStrategy<S> {
             element: S,
-            len: Range<usize>,
+            len: SizeRange,
         }
 
         impl<S: Strategy> Strategy for VecStrategy<S> {
             type Value = Vec<S::Value>;
             fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
-                let span = self.len.end.saturating_sub(self.len.start).max(1) as u64;
-                let n = self.len.start + rng.below(span) as usize;
+                let span = (self.len.max - self.len.min + 1) as u64;
+                let n = self.len.min + rng.below(span) as usize;
                 (0..n).map(|_| self.element.new_value(rng)).collect()
             }
         }
@@ -289,8 +390,10 @@ pub mod prop {
 pub mod prelude {
     pub use crate::prop;
     pub use crate::{any, Arbitrary};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
-    pub use crate::{Just, ProptestConfig, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    pub use crate::{BoxedStrategy, Just, ProptestConfig, Strategy, Union};
 }
 
 /// Property assertion; panics (no shrinking) on failure.
@@ -389,6 +492,46 @@ mod tests {
         }
     }
 
+    #[test]
+    fn union_draws_every_variant_and_nothing_else() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), 10u32..13];
+        let mut rng = crate::TestRng::for_test("union_self_test");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let v = crate::Strategy::new_value(&strat, &mut rng);
+            assert!(v == 1 || v == 2 || (10..13).contains(&v), "stray value {v}");
+            seen.insert(v);
+        }
+        // 1000 draws over ≤5 outcomes: every variant must have surfaced.
+        assert_eq!(seen.len(), 5, "some arm was never chosen: {seen:?}");
+    }
+
+    #[test]
+    fn boxed_strategies_keep_generating_through_the_erased_type() {
+        let boxed = (0.0..1.0f64).prop_map(|x| x * 2.0).boxed();
+        let mut rng = crate::TestRng::for_test("boxed_self_test");
+        for _ in 0..100 {
+            let v = crate::Strategy::new_value(&boxed, &mut rng);
+            assert!((0.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_accepts_inclusive_and_fixed_size_ranges() {
+        let mut rng = crate::TestRng::for_test("size_range_self_test");
+        let inclusive = prop::collection::vec(0u8..10, 2..=4usize);
+        let fixed = prop::collection::vec(0u8..10, 3usize);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = crate::Strategy::new_value(&inclusive, &mut rng);
+            assert!((2..=4).contains(&v.len()));
+            lens.insert(v.len());
+            assert_eq!(crate::Strategy::new_value(&fixed, &mut rng).len(), 3);
+        }
+        // The inclusive upper bound must actually be reachable.
+        assert!(lens.contains(&4), "len 4 never generated: {lens:?}");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -398,6 +541,17 @@ mod tests {
                            n in 1usize..5) {
             prop_assert!((0.0..20.0).contains(&xy));
             prop_assert_eq!(n.max(1), n);
+        }
+
+        /// `prop_oneof!` inside the macro harness, mixing combinators.
+        #[test]
+        fn oneof_in_harness(v in prop_oneof![
+            (0.0..1.0f64).prop_map(|x| -x),
+            Just(0.5f64),
+            2.0..3.0f64,
+        ]) {
+            prop_assert!((-1.0..3.0).contains(&v));
+            prop_assert!(v <= 0.0 || v == 0.5 || v >= 2.0);
         }
     }
 }
