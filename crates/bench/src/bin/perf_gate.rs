@@ -2,13 +2,13 @@
 //! engine in sequential, parallel, and sharded-service mode, runs the
 //! network-mode SNNN scenario once per distance model, measures
 //! batched-versus-sequential server submission throughput, compares the
-//! search effort of the Dijkstra/A\*/ALT metrics on a large road grid,
-//! quantifies the bound-driven expansion wins (landmark pruning of exact
-//! model evaluations; interval batching of round residuals), runs a
-//! small microbenchmark suite over the query hot paths, and writes the
+//! search effort of the Dijkstra/A\*/ALT/CH metrics on a large road
+//! grid, quantifies the bound-driven expansion wins (landmark pruning of
+//! exact model evaluations; interval batching of round residuals), runs
+//! a small microbenchmark suite over the query hot paths, and writes the
 //! measurements as JSON.
 //!
-//! The JSON file (`BENCH_PR5.json` by default, schema `senn-perf-gate-v5`)
+//! The JSON file (`BENCH_PR6.json` by default, schema `senn-perf-gate-v6`)
 //! is committed alongside the code so every PR leaves a machine-readable
 //! perf trajectory behind: compare `queries_per_sec`, the per-stage
 //! `stages` breakdown, the `snnn` per-model legs, the `expansion`
@@ -16,14 +16,21 @@
 //! search-effort counters and the `ns_per_iter` entries across revisions
 //! to see whether a change paid for itself. The gate also re-asserts the
 //! engine contract — parallel and sharded metrics must equal sequential
-//! metrics, the A\* and ALT SNNN runs must record identical Metrics
+//! metrics, the A\*, ALT and CH SNNN runs must record identical Metrics
 //! (modulo the oracle-dependent `model_evals_saved` payoff counter),
 //! pruned expansion must return bit-identical result sets while saving
 //! ≥30% of exact model evaluations, interval batching must reproduce the
 //! per-query Metrics bit for bit while collapsing service submissions at
-//! least 2×, and the three counting searches must agree on every sampled
-//! distance — so a perf regression hunt can never silently trade away
-//! determinism.
+//! least 2×, the four counting searches must agree on every sampled
+//! distance, and the contraction-hierarchy oracle must do at least 10×
+//! less per-query work than A\* on the full-size grid — so a perf
+//! regression hunt can never silently trade away determinism.
+//!
+//! Quick mode shrinks the metric grid to its 3000 m side, which also
+//! scales the CH preprocessing (tens of milliseconds instead of the
+//! full-size half second) to keep the CI perf-smoke job inside its
+//! wall-time budget; the preprocessing cost is recorded either way as
+//! `metric.ch_preprocess_secs`.
 //!
 //! Usage:
 //!
@@ -47,9 +54,9 @@ use senn_core::{
 };
 use senn_geom::Point;
 use senn_network::{
-    counting_alt, counting_astar, counting_dijkstra, generate_network, ier_knn_with, ine_knn_with,
-    AltBound, AltDistance, AltIndex, DijkstraScratch, GeneratorConfig, NetworkPois, NodeLocator,
-    SearchStats,
+    counting_alt, counting_astar, counting_ch, counting_dijkstra, generate_network, ier_knn_with,
+    ine_knn_with, AltBound, AltDistance, AltIndex, ChIndex, DijkstraScratch, GeneratorConfig,
+    NetworkPois, NodeLocator, SearchStats,
 };
 use senn_rtree::RStarTree;
 use senn_server::ShardedService;
@@ -68,7 +75,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         shards: 4,
-        out: "BENCH_PR5.json".to_string(),
+        out: "BENCH_PR6.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -146,14 +153,15 @@ fn run_snnn_leg(
     }
 }
 
-/// Runs the three distance models over the same scenario and re-asserts
-/// the interchangeability contract: A\* and ALT compute the same
-/// distances, so their whole Metrics blocks must coincide bit for bit —
-/// except the `model_evals_saved` pruning payoff, which legitimately
-/// depends on the paired oracle (A\* runs with the free-flow Euclidean
-/// bound, ALT with the tighter landmark bound). `lb_evals` must still
-/// coincide: the candidate stream the oracle sees never depends on which
-/// oracle answers.
+/// Runs the four distance models over the same scenario and re-asserts
+/// the interchangeability contract: A\*, ALT and the CH oracle compute
+/// the same distances, so their whole Metrics blocks must coincide bit
+/// for bit — except the `model_evals_saved` pruning payoff, which
+/// legitimately depends on the paired oracle (A\* runs with the
+/// free-flow Euclidean bound, ALT with the tighter landmark bound, CH
+/// with the *exact* hierarchy bound). `lb_evals` must still coincide:
+/// the candidate stream the oracle sees never depends on which oracle
+/// answers.
 fn snnn_benches(quick: bool) -> Vec<SnnnLeg> {
     let legs = vec![
         run_snnn_leg("astar", quick, NetworkModelKind::AStar, true),
@@ -164,6 +172,7 @@ fn snnn_benches(quick: bool) -> Vec<SnnnLeg> {
             NetworkModelKind::TimeDependent { start_hour: 8.0 },
             true,
         ),
+        run_snnn_leg("ch", quick, NetworkModelKind::Ch, true),
     ];
     assert_eq!(
         legs[0].metrics.lb_evals, legs[1].metrics.lb_evals,
@@ -178,6 +187,20 @@ fn snnn_benches(quick: bool) -> Vec<SnnnLeg> {
     assert_eq!(
         legs[0].metrics, alt_normalized,
         "ALT model diverged from the A* model on the SNNN leg"
+    );
+    assert_eq!(
+        legs[0].metrics.lb_evals, legs[3].metrics.lb_evals,
+        "A* and CH legs consulted their oracles a different number of times"
+    );
+    assert!(
+        legs[3].metrics.model_evals_saved >= legs[1].metrics.model_evals_saved,
+        "the exact CH bound must prune at least as much as landmark bounds"
+    );
+    let mut ch_normalized = legs[3].metrics.clone();
+    ch_normalized.model_evals_saved = legs[1].metrics.model_evals_saved;
+    assert_eq!(
+        legs[1].metrics, ch_normalized,
+        "CH model diverged from the ALT model on the SNNN leg"
     );
     for leg in &legs {
         assert_eq!(
@@ -376,22 +399,42 @@ struct MetricAlgo {
     stats: SearchStats,
 }
 
+/// The metric leg's totals, including the contraction-hierarchy
+/// preprocessing cost the quick mode deliberately scales down.
+struct MetricLeg {
+    nodes: usize,
+    pairs: usize,
+    reachable: usize,
+    ch_preprocess_secs: f64,
+    ch_shortcuts: usize,
+    ch_label_entries: usize,
+    algos: Vec<MetricAlgo>,
+}
+
 /// Large-grid heuristic-quality leg: the same node pairs solved by plain
-/// Dijkstra, Euclidean A\* and ALT. All three must agree on every
-/// distance to 1e-9 (same metric, different heuristics); ALT must relax
-/// strictly fewer edges than A\* — that gap is what the landmark index
-/// buys and what this leg tracks across revisions.
-fn metric_benches(quick: bool) -> (usize, usize, usize, Vec<MetricAlgo>) {
+/// Dijkstra, Euclidean A\*, ALT and the contraction-hierarchy hub-label
+/// oracle. All four must agree on every distance to 1e-9 (same metric,
+/// different drivers); ALT must relax strictly fewer edges than A\* —
+/// that gap is what the landmark index buys — and the CH oracle must do
+/// at least 10× less per-query relaxation work than A\* on the full-size
+/// grid (the ratio grows with network size, so quick mode's 3000 m grid
+/// only has to clear 2×). The CH preprocessing is timed here and
+/// reported as `ch_preprocess_secs`.
+fn metric_benches(quick: bool) -> MetricLeg {
     let side = if quick { 3000.0 } else { 8000.0 };
     let pair_count = if quick { 16 } else { 64 };
     let net = generate_network(&GeneratorConfig::city(side, 42));
     let index = AltIndex::build_seeded(&net, 8, 42);
+    let ch_started = Instant::now();
+    let ch_index = ChIndex::build_seeded(&net, 42);
+    let ch_preprocess_secs = ch_started.elapsed().as_secs_f64();
     let mut rng = BenchRng::new(0x5eed);
     let n = net.node_count() as f64;
 
     let mut dij = SearchStats::default();
     let mut astar = SearchStats::default();
     let mut alt = SearchStats::default();
+    let mut ch = SearchStats::default();
     let mut reachable = 0usize;
     for _ in 0..pair_count {
         let from = (rng.next_f64() * n) as u32;
@@ -399,21 +442,23 @@ fn metric_benches(quick: bool) -> (usize, usize, usize, Vec<MetricAlgo>) {
         let (dd, sd) = counting_dijkstra(&net, from, to);
         let (da, sa) = counting_astar(&net, from, to);
         let (dl, sl) = counting_alt(&net, &index, from, to);
-        match (dd, da, dl) {
-            (Some(dd), Some(da), Some(dl)) => {
+        let (dc, sc) = counting_ch(&ch_index, from, to);
+        match (dd, da, dl, dc) {
+            (Some(dd), Some(da), Some(dl), Some(dc)) => {
                 assert!(
-                    (dd - da).abs() < 1e-9 && (dd - dl).abs() < 1e-9,
-                    "metric leg: heuristics disagreed on {from}->{to}: \
-                     dijkstra {dd}, astar {da}, alt {dl}"
+                    (dd - da).abs() < 1e-9 && (dd - dl).abs() < 1e-9 && (dd - dc).abs() < 1e-9,
+                    "metric leg: searches disagreed on {from}->{to}: \
+                     dijkstra {dd}, astar {da}, alt {dl}, ch {dc}"
                 );
                 reachable += 1;
             }
-            (None, None, None) => {}
+            (None, None, None, None) => {}
             _ => panic!("metric leg: reachability disagreed on {from}->{to}"),
         }
         dij.add(sd);
         astar.add(sa);
         alt.add(sl);
+        ch.add(sc);
     }
     assert!(reachable > 0, "metric leg sampled no reachable pairs");
     assert!(
@@ -421,6 +466,18 @@ fn metric_benches(quick: bool) -> (usize, usize, usize, Vec<MetricAlgo>) {
         "ALT must relax fewer edges than A* on the large grid \
          (alt {} vs astar {})",
         alt.relaxed,
+        astar.relaxed
+    );
+    // The headline claim of the oracle: ≥10× fewer edge relaxations than
+    // A* on the full-size grid (label-entry scans counted as relaxations,
+    // each strictly cheaper than a graph edge relaxation). Quick mode's
+    // smaller grid only supports ~4×; assert a conservative 2× there.
+    let ch_factor = if quick { 2 } else { 10 };
+    assert!(
+        ch.relaxed * ch_factor < astar.relaxed,
+        "CH must relax at least {ch_factor}x fewer edges than A* \
+         (ch {} vs astar {})",
+        ch.relaxed,
         astar.relaxed
     );
     let algos = vec![
@@ -436,8 +493,20 @@ fn metric_benches(quick: bool) -> (usize, usize, usize, Vec<MetricAlgo>) {
             name: "alt",
             stats: alt,
         },
+        MetricAlgo {
+            name: "ch",
+            stats: ch,
+        },
     ];
-    (net.node_count(), pair_count, reachable, algos)
+    MetricLeg {
+        nodes: net.node_count(),
+        pairs: pair_count,
+        reachable,
+        ch_preprocess_secs,
+        ch_shortcuts: ch_index.shortcut_count(),
+        ch_label_entries: ch_index.label_entries(),
+        algos,
+    }
 }
 
 /// Times `f` until the budget is spent and returns (iters, ns/iter).
@@ -756,8 +825,9 @@ fn expansion_json(pruning: &PruningLeg, batching: &BatchingLeg) -> String {
     )
 }
 
-fn metric_json(nodes: usize, pairs: usize, reachable: usize, algos: &[MetricAlgo]) -> String {
-    let rows: Vec<String> = algos
+fn metric_json(leg: &MetricLeg) -> String {
+    let rows: Vec<String> = leg
+        .algos
         .iter()
         .map(|a| {
             format!(
@@ -766,8 +836,13 @@ fn metric_json(nodes: usize, pairs: usize, reachable: usize, algos: &[MetricAlgo
             )
         })
         .collect();
-    let astar = algos.iter().find(|a| a.name == "astar").expect("astar leg");
-    let alt = algos.iter().find(|a| a.name == "alt").expect("alt leg");
+    let astar = leg
+        .algos
+        .iter()
+        .find(|a| a.name == "astar")
+        .expect("astar leg");
+    let alt = leg.algos.iter().find(|a| a.name == "alt").expect("alt leg");
+    let ch = leg.algos.iter().find(|a| a.name == "ch").expect("ch leg");
     format!(
         concat!(
             "{{\n",
@@ -776,13 +851,21 @@ fn metric_json(nodes: usize, pairs: usize, reachable: usize, algos: &[MetricAlgo
             "    \"pairs\": {},\n",
             "    \"reachable\": {},\n",
             "    \"alt_vs_astar_relaxed_ratio\": {},\n",
+            "    \"astar_vs_ch_relaxed_ratio\": {},\n",
+            "    \"ch_preprocess_secs\": {},\n",
+            "    \"ch_shortcuts\": {},\n",
+            "    \"ch_label_entries\": {},\n",
             "    \"algorithms\": [\n{}\n    ]\n",
             "  }}"
         ),
-        nodes,
-        pairs,
-        reachable,
+        leg.nodes,
+        leg.pairs,
+        leg.reachable,
         fmt_f64(alt.stats.relaxed as f64 / astar.stats.relaxed as f64),
+        fmt_f64(astar.stats.relaxed as f64 / ch.stats.relaxed as f64),
+        fmt_f64(leg.ch_preprocess_secs),
+        leg.ch_shortcuts,
+        leg.ch_label_entries,
         rows.join(",\n"),
     )
 }
@@ -917,13 +1000,17 @@ fn main() {
         batching.snnn_rounds,
     );
 
-    let (metric_nodes, metric_pairs, metric_reachable, metric_algos) = metric_benches(args.quick);
-    for a in &metric_algos {
+    let metric_leg = metric_benches(args.quick);
+    for a in &metric_leg.algos {
         eprintln!(
             "perf_gate: metric {} settled {} relaxed {}",
             a.name, a.stats.settled, a.stats.relaxed
         );
     }
+    eprintln!(
+        "perf_gate: metric ch preprocessing {:.3}s, {} shortcuts, {} label entries",
+        metric_leg.ch_preprocess_secs, metric_leg.ch_shortcuts, metric_leg.ch_label_entries
+    );
 
     let (service_legs, service_sm, batch_size) = service_benches(args.quick, args.shards);
     for leg in &service_legs {
@@ -973,7 +1060,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"senn-perf-gate-v5\",\n",
+            "  \"schema\": \"senn-perf-gate-v6\",\n",
             "  \"quick\": {},\n",
             "  \"available_parallelism\": {},\n",
             "  \"parallel_threads\": {},\n",
@@ -994,7 +1081,8 @@ fn main() {
             "  }}{},\n",
             "  \"snnn\": {{\n",
             "{},\n",
-            "    \"astar_alt_metrics_identical\": true\n",
+            "    \"astar_alt_metrics_identical\": true,\n",
+            "    \"ch_metrics_identical\": true\n",
             "  }},\n",
             "  \"expansion\": {},\n",
             "  \"metric\": {},\n",
@@ -1024,7 +1112,7 @@ fn main() {
         sim_service_json,
         snnn_json.join(",\n"),
         expansion_json(&pruning, &batching),
-        metric_json(metric_nodes, metric_pairs, metric_reachable, &metric_algos),
+        metric_json(&metric_leg),
         batch_size,
         service_json.join(",\n"),
         shard_metrics_json(&service_sm),

@@ -9,6 +9,9 @@
 //!   baseline model).
 //! * [`AltDistance`] — A\* with the precomputed landmark lower bounds of
 //!   an [`AltIndex`]; identical distances, fewer settled nodes.
+//! * [`ChDistance`] — the contraction-hierarchy oracle of a prebuilt
+//!   [`ChIndex`]: the same exact distances again, answered by two tiny
+//!   upward searches instead of a full graph search.
 //! * [`TimeDependentCost`] — congestion-weighted cost over per-class
 //!   speed limits and a time-of-day multiplier. Each edge costs
 //!   `length × (v_ref / v_class) × congestion(class, hour)` where `v_ref`
@@ -26,6 +29,7 @@ use senn_core::{DistanceModel, LowerBoundOracle};
 use senn_geom::Point;
 
 use crate::alt::{alt_distance_with, AltIndex};
+use crate::ch::{ChIndex, ChScratch};
 use crate::graph::{NodeId, RoadClass, RoadNetwork};
 use crate::locator::NodeLocator;
 use crate::shortest_path::{astar_distance_with, DijkstraScratch};
@@ -262,6 +266,173 @@ impl LowerBoundOracle for AltBound<'_> {
             + self.index.lower_bound(self.query_node, pn)
             + self.net.position(pn).dist(p);
         debug_assert!(snapped >= 0.0, "landmark bounds are never negative");
+        euclid.max(snapped)
+    }
+}
+
+/// A [`DistanceModel`] over a road network backed by a prebuilt
+/// contraction hierarchy ([`ChIndex`]): the same snap-leg convention and
+/// the same exact distances as [`NetworkDistance`] / [`AltDistance`]
+/// (the CH query unpacks shortcuts and folds the original edge sequence
+/// left-to-right, so unique shortest paths reproduce A\*'s result
+/// bit-for-bit), answered in near-constant time.
+pub struct ChDistance<'a> {
+    net: &'a RoadNetwork,
+    locator: &'a NodeLocator,
+    index: &'a ChIndex,
+    query_node: NodeId,
+    scratch: ChScratch,
+}
+
+impl<'a> ChDistance<'a> {
+    /// Anchors the model at the network node nearest to `query`. Returns
+    /// `None` when the network has no nodes.
+    pub fn new(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        index: &'a ChIndex,
+        query: Point,
+    ) -> Option<Self> {
+        let query_node = locator.nearest(query)?;
+        Some(Self::anchored(net, locator, index, query_node))
+    }
+
+    /// Anchors the model at an explicit query node.
+    pub fn anchored(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        index: &'a ChIndex,
+        query_node: NodeId,
+    ) -> Self {
+        ChDistance {
+            net,
+            locator,
+            index,
+            query_node,
+            scratch: ChScratch::new(),
+        }
+    }
+
+    /// The node the query point is anchored to.
+    pub fn query_node(&self) -> NodeId {
+        self.query_node
+    }
+
+    /// Re-anchors the model for a new query point, keeping the search
+    /// scratch and the hierarchy. Returns false (leaving the anchor
+    /// unchanged) when the locator finds no node.
+    pub fn rebase(&mut self, query: Point) -> bool {
+        match self.locator.nearest(query) {
+            Some(n) => {
+                self.query_node = n;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl DistanceModel for ChDistance<'_> {
+    /// Same convention as [`NetworkDistance`], with the CH core query.
+    fn distance(&mut self, query: Point, p: Point) -> Option<f64> {
+        let pn = self.locator.nearest(p)?;
+        let core = self
+            .index
+            .distance_with(self.query_node, pn, &mut self.scratch)?;
+        Some(query.dist(self.net.position(self.query_node)) + core + self.net.position(pn).dist(p))
+    }
+}
+
+/// A [`LowerBoundOracle`] from a contraction hierarchy: the CH core
+/// distance is *exact* for the length metric, so the bound
+/// `max(|q → p|, |q → snap(q)| + ch(snap(q), snap(p)) + |snap(p) → p|)`
+/// is the tightest admissible bound the seam can express — it equals
+/// [`ChDistance`]'s value bit-for-bit (same snap legs, same core fold)
+/// and lower-bounds [`NetworkDistance`] / [`AltDistance`] /
+/// [`TimeDependentCost`] (weighted edges cost at least their length).
+/// Every candidate ALT's landmark bound can prune, this bound prunes
+/// too.
+///
+/// Degenerate placements need no clamping, exactly as with [`AltBound`]:
+/// a query sitting on its own snap node bounds the zero self-distance by
+/// exactly 0 (`ch(n, n) = 0`, all snap legs zero). When `p` cannot be
+/// snapped the oracle falls back to the Euclidean estimate; when the
+/// core is unreachable it returns `f64::INFINITY` — sound, because the
+/// exact models return `None` for the same pair, so the candidate could
+/// never pass a replacement test anyway.
+pub struct ChBound<'a> {
+    net: &'a RoadNetwork,
+    locator: &'a NodeLocator,
+    index: &'a ChIndex,
+    query_node: NodeId,
+    scratch: ChScratch,
+}
+
+impl<'a> ChBound<'a> {
+    /// Anchors the oracle at the network node nearest to `query`. Returns
+    /// `None` when the network has no nodes.
+    pub fn new(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        index: &'a ChIndex,
+        query: Point,
+    ) -> Option<Self> {
+        let query_node = locator.nearest(query)?;
+        Some(Self::anchored(net, locator, index, query_node))
+    }
+
+    /// Anchors the oracle at an explicit query node (keeps the anchor in
+    /// lockstep with the paired model's).
+    pub fn anchored(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        index: &'a ChIndex,
+        query_node: NodeId,
+    ) -> Self {
+        ChBound {
+            net,
+            locator,
+            index,
+            query_node,
+            scratch: ChScratch::new(),
+        }
+    }
+
+    /// The node the query point is anchored to.
+    pub fn query_node(&self) -> NodeId {
+        self.query_node
+    }
+
+    /// Re-anchors the oracle for a new query point. Returns false
+    /// (leaving the anchor unchanged) when the locator finds no node.
+    pub fn rebase(&mut self, query: Point) -> bool {
+        match self.locator.nearest(query) {
+            Some(n) => {
+                self.query_node = n;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl LowerBoundOracle for ChBound<'_> {
+    fn lower_bound(&mut self, query: Point, p: Point) -> f64 {
+        let euclid = query.dist(p);
+        let Some(pn) = self.locator.nearest(p) else {
+            return euclid;
+        };
+        let Some(core) = self
+            .index
+            .distance_with(self.query_node, pn, &mut self.scratch)
+        else {
+            // Unreachable core: the exact models return None too, so an
+            // infinite bound is sound and skips the doomed evaluation.
+            return f64::INFINITY;
+        };
+        let snapped =
+            query.dist(self.net.position(self.query_node)) + core + self.net.position(pn).dist(p);
+        debug_assert!(snapped >= 0.0, "CH distances are never negative");
         euclid.max(snapped)
     }
 }
@@ -559,6 +730,69 @@ mod tests {
             tight > 0,
             "the landmark term should beat plain Euclidean somewhere"
         );
+    }
+
+    #[test]
+    fn ch_model_matches_astar_model() {
+        let net = generate_network(&GeneratorConfig::city(2000.0, 8));
+        let locator = NodeLocator::new(&net);
+        let index = ChIndex::build_seeded(&net, 8);
+        let q = Point::new(400.0, 1600.0);
+        let mut astar = NetworkDistance::new(&net, &locator, q).unwrap();
+        let mut ch = ChDistance::new(&net, &locator, &index, q).unwrap();
+        assert_eq!(astar.query_node(), ch.query_node());
+        for i in 0..25 {
+            let p = Point::new(80.0 * i as f64, 70.0 * i as f64);
+            match (astar.distance(q, p), ch.distance(q, p)) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "at {p:?}: {a} vs {b}"),
+                (a, b) => assert_eq!(a.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn ch_bound_is_admissible_and_tighter_than_alt() {
+        let net = generate_network(&GeneratorConfig::city(2000.0, 8));
+        let locator = NodeLocator::new(&net);
+        let alt_index = AltIndex::build(&net, 5);
+        let ch_index = ChIndex::build_seeded(&net, 8);
+        let q = Point::new(400.0, 1600.0);
+        let mut alt_bound = AltBound::new(&net, &locator, &alt_index, q).unwrap();
+        let mut ch_bound = ChBound::new(&net, &locator, &ch_index, q).unwrap();
+        let mut astar = NetworkDistance::new(&net, &locator, q).unwrap();
+        let mut ch = ChDistance::new(&net, &locator, &ch_index, q).unwrap();
+        let mut td = TimeDependentCost::new(&net, &locator, q, 8.0).unwrap();
+        for i in 0..25 {
+            let p = Point::new(80.0 * i as f64, 70.0 * i as f64);
+            let lb = ch_bound.lower_bound(q, p);
+            assert!(lb >= q.dist(p) - 1e-9, "never looser than Euclidean");
+            assert!(
+                lb >= alt_bound.lower_bound(q, p) - 1e-9,
+                "the exact core can never be looser than a landmark bound"
+            );
+            for exact in [astar.distance(q, p), ch.distance(q, p), td.distance(q, p)]
+                .into_iter()
+                .flatten()
+            {
+                assert!(lb <= exact + 1e-9, "bound {lb} overshot exact {exact}");
+            }
+            // Against its own paired model, the bound is the exact value.
+            if let Some(exact) = ch.distance(q, p) {
+                assert_eq!(lb.to_bits(), exact.to_bits(), "at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ch_bound_is_zero_on_its_own_snap_node() {
+        let net = generate_network(&GeneratorConfig::city(1500.0, 5));
+        let locator = NodeLocator::new(&net);
+        let index = ChIndex::build(&net);
+        let q = net.position(locator.nearest(Point::new(700.0, 700.0)).unwrap());
+        let mut bound = ChBound::new(&net, &locator, &index, q).unwrap();
+        assert_eq!(bound.lower_bound(q, q), 0.0);
+        let mut model = ChDistance::new(&net, &locator, &index, q).unwrap();
+        assert_eq!(model.distance(q, q), Some(0.0));
     }
 
     #[test]

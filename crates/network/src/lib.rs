@@ -23,14 +23,19 @@
 //!   line between its endpoints), plus one-to-many distance maps.
 //! * [`poi`] + [`knn`] — POIs snapped onto the network and the **IER** /
 //!   **INE** network-kNN baselines used by SNNN.
+//! * [`ch`] — a contraction-hierarchy distance oracle: seeded
+//!   deterministic preprocessing (edge-difference ordering, witness
+//!   searches, shortcuts) and bidirectional upward queries whose unpacked
+//!   distances are bit-identical to Dijkstra on unique shortest paths.
 //! * [`distance`] — the road-network implementations of `senn-core`'s
 //!   `DistanceModel` seam: [`NetworkDistance`] (Euclidean-heuristic A\*),
-//!   [`AltDistance`] (landmark lower bounds) and [`TimeDependentCost`]
-//!   (congestion-weighted per-class speed limits), all over reusable
-//!   scratch.
+//!   [`AltDistance`] (landmark lower bounds), [`ChDistance`] (the
+//!   hierarchy oracle) and [`TimeDependentCost`] (congestion-weighted
+//!   per-class speed limits), all over reusable scratch.
 //! * [`generator`] — the seeded synthetic network generator.
 
 pub mod alt;
+pub mod ch;
 pub mod distance;
 pub mod generator;
 pub mod graph;
@@ -44,9 +49,10 @@ pub use alt::{
     alt_distance, alt_distance_with, counting_alt, counting_astar, counting_dijkstra, AltIndex,
     SearchStats,
 };
+pub use ch::{counting_ch, counting_ch_search, ChIndex, ChScratch};
 pub use distance::{
-    congestion_factor, time_cost_multiplier, AltBound, AltDistance, NetworkDistance,
-    TimeDependentCost,
+    congestion_factor, time_cost_multiplier, AltBound, AltDistance, ChBound, ChDistance,
+    NetworkDistance, TimeDependentCost,
 };
 pub use generator::{generate_network, GeneratorConfig};
 pub use graph::{NodeId, RoadClass, RoadNetwork};

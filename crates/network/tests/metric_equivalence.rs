@@ -9,6 +9,13 @@
 //!
 //! * Dijkstra ≡ A\* ≡ ALT to 1e-9 (A\* vs ALT bit-identical — they sum
 //!   the same shortest path left-to-right);
+//! * Dijkstra ≡ CH to 1e-9, with the hub-label and bidirectional-search
+//!   query styles bit-identical to A\* (the CH oracle unpacks and folds
+//!   the same unique shortest path);
+//! * the [`ChBound`] oracle is admissible for all exact models and
+//!   bounds the zero self-distance by exactly 0 on its own snap node;
+//! * CH preprocessing is deterministic per seed: identical contraction
+//!   orders, shortcut sets, signatures and query traces;
 //! * ALT landmark lower bounds are admissible and never negative;
 //! * the [`AltBound`] oracle stays within `[0, exact]` for all three
 //!   models even under degenerate placements — a query point sitting
@@ -27,8 +34,9 @@ use senn_core::distance::{DistanceModel, LowerBoundOracle};
 use senn_core::{snnn_query, RTreeServer, SennEngine, SnnnConfig};
 use senn_geom::Point;
 use senn_network::{
-    counting_alt, counting_astar, counting_dijkstra, AltBound, AltDistance, AltIndex,
-    NetworkDistance, NodeLocator, RoadClass, RoadNetwork, TimeDependentCost,
+    counting_alt, counting_astar, counting_ch, counting_dijkstra, AltBound, AltDistance, AltIndex,
+    ChBound, ChDistance, ChIndex, ChScratch, NetworkDistance, NodeLocator, RoadClass, RoadNetwork,
+    TimeDependentCost,
 };
 
 /// Deterministic generator state for grid jitter (proptest drives the
@@ -319,6 +327,106 @@ proptest! {
         prop_assert_eq!(a.trace.cap_hit, b.trace.cap_hit);
     }
 
+    /// Dijkstra ≡ CH on every sampled pair: within 1e-9 of Dijkstra, and
+    /// **bit-identical** to A\* for both query styles (hub-label merge
+    /// and bidirectional upward search) — the jittered grid keeps
+    /// shortest paths unique, so all of them fold the same edge sequence.
+    #[test]
+    fn dijkstra_ch_agree(
+        w in 2usize..7,
+        h in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let net = grid_network(w, h, seed);
+        let index = ChIndex::build_seeded(&net, seed);
+        let mut scratch = ChScratch::new();
+        for (a, b) in node_pairs(&net, seed, 12) {
+            let (dij, _) = counting_dijkstra(&net, a, b);
+            let (ast, _) = counting_astar(&net, a, b);
+            let (ch, _) = counting_ch(&index, a, b);
+            let searched = index.search_distance_with(a, b, &mut scratch);
+            prop_assert_eq!(dij.is_some(), ch.is_some());
+            prop_assert_eq!(ch.map(f64::to_bits), searched.map(f64::to_bits),
+                "label vs search query styles diverged");
+            if let (Some(d), Some(s), Some(c)) = (dij, ast, ch) {
+                prop_assert!((d - c).abs() < 1e-9, "dijkstra {d} vs ch {c}");
+                prop_assert!(s == c, "astar {s} vs ch {c} not bit-identical");
+            }
+        }
+    }
+
+    /// Admissibility of the [`ChBound`] oracle: never negative, never
+    /// looser than Euclidean, never above any exact model's distance, and
+    /// the degenerate self-placement (query exactly on its own snap node)
+    /// bounds the zero distance by exactly 0. Because the CH oracle is
+    /// exact for the length metric, the bound must also equal the
+    /// [`ChDistance`] model's value bit-for-bit.
+    #[test]
+    fn ch_bound_admissible(
+        w in 2usize..6,
+        h in 2usize..6,
+        seed in any::<u64>(),
+        hour in 0.0..24.0f64,
+    ) {
+        let net = grid_network(w, h, seed);
+        let locator = NodeLocator::new(&net);
+        let index = ChIndex::build_seeded(&net, seed);
+        for (a, b) in node_pairs(&net, seed, 8) {
+            let q = net.position(a);
+            let mut bound = ChBound::new(&net, &locator, &index, q).unwrap();
+            let mut astar = NetworkDistance::new(&net, &locator, q).unwrap();
+            let mut ch = ChDistance::new(&net, &locator, &index, q).unwrap();
+            let mut td = TimeDependentCost::new(&net, &locator, q, hour).unwrap();
+            let mid = Point::new(
+                (q.x + net.position(b).x) / 2.0,
+                (q.y + net.position(b).y) / 2.0,
+            );
+            for p in [q, net.position(b), mid] {
+                let lb = bound.lower_bound(q, p);
+                prop_assert!(lb >= 0.0, "negative bound {lb}");
+                prop_assert!(lb >= q.dist(p) - 1e-9, "looser than Euclidean");
+                for exact in [astar.distance(q, p), ch.distance(q, p), td.distance(q, p)]
+                    .into_iter()
+                    .flatten()
+                {
+                    prop_assert!(lb <= exact + 1e-9, "bound {lb} overshot exact {exact}");
+                }
+                if let Some(exact) = ch.distance(q, p) {
+                    prop_assert_eq!(lb.to_bits(), exact.to_bits(),
+                        "the CH bound must equal the CH model bit-for-bit");
+                }
+            }
+            // The self-placement: distance 0, bound exactly 0.
+            prop_assert_eq!(bound.lower_bound(q, q), 0.0);
+            prop_assert_eq!(ch.distance(q, q), Some(0.0));
+        }
+    }
+
+    /// CH preprocessing is a pure function of (network, seed): identical
+    /// contraction orders, shortcut sets, hub labels (via the signature)
+    /// and per-query effort traces across repeated builds.
+    #[test]
+    fn ch_build_deterministic_per_seed(
+        w in 2usize..7,
+        h in 2usize..7,
+        seed in any::<u64>(),
+    ) {
+        let net = grid_network(w, h, seed);
+        let x = ChIndex::build_seeded(&net, seed);
+        let y = ChIndex::build_seeded(&net, seed);
+        prop_assert_eq!(x.order(), y.order());
+        prop_assert_eq!(x.shortcut_count(), y.shortcut_count());
+        prop_assert_eq!(x.label_entries(), y.label_entries());
+        prop_assert_eq!(x.signature(), y.signature());
+        for (a, b) in node_pairs(&net, seed ^ 3, 6) {
+            let (dx, sx) = counting_ch(&x, a, b);
+            let (dy, sy) = counting_ch(&y, a, b);
+            prop_assert_eq!(dx.map(f64::to_bits), dy.map(f64::to_bits));
+            prop_assert_eq!((sx.settled, sx.relaxed), (sy.settled, sy.relaxed),
+                "query traces diverged between equal-seed builds");
+        }
+    }
+
     /// Landmark selection is a pure function of (network, count, seed).
     #[test]
     fn landmark_selection_deterministic_per_seed(
@@ -362,5 +470,31 @@ fn alt_prunes_against_dijkstra_on_large_grid() {
     assert!(
         total_alt < total_dij,
         "ALT relaxed {total_alt} vs Dijkstra {total_dij}"
+    );
+}
+
+/// The hub-label oracle's per-query work (label entries scanned) is a
+/// small fraction of A*'s edge relaxations on a sizable grid — the
+/// near-constant-time claim the perf gate quantifies on its large-grid
+/// `metric.ch` leg.
+#[test]
+fn ch_oracle_beats_astar_on_large_grid() {
+    let net = grid_network(18, 18, 0x5eed);
+    let index = ChIndex::build_seeded(&net, 42);
+    let mut total_ast = 0u64;
+    let mut total_ch = 0u64;
+    for (a, b) in node_pairs(&net, 9, 24) {
+        let (s, ss) = counting_astar(&net, a, b);
+        let (c, sc) = counting_ch(&index, a, b);
+        assert_eq!(s.is_some(), c.is_some());
+        if let (Some(s), Some(c)) = (s, c) {
+            assert!((s - c).abs() < 1e-9);
+        }
+        total_ast += ss.relaxed;
+        total_ch += sc.relaxed;
+    }
+    assert!(
+        total_ch * 3 < total_ast,
+        "CH scanned {total_ch} label entries vs A* {total_ast} relaxations"
     );
 }

@@ -34,7 +34,9 @@ use senn_core::{
     SennOutcome, SnnnExpansion,
 };
 use senn_geom::Point;
-use senn_network::{AltBound, AltDistance, NetworkDistance, TimeDependentCost};
+use senn_network::{
+    AltBound, AltDistance, ChBound, ChDistance, NetworkDistance, TimeDependentCost,
+};
 
 use crate::comms::WorkerScratch;
 use crate::simulator::{KChoice, NetworkModelKind, Simulator};
@@ -123,6 +125,7 @@ enum ActiveModel<'a> {
     AStar(NetworkDistance<'a>),
     Alt(AltDistance<'a>),
     Time(TimeDependentCost<'a>),
+    Ch(ChDistance<'a>),
 }
 
 impl ActiveModel<'_> {
@@ -133,6 +136,7 @@ impl ActiveModel<'_> {
             ActiveModel::AStar(m) => m.rebase(query),
             ActiveModel::Alt(m) => m.rebase(query),
             ActiveModel::Time(m) => m.rebase(query),
+            ActiveModel::Ch(m) => m.rebase(query),
         }
     }
 }
@@ -143,16 +147,21 @@ impl DistanceModel for ActiveModel<'_> {
             ActiveModel::AStar(m) => m.distance(query, p),
             ActiveModel::Alt(m) => m.distance(query, p),
             ActiveModel::Time(m) => m.distance(query, p),
+            ActiveModel::Ch(m) => m.distance(query, p),
         }
     }
 }
 
-/// The lower-bound oracle paired with the configured model: landmark
-/// bounds when the ALT index exists, the free-flow Euclidean bound
-/// otherwise (admissible for every model by the `ED <= ND` contract).
+/// The lower-bound oracle paired with the configured model: the exact
+/// CH bound when the hierarchy exists, landmark bounds when the ALT
+/// index exists, the free-flow Euclidean bound otherwise (admissible for
+/// every model by the `ED <= ND` contract).
 enum ActiveOracle<'a> {
     Euclid(EuclideanBound),
     Alt(AltBound<'a>),
+    // Boxed: the CH bound owns its query scratch, which dwarfs the
+    // other variants, and one oracle lives per batch anyway.
+    Ch(Box<ChBound<'a>>),
 }
 
 impl ActiveOracle<'_> {
@@ -162,6 +171,7 @@ impl ActiveOracle<'_> {
         match self {
             ActiveOracle::Euclid(_) => true,
             ActiveOracle::Alt(o) => o.rebase(query),
+            ActiveOracle::Ch(o) => o.rebase(query),
         }
     }
 }
@@ -171,6 +181,7 @@ impl LowerBoundOracle for ActiveOracle<'_> {
         match self {
             ActiveOracle::Euclid(o) => o.lower_bound(query, p),
             ActiveOracle::Alt(o) => o.lower_bound(query, p),
+            ActiveOracle::Ch(o) => o.lower_bound(query, p),
         }
     }
 }
@@ -399,12 +410,26 @@ impl Simulator {
                     None => return (pendings, 0, 0),
                 }
             }
+            NetworkModelKind::Ch => {
+                let index = self
+                    .ch_index
+                    .as_ref()
+                    .expect("CH index is built with the world");
+                match ChDistance::new(net, &self.locator, index, Point::ORIGIN) {
+                    Some(m) => ActiveModel::Ch(m),
+                    None => return (pendings, 0, 0),
+                }
+            }
         };
-        let oracle = match (kind, self.alt_index.as_ref()) {
-            (NetworkModelKind::Alt { .. }, Some(index)) => ActiveOracle::Alt(
+        let oracle = match (kind, self.alt_index.as_ref(), self.ch_index.as_ref()) {
+            (NetworkModelKind::Alt { .. }, Some(index), _) => ActiveOracle::Alt(
                 AltBound::new(net, &self.locator, index, Point::ORIGIN)
                     .expect("model construction proved the locator non-empty"),
             ),
+            (NetworkModelKind::Ch, _, Some(index)) => ActiveOracle::Ch(Box::new(
+                ChBound::new(net, &self.locator, index, Point::ORIGIN)
+                    .expect("model construction proved the locator non-empty"),
+            )),
             _ => ActiveOracle::Euclid(EuclideanBound),
         };
         if self.config.expansion_batching {

@@ -59,9 +59,9 @@ use crate::params::{ParamSet, SimParams};
 
 /// The target metric of network-mode (SNNN) queries — which
 /// `DistanceModel` implementation ranks candidates during the incremental
-/// Euclidean expansion (Algorithm 2). All three are exact road metrics
+/// Euclidean expansion (Algorithm 2). All of them are exact road metrics
 /// respecting the Euclidean lower bound, so the expansion stays sound;
-/// they differ in how the shortest-path search is driven (and, for
+/// they differ in how the shortest-path evaluation is driven (and, for
 /// [`NetworkModelKind::TimeDependent`], in what the edge weights mean).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum NetworkModelKind {
@@ -83,6 +83,14 @@ pub enum NetworkModelKind {
         /// Hour of day `[0, 24)` at simulation start.
         start_hour: f64,
     },
+    /// Contraction-hierarchy distance oracle over the same edge lengths:
+    /// distances are identical to [`NetworkModelKind::AStar`], but every
+    /// exact evaluation is a hub-label merge instead of a graph search,
+    /// and the paired `ChBound` gives `offer_pruned` an *exact* lower
+    /// bound (`senn_network::ChDistance` / `senn_network::ChBound`). The
+    /// hierarchy is preprocessed once per world, seeded by the master
+    /// seed.
+    Ch,
 }
 
 /// A [`SimConfig`] that cannot run: the combination of knobs is rejected
@@ -495,6 +503,9 @@ pub struct Simulator {
     pub(crate) locator: NodeLocator,
     /// Landmark index for [`NetworkModelKind::Alt`], built once per world.
     pub(crate) alt_index: Option<senn_network::AltIndex>,
+    /// Contraction hierarchy for [`NetworkModelKind::Ch`], built once per
+    /// world.
+    pub(crate) ch_index: Option<senn_network::ChIndex>,
     /// Current POI positions, indexed by POI id (ground truth mirror).
     pub(crate) poi_positions: Vec<Point>,
     /// The truth server: measurement-only calls (grading, the EINN/INN
@@ -677,12 +688,21 @@ impl Simulator {
             ),
             _ => None,
         };
+        // Likewise the contraction hierarchy: deterministic preprocessing
+        // keyed by the master seed, shared by every batch of the run.
+        let ch_index = match config.distance_model {
+            Some(NetworkModelKind::Ch) => {
+                Some(senn_network::ChIndex::build_seeded(&network, config.seed))
+            }
+            _ => None,
+        };
         Simulator {
             config,
             area,
             network: Some(network),
             locator,
             alt_index,
+            ch_index,
             poi_positions,
             server,
             service,

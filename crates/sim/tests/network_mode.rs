@@ -2,12 +2,13 @@
 //!
 //! The headline claims this suite proves:
 //!
-//! * the simulator runs Algorithm 2 end-to-end under all three road
-//!   metrics (A\*, ALT, time-dependent) — peer probe, verification, and
-//!   batched residual rounds through the configured service;
-//! * A\* and ALT are interchangeable: they produce **bit-identical whole
-//!   [`Metrics`]** (they compute the same distances, so every expansion
-//!   makes the same decisions);
+//! * the simulator runs Algorithm 2 end-to-end under all four road
+//!   metrics (A\*, ALT, the CH oracle, time-dependent) — peer probe,
+//!   verification, and batched residual rounds through the configured
+//!   service;
+//! * A\*, ALT and the contraction-hierarchy oracle are interchangeable:
+//!   they produce **bit-identical whole [`Metrics`]** (they compute the
+//!   same distances, so every expansion makes the same decisions);
 //! * a fault-free SNNN run records the same Metrics as the Euclidean run
 //!   apart from `expansion_cap_hits` — expansion refines the ranking but
 //!   never rewrites the paper's accounting unit (the initial round);
@@ -35,10 +36,11 @@ fn run_counting_rounds(cfg: SimConfig) -> (Metrics, u64) {
     (m, sim.batch_stats().snnn_rounds)
 }
 
-const MODELS: [NetworkModelKind; 3] = [
+const MODELS: [NetworkModelKind; 4] = [
     NetworkModelKind::AStar,
     NetworkModelKind::Alt { landmarks: 4 },
     NetworkModelKind::TimeDependent { start_hour: 8.0 },
+    NetworkModelKind::Ch,
 ];
 
 #[test]
@@ -95,6 +97,40 @@ fn astar_and_alt_metrics_are_bit_identical() {
     let mut alt8_norm = alt8.clone();
     alt8_norm.model_evals_saved = astar.model_evals_saved;
     assert_eq!(astar, alt8_norm);
+}
+
+#[test]
+fn ch_metrics_are_bit_identical_to_astar_and_alt() {
+    // The hub-label oracle unpacks and folds the same original edge
+    // sequence Dijkstra walks, so every exact evaluation — and therefore
+    // every expansion decision and the whole Metrics block — coincides
+    // with the A*/ALT runs. As with ALT, `model_evals_saved` is the one
+    // legitimately different counter (ChBound is an *exact* bound, so it
+    // prunes at least as hard as ALT's landmark bound); `lb_evals` may
+    // not differ — the candidate stream never depends on the oracle.
+    let astar = run(base(42)
+        .to_builder()
+        .distance_model(NetworkModelKind::AStar)
+        .build());
+    let alt = run(base(42)
+        .to_builder()
+        .distance_model(NetworkModelKind::Alt { landmarks: 4 })
+        .build());
+    let ch = run(base(42)
+        .to_builder()
+        .distance_model(NetworkModelKind::Ch)
+        .build());
+    assert_eq!(astar.lb_evals, ch.lb_evals, "candidate streams diverged");
+    assert!(
+        ch.model_evals_saved >= alt.model_evals_saved,
+        "the exact CH bound must prune at least as much as landmark bounds \
+         ({} vs {})",
+        ch.model_evals_saved,
+        alt.model_evals_saved
+    );
+    let mut ch_norm = ch.clone();
+    ch_norm.model_evals_saved = astar.model_evals_saved;
+    assert_eq!(astar, ch_norm, "CH-mode Metrics diverged from A*");
 }
 
 #[test]
@@ -204,6 +240,35 @@ fn lossy_service_snnn_run_completes_and_stays_thread_invariant() {
         a.queries,
         a.single_peer + a.multi_peer + a.server + a.accepted_uncertain,
         "every query attributed exactly once under faults"
+    );
+}
+
+#[test]
+fn ch_mode_is_thread_shard_and_fault_invariant() {
+    // The CH oracle is built once with the world from the master seed and
+    // only ever read afterwards, so CH-mode runs must reproduce
+    // bit-identically across worker-thread and shard counts even under a
+    // seeded lossy service.
+    let mk = |threads: usize, shards: usize| {
+        base(7)
+            .to_builder()
+            .distance_model(NetworkModelKind::Ch)
+            .server_shards(shards)
+            .fault(FaultConfig::lossy(99))
+            .threads(threads)
+            .build()
+    };
+    let (a, rounds_a) = run_counting_rounds(mk(1, 1));
+    let (b, rounds_b) = run_counting_rounds(mk(4, 1));
+    let (c, rounds_c) = run_counting_rounds(mk(2, 3));
+    assert_eq!(a, b, "1 vs 4 threads");
+    assert_eq!(a, c, "1 shard vs 3 shards");
+    assert_eq!(rounds_a, rounds_b);
+    assert_eq!(rounds_a, rounds_c);
+    assert!(a.queries > 0);
+    assert!(
+        a.server_retries > 0,
+        "a lossy service must force some retries"
     );
 }
 

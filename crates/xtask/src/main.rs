@@ -23,11 +23,14 @@
 //!
 //! Since schema v5 the gate also emits the bound-driven `expansion`
 //! gauges (`saved_fraction` of exact model evaluations pruned,
-//! `collapse_ratio` of interval-batched service submissions). Both are
-//! bigger-is-better and hardware-independent (pure counter ratios), so
-//! the budget fails when the current run's gauge drops below the
-//! baseline's divided by `max_ratio` — the counterpart of a stage share
-//! growing by `max_ratio`.
+//! `collapse_ratio` of interval-batched service submissions), and since
+//! v6 the `metric.ch` gauge (`astar_vs_ch_relaxed_ratio` — how many
+//! times fewer edge relaxations the contraction-hierarchy oracle does
+//! per query than A\*). All are bigger-is-better and
+//! hardware-independent (pure counter ratios), so the budget fails when
+//! the current run's gauge drops below the baseline's divided by
+//! `max_ratio` — the counterpart of a stage share growing by
+//! `max_ratio`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -315,10 +318,40 @@ fn parse_expansion_gauges(text: &str) -> BTreeMap<String, f64> {
     out
 }
 
+/// The bigger-is-better search-effort gauge of a perf-gate JSON file
+/// (schema v6+): `metric.astar_vs_ch_relaxed_ratio`, the per-query edge
+/// relaxation advantage of the contraction-hierarchy oracle over A\*.
+/// Only the CH ratio is tracked — `alt_vs_astar_relaxed_ratio` in the
+/// same block is smaller-is-better and stays informational. Empty for
+/// pre-v6 files, so older baselines keep working.
+fn parse_metric_gauges(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut in_metric = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if let Some(key) = line
+            .strip_suffix('{')
+            .and_then(|l| l.trim_end().strip_suffix(':'))
+            .and_then(|l| l.trim_end().strip_suffix('"'))
+            .and_then(|l| l.strip_prefix('"'))
+        {
+            in_metric = key == "metric";
+            continue;
+        }
+        if !in_metric {
+            continue;
+        }
+        if let Some(v) = json_num_field(line, "astar_vs_ch_relaxed_ratio") {
+            out.insert("metric/astar_vs_ch_relaxed_ratio".to_string(), v);
+        }
+    }
+    out
+}
+
 /// Fails (exit 1) when any stage's share of its leg grew by more than
 /// `max_ratio` between the baseline and the current perf-gate output,
-/// or any bigger-is-better expansion gauge shrank by more than
-/// `max_ratio` against the baseline.
+/// or any bigger-is-better expansion or metric gauge shrank by more
+/// than `max_ratio` against the baseline.
 fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -377,11 +410,14 @@ fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
             }
         }
     }
-    // Expansion gauges (schema v5+): bigger is better, so the budget is
-    // the mirror image of the stage-share check — the current gauge must
-    // not fall below the baseline's divided by `max_ratio`.
-    let base_gauges = parse_expansion_gauges(&base_text);
-    let cur_gauges = parse_expansion_gauges(&cur_text);
+    // Expansion (schema v5+) and metric (v6+) gauges: bigger is better,
+    // so the budget is the mirror image of the stage-share check — the
+    // current gauge must not fall below the baseline's divided by
+    // `max_ratio`.
+    let mut base_gauges = parse_expansion_gauges(&base_text);
+    base_gauges.extend(parse_metric_gauges(&base_text));
+    let mut cur_gauges = parse_expansion_gauges(&cur_text);
+    cur_gauges.extend(parse_metric_gauges(&cur_text));
     for (gauge, base_v) in &base_gauges {
         let Some(cur_v) = cur_gauges.get(gauge) else {
             continue; // gauge absent from the current run (older schema)
@@ -392,12 +428,10 @@ fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
         compared += 1;
         let floor = base_v / max_ratio;
         let verdict = if *cur_v < floor { "FAIL" } else { "ok" };
-        eprintln!(
-            "perf-budget: expansion/{gauge}: {base_v:.3} -> {cur_v:.3} (floor {floor:.3}) {verdict}"
-        );
+        eprintln!("perf-budget: {gauge}: {base_v:.3} -> {cur_v:.3} (floor {floor:.3}) {verdict}");
         if *cur_v < floor {
             violations.push(format!(
-                "expansion/{gauge} fell from {base_v:.3} to {cur_v:.3} (< {floor:.3} = baseline / x{max_ratio})"
+                "{gauge} fell from {base_v:.3} to {cur_v:.3} (< {floor:.3} = baseline / x{max_ratio})"
             ));
         }
     }
@@ -546,6 +580,63 @@ mod tests {
         // `alt_vs_astar_relaxed_ratio` in the metric block (after the
         // expansion section closed) must not be picked up.
         let gauges = parse_expansion_gauges(SAMPLE_V5);
+        assert!(gauges.keys().all(|k| !k.contains("relaxed")));
+    }
+
+    const SAMPLE_V6: &str = r#"{
+  "schema": "senn-perf-gate-v6",
+  "expansion": {
+    "pruning": {
+      "saved_fraction": 0.416,
+      "results_identical": true
+    },
+    "batching": {
+      "collapse_ratio": 2.571,
+      "metrics_identical": true
+    }
+  },
+  "metric": {
+    "nodes": 27307,
+    "alt_vs_astar_relaxed_ratio": 0.442,
+    "astar_vs_ch_relaxed_ratio": 15.933,
+    "ch_preprocess_secs": 0.590,
+    "ch_shortcuts": 10000,
+    "algorithms": [
+      { "name": "astar", "settled": 100, "relaxed": 200 },
+      { "name": "ch", "settled": 5, "relaxed": 12 }
+    ]
+  },
+  "service": {
+    "legs": [
+      { "backend": "rtree_1shard", "batched_requests_per_sec": 100.000 }
+    ]
+  }
+}
+"#;
+
+    #[test]
+    fn metric_gauge_tracks_only_the_ch_ratio() {
+        let gauges = parse_metric_gauges(SAMPLE_V6);
+        assert_eq!(gauges.len(), 1, "exactly the CH gauge: {gauges:?}");
+        assert_eq!(gauges["metric/astar_vs_ch_relaxed_ratio"], 15.933);
+        // The smaller-is-better ALT ratio and the preprocessing cost in
+        // the same block stay informational.
+        assert!(gauges.keys().all(|k| !k.contains("alt_vs_astar")));
+    }
+
+    #[test]
+    fn metric_gauge_absent_from_pre_v6_schema() {
+        // The v5 sample's metric block has only the ALT ratio; the
+        // parser must return nothing rather than misattribute it.
+        assert!(parse_metric_gauges(SAMPLE_V5).is_empty());
+        assert!(parse_metric_gauges(SAMPLE).is_empty());
+    }
+
+    #[test]
+    fn v6_expansion_gauges_still_parse() {
+        let gauges = parse_expansion_gauges(SAMPLE_V6);
+        assert_eq!(gauges["pruning/saved_fraction"], 0.416);
+        assert_eq!(gauges["batching/collapse_ratio"], 2.571);
         assert!(gauges.keys().all(|k| !k.contains("relaxed")));
     }
 
