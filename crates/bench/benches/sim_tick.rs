@@ -1,10 +1,11 @@
 //! End-to-end simulator throughput on the scaled Los Angeles world, plus
-//! the grid-vs-naive peer-discovery ablation.
+//! the peer-discovery ablation: incrementally maintained grid (what
+//! production runs) vs rebuild-per-batch vs naive linear scan.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use senn_bench::random_points;
 use senn_geom::{Point, Rect};
-use senn_sim::{HostGrid, ParamSet, SimConfig, SimParams, Simulator};
+use senn_sim::{GridMaintenance, HostGrid, ParamSet, SimConfig, SimParams, Simulator};
 
 fn sim_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_tick");
@@ -14,6 +15,17 @@ fn sim_tick(c: &mut Criterion) {
             params.t_execution_hours = 1.0 / 60.0;
             let mut cfg = SimConfig::new(params, 7);
             cfg.warmup_frac = 0.0;
+            let mut sim = Simulator::new(cfg);
+            black_box(sim.run().queries)
+        })
+    });
+    group.bench_function("la_2x2_one_minute_rebuild_grid", |b| {
+        b.iter(|| {
+            let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+            params.t_execution_hours = 1.0 / 60.0;
+            let mut cfg = SimConfig::new(params, 7);
+            cfg.warmup_frac = 0.0;
+            cfg.grid_maintenance = GridMaintenance::Rebuild;
             let mut sim = Simulator::new(cfg);
             black_box(sim.run().queries)
         })
@@ -29,16 +41,44 @@ fn sim_tick(c: &mut Criterion) {
         })
     });
 
-    // Peer-discovery ablation: grid vs naive linear scan at LA density.
+    // Peer-discovery ablation at LA density. The maintained variant is
+    // the production path: one long-lived grid absorbing per-interval
+    // drift through `apply_move`, queried in place. The rebuild variant
+    // reconstructs the index from scratch each interval; naive scans all
+    // pairs.
     let side = 3218.7;
     let bounds = Rect::new(Point::ORIGIN, Point::new(side, side));
     let positions = random_points(463, side, 13);
-    group.bench_function("peer_discovery_grid", |b| {
+    group.bench_function("peer_discovery_maintained", |b| {
+        // Deterministic per-iteration drift (~27 m, a 2 s interval at
+        // 30 mph) — most moves stay inside their 200 m cell, exactly the
+        // regime incremental maintenance exploits.
+        let mut moved = positions.clone();
+        let mut grid = HostGrid::build(bounds, 200.0, &moved);
+        let mut tick = 0u64;
+        b.iter(|| {
+            tick += 1;
+            for (i, p) in moved.iter_mut().enumerate() {
+                let phase = (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ tick;
+                let dx = ((phase & 0xff) as f64 / 255.0 - 0.5) * 54.0;
+                let dy = (((phase >> 8) & 0xff) as f64 / 255.0 - 0.5) * 54.0;
+                p.x = (p.x + dx).clamp(0.0, side);
+                p.y = (p.y + dy).clamp(0.0, side);
+                grid.apply_move(i as u32, *p);
+            }
+            let mut total = 0usize;
+            for (i, p) in moved.iter().enumerate().take(64) {
+                total += grid.within(&moved, *p, 200.0, i as u32).len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("peer_discovery_rebuild", |b| {
         b.iter(|| {
             let grid = HostGrid::build(bounds, 200.0, &positions);
             let mut total = 0usize;
             for (i, p) in positions.iter().enumerate().take(64) {
-                total += grid.within(*p, 200.0, i as u32).len();
+                total += grid.within(&positions, *p, 200.0, i as u32).len();
             }
             black_box(total)
         })

@@ -204,6 +204,24 @@ impl LruCache {
     fn total_items(&self) -> usize {
         self.entries.iter().map(|e| e.len()).sum()
     }
+
+    /// Iterates the live entries most recent first — the same order
+    /// [`QueryCache::entries`] returns, without allocating the `Vec`.
+    pub fn iter(&self) -> LruIter<'_> {
+        LruIter(self.entries.iter())
+    }
+}
+
+/// Non-allocating iterator over an [`LruCache`]'s entries, most recent
+/// first (see [`LruCache::iter`]).
+pub struct LruIter<'a>(std::collections::vec_deque::Iter<'a, CacheEntry>);
+
+impl<'a> Iterator for LruIter<'a> {
+    type Item = &'a CacheEntry;
+
+    fn next(&mut self) -> Option<&'a CacheEntry> {
+        self.0.next()
+    }
 }
 
 impl QueryCache for LruCache {
@@ -341,5 +359,19 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = MostRecentCache::new(0);
+    }
+
+    #[test]
+    fn lru_iter_matches_entries_order() {
+        let mut c = LruCache::new(6);
+        for i in 0..3u64 {
+            c.store(CacheEntry::new(
+                Point::new(i as f64, 0.0),
+                vec![nn(i, i as f64 + 1.0, 0.0)],
+            ));
+        }
+        let via_iter: Vec<&CacheEntry> = c.iter().collect();
+        assert_eq!(via_iter, c.entries(), "iter() mirrors entries()");
+        assert_eq!(via_iter[0].neighbors[0].poi_id, 2, "most recent first");
     }
 }

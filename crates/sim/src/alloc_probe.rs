@@ -1,0 +1,40 @@
+//! Opt-in allocation-count probe for the simulator's per-interval
+//! allocation budget.
+//!
+//! The simulator itself stays allocator-agnostic: a binary that owns a
+//! counting `#[global_allocator]` (the perf gate does) can [`install`] a
+//! sampler function once, and the run loop then records the allocation
+//! delta of every interval into
+//! [`BatchStats::allocations`](crate::BatchStats::allocations). Without a
+//! probe, sampling returns 0 and the gauge stays 0 — instrumentation is
+//! observation-only either way and can never perturb the simulation.
+
+use std::sync::OnceLock;
+
+static PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Installs the process-wide allocation sampler (typically a closure over
+/// a counting global allocator's event counter). The first call wins;
+/// later calls are ignored and return `false`.
+pub fn install(probe: fn() -> u64) -> bool {
+    PROBE.set(probe).is_ok()
+}
+
+/// The current allocation count, or 0 when no probe is installed.
+pub(crate) fn sample() -> u64 {
+    PROBE.get().map_or(0, |probe| probe())
+}
+
+#[cfg(test)]
+mod tests {
+    // `install` is process-global, so the full install→sample→re-install
+    // sequence lives in one test.
+    #[test]
+    fn uninstalled_probe_samples_zero_then_install_wins_once() {
+        assert_eq!(super::sample(), 0);
+        assert!(super::install(|| 7));
+        assert_eq!(super::sample(), 7);
+        assert!(!super::install(|| 9), "second install is ignored");
+        assert_eq!(super::sample(), 7);
+    }
+}

@@ -35,10 +35,31 @@ impl HostCache {
         }
     }
 
-    pub(crate) fn entries(&self) -> Vec<&CacheEntry> {
+    /// Live entries, most recent first — the same order
+    /// [`QueryCache::entries`] returns, without materializing a `Vec` per
+    /// peer probe (the per-interval allocation budget excludes O(peers)
+    /// churn).
+    pub(crate) fn iter(&self) -> CacheIter<'_> {
         match self {
-            HostCache::MostRecent(c) => c.entries(),
-            HostCache::Lru(c) => c.entries(),
+            HostCache::MostRecent(c) => CacheIter::One(c.entry().into_iter()),
+            HostCache::Lru(c) => CacheIter::Many(c.iter()),
+        }
+    }
+}
+
+/// Non-allocating iterator over a [`HostCache`]'s live entries.
+pub(crate) enum CacheIter<'a> {
+    One(std::option::IntoIter<&'a CacheEntry>),
+    Many(senn_cache::LruIter<'a>),
+}
+
+impl<'a> Iterator for CacheIter<'a> {
+    type Item = &'a CacheEntry;
+
+    fn next(&mut self) -> Option<&'a CacheEntry> {
+        match self {
+            CacheIter::One(it) => it.next(),
+            CacheIter::Many(it) => it.next(),
         }
     }
 }
@@ -86,7 +107,7 @@ impl Simulator {
             }
         }
         if let Some(entry) = outcome.cache_entry {
-            self.hosts[plan.querier as usize].cache.store(entry);
+            self.store.cache_store(plan.querier, entry);
         }
     }
 }

@@ -54,9 +54,9 @@ impl Simulator {
         plan: &QueryPlan,
         scratch: &mut QueryScratch<'a>,
     ) -> usize {
-        let querier = plan.querier as usize;
-        let q = self.grid.positions()[querier];
+        let q = self.store.position(plan.querier);
         self.grid.within_into(
+            self.store.positions(),
             q,
             self.config.params.tx_range_m,
             plan.querier,
@@ -64,24 +64,19 @@ impl Simulator {
         );
         let now = self.time;
         let ttl = self.config.cache_ttl_secs;
-        let fresh = move |e: &CacheEntry| ttl.is_none_or(|t| !e.is_expired(now, t));
+        let fresh = move |e: &&CacheEntry| ttl.is_none_or(|t| !e.is_expired(now, t));
         scratch.peers.clear();
-        scratch.peers.extend(
-            self.hosts[querier]
-                .cache
-                .entries()
-                .into_iter()
-                .filter(|e| fresh(e)),
-        );
+        // Hosts without a side-table entry have (exactly) an empty cache;
+        // iteration borrows entries in place, so the probe allocates
+        // nothing per peer.
+        if let Some(cache) = self.store.cache(plan.querier) {
+            scratch.peers.extend(cache.iter().filter(fresh));
+        }
         let own_count = scratch.peers.len();
         for &id in &scratch.peer_ids {
-            scratch.peers.extend(
-                self.hosts[id as usize]
-                    .cache
-                    .entries()
-                    .into_iter()
-                    .filter(|e| fresh(e)),
-            );
+            if let Some(cache) = self.store.cache(id) {
+                scratch.peers.extend(cache.iter().filter(fresh));
+            }
         }
         own_count
     }

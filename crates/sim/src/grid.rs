@@ -1,30 +1,51 @@
-//! Uniform-grid peer discovery.
+//! Uniform-grid peer discovery with incremental maintenance.
 //!
 //! "Query moving object peers within the communication range" (Algorithm
 //! 1, line 2): for every query we need the hosts within `Tx_Range` of the
 //! querier. A uniform grid with cell size equal to the transmission range
 //! reduces that to a 3×3 cell scan.
 //!
-//! The grid is rebuilt once per query batch and is read-only while the
-//! batch executes, which is what lets the simulator fan queries out
-//! across threads. [`HostGrid::rebuild`] reuses the cell vectors from the
-//! previous batch (only occupied cells are cleared, tracked by a dirty
-//! list) and [`HostGrid::within_into`] writes hits into a caller-owned
-//! vector, so steady-state peer discovery performs no allocation at all.
+//! The grid is an *index only*: it stores which hosts sit in which cell,
+//! while positions live in the simulator's host store and are passed to
+//! every lookup. That split is what makes move-only maintenance cheap —
+//! [`HostGrid::apply_move`] edits at most two cell lists when a host
+//! crosses a cell boundary and touches nothing at all otherwise, so a
+//! movement pass costs O(boundary crossings) instead of the O(hosts)
+//! rebuild the per-batch path pays. [`HostGrid::rebuild`] is kept as the
+//! fallback (and the property-tested equivalence baseline: an
+//! incrementally maintained grid is element-for-element identical to a
+//! fresh build, because every cell list is kept sorted ascending by host
+//! id — exactly the order a fresh index-order insertion produces).
+//!
+//! The grid is read-only while a query batch executes, which is what lets
+//! the simulator fan queries out across threads. [`HostGrid::within_into`]
+//! writes hits into a caller-owned vector, so steady-state peer discovery
+//! performs no allocation at all.
 
 use senn_geom::{Point, Rect};
 
-/// A rebuild-per-batch uniform grid over host positions.
+/// An incrementally maintained uniform grid over host indices.
 #[derive(Clone, Debug)]
 pub struct HostGrid {
     bounds: Rect,
     cell: f64,
+    /// `1.0 / cell`, precomputed: cell assignment multiplies instead of
+    /// dividing, and every path (build, rebuild, `apply_move`, lookups)
+    /// uses the same [`HostGrid::cell_of`], so assignments stay mutually
+    /// consistent.
+    inv_cell: f64,
     cols: usize,
     rows: usize,
+    /// Host ids per cell, each list sorted ascending — the invariant that
+    /// makes incremental maintenance bit-identical to a fresh build.
     cells: Vec<Vec<u32>>,
-    /// Indices of cells holding at least one host (cleared on rebuild).
+    /// Indices of cells that ever held a host since the last rebuild
+    /// (cleared on rebuild); `occupied_flag` mirrors membership so
+    /// incremental inserts never push duplicates.
     occupied: Vec<u32>,
-    positions: Vec<Point>,
+    occupied_flag: Vec<bool>,
+    /// Current flat cell index of every tracked host.
+    host_cells: Vec<u32>,
 }
 
 impl HostGrid {
@@ -34,18 +55,22 @@ impl HostGrid {
         let mut grid = HostGrid {
             bounds,
             cell: 1.0,
+            inv_cell: 1.0,
             cols: 0,
             rows: 0,
             cells: Vec::new(),
             occupied: Vec::new(),
-            positions: Vec::new(),
+            occupied_flag: Vec::new(),
+            host_cells: Vec::new(),
         };
         grid.rebuild(bounds, cell, positions);
         grid
     }
 
-    /// Rebuilds the grid in place for a new batch, reusing the existing
-    /// cell vectors (and their capacity) whenever the geometry allows.
+    /// Rebuilds the grid in place for a new host-position snapshot,
+    /// reusing the existing cell vectors (and their capacity) whenever the
+    /// geometry allows — the fallback path of
+    /// [`GridMaintenance::Rebuild`](crate::GridMaintenance).
     pub fn rebuild(&mut self, bounds: Rect, cell: f64, positions: &[Point]) {
         assert!(cell > 0.0, "cell size must be positive");
         assert!(!bounds.is_empty(), "area must be non-empty");
@@ -53,59 +78,153 @@ impl HostGrid {
         let rows = (bounds.height() / cell).floor() as usize + 1;
         if cols * rows == self.cols * self.rows {
             // Same cell count (the common steady-state case): clear only
-            // the cells the previous batch touched.
+            // the cells previous batches touched.
             for &c in &self.occupied {
                 self.cells[c as usize].clear();
+                self.occupied_flag[c as usize] = false;
             }
         } else {
             self.cells.clear();
             self.cells.resize(cols * rows, Vec::new());
+            self.occupied_flag.clear();
+            self.occupied_flag.resize(cols * rows, false);
         }
         self.bounds = bounds;
         self.cell = cell;
+        self.inv_cell = 1.0 / cell;
         self.cols = cols;
         self.rows = rows;
         self.occupied.clear();
-        self.positions.clear();
-        self.positions.extend_from_slice(positions);
+        self.host_cells.clear();
         for (i, p) in positions.iter().enumerate() {
-            let (cx, cy) = Self::cell_of(bounds, cell, cols, rows, *p);
+            let (cx, cy) = Self::cell_of(bounds, self.inv_cell, cols, rows, *p);
             let idx = cy * cols + cx;
-            if self.cells[idx].is_empty() {
+            if self.cells[idx].is_empty() && !self.occupied_flag[idx] {
                 self.occupied.push(idx as u32);
+                self.occupied_flag[idx] = true;
             }
             self.cells[idx].push(i as u32);
+            self.host_cells.push(idx as u32);
         }
     }
 
-    /// The host-position snapshot the grid was built from, indexed by host
-    /// id — the frozen view every query in a batch reads.
-    pub fn positions(&self) -> &[Point] {
-        &self.positions
+    /// Number of hosts the grid currently tracks.
+    pub fn len(&self) -> usize {
+        self.host_cells.len()
     }
 
-    fn cell_of(bounds: Rect, cell: f64, cols: usize, rows: usize, p: Point) -> (usize, usize) {
-        let cx =
-            (((p.x - bounds.min.x) / cell).floor() as isize).clamp(0, cols as isize - 1) as usize;
-        let cy =
-            (((p.y - bounds.min.y) / cell).floor() as isize).clamp(0, rows as isize - 1) as usize;
+    /// True when no hosts are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.host_cells.is_empty()
+    }
+
+    fn cell_of(bounds: Rect, inv_cell: f64, cols: usize, rows: usize, p: Point) -> (usize, usize) {
+        let cx = (((p.x - bounds.min.x) * inv_cell).floor() as isize).clamp(0, cols as isize - 1)
+            as usize;
+        let cy = (((p.y - bounds.min.y) * inv_cell).floor() as isize).clamp(0, rows as isize - 1)
+            as usize;
         (cx, cy)
     }
 
+    fn flat_cell(&self, p: Point) -> u32 {
+        let (cx, cy) = Self::cell_of(self.bounds, self.inv_cell, self.cols, self.rows, p);
+        (cy * self.cols + cx) as u32
+    }
+
+    /// Removes `host` from cell list `idx` (it must be there).
+    fn remove_from_cell(&mut self, host: u32, idx: u32) {
+        let list = &mut self.cells[idx as usize];
+        let at = list
+            .binary_search(&host)
+            .expect("grid invariant: host listed in its recorded cell");
+        list.remove(at);
+    }
+
+    /// Inserts `host` into cell list `idx`, keeping the list ascending.
+    fn insert_into_cell(&mut self, host: u32, idx: u32) {
+        // A non-empty cell is already on the occupied list (set when its
+        // first host arrived and never unset until rebuild), so the flag
+        // column is only consulted when a cell transitions from empty.
+        if self.cells[idx as usize].is_empty() && !self.occupied_flag[idx as usize] {
+            self.occupied.push(idx);
+            self.occupied_flag[idx as usize] = true;
+        }
+        let list = &mut self.cells[idx as usize];
+        let at = list
+            .binary_search(&host)
+            .expect_err("grid invariant: host tracked at most once");
+        list.insert(at, host);
+    }
+
+    /// Incremental maintenance: records that `host` now sits at `new_pos`.
+    /// Returns `true` when the host crossed a cell boundary (two sorted
+    /// cell-list edits), `false` when it stayed in its cell (no work).
+    ///
+    /// After any sequence of `apply_move` calls the grid is
+    /// element-for-element identical to a fresh [`HostGrid::build`] over
+    /// the current positions (property-tested below), so `within_into`
+    /// returns hits in exactly the same order either way.
+    pub fn apply_move(&mut self, host: u32, new_pos: Point) -> bool {
+        let old = self.host_cells[host as usize];
+        let new = self.flat_cell(new_pos);
+        if old == new {
+            return false;
+        }
+        self.remove_from_cell(host, old);
+        self.insert_into_cell(host, new);
+        self.host_cells[host as usize] = new;
+        true
+    }
+
+    /// Incremental maintenance: starts tracking a new host at `pos`,
+    /// assigning it the next id (`self.len()` before the call).
+    pub fn insert(&mut self, pos: Point) -> u32 {
+        let host = self.host_cells.len() as u32;
+        let idx = self.flat_cell(pos);
+        self.insert_into_cell(host, idx);
+        self.host_cells.push(idx);
+        host
+    }
+
+    /// Incremental maintenance: stops tracking `host`, re-identifying the
+    /// last tracked host as `host` — exactly the id semantics of
+    /// `Vec::swap_remove` on the caller's parallel position column.
+    pub fn remove_swap(&mut self, host: u32) {
+        let last = (self.host_cells.len() - 1) as u32;
+        let idx = self.host_cells[host as usize];
+        self.remove_from_cell(host, idx);
+        if host != last {
+            let last_idx = self.host_cells[last as usize];
+            self.remove_from_cell(last, last_idx);
+            self.insert_into_cell(host, last_idx);
+            self.host_cells[host as usize] = last_idx;
+        }
+        self.host_cells.pop();
+    }
+
     /// Hosts (by index) within `radius` of `p`, excluding `exclude`.
-    pub fn within(&self, p: Point, radius: f64, exclude: u32) -> Vec<u32> {
+    /// `positions` is the position column the grid is maintained against.
+    pub fn within(&self, positions: &[Point], p: Point, radius: f64, exclude: u32) -> Vec<u32> {
         let mut out = Vec::new();
-        self.within_into(p, radius, exclude, &mut out);
+        self.within_into(positions, p, radius, exclude, &mut out);
         out
     }
 
     /// [`HostGrid::within`] writing hits into `out` (cleared first), so a
     /// per-worker buffer absorbs the allocation across queries.
     ///
-    /// Hits are pushed in ascending cell order then insertion order, which
-    /// is a pure function of the inputs — parallel callers see the same
-    /// peer ordering the sequential path sees.
-    pub fn within_into(&self, p: Point, radius: f64, exclude: u32, out: &mut Vec<u32>) {
+    /// Hits are pushed in ascending cell order then ascending host id
+    /// within a cell, which is a pure function of the inputs — parallel
+    /// callers see the same peer ordering the sequential path sees, and
+    /// the incremental and rebuild maintenance modes agree exactly.
+    pub fn within_into(
+        &self,
+        positions: &[Point],
+        p: Point,
+        radius: f64,
+        exclude: u32,
+        out: &mut Vec<u32>,
+    ) {
         out.clear();
         let r2 = radius * radius;
         // Hosts clamped into edge cells sit arbitrarily far outside the
@@ -113,7 +232,7 @@ impl HostGrid {
         // query's clamped index, so a ring in clamped coordinates still
         // covers every candidate within `radius`.
         let reach = (radius / self.cell).ceil() as isize;
-        let (cx, cy) = Self::cell_of(self.bounds, self.cell, self.cols, self.rows, p);
+        let (cx, cy) = Self::cell_of(self.bounds, self.inv_cell, self.cols, self.rows, p);
         for dy in -reach..=reach {
             let y = cy as isize + dy;
             if y < 0 || y >= self.rows as isize {
@@ -125,7 +244,7 @@ impl HostGrid {
                     continue;
                 }
                 for &id in &self.cells[y as usize * self.cols + x as usize] {
-                    if id != exclude && p.dist_sq(self.positions[id as usize]) <= r2 {
+                    if id != exclude && p.dist_sq(positions[id as usize]) <= r2 {
                         out.push(id);
                     }
                 }
@@ -137,6 +256,7 @@ impl HostGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn grid_matches_linear_scan() {
@@ -154,7 +274,7 @@ mod tests {
         let grid = HostGrid::build(bounds, 200.0, &positions);
         for probe in 0..50 {
             let q = positions[probe * 7 % positions.len()];
-            let mut fast = grid.within(q, 200.0, probe as u32);
+            let mut fast = grid.within(&positions, q, 200.0, probe as u32);
             let mut slow: Vec<u32> = positions
                 .iter()
                 .enumerate()
@@ -172,7 +292,7 @@ mod tests {
         let bounds = Rect::new(Point::ORIGIN, Point::new(100.0, 100.0));
         let positions = vec![Point::new(10.0, 10.0), Point::new(90.0, 90.0)];
         let grid = HostGrid::build(bounds, 10.0, &positions);
-        let hits = grid.within(Point::new(50.0, 50.0), 80.0, u32::MAX);
+        let hits = grid.within(&positions, Point::new(50.0, 50.0), 80.0, u32::MAX);
         assert_eq!(hits.len(), 2);
     }
 
@@ -185,7 +305,7 @@ mod tests {
             Point::new(99.0, 99.0),
         ];
         let grid = HostGrid::build(bounds, 20.0, &positions);
-        let hits = grid.within(positions[0], 5.0, 0);
+        let hits = grid.within(&positions, positions[0], 5.0, 0);
         assert_eq!(hits, vec![1]);
     }
 
@@ -194,7 +314,7 @@ mod tests {
         let bounds = Rect::new(Point::ORIGIN, Point::new(100.0, 100.0));
         let positions = vec![Point::new(-5.0, 50.0)];
         let grid = HostGrid::build(bounds, 25.0, &positions);
-        let hits = grid.within(Point::new(0.0, 50.0), 10.0, u32::MAX);
+        let hits = grid.within(&positions, Point::new(0.0, 50.0), 10.0, u32::MAX);
         assert_eq!(hits, vec![0]);
     }
 
@@ -223,7 +343,7 @@ mod tests {
             Point::new(50.0 + radius + 1e-9, 50.0),
         ];
         let grid = HostGrid::build(bounds, cell, &positions);
-        let mut hits = grid.within(q, radius, 0);
+        let mut hits = grid.within(&positions, q, radius, 0);
         hits.sort_unstable();
         assert_eq!(hits, vec![1, 2, 3, 4, 5, 6]);
     }
@@ -245,7 +365,7 @@ mod tests {
                     Point::new(qx + radius, 100.0),
                 ];
                 let grid = HostGrid::build(bounds, cell, &positions);
-                let mut hits = grid.within(q, radius, 0);
+                let mut hits = grid.within(&positions, q, radius, 0);
                 hits.sort_unstable();
                 assert_eq!(hits, vec![1, 2], "qx={qx} radius={radius}");
             }
@@ -271,7 +391,7 @@ mod tests {
             let grid = HostGrid::build(bounds, cell, &positions);
             for (i, radius) in [3.0, 25.0, 90.0, 299.0].into_iter().enumerate() {
                 let q = positions[i * 13];
-                let mut fast = grid.within(q, radius, u32::MAX);
+                let mut fast = grid.within(&positions, q, radius, u32::MAX);
                 let mut slow: Vec<u32> = positions
                     .iter()
                     .enumerate()
@@ -310,8 +430,8 @@ mod tests {
             let fresh = HostGrid::build(bounds, cell, &positions);
             for probe in 0..5 {
                 let q = positions[probe * (n / 7).max(1) % n];
-                let mut a = grid.within(q, 120.0, probe as u32);
-                let mut b = fresh.within(q, 120.0, probe as u32);
+                let mut a = grid.within(&positions, q, 120.0, probe as u32);
+                let mut b = fresh.within(&positions, q, 120.0, probe as u32);
                 a.sort_unstable();
                 b.sort_unstable();
                 assert_eq!(a, b, "round {round}");
@@ -320,8 +440,9 @@ mod tests {
         // Shrink to empty and back: no stale hosts may survive.
         grid.rebuild(bounds, 50.0, &[]);
         assert!(grid
-            .within(Point::new(250.0, 250.0), 1000.0, u32::MAX)
+            .within(&[], Point::new(250.0, 250.0), 1000.0, u32::MAX)
             .is_empty());
+        assert!(grid.is_empty());
     }
 
     /// `within_into` reuses the buffer and clears stale contents.
@@ -331,9 +452,110 @@ mod tests {
         let positions = vec![Point::new(10.0, 10.0), Point::new(15.0, 10.0)];
         let grid = HostGrid::build(bounds, 20.0, &positions);
         let mut buf = vec![42u32; 8];
-        grid.within_into(positions[0], 10.0, 0, &mut buf);
+        grid.within_into(&positions, positions[0], 10.0, 0, &mut buf);
         assert_eq!(buf, vec![1]);
-        grid.within_into(Point::new(90.0, 90.0), 5.0, u32::MAX, &mut buf);
+        grid.within_into(&positions, Point::new(90.0, 90.0), 5.0, u32::MAX, &mut buf);
         assert!(buf.is_empty());
+    }
+
+    /// Moves that stay inside a cell touch nothing; boundary crossings
+    /// edit exactly the two affected cell lists.
+    #[test]
+    fn apply_move_reports_boundary_crossings() {
+        let bounds = Rect::new(Point::ORIGIN, Point::new(100.0, 100.0));
+        let mut positions = vec![Point::new(5.0, 5.0), Point::new(55.0, 55.0)];
+        let mut grid = HostGrid::build(bounds, 10.0, &positions);
+        // In-cell jitter: no boundary crossing.
+        positions[0] = Point::new(9.0, 9.0);
+        assert!(!grid.apply_move(0, positions[0]));
+        // Crossing into the next cell over.
+        positions[0] = Point::new(11.0, 9.0);
+        assert!(grid.apply_move(0, positions[0]));
+        let hits = grid.within(&positions, Point::new(11.0, 9.0), 1.0, u32::MAX);
+        assert_eq!(hits, vec![0]);
+        // The old cell no longer reports the host.
+        assert!(grid
+            .within(&positions, Point::new(5.0, 5.0), 3.0, u32::MAX)
+            .is_empty());
+    }
+
+    /// Exact equality of the full query surface between an incrementally
+    /// maintained grid and a fresh build: same hits in the same order.
+    fn assert_equivalent(maintained: &HostGrid, positions: &[Point], bounds: Rect, cell: f64) {
+        let fresh = HostGrid::build(bounds, cell, positions);
+        assert_eq!(maintained.len(), positions.len());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        // Probe from every host plus a few fixed off-host points, at radii
+        // below, at, and above the cell size (unsorted: order must match).
+        let mut probes: Vec<Point> = positions.to_vec();
+        probes.push(Point::new(0.0, 0.0));
+        probes.push(Point::new(bounds.max.x / 2.0, bounds.max.y / 2.0));
+        for (i, q) in probes.iter().enumerate() {
+            for radius in [cell * 0.4, cell, cell * 2.5] {
+                let exclude = if i < positions.len() {
+                    i as u32
+                } else {
+                    u32::MAX
+                };
+                maintained.within_into(positions, *q, radius, exclude, &mut a);
+                fresh.within_into(positions, *q, radius, exclude, &mut b);
+                assert_eq!(a, b, "probe {i} radius {radius}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Any interleaving of moves, inserts and removals leaves the
+        /// maintained grid's `within_into` results identical — hits *and*
+        /// order — to a fresh `HostGrid::build` over the same positions.
+        /// Generated positions cluster near cell boundaries (multiples of
+        /// the cell size ± small jitter) so boundary crossings dominate.
+        #[test]
+        fn incremental_maintenance_equals_fresh_build(
+            seedlets in prop::collection::vec((0usize..3, 0.0..1.0f64, 0.0..1.0f64), 1..60),
+            start in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..20),
+        ) {
+            let bounds = Rect::new(Point::ORIGIN, Point::new(100.0, 100.0));
+            let cell = 10.0;
+            // Snap a coordinate toward the nearest cell boundary half the
+            // time, so moves routinely land exactly on / just across one.
+            let snap = |v: f64| {
+                let b = (v / cell).round() * cell;
+                if (v - b).abs() < 2.5 { b + (v - b) * 0.1 } else { v }
+            };
+            let mut positions: Vec<Point> =
+                start.iter().map(|&(x, y)| Point::new(snap(x), snap(y))).collect();
+            let mut grid = HostGrid::build(bounds, cell, &positions);
+            for (op, u, v) in seedlets {
+                match op {
+                    // Move a host (boundary-biased target).
+                    0 => {
+                        let i = (u * positions.len() as f64) as usize % positions.len();
+                        let new = Point::new(snap(v * 100.0), snap(u * 100.0));
+                        positions[i] = new;
+                        grid.apply_move(i as u32, new);
+                    }
+                    // Insert a new host.
+                    1 => {
+                        let new = Point::new(snap(u * 100.0), snap(v * 100.0));
+                        let id = grid.insert(new);
+                        prop_assert_eq!(id as usize, positions.len());
+                        positions.push(new);
+                    }
+                    // Remove a host (swap-remove id semantics).
+                    _ => {
+                        if positions.len() > 1 {
+                            let i = (u * positions.len() as f64) as usize % positions.len();
+                            grid.remove_swap(i as u32);
+                            positions.swap_remove(i);
+                        }
+                    }
+                }
+                assert_equivalent(&grid, &positions, bounds, cell);
+            }
+        }
     }
 }

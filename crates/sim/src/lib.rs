@@ -20,6 +20,7 @@
 //! );
 //! ```
 
+pub mod alloc_probe;
 mod cache_step;
 mod comms;
 pub mod experiments;
@@ -30,14 +31,15 @@ pub mod params;
 mod query_step;
 pub mod report;
 pub mod simulator;
+mod store;
 
 pub use experiments::{ExpOptions, MixPoint, MixSeries, ModeComparison, PageAccessPoint};
 pub use grid::HostGrid;
 pub use metrics::{KStats, LatencyModel, Metrics};
 pub use params::{ParamSet, SimParams};
 pub use simulator::{
-    BatchStats, CachePolicy, KChoice, MovementMode, NetworkModelKind, SimConfig, SimConfigBuilder,
-    SimConfigError, Simulator,
+    BatchStats, CachePolicy, GridMaintenance, KChoice, MovementMode, NetworkModelKind, SimConfig,
+    SimConfigBuilder, SimConfigError, Simulator,
 };
 
 // Service-seam knobs a simulation config can carry, re-exported so callers

@@ -201,13 +201,16 @@ impl Simulator {
         use rand::Rng;
         let mut plans = Vec::with_capacity(n);
         for _ in 0..n {
-            let querier = self.rng.gen_range(0..self.hosts.len());
+            let querier = self.rng.gen_range(0..self.store.len());
             let k = match self.config.k_choice {
                 KChoice::Fixed(k) => k,
-                KChoice::Uniform(lo, hi) => self.hosts[querier].rng.gen_range(lo..=hi.max(lo)),
+                KChoice::Uniform(lo, hi) => self
+                    .store
+                    .rng_mut(querier as u32)
+                    .gen_range(lo..=hi.max(lo)),
                 KChoice::MeanLambda => {
                     let max_k = (2 * self.config.params.lambda_knn).saturating_sub(1).max(1);
-                    self.hosts[querier].rng.gen_range(1..=max_k)
+                    self.store.rng_mut(querier as u32).gen_range(1..=max_k)
                 }
             };
             plans.push(QueryPlan {
@@ -249,7 +252,7 @@ impl Simulator {
         plan: &QueryPlan,
         scratch: &mut WorkerScratch<'a>,
     ) -> PendingQuery {
-        let q = self.grid.positions()[plan.querier as usize];
+        let q = self.store.position(plan.querier);
         let own_count = self.gather_peers(plan, &mut scratch.comms);
         let peers = &scratch.comms.peers;
 
@@ -299,7 +302,7 @@ impl Simulator {
         let requests: Vec<ServerRequest> = open
             .iter()
             .map(|&i| {
-                let q = self.grid.positions()[plans[i].querier as usize];
+                let q = self.store.position(plans[i].querier);
                 self.engine
                     .residual_request(i as u64, q, plans[i].k, &pendings[i].outcome)
             })
@@ -472,7 +475,7 @@ impl Simulator {
             if !Self::expansion_eligible(pending) {
                 continue;
             }
-            let q = self.grid.positions()[plan.querier as usize];
+            let q = self.store.position(plan.querier);
             if !model.rebase(q) || !oracle.rebase(q) {
                 continue;
             }
@@ -546,7 +549,7 @@ impl Simulator {
             if !Self::expansion_eligible(&pendings[i]) {
                 continue;
             }
-            let q = self.grid.positions()[plan.querier as usize];
+            let q = self.store.position(plan.querier);
             if !model.rebase(q) || !oracle.rebase(q) {
                 continue;
             }
@@ -567,7 +570,7 @@ impl Simulator {
             let mut failed: Vec<bool> = vec![false; active.len()];
             for a in active.iter() {
                 let plan = &plans[a.idx];
-                let q = self.grid.positions()[plan.querier as usize];
+                let q = self.store.position(plan.querier);
                 rounds_total += 1;
                 let kk = a.exp.next_k();
                 self.gather_peers(plan, &mut scratch.comms);
@@ -622,7 +625,7 @@ impl Simulator {
                     Self::finish_expansion(pending, &a.exp);
                     continue;
                 }
-                let q = self.grid.positions()[plans[a.idx].querier as usize];
+                let q = self.store.position(plans[a.idx].querier);
                 // Anchors moved while other queries ran their rounds;
                 // re-anchor for this query (it succeeded at begin time).
                 model.rebase(q);
@@ -678,7 +681,7 @@ impl Simulator {
     /// fault injection.
     fn measure_query(&self, plan: &QueryPlan, pending: &PendingQuery) -> Measured {
         let k = plan.k;
-        let q = self.grid.positions()[plan.querier as usize];
+        let q = self.store.position(plan.querier);
         let outcome = &pending.outcome;
 
         let matches_truth = |truth: &senn_core::ServerResponse| {

@@ -39,23 +39,23 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use senn_cache::{LruCache, MostRecentCache};
 use senn_core::multiple::RegionMethod;
 use senn_core::service::{RetryPolicy, ServerReply, ServerRequest, SpatialService};
 use senn_core::{RTreeServer, SennConfig, SennEngine, STAGE_COUNT};
 use senn_geom::{Point, Rect};
-use senn_mobility::{HostMobility, RoadMoverConfig, WaypointConfig};
+use senn_mobility::{RoadMoverConfig, WaypointConfig};
 use senn_network::{generate_network, GeneratorConfig, NodeLocator, RoadNetwork};
 use senn_server::{FaultConfig, FaultyService, ServiceMetrics, ShardedService};
 
 pub use crate::cache_step::CachePolicy;
 pub use crate::movement::MovementMode;
 
-use crate::cache_step::HostCache;
+use crate::alloc_probe;
 use crate::grid::HostGrid;
 use crate::metrics::Metrics;
 use crate::movement::{build_mobility, poisson};
 use crate::params::{ParamSet, SimParams};
+use crate::store::HostStore;
 
 /// The target metric of network-mode (SNNN) queries — which
 /// `DistanceModel` implementation ranks candidates during the incremental
@@ -91,6 +91,28 @@ pub enum NetworkModelKind {
     /// hierarchy is preprocessed once per world, seeded by the master
     /// seed.
     Ch,
+}
+
+/// How the peer-discovery [`HostGrid`] is kept in sync with host
+/// movement. Both modes index exactly the same positions, and because the
+/// incremental path keeps every cell list sorted ascending by host id —
+/// the order a fresh index-order build produces — `within_into` returns
+/// identical hits in identical order either way: recorded
+/// [`Metrics`] are bit-identical (asserted in
+/// `tests/grid_maintenance.rs` and in the perf gate at 1M hosts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GridMaintenance {
+    /// Move-only edits during the movement pass: a host that crosses a
+    /// cell boundary is removed from its old cell list and inserted into
+    /// the new one; hosts that stay in their cell cost nothing. The
+    /// default — per-interval grid work is O(boundary crossings) instead
+    /// of O(hosts).
+    #[default]
+    Incremental,
+    /// The pre-refactor behavior: rebuild the grid from the position
+    /// column once per query batch. Kept as the equivalence baseline and
+    /// as a fallback.
+    Rebuild,
 }
 
 /// A [`SimConfig`] that cannot run: the combination of knobs is rejected
@@ -222,6 +244,12 @@ pub struct SimConfig {
     /// (`BatchStats::snnn_submissions`; proven in
     /// `tests/batched_expansion.rs`).
     pub expansion_batching: bool,
+    /// How the peer-discovery grid tracks host movement:
+    /// [`GridMaintenance::Incremental`] (the default) applies move-only
+    /// edits during the movement pass, [`GridMaintenance::Rebuild`]
+    /// reconstructs the grid once per query batch. Metrics are
+    /// bit-identical either way; only maintenance cost changes.
+    pub grid_maintenance: GridMaintenance,
 }
 
 impl SimConfig {
@@ -249,6 +277,7 @@ impl SimConfig {
             distance_model: None,
             snnn_max_expansion: 256,
             expansion_batching: true,
+            grid_maintenance: GridMaintenance::Incremental,
         }
     }
 
@@ -430,6 +459,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// How the peer-discovery grid tracks host movement (incremental
+    /// move-only edits vs rebuild-per-batch). Metrics are identical
+    /// either way.
+    pub fn grid_maintenance(mut self, maintenance: GridMaintenance) -> Self {
+        self.config.grid_maintenance = maintenance;
+        self
+    }
+
     /// Finishes the build, rejecting invalid knob combinations (e.g. a
     /// network distance model without a road network) with a typed error
     /// instead of a runtime panic.
@@ -487,12 +524,6 @@ impl SpatialService for ServiceBackend {
     }
 }
 
-pub(crate) struct Host {
-    pub(crate) mobility: HostMobility,
-    pub(crate) cache: HostCache,
-    pub(crate) rng: SmallRng,
-}
-
 /// The simulator state.
 pub struct Simulator {
     pub(crate) config: SimConfig,
@@ -515,16 +546,17 @@ pub struct Simulator {
     /// backend behind the (possibly disabled) fault wrapper.
     pub(crate) service: FaultyService<ServiceBackend>,
     pub(crate) engine: SennEngine,
-    pub(crate) hosts: Vec<Host>,
+    /// Struct-of-arrays host substrate: position/mobility/rng columns, the
+    /// movers visit list, and the sparse cache side table.
+    pub(crate) store: HostStore,
     pub(crate) rng: SmallRng,
     pub(crate) metrics: Metrics,
     pub(crate) time: f64,
     pub(crate) warmed_up: bool,
-    /// Peer-discovery grid, rebuilt in place once per batch; holds the
-    /// frozen position snapshot every query of the batch reads.
+    /// Peer-discovery grid over the store's position column — maintained
+    /// incrementally during the movement pass (or rebuilt per batch under
+    /// [`GridMaintenance::Rebuild`]); read-only while a batch executes.
     pub(crate) grid: HostGrid,
-    /// Reused staging buffer for host positions between batches.
-    pub(crate) pos_buf: Vec<Point>,
     pub(crate) batch_stats: BatchStats,
 }
 
@@ -558,6 +590,18 @@ pub struct BatchStats {
     /// round that needed the server, without it one per query-round —
     /// the denominator of the batching win tracked by `perf_gate`.
     pub snnn_submissions: u64,
+    /// Wall time of the movement pass (host stepping + incremental grid
+    /// maintenance) across the whole run, seconds.
+    pub move_secs: f64,
+    /// Grid cell-boundary crossings applied by incremental maintenance
+    /// (0 under [`GridMaintenance::Rebuild`]) — the per-interval grid
+    /// work the incremental path actually pays.
+    pub grid_cell_moves: u64,
+    /// Heap allocations observed across the run's intervals (movement +
+    /// churn + query batch), via the [`crate::alloc_probe`] hook. `0`
+    /// when no probe is installed. Observation only — smaller is better;
+    /// the perf gate tracks it as the per-interval allocation budget.
+    pub allocations: u64,
 }
 
 impl BatchStats {
@@ -645,7 +689,7 @@ impl Simulator {
         let mut waypoint_cfg = WaypointConfig::new(area, params.velocity_mps());
         waypoint_cfg.max_pause_secs = mover_cfg.max_pause_secs;
         waypoint_cfg.trip_radius = Some(mover_cfg.trip_radius);
-        let mut hosts = Vec::with_capacity(params.mh_number);
+        let mut store = HostStore::new(config.cache_policy, params.c_size, params.mh_number);
         for i in 0..params.mh_number {
             let mut host_rng = SmallRng::seed_from_u64(config.seed ^ (0xc0ffee + i as u64 * 7919));
             let start = Point::new(host_rng.gen_range(0.0..side), host_rng.gen_range(0.0..side));
@@ -660,17 +704,7 @@ impl Simulator {
                 waypoint_cfg,
                 &mut host_rng,
             );
-            let cache = match config.cache_policy {
-                CachePolicy::MostRecent => {
-                    HostCache::MostRecent(MostRecentCache::new(params.c_size))
-                }
-                CachePolicy::Lru => HostCache::Lru(LruCache::new(params.c_size)),
-            };
-            hosts.push(Host {
-                mobility,
-                cache,
-                rng: host_rng,
-            });
+            store.push(mobility, host_rng);
         }
 
         let engine = SennEngine::new(SennConfig {
@@ -679,7 +713,9 @@ impl Simulator {
             server_fetch: params.c_size,
         });
 
-        let grid = HostGrid::build(area, config.params.tx_range_m.max(1.0), &[]);
+        // The grid indexes the store's position column from the start, so
+        // incremental maintenance has a valid baseline before any batch.
+        let grid = HostGrid::build(area, config.params.tx_range_m.max(1.0), store.positions());
         // The ALT landmark index is part of the world: built once, seeded
         // by the master seed so runs are reproducible.
         let alt_index = match config.distance_model {
@@ -707,13 +743,12 @@ impl Simulator {
             server,
             service,
             engine,
-            hosts,
+            store,
             rng,
             metrics: Metrics::new(),
             time: 0.0,
             warmed_up: false,
             grid,
-            pos_buf: Vec::new(),
             batch_stats: BatchStats::default(),
         }
     }
@@ -768,6 +803,9 @@ impl Simulator {
             let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
             let interval = -u.ln() * self.config.mean_interval_secs;
             let interval = interval.min(total - self.time).max(1e-6);
+            // Allocation accounting per interval (observation only; 0
+            // when no probe is installed — see `crate::alloc_probe`).
+            let allocs_before = alloc_probe::sample();
             self.advance_movement(interval);
             self.apply_poi_churn(interval);
             self.time += interval;
@@ -776,6 +814,7 @@ impl Simulator {
                 self.warmed_up = true;
             }
             self.run_query_batch(interval);
+            self.batch_stats.allocations += alloc_probe::sample().saturating_sub(allocs_before);
         }
         self.metrics.clone()
     }
@@ -811,23 +850,23 @@ impl Simulator {
     /// so the parallel and sequential engines produce identical metrics.
     fn run_query_batch(&mut self, interval_secs: f64) {
         let lambda = self.config.params.lambda_query_per_min * interval_secs / 60.0;
-        let n = poisson(lambda, &mut self.rng).min(self.hosts.len() as u64) as usize;
+        let n = poisson(lambda, &mut self.rng).min(self.store.len() as u64) as usize;
         if n == 0 {
             return;
         }
         // Phase 1 — plan (crate::query_step).
         let plans = self.plan_batch(n);
 
-        // Phase 2 — snapshot: refresh the peer-discovery grid in place
-        // from current positions (reusing last batch's allocations).
-        self.pos_buf.clear();
-        self.pos_buf
-            .extend(self.hosts.iter().map(|h| h.mobility.position()));
-        self.grid.rebuild(
-            self.area,
-            self.config.params.tx_range_m.max(1.0),
-            &self.pos_buf,
-        );
+        // Phase 2 — snapshot: under incremental maintenance the grid is
+        // already current (the movement pass applied every cell move);
+        // the rebuild fallback reconstructs it from the position column.
+        if self.config.grid_maintenance == GridMaintenance::Rebuild {
+            self.grid.rebuild(
+                self.area,
+                self.config.params.tx_range_m.max(1.0),
+                self.store.positions(),
+            );
+        }
 
         // Phase 3 — execute against the frozen snapshot (crate::query_step),
         // in three passes: the parallel peer stages, then ONE interval

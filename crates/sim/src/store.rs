@@ -1,0 +1,176 @@
+//! Struct-of-arrays host substrate.
+//!
+//! At the million-host scale the per-host `struct { mobility, cache, rng }`
+//! layout is what caps throughput: the movement pass and grid maintenance
+//! touch every host every interval, and pointer-chasing a `Vec<Host>`
+//! drags the (cold) cache state of every parked host through the data
+//! cache along the way. [`HostStore`] splits the host population into
+//! parallel dense columns — positions, mobility state, RNG streams — plus
+//! a *sparse side table* of NN caches keyed by host id, touched only by
+//! the querying/caching minority:
+//!
+//! * the **position column** is the single authoritative snapshot the
+//!   peer-discovery grid indexes and every query reads — no per-batch
+//!   position staging buffer exists anymore;
+//! * the **movers list** fixes the hosts that can move at world-build
+//!   time (parked hosts draw no RNG in `step`, so skipping them is
+//!   behavior-identical to stepping them), making the movement pass
+//!   O(movers) over contiguous memory;
+//! * the **cache side table** holds an entry only for hosts that have
+//!   completed a query — a missing entry is exactly an empty cache, so
+//!   lookups are behavior-identical to the eager per-host caches while a
+//!   99%-idle million-host world allocates nothing for the idle majority.
+//!
+//! Column order is host-id order everywhere, and the side table is only
+//! ever accessed by key (never iterated), so the layout change cannot
+//! perturb any deterministic ordering the batch engine relies on.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+
+use senn_cache::{CacheEntry, LruCache, MostRecentCache};
+use senn_geom::Point;
+use senn_mobility::HostMobility;
+
+use crate::cache_step::{CachePolicy, HostCache};
+
+/// Struct-of-arrays storage for the host population (see module docs).
+pub(crate) struct HostStore {
+    /// Current position of every host (authoritative; the grid indexes
+    /// into this column).
+    positions: Vec<Point>,
+    /// Mobility state of every host.
+    mobility: Vec<HostMobility>,
+    /// Per-host deterministic RNG stream.
+    rngs: Vec<SmallRng>,
+    /// Ids of hosts whose mobility is not `Parked` — the only hosts the
+    /// movement pass visits.
+    movers: Vec<u32>,
+    /// Sparse NN-cache side table: present only for hosts that stored a
+    /// query result. Keyed access only — never iterated — so map order
+    /// can't leak into the simulation.
+    caches: HashMap<u32, HostCache>,
+    policy: CachePolicy,
+    cache_capacity: usize,
+}
+
+impl HostStore {
+    /// An empty store that will build host caches with the given policy
+    /// and per-host NN capacity (`C_Size`).
+    pub(crate) fn new(policy: CachePolicy, cache_capacity: usize, host_hint: usize) -> Self {
+        HostStore {
+            positions: Vec::with_capacity(host_hint),
+            mobility: Vec::with_capacity(host_hint),
+            rngs: Vec::with_capacity(host_hint),
+            movers: Vec::new(),
+            caches: HashMap::new(),
+            policy,
+            cache_capacity,
+        }
+    }
+
+    /// Appends one host (id = current `len`), in world-build order.
+    pub(crate) fn push(&mut self, mobility: HostMobility, rng: SmallRng) {
+        let id = self.positions.len() as u32;
+        self.positions.push(mobility.position());
+        if mobility.is_mobile() {
+            self.movers.push(id);
+        }
+        self.mobility.push(mobility);
+        self.rngs.push(rng);
+    }
+
+    /// Number of hosts.
+    pub(crate) fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The dense position column (indexed by host id).
+    pub(crate) fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// One host's current position.
+    pub(crate) fn position(&self, host: u32) -> Point {
+        self.positions[host as usize]
+    }
+
+    /// One host's RNG stream.
+    pub(crate) fn rng_mut(&mut self, host: u32) -> &mut SmallRng {
+        &mut self.rngs[host as usize]
+    }
+
+    /// The columns the movement pass streams over: positions (written),
+    /// mobility + rngs (stepped), movers (the visit list). Split borrows
+    /// so the caller can hold all four at once.
+    pub(crate) fn movement_columns(
+        &mut self,
+    ) -> (&mut [Point], &mut [HostMobility], &mut [SmallRng], &[u32]) {
+        (
+            &mut self.positions,
+            &mut self.mobility,
+            &mut self.rngs,
+            &self.movers,
+        )
+    }
+
+    /// One host's NN cache, if it ever stored anything (`None` is exactly
+    /// an empty cache).
+    pub(crate) fn cache(&self, host: u32) -> Option<&HostCache> {
+        self.caches.get(&host)
+    }
+
+    /// Stores a query result into one host's cache, creating the cache
+    /// per the configured policy on first store.
+    pub(crate) fn cache_store(&mut self, host: u32, entry: CacheEntry) {
+        let (policy, capacity) = (self.policy, self.cache_capacity);
+        self.caches
+            .entry(host)
+            .or_insert_with(|| match policy {
+                CachePolicy::MostRecent => HostCache::MostRecent(MostRecentCache::new(capacity)),
+                CachePolicy::Lru => HostCache::Lru(LruCache::new(capacity)),
+            })
+            .store(entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use senn_cache::CachedNn;
+
+    #[test]
+    fn columns_stay_parallel_and_movers_are_sparse() {
+        let mut store = HostStore::new(CachePolicy::MostRecent, 4, 3);
+        let rng = SmallRng::seed_from_u64(1);
+        store.push(HostMobility::Parked(Point::new(1.0, 2.0)), rng.clone());
+        store.push(HostMobility::Parked(Point::new(3.0, 4.0)), rng);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.position(1), Point::new(3.0, 4.0));
+        assert_eq!(store.positions().len(), 2);
+        let (_, _, _, movers) = store.movement_columns();
+        assert!(movers.is_empty(), "parked hosts never enter the visit list");
+    }
+
+    #[test]
+    fn cache_side_table_is_lazy_and_behaves_like_an_empty_cache() {
+        let mut store = HostStore::new(CachePolicy::MostRecent, 2, 1);
+        store.push(
+            HostMobility::Parked(Point::ORIGIN),
+            SmallRng::seed_from_u64(2),
+        );
+        assert!(store.cache(0).is_none(), "no store yet: no cache entry");
+        let entry = CacheEntry::new(
+            Point::ORIGIN,
+            vec![CachedNn {
+                poi_id: 7,
+                position: Point::new(1.0, 0.0),
+            }],
+        );
+        store.cache_store(0, entry);
+        let cached = store.cache(0).expect("created on first store");
+        assert_eq!(cached.iter().count(), 1);
+    }
+}

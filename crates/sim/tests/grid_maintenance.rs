@@ -1,0 +1,120 @@
+//! Incremental grid maintenance must be a pure optimization: for any
+//! seed, movement mode and cache policy, running the peer-discovery grid
+//! with move-only edits (`GridMaintenance::Incremental`, the default)
+//! must produce **bit-identical** metrics to rebuilding the grid from
+//! scratch every batch (`GridMaintenance::Rebuild`, the pre-refactor
+//! behavior) — and the combination with the parallel batch engine must
+//! not change that.
+//!
+//! The underlying invariant lives in `grid.rs` (every cell list stays
+//! sorted ascending by host id, so the incremental grid is
+//! element-for-element identical to a fresh build); these tests pin the
+//! end-to-end consequence on the whole simulator.
+
+use senn_sim::{
+    CachePolicy, GridMaintenance, Metrics, MovementMode, ParamSet, SimConfig, SimParams, Simulator,
+};
+
+fn run_with(mut cfg: SimConfig, maintenance: GridMaintenance) -> Metrics {
+    cfg.grid_maintenance = maintenance;
+    Simulator::new(cfg).run()
+}
+
+fn assert_identical(a: &Metrics, b: &Metrics, label: &str) {
+    assert_eq!(a, b, "{label}: grid maintenance mode leaked into metrics");
+    assert_eq!(
+        a.uncertain_inflation_sum.to_bits(),
+        b.uncertain_inflation_sum.to_bits(),
+        "{label}: f64 accumulation diverged"
+    );
+}
+
+#[test]
+fn incremental_matches_rebuild_across_seeds_modes_and_policies() {
+    for seed in [1u64, 7, 42] {
+        for mode in [MovementMode::RoadNetwork, MovementMode::FreeMovement] {
+            for policy in [CachePolicy::MostRecent, CachePolicy::Lru] {
+                let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+                params.t_execution_hours = 0.05;
+                let mut cfg = SimConfig::new(params, seed);
+                cfg.mode = mode;
+                cfg.cache_policy = policy;
+                let label = format!("seed={seed} mode={mode:?} policy={policy:?}");
+                let incr = run_with(cfg, GridMaintenance::Incremental);
+                assert!(incr.queries > 0, "{label}: empty run proves nothing");
+                let rebuild = run_with(cfg, GridMaintenance::Rebuild);
+                assert_identical(&incr, &rebuild, &label);
+            }
+        }
+    }
+}
+
+/// Churn + TTL stress the cache side table (stores, expiry filtering) —
+/// the sparse column the refactor introduced — while both maintenance
+/// modes run.
+#[test]
+fn incremental_matches_rebuild_under_churn_and_ttl() {
+    let mut params = SimParams::two_by_two(ParamSet::Riverside);
+    params.t_execution_hours = 0.1;
+    let mut cfg = SimConfig::new(params, 1234);
+    cfg.poi_churn_per_hour = 16.0;
+    cfg.cache_ttl_secs = Some(240.0);
+    let incr = run_with(cfg, GridMaintenance::Incremental);
+    let rebuild = run_with(cfg, GridMaintenance::Rebuild);
+    assert!(incr.queries > 0);
+    assert_identical(&incr, &rebuild, "churn+ttl");
+}
+
+/// Maintenance mode × thread count: all four combinations agree, so the
+/// incremental path composes with the parallel engine's determinism
+/// contract.
+#[cfg(feature = "parallel")]
+#[test]
+fn maintenance_mode_is_orthogonal_to_thread_count() {
+    let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+    params.t_execution_hours = 0.05;
+    let base = SimConfig::new(params, 99);
+    let mut reference: Option<Metrics> = None;
+    for maintenance in [GridMaintenance::Incremental, GridMaintenance::Rebuild] {
+        for threads in [1usize, 2] {
+            let mut cfg = base;
+            cfg.threads = Some(threads);
+            let m = run_with(cfg, maintenance);
+            match &reference {
+                None => {
+                    assert!(m.queries > 0);
+                    reference = Some(m);
+                }
+                Some(r) => {
+                    assert_identical(r, &m, &format!("{maintenance:?} threads={threads}"));
+                }
+            }
+        }
+    }
+}
+
+/// The movement pass only visits movers, so the incremental stats must
+/// show cell moves under the default mode and none under rebuild.
+#[test]
+fn batch_stats_expose_grid_cell_moves() {
+    let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+    params.t_execution_hours = 0.05;
+    let cfg = SimConfig::new(params, 5);
+
+    let mut incr = Simulator::new(cfg);
+    incr.run();
+    assert!(
+        incr.batch_stats().grid_cell_moves > 0,
+        "a 3-minute LA run must cross cell boundaries"
+    );
+
+    let mut cfg_rebuild = cfg;
+    cfg_rebuild.grid_maintenance = GridMaintenance::Rebuild;
+    let mut rebuild = Simulator::new(cfg_rebuild);
+    rebuild.run();
+    assert_eq!(
+        rebuild.batch_stats().grid_cell_moves,
+        0,
+        "rebuild mode performs no incremental edits"
+    );
+}

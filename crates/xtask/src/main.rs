@@ -23,14 +23,18 @@
 //!
 //! Since schema v5 the gate also emits the bound-driven `expansion`
 //! gauges (`saved_fraction` of exact model evaluations pruned,
-//! `collapse_ratio` of interval-batched service submissions), and since
+//! `collapse_ratio` of interval-batched service submissions), since
 //! v6 the `metric.ch` gauge (`astar_vs_ch_relaxed_ratio` — how many
 //! times fewer edge relaxations the contraction-hierarchy oracle does
-//! per query than A\*). All are bigger-is-better and
-//! hardware-independent (pure counter ratios), so the budget fails when
-//! the current run's gauge drops below the baseline's divided by
-//! `max_ratio` — the counterpart of a stage share growing by
-//! `max_ratio`.
+//! per query than A\*), and since v7 the host-substrate `scale` gauges
+//! (`grid_maintenance_speedup` of incremental grid maintenance over
+//! rebuild-per-interval, and `bytes_per_host`, the counting-allocator
+//! memory footprint of the host substrate). All but the last are
+//! bigger-is-better, so the budget fails when the current run's gauge
+//! drops below the baseline's divided by `max_ratio` — the counterpart
+//! of a stage share growing by `max_ratio`. `bytes_per_host` is the
+//! budget's first smaller-is-better gauge: it fails when the current
+//! value exceeds the baseline's times `max_ratio`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -318,6 +322,44 @@ fn parse_expansion_gauges(text: &str) -> BTreeMap<String, f64> {
     out
 }
 
+/// The host-substrate gauges of a perf-gate JSON file (schema v7+), as
+/// (bigger-is-better, smaller-is-better) maps:
+/// `scale.grid_maintenance_speedup` (how many times faster incremental
+/// grid maintenance absorbs an interval of drift than a rebuild) is
+/// bigger-is-better; `scale.bytes_per_host` (the counting-allocator
+/// memory footprint of the host substrate) is smaller-is-better — the
+/// first gauge of that polarity the budget tracks. The gate emits both
+/// before the nested `scale.sim` object, whose opening brace ends this
+/// parser's scan of the block. Empty for pre-v7 files, so older
+/// baselines keep working.
+fn parse_scale_gauges(text: &str) -> (BTreeMap<String, f64>, BTreeMap<String, f64>) {
+    let mut bigger = BTreeMap::new();
+    let mut smaller = BTreeMap::new();
+    let mut in_scale = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if let Some(key) = line
+            .strip_suffix('{')
+            .and_then(|l| l.trim_end().strip_suffix(':'))
+            .and_then(|l| l.trim_end().strip_suffix('"'))
+            .and_then(|l| l.strip_prefix('"'))
+        {
+            in_scale = key == "scale";
+            continue;
+        }
+        if !in_scale {
+            continue;
+        }
+        if let Some(v) = json_num_field(line, "grid_maintenance_speedup") {
+            bigger.insert("scale/grid_maintenance_speedup".to_string(), v);
+        }
+        if let Some(v) = json_num_field(line, "bytes_per_host") {
+            smaller.insert("scale/bytes_per_host".to_string(), v);
+        }
+    }
+    (bigger, smaller)
+}
+
 /// The bigger-is-better search-effort gauge of a perf-gate JSON file
 /// (schema v6+): `metric.astar_vs_ch_relaxed_ratio`, the per-query edge
 /// relaxation advantage of the contraction-hierarchy oracle over A\*.
@@ -418,6 +460,10 @@ fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
     base_gauges.extend(parse_metric_gauges(&base_text));
     let mut cur_gauges = parse_expansion_gauges(&cur_text);
     cur_gauges.extend(parse_metric_gauges(&cur_text));
+    let (base_scale_big, base_scale_small) = parse_scale_gauges(&base_text);
+    let (cur_scale_big, cur_scale_small) = parse_scale_gauges(&cur_text);
+    base_gauges.extend(base_scale_big);
+    cur_gauges.extend(cur_scale_big);
     for (gauge, base_v) in &base_gauges {
         let Some(cur_v) = cur_gauges.get(gauge) else {
             continue; // gauge absent from the current run (older schema)
@@ -432,6 +478,28 @@ fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
         if *cur_v < floor {
             violations.push(format!(
                 "{gauge} fell from {base_v:.3} to {cur_v:.3} (< {floor:.3} = baseline / x{max_ratio})"
+            ));
+        }
+    }
+    // Smaller-is-better gauges (schema v7+, currently the substrate
+    // memory footprint): the mirror image again — the current gauge must
+    // not exceed the baseline's times `max_ratio`.
+    for (gauge, base_v) in &base_scale_small {
+        let Some(cur_v) = cur_scale_small.get(gauge) else {
+            continue; // gauge absent from the current run (older schema)
+        };
+        if *base_v <= 0.0 {
+            continue;
+        }
+        compared += 1;
+        let ceiling = base_v * max_ratio;
+        let verdict = if *cur_v > ceiling { "FAIL" } else { "ok" };
+        eprintln!(
+            "perf-budget: {gauge}: {base_v:.3} -> {cur_v:.3} (ceiling {ceiling:.3}) {verdict}"
+        );
+        if *cur_v > ceiling {
+            violations.push(format!(
+                "{gauge} grew from {base_v:.3} to {cur_v:.3} (> {ceiling:.3} = baseline * x{max_ratio})"
             ));
         }
     }
@@ -638,6 +706,61 @@ mod tests {
         assert_eq!(gauges["pruning/saved_fraction"], 0.416);
         assert_eq!(gauges["batching/collapse_ratio"], 2.571);
         assert!(gauges.keys().all(|k| !k.contains("relaxed")));
+    }
+
+    const SAMPLE_V7: &str = r#"{
+  "schema": "senn-perf-gate-v7",
+  "scale": {
+    "hosts": 1000000,
+    "grid_maintain_secs": 0.149,
+    "grid_rebuild_secs": 0.347,
+    "grid_maintenance_speedup": 2.321,
+    "grid_cell_moves": 210640,
+    "bytes_per_host": 220.312,
+    "peak_alloc_bytes": 260000000,
+    "sim": {
+      "wall_secs": 1.750,
+      "queries_per_sec": 48318.912,
+      "metrics_identical": true
+    }
+  },
+  "metric": {
+    "astar_vs_ch_relaxed_ratio": 6.193
+  }
+}
+"#;
+
+    #[test]
+    fn scale_gauges_split_by_polarity() {
+        let (bigger, smaller) = parse_scale_gauges(SAMPLE_V7);
+        assert_eq!(bigger.len(), 1, "exactly the speedup gauge: {bigger:?}");
+        assert_eq!(bigger["scale/grid_maintenance_speedup"], 2.321);
+        assert_eq!(smaller.len(), 1, "exactly the memory gauge: {smaller:?}");
+        assert_eq!(smaller["scale/bytes_per_host"], 220.312);
+    }
+
+    #[test]
+    fn scale_gauges_stop_at_the_nested_sim_block() {
+        // Nothing inside `scale.sim` (or the following `metric` block)
+        // may be misattributed as a scale gauge.
+        let (bigger, smaller) = parse_scale_gauges(SAMPLE_V7);
+        assert!(bigger.keys().all(|k| k.starts_with("scale/")));
+        assert!(smaller.keys().all(|k| k.starts_with("scale/")));
+        assert!(!bigger.contains_key("scale/astar_vs_ch_relaxed_ratio"));
+    }
+
+    #[test]
+    fn scale_gauges_absent_from_pre_v7_schema() {
+        for sample in [SAMPLE, SAMPLE_V5, SAMPLE_V6] {
+            let (bigger, smaller) = parse_scale_gauges(sample);
+            assert!(bigger.is_empty() && smaller.is_empty());
+        }
+    }
+
+    #[test]
+    fn v7_metric_gauge_still_parses() {
+        let gauges = parse_metric_gauges(SAMPLE_V7);
+        assert_eq!(gauges["metric/astar_vs_ch_relaxed_ratio"], 6.193);
     }
 
     #[test]
