@@ -8,16 +8,19 @@
 //! exercises the host substrate at the million-host scale (incremental
 //! grid maintenance vs rebuild-per-batch throughput plus a
 //! counting-allocator memory-footprint gauge), runs a small
-//! microbenchmark suite over the query hot paths, and writes the
-//! measurements as JSON.
+//! microbenchmark suite over the query hot paths, drives a flash-crowd
+//! arrival spike through the async transport in both submission layouts
+//! (blocking per-interval drains versus overlapped enqueue/poll), and
+//! writes the measurements as JSON.
 //!
-//! The JSON file (`BENCH_PR7.json` by default, schema `senn-perf-gate-v7`)
+//! The JSON file (`BENCH_PR8.json` by default, schema `senn-perf-gate-v8`)
 //! is committed alongside the code so every PR leaves a machine-readable
 //! perf trajectory behind: compare `queries_per_sec`, the per-stage
 //! `stages` breakdown, the `snnn` per-model legs, the `expansion`
-//! pruning/batching gauges, the `scale` substrate gauges, the `service`
-//! throughput block, the `metric` search-effort counters and the
-//! `ns_per_iter` entries across revisions to see whether a change paid
+//! pruning/batching gauges, the `flashcrowd` overlap/shedding gauges,
+//! the `scale` substrate gauges, the `service` throughput block, the
+//! `metric` search-effort counters and the `ns_per_iter` entries across
+//! revisions to see whether a change paid
 //! for itself. The gate also re-asserts the engine contract — parallel
 //! and sharded metrics must equal sequential metrics, the A\*, ALT and
 //! CH SNNN runs must record identical Metrics (modulo the
@@ -30,7 +33,10 @@
 //! bit-identical across maintenance modes and thread counts, the four
 //! counting searches must agree on every sampled distance, and the
 //! contraction-hierarchy oracle must do at least 10× less per-query
-//! work than A\* on the full-size grid — so a perf regression hunt can
+//! work than A\* on the full-size grid, the flash-crowd leg must resolve
+//! bit-identical per-request fates in both submission layouts while the
+//! overlapped layout sustains at least 1.5× the blocking layout's
+//! virtual interval throughput — so a perf regression hunt can
 //! never silently trade away determinism.
 //!
 //! Quick mode shrinks the metric grid to its 3000 m side, which also
@@ -52,12 +58,14 @@
 //! (default 1 000 000; the CI smoke runs pass 100 000).
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use senn_bench::{random_points, random_server, BenchRng};
 use senn_cache::CacheEntry;
-use senn_core::service::{ServerRequest, SpatialService};
+use senn_core::service::{RequestOutcome, ServerRequest, SpatialService};
+use senn_core::transport::{AsyncClient, RetryPolicy, Ticket, TransportPolicy, TransportStats};
 use senn_core::{
     snnn_query, snnn_query_pruned, DistanceModel, RTreeServer, SearchBounds, SennEngine,
     SnnnConfig, STAGE_COUNT, STAGE_NAMES,
@@ -69,7 +77,7 @@ use senn_network::{
     NetworkPois, NodeLocator, SearchStats,
 };
 use senn_rtree::RStarTree;
-use senn_server::ShardedService;
+use senn_server::{FaultConfig, FaultyService, ShardedService};
 use senn_sim::{
     BatchStats, GridMaintenance, HostGrid, Metrics, MovementMode, NetworkModelKind, ParamSet,
     ServiceMetrics, SimConfig, SimParams, Simulator,
@@ -121,7 +129,7 @@ fn parse_args() -> Args {
         quick: false,
         shards: 4,
         hosts: 1_000_000,
-        out: "BENCH_PR7.json".to_string(),
+        out: "BENCH_PR8.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -932,6 +940,280 @@ fn service_benches(quick: bool, shards: usize) -> (Vec<ServiceLeg>, ServiceMetri
     (legs, sm, batch_size)
 }
 
+/// The flash-crowd leg's fixed virtual arrival schedule: `FC_INTERVALS`
+/// intervals of `FC_INTERVAL_MS` with `FC_BASE` requests each, plus a
+/// hotspot spike of `FC_SPIKE` extra requests arriving all at once in
+/// interval `FC_SPIKE_AT`. The interval is deliberately *shorter* than a
+/// typical retry ladder, so blocking submission (drain the whole batch
+/// before admitting the next interval) leaves the uplink idle at every
+/// batch tail while the overlapped transport keeps it full.
+const FC_INTERVALS: usize = 40;
+const FC_INTERVAL_MS: f64 = 100.0;
+const FC_BASE: usize = 16;
+const FC_SPIKE_AT: usize = 4;
+const FC_SPIKE: usize = 400;
+const FC_LANES: usize = 4;
+const FC_WINDOW: usize = 4;
+const FC_SERVICE_MS: f64 = 40.0;
+const FC_SEED: u64 = 20_060_402;
+
+type FcClient = AsyncClient<FaultyService<RTreeServer>>;
+
+/// Everything observable about one resolved flash-crowd request. Both
+/// submission modes must produce bit-identical fates per request id —
+/// the keyed fault and service-time draws depend only on
+/// `(seed, id, attempt ordinal)`, never on how intervals were sliced.
+#[derive(Debug, PartialEq)]
+struct Fate {
+    retries: u32,
+    timeouts: u32,
+    drops: u32,
+    shed: u32,
+    degraded: bool,
+    failed: bool,
+    pois: Vec<u64>,
+}
+
+fn fate_of(out: &RequestOutcome) -> Fate {
+    Fate {
+        retries: out.retries,
+        timeouts: out.timeouts,
+        drops: out.drops,
+        shed: out.shed,
+        degraded: out.degraded,
+        failed: out.failed,
+        pois: out.response.pois.iter().map(|(p, _)| p.poi_id).collect(),
+    }
+}
+
+/// A fresh async client over the keyed fault wrapper — the *same* fault
+/// schedule in every mode, because fates key on request ids, not time.
+fn fc_client(queue_cap: usize) -> FcClient {
+    let service = FaultyService::new(random_server(10_000, 30_000.0, 7), FaultConfig::lossy(23));
+    AsyncClient::new(
+        service,
+        FC_LANES,
+        FC_SEED,
+        TransportPolicy {
+            retry: RetryPolicy::default(),
+            window: FC_WINDOW,
+            queue_cap,
+            shed: true,
+        },
+    )
+    .with_mean_service_ms(FC_SERVICE_MS)
+}
+
+fn fc_schedule() -> Vec<Vec<ServerRequest>> {
+    let total = FC_INTERVALS * FC_BASE + FC_SPIKE;
+    let points = random_points(total, 30_000.0, 17);
+    let mut next_id = 0u64;
+    (0..FC_INTERVALS)
+        .map(|i| {
+            let n = FC_BASE + if i == FC_SPIKE_AT { FC_SPIKE } else { 0 };
+            (0..n)
+                .map(|_| {
+                    let req = ServerRequest::plain(next_id, points[next_id as usize], 10);
+                    next_id += 1;
+                    req
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Blocking interval loop (the pre-transport submission layout): each
+/// interval's batch — retries included — must fully drain before the
+/// next interval's arrivals are admitted. Arrivals that land mid-drain
+/// wait; the virtual clock records the stall.
+fn fc_blocking(schedule: &[Vec<ServerRequest>]) -> (f64, BTreeMap<u64, Fate>) {
+    let mut client = fc_client(usize::MAX);
+    let mut tickets: HashMap<Ticket, u64> = HashMap::new();
+    let mut fates = BTreeMap::new();
+    for (i, batch) in schedule.iter().enumerate() {
+        // Advance to the arrival time if the previous drain left us idle.
+        client.poll(i as f64 * FC_INTERVAL_MS);
+        for r in batch {
+            tickets.insert(client.submit(*r), r.id.raw());
+        }
+        for (t, o) in client.drain() {
+            fates.insert(tickets[&t], fate_of(&o));
+        }
+    }
+    (client.clock_ms(), fates)
+}
+
+/// Overlapped interval loop: enqueue at arrival, poll at boundaries,
+/// drain once at the end — residual ladders span intervals freely.
+fn fc_overlapped(
+    schedule: &[Vec<ServerRequest>],
+    queue_cap: usize,
+) -> (f64, BTreeMap<u64, Fate>, TransportStats) {
+    let mut client = fc_client(queue_cap);
+    let mut tickets: HashMap<Ticket, u64> = HashMap::new();
+    let mut fates = BTreeMap::new();
+    for (i, batch) in schedule.iter().enumerate() {
+        for (t, o) in client.poll(i as f64 * FC_INTERVAL_MS) {
+            fates.insert(tickets[&t], fate_of(&o));
+        }
+        for r in batch {
+            tickets.insert(client.submit(*r), r.id.raw());
+        }
+    }
+    for (t, o) in client.drain() {
+        fates.insert(tickets[&t], fate_of(&o));
+    }
+    (client.clock_ms(), fates, client.stats().clone())
+}
+
+/// One point of the flash-crowd queue-capacity sweep: the same arrival
+/// spike against ever-tighter admission queues.
+struct ShedPoint {
+    queue_cap: usize,
+    shed_fraction: f64,
+    queue_depth_peak: u64,
+    in_flight_peak: u64,
+    p50_latency_ms: f64,
+    p99_latency_ms: f64,
+}
+
+/// One point of the flash-crowd *simulator* sweep: the end-to-end SQRR /
+/// page-access picture as the overlapped transport's queues starve under
+/// a hotspot arrival rate.
+struct SimQueuePoint {
+    queue_cap: usize,
+    window: usize,
+    sqrr: f64,
+    failed_request_rate: f64,
+    einn_pages_per_query: f64,
+    server_shed: u64,
+    queue_depth_peak: u64,
+}
+
+/// The flash-crowd leg's totals: blocking-vs-overlapped virtual makespan
+/// over the identical keyed fault schedule, the queue-cap shed sweep,
+/// and the simulator-level SQRR/PAR degradation sweep.
+struct FlashCrowdLeg {
+    requests: usize,
+    blocking_makespan_ms: f64,
+    overlapped_makespan_ms: f64,
+    /// Fraction shed at the tightest sweep point — the budget's ceiling.
+    shed_fraction: f64,
+    shed_sweep: Vec<ShedPoint>,
+    sim_points: Vec<SimQueuePoint>,
+}
+
+impl FlashCrowdLeg {
+    /// How many times more virtual interval throughput the overlapped
+    /// transport sustains than blocking submission — the budget's floor.
+    fn overlap_speedup(&self) -> f64 {
+        self.blocking_makespan_ms / self.overlapped_makespan_ms
+    }
+}
+
+fn flashcrowd_sim_point(quick: bool, queue_cap: usize, window: usize) -> SimQueuePoint {
+    let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+    params.t_execution_hours = if quick { 0.02 } else { 0.05 };
+    // The hotspot arrival spike: ~100-query interval bursts against a
+    // handful of uplink lanes.
+    params.lambda_query_per_min = 600.0;
+    let cfg = SimConfig::new(params, FC_SEED)
+        .to_builder()
+        .transport(TransportPolicy {
+            retry: RetryPolicy::default(),
+            window,
+            queue_cap,
+            shed: true,
+        })
+        .build();
+    let mut sim = Simulator::new(cfg);
+    let m = sim.run();
+    let b = *sim.batch_stats();
+    assert_eq!(
+        m.queries,
+        m.single_peer + m.multi_peer + m.server + m.accepted_uncertain,
+        "flashcrowd sim: every query attributed exactly once at queue_cap {queue_cap}"
+    );
+    SimQueuePoint {
+        queue_cap,
+        window,
+        sqrr: m.sqrr(),
+        failed_request_rate: m.failed_request_rate(),
+        einn_pages_per_query: m.einn_pages_per_query(),
+        server_shed: m.server_shed,
+        queue_depth_peak: b.queue_depth_peak,
+    }
+}
+
+/// Flash-crowd leg: a hotspot arrival spike driven through the async
+/// transport in both submission layouts over the *same* keyed fault
+/// schedule. Asserts per-request fates are bit-identical across layouts
+/// (completion order is observability, never semantics), that overlapping
+/// intervals sustains at least 1.5× the blocking layout's virtual
+/// throughput, and that one-deep queues shed part of the spike.
+fn flashcrowd_leg(quick: bool) -> FlashCrowdLeg {
+    let schedule = fc_schedule();
+    let total: usize = schedule.iter().map(Vec::len).sum();
+    let (blocking_ms, blocking_fates) = fc_blocking(&schedule);
+    let (overlapped_ms, overlapped_fates, ample_stats) = fc_overlapped(&schedule, usize::MAX);
+    assert_eq!(blocking_fates.len(), total);
+    assert_eq!(overlapped_fates.len(), total);
+    assert_eq!(
+        blocking_fates, overlapped_fates,
+        "submission layout changed a keyed fate"
+    );
+    assert_eq!(ample_stats.shed, 0, "ample queues must not shed");
+    let speedup = blocking_ms / overlapped_ms;
+    assert!(
+        speedup >= 1.5,
+        "overlapped transport must sustain at least 1.5x the blocking \
+         layout's interval throughput ({blocking_ms:.0}ms vs {overlapped_ms:.0}ms = x{speedup:.2})"
+    );
+
+    let shed_sweep: Vec<ShedPoint> = [256usize, 16, 4, 1]
+        .iter()
+        .map(|&cap| {
+            let (_, fates, stats) = fc_overlapped(&schedule, cap);
+            assert_eq!(
+                fates.len(),
+                total,
+                "every request resolves at queue_cap {cap}, shed included"
+            );
+            ShedPoint {
+                queue_cap: cap,
+                shed_fraction: stats.shed_fraction(),
+                queue_depth_peak: stats.queue_depth_peak,
+                in_flight_peak: stats.in_flight_peak,
+                p50_latency_ms: stats.p50_latency_ms(),
+                p99_latency_ms: stats.p99_latency_ms(),
+            }
+        })
+        .collect();
+    let tightest = shed_sweep.last().expect("non-empty sweep");
+    assert!(
+        tightest.shed_fraction > 0.0,
+        "one-deep queues must shed part of the spike"
+    );
+    assert!(
+        tightest.shed_fraction >= shed_sweep[0].shed_fraction,
+        "shedding must not shrink as queues starve"
+    );
+
+    let sim_points = [(64usize, 2usize), (4, 2), (1, 1)]
+        .iter()
+        .map(|&(cap, window)| flashcrowd_sim_point(quick, cap, window))
+        .collect();
+
+    FlashCrowdLeg {
+        requests: total,
+        blocking_makespan_ms: blocking_ms,
+        overlapped_makespan_ms: overlapped_ms,
+        shed_fraction: tightest.shed_fraction,
+        shed_sweep,
+        sim_points,
+    }
+}
+
 fn fmt_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.3}")
@@ -1143,6 +1425,90 @@ fn scale_json(leg: &ScaleLeg) -> String {
     )
 }
 
+/// The `flashcrowd` JSON block. The two budget-tracked gauges
+/// (`overlap_speedup`, bigger is better, and `shed_fraction`, smaller is
+/// better) are emitted *first*, before the nested sweep arrays — `xtask
+/// perf-budget`'s line parser takes the first occurrence of each gauge
+/// inside the block.
+fn flashcrowd_json(leg: &FlashCrowdLeg) -> String {
+    let sweep_rows: Vec<String> = leg
+        .shed_sweep
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "      {{ \"queue_cap\": {}, \"shed_fraction\": {}, ",
+                    "\"queue_depth_peak\": {}, \"in_flight_peak\": {}, ",
+                    "\"p50_latency_ms\": {}, \"p99_latency_ms\": {} }}"
+                ),
+                p.queue_cap,
+                fmt_f64(p.shed_fraction),
+                p.queue_depth_peak,
+                p.in_flight_peak,
+                fmt_f64(p.p50_latency_ms),
+                fmt_f64(p.p99_latency_ms),
+            )
+        })
+        .collect();
+    let sim_rows: Vec<String> = leg
+        .sim_points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "      {{ \"queue_cap\": {}, \"window\": {}, \"sqrr\": {}, ",
+                    "\"failed_request_rate\": {}, \"einn_pages_per_query\": {}, ",
+                    "\"server_shed\": {}, \"queue_depth_peak\": {} }}"
+                ),
+                p.queue_cap,
+                p.window,
+                fmt_f64(p.sqrr),
+                fmt_f64(p.failed_request_rate),
+                fmt_f64(p.einn_pages_per_query),
+                p.server_shed,
+                p.queue_depth_peak,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "    \"overlap_speedup\": {},\n",
+            "    \"shed_fraction\": {},\n",
+            "    \"blocking_makespan_ms\": {},\n",
+            "    \"overlapped_makespan_ms\": {},\n",
+            "    \"requests\": {},\n",
+            "    \"intervals\": {},\n",
+            "    \"interval_ms\": {},\n",
+            "    \"base_per_interval\": {},\n",
+            "    \"spike_requests\": {},\n",
+            "    \"spike_interval\": {},\n",
+            "    \"lanes\": {},\n",
+            "    \"window\": {},\n",
+            "    \"mean_service_ms\": {},\n",
+            "    \"fates_identical\": true,\n",
+            "    \"shed_sweep\": [\n{}\n    ],\n",
+            "    \"sim\": [\n{}\n    ]\n",
+            "  }}"
+        ),
+        fmt_f64(leg.overlap_speedup()),
+        fmt_f64(leg.shed_fraction),
+        fmt_f64(leg.blocking_makespan_ms),
+        fmt_f64(leg.overlapped_makespan_ms),
+        leg.requests,
+        FC_INTERVALS,
+        fmt_f64(FC_INTERVAL_MS),
+        FC_BASE,
+        FC_SPIKE,
+        FC_SPIKE_AT,
+        FC_LANES,
+        FC_WINDOW,
+        fmt_f64(FC_SERVICE_MS),
+        sweep_rows.join(",\n"),
+        sim_rows.join(",\n"),
+    )
+}
+
 fn metric_json(leg: &MetricLeg) -> String {
     let rows: Vec<String> = leg
         .algos
@@ -1320,6 +1686,23 @@ fn main() {
         batching.snnn_rounds,
     );
 
+    let flashcrowd = flashcrowd_leg(args.quick);
+    eprintln!(
+        "perf_gate: flashcrowd overlap x{:.2} ({:.0}ms blocking vs {:.0}ms overlapped \
+         over {} requests), shed {:.1}% at one-deep queues",
+        flashcrowd.overlap_speedup(),
+        flashcrowd.blocking_makespan_ms,
+        flashcrowd.overlapped_makespan_ms,
+        flashcrowd.requests,
+        flashcrowd.shed_fraction * 100.0,
+    );
+    for p in &flashcrowd.sim_points {
+        eprintln!(
+            "perf_gate: flashcrowd sim queue_cap={} window={} sqrr={:.3} failed={:.3} shed={}",
+            p.queue_cap, p.window, p.sqrr, p.failed_request_rate, p.server_shed
+        );
+    }
+
     let scale = scale_leg(args.hosts);
     eprintln!(
         "perf_gate: scale {} hosts, maintenance x{:.2} faster than rebuild \
@@ -1395,7 +1778,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"senn-perf-gate-v7\",\n",
+            "  \"schema\": \"senn-perf-gate-v8\",\n",
             "  \"quick\": {},\n",
             "  \"available_parallelism\": {},\n",
             "  \"parallel_threads\": {},\n",
@@ -1420,6 +1803,7 @@ fn main() {
             "    \"ch_metrics_identical\": true\n",
             "  }},\n",
             "  \"expansion\": {},\n",
+            "  \"flashcrowd\": {},\n",
             "  \"scale\": {},\n",
             "  \"metric\": {},\n",
             "  \"service\": {{\n",
@@ -1448,6 +1832,7 @@ fn main() {
         sim_service_json,
         snnn_json.join(",\n"),
         expansion_json(&pruning, &batching),
+        flashcrowd_json(&flashcrowd),
         scale_json(&scale),
         metric_json(&metric_leg),
         batch_size,

@@ -22,7 +22,8 @@
 //! | [`trace`] | the unified [`QueryTrace`] outcome (attribution + accounting + stage timings) |
 //! | [`senn`] | Algorithm 1 — the SENN driver over the staged kernel |
 //! | [`snnn`] | Algorithm 2 — the SNNN/IER driver, generic over [`DistanceModel`] (§3.4) |
-//! | [`service`] | the batched request/reply service API and the retry/degradation client |
+//! | [`service`] | the batched request/reply service API |
+//! | [`transport`] | the event-driven async transport (virtual clock, admission control) and the retry/degradation client |
 //! | [`server`] | the R\*-tree reference backend of the service seam (§4.4) |
 //!
 //! The crate is pure logic: peers are passed in as [`PeerCacheEntry`]
@@ -43,6 +44,7 @@ pub mod service;
 pub mod single;
 pub mod snnn;
 pub mod trace;
+pub mod transport;
 pub mod verify;
 
 pub use continuous::{validity_radius, ContinuousKnn, ContinuousStats};
@@ -54,15 +56,16 @@ pub use senn::{SennConfig, SennEngine, SennOutcome};
 pub use senn_cache::{CacheEntry as PeerCacheEntry, CachedNn};
 pub use senn_rtree::SearchBounds;
 pub use server::{RTreeServer, ServerResponse};
-pub use service::{
-    submit_with_retry, ReplyStatus, RequestOutcome, RetryPolicy, ServerReply, ServerRequest,
-    SpatialService,
-};
+pub use service::{ReplyStatus, RequestOutcome, ServerReply, ServerRequest, SpatialService};
 pub use snnn::{
     snnn_query, snnn_query_pruned, snnn_query_pruned_with, snnn_query_with, SnnnConfig,
     SnnnExpansion, SnnnNeighbor, SnnnOutcome,
 };
 pub use trace::{QueryTrace, Resolution, Stage, STAGE_COUNT, STAGE_NAMES};
+pub use transport::{
+    submit_with_retry, AsyncClient, AsyncService, RequestId, RetryPolicy, Ticket, Transport,
+    TransportPolicy, TransportStats,
+};
 
 /// One-stop imports for typical users of the crate: the engines, the
 /// service seam and the message/outcome types they exchange.
@@ -88,9 +91,33 @@ pub mod prelude {
     pub use crate::senn::{SennConfig, SennEngine, SennOutcome};
     pub use crate::server::{RTreeServer, ServerResponse};
     pub use crate::service::{
-        submit_with_retry, ReplyStatus, RequestOutcome, RetryPolicy, ServerReply, ServerRequest,
-        SpatialService,
+        ReplyStatus, RequestOutcome, ServerReply, ServerRequest, SpatialService,
     };
+    pub use crate::transport::{
+        AsyncClient, AsyncService, RequestId, Ticket, Transport, TransportPolicy, TransportStats,
+    };
+
+    /// Deprecated location of [`crate::transport::RetryPolicy`], kept for
+    /// one release.
+    #[deprecated(
+        since = "0.8.0",
+        note = "RetryPolicy moved into senn_core::transport (TransportPolicy.retry); import it from there"
+    )]
+    pub type RetryPolicy = crate::transport::RetryPolicy;
+
+    /// Deprecated location of [`crate::transport::submit_with_retry`],
+    /// kept for one release.
+    #[deprecated(
+        since = "0.8.0",
+        note = "submit_with_retry moved into senn_core::transport; import it from there"
+    )]
+    pub fn submit_with_retry(
+        service: &dyn crate::service::SpatialService,
+        requests: &[crate::service::ServerRequest],
+        policy: &crate::transport::RetryPolicy,
+    ) -> Vec<crate::service::RequestOutcome> {
+        crate::transport::submit_with_retry(service, requests, policy)
+    }
     pub use crate::snnn::{
         snnn_query, snnn_query_pruned, snnn_query_pruned_with, snnn_query_with, SnnnConfig,
         SnnnNeighbor, SnnnOutcome,

@@ -39,9 +39,10 @@ use crate::multiple::{
     collect_candidates, collect_circles, verify_candidates, CertainRegion, RegionMethod,
 };
 use crate::server::ServerResponse;
-use crate::service::{ServerRequest, SpatialService};
+use crate::service::{ReplyStatus, ServerRequest, SpatialService};
 use crate::single::knn_single;
 use crate::trace::QueryTrace;
+use crate::transport::RequestId;
 
 /// Reusable scratch of the multi-peer verification stage (and the cache
 /// extension walk): candidate list, dedup set and certain-area circles.
@@ -200,7 +201,7 @@ pub struct ServerResidual {
 /// [`SpatialService::submit`] batch.
 pub fn residual_request(
     ctx: &QueryContext,
-    id: u64,
+    id: impl Into<RequestId>,
     query: Point,
     k: usize,
     bounds: SearchBounds,
@@ -213,7 +214,7 @@ pub fn residual_request(
 /// that completed the peer stages earlier and no longer hold the context.
 pub fn residual_request_with(
     certain: &[HeapEntry],
-    id: u64,
+    id: impl Into<RequestId>,
     query: Point,
     k: usize,
     bounds: SearchBounds,
@@ -237,7 +238,7 @@ pub fn residual_request_with(
         bounds
     };
     ServerRequest {
-        id,
+        id: id.into(),
         query,
         count: fetch,
         bounds: wire_bounds,
@@ -298,8 +299,16 @@ pub fn server_residual(
     server_fetch: usize,
     service: &dyn SpatialService,
 ) -> ServerResidual {
-    let request = residual_request(ctx, 0, query, k, bounds, server_fetch);
-    let response = service.knn_one(request.query, request.count, request.bounds);
+    let request = residual_request(ctx, 0u64, query, k, bounds, server_fetch);
+    // A batch of one through the service seam; a non-Ok reply (fault
+    // wrappers without a retry layer) degrades to the empty response and
+    // the merge keeps whatever the peers verified.
+    let response = service
+        .submit(std::slice::from_ref(&request))
+        .pop()
+        .filter(|r| r.status == ReplyStatus::Ok)
+        .map(|r| r.response)
+        .unwrap_or_default();
     merge_residual(ctx, k, response)
 }
 

@@ -242,11 +242,11 @@ impl SennEngine {
     /// the deferred half of the server stage. Batch drivers collect one
     /// request per unresolved query, submit them together through
     /// [`crate::service::SpatialService::submit`] (typically via
-    /// [`crate::service::submit_with_retry`]), and finish each query with
+    /// [`crate::transport::submit_with_retry`]), and finish each query with
     /// [`Self::complete_residual`].
     pub fn residual_request(
         &self,
-        id: u64,
+        id: impl Into<crate::transport::RequestId>,
         query: Point,
         k: usize,
         outcome: &SennOutcome,
@@ -642,7 +642,6 @@ mod tests {
         // The batch driver's split path — peers-only, build the wire
         // request, answer it, complete — must equal the one-shot query()
         // outcome for outcome, across randomized worlds.
-        use crate::service::SpatialService;
         let mut rng = Rng(0xdefe44ed | 1);
         for trial in 0..60 {
             let n = 15 + (rng.next() * 80.0) as usize;

@@ -71,6 +71,26 @@ impl RTreeServer {
         }
     }
 
+    /// Answers one query directly against the truth index — a
+    /// measurement probe (ground-truth grading, expansion baselines), not
+    /// service traffic. Residual queries go through
+    /// [`SpatialService::submit`] (possibly behind retry/transport
+    /// layers); this inherent method deliberately bypasses them.
+    pub fn knn_one(
+        &self,
+        query: Point,
+        count: usize,
+        bounds: senn_rtree::SearchBounds,
+    ) -> ServerResponse {
+        self.serve(&ServerRequest {
+            id: crate::transport::RequestId::new(0),
+            query,
+            count,
+            bounds,
+            full_count: count,
+        })
+    }
+
     /// Moves POI `id` from `old_pos` to `new_pos` (e.g. a gas station
     /// closing here and opening there). Returns false — and leaves the
     /// tree untouched — when no such POI was indexed at `old_pos`.

@@ -1,6 +1,6 @@
-//! The batched spatial-service API: the request/reply message pair, the
+//! The batched spatial-service API: the request/reply message pair and the
 //! [`SpatialService`] trait whose unit of work is a **batch** of residual
-//! queries, and the client-side retry/backoff/degradation layer.
+//! queries.
 //!
 //! ## Why a batch API
 //!
@@ -19,19 +19,19 @@
 //! ```
 //!
 //! [`SpatialService::submit`] answers a whole batch; replies come back in
-//! request order, each echoing its request's `id`. The single-query
-//! convenience [`SpatialService::knn_one`] routes through the same batch
-//! path — there is no separate direct-call API.
+//! request order, each echoing its request's [`RequestId`]. There is no
+//! single-query convenience on the trait — a lone query is a batch of one,
+//! and callers that need retry or overlap semantics use the client layers
+//! in [`crate::transport`] ([`crate::transport::submit_with_retry`]
+//! blocking, [`crate::transport::AsyncClient`] event-driven).
 //!
 //! ## Robustness
 //!
-//! Real services drop and delay requests. A reply therefore carries a
-//! [`ReplyStatus`]; [`submit_with_retry`] implements the client side:
-//! failed requests are re-submitted (still as batches) with exponential
-//! backoff, and when every pruned attempt failed the client degrades to
-//! the **unpruned** query ([`ServerRequest::unpruned`]) as a last resort —
-//! a pruned request that keeps timing out may be hitting a bounds-handling
-//! fault, and the unpruned form is always self-contained. All waiting is
+//! Real services drop, delay and *refuse* requests. A reply therefore
+//! carries a [`ReplyStatus`]: transient failures (`Dropped`/`TimedOut`)
+//! are retried by the client layer with exponential virtual backoff and an
+//! unpruned degraded fallback, while `Shed` — the transport's admission
+//! edge refusing work under overload — is terminal. All waiting is
 //! *virtual* (accounted in [`RequestOutcome::waited_ms`], never slept), so
 //! retry schedules stay deterministic and simulation-speed.
 
@@ -39,12 +39,14 @@ use senn_geom::Point;
 use senn_rtree::SearchBounds;
 
 pub use crate::server::ServerResponse;
+pub use crate::transport::RequestId;
 
 /// One residual kNN query in a service batch.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServerRequest {
-    /// Client-chosen correlation id, echoed verbatim in the reply.
-    pub id: u64,
+    /// Client-chosen correlation id, echoed verbatim in the reply and the
+    /// key of every keyed schedule (fault fates, transport service times).
+    pub id: RequestId,
     /// The query location.
     pub query: Point,
     /// POIs to return under `bounds`, ascending by distance.
@@ -55,16 +57,16 @@ pub struct ServerRequest {
     pub bounds: SearchBounds,
     /// POIs that would be needed if `bounds` were dropped — `count` plus
     /// the certain prefix the lower bound lets the service skip. The
-    /// degraded (unpruned) retry of [`submit_with_retry`] asks for this
-    /// many so its answer is complete without any client-held state.
+    /// degraded (unpruned) retry of the client layer asks for this many so
+    /// its answer is complete without any client-held state.
     pub full_count: usize,
 }
 
 impl ServerRequest {
     /// A plain unpruned request (no bounds, `count == full_count`).
-    pub fn plain(id: u64, query: Point, count: usize) -> Self {
+    pub fn plain(id: impl Into<RequestId>, query: Point, count: usize) -> Self {
         ServerRequest {
-            id,
+            id: id.into(),
             query,
             count,
             bounds: SearchBounds::NONE,
@@ -95,13 +97,17 @@ pub enum ReplyStatus {
     Dropped,
     /// The service answered too late; the reply was discarded.
     TimedOut,
+    /// The transport's admission control refused the request under
+    /// overload before it reached any backend. Terminal for the retry
+    /// ladder: retrying against a shedding edge tightens the overload.
+    Shed,
 }
 
 /// The service's answer to one [`ServerRequest`].
 #[derive(Clone, Debug, Default)]
 pub struct ServerReply {
     /// Echo of [`ServerRequest::id`].
-    pub id: u64,
+    pub id: RequestId,
     /// Disposition; `response` is meaningful only for [`ReplyStatus::Ok`].
     pub status: ReplyStatus,
     /// The search result (empty unless `status` is `Ok`).
@@ -113,9 +119,9 @@ pub struct ServerReply {
 
 impl ServerReply {
     /// A successful in-process reply.
-    pub fn ok(id: u64, response: ServerResponse) -> Self {
+    pub fn ok(id: impl Into<RequestId>, response: ServerResponse) -> Self {
         ServerReply {
-            id,
+            id: id.into(),
             status: ReplyStatus::Ok,
             response,
             latency_ms: 0.0,
@@ -129,32 +135,13 @@ impl ServerReply {
 /// order**, each echoing the request's `id`. In-process backends
 /// ([`crate::RTreeServer`], the sharded service in `senn-server`) always
 /// reply [`ReplyStatus::Ok`]; fault-injecting wrappers may drop or time
-/// out individual requests.
+/// out individual requests, and the async transport may shed them.
 pub trait SpatialService {
     /// Answers a batch of residual queries.
     fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerReply>;
 
     /// Total number of POIs the service indexes.
     fn poi_count(&self) -> usize;
-
-    /// Single-query convenience routed through [`Self::submit`] — a batch
-    /// of one. Infallible backends return the search result; on a dropped
-    /// or timed-out reply this returns an empty response (callers that
-    /// need retry semantics use [`submit_with_retry`]).
-    fn knn_one(&self, query: Point, count: usize, bounds: SearchBounds) -> ServerResponse {
-        let request = ServerRequest {
-            id: 0,
-            query,
-            count,
-            bounds,
-            full_count: count,
-        };
-        let mut replies = self.submit(std::slice::from_ref(&request));
-        match replies.pop() {
-            Some(r) if r.status == ReplyStatus::Ok => r.response,
-            _ => ServerResponse::default(),
-        }
-    }
 }
 
 impl<S: SpatialService + ?Sized> SpatialService for &S {
@@ -165,48 +152,10 @@ impl<S: SpatialService + ?Sized> SpatialService for &S {
     fn poi_count(&self) -> usize {
         (**self).poi_count()
     }
-
-    fn knn_one(&self, query: Point, count: usize, bounds: SearchBounds) -> ServerResponse {
-        (**self).knn_one(query, count, bounds)
-    }
 }
 
-/// Client-side retry/backoff policy for [`submit_with_retry`].
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct RetryPolicy {
-    /// Total attempts with the pruned request, including the first (≥ 1).
-    pub max_attempts: u32,
-    /// Virtual backoff before the first retry, milliseconds.
-    pub backoff_base_ms: f64,
-    /// Multiplier applied to the backoff after every retry round.
-    pub backoff_factor: f64,
-    /// After `max_attempts` pruned failures, degrade to the unpruned
-    /// query ([`ServerRequest::unpruned`]) as a final attempt.
-    pub degrade_unpruned: bool,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 3,
-            backoff_base_ms: 50.0,
-            backoff_factor: 2.0,
-            degrade_unpruned: true,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// No retries, no degradation: one attempt, take it or leave it.
-    pub const NONE: RetryPolicy = RetryPolicy {
-        max_attempts: 1,
-        backoff_base_ms: 0.0,
-        backoff_factor: 1.0,
-        degrade_unpruned: false,
-    };
-}
-
-/// What the retry layer delivered for one request.
+/// What the client layer (blocking retry or async ladder) delivered for
+/// one request.
 #[derive(Clone, Debug, Default)]
 pub struct RequestOutcome {
     /// The answer (empty when `failed`).
@@ -217,6 +166,9 @@ pub struct RequestOutcome {
     pub timeouts: u32,
     /// Attempts that ended in [`ReplyStatus::Dropped`].
     pub drops: u32,
+    /// Attempts refused by admission control ([`ReplyStatus::Shed`]) —
+    /// terminal, so this is 0 or 1 per outcome.
+    pub shed: u32,
     /// True when the answer came from the degraded (unpruned) fallback.
     pub degraded: bool,
     /// True when every attempt failed; `response` is empty and the caller
@@ -227,98 +179,11 @@ pub struct RequestOutcome {
     pub waited_ms: f64,
 }
 
-/// Submits `requests` through `service`, retrying failed requests in
-/// (re-batched) rounds per `policy`. Returns one outcome per request, in
-/// request order. Purely deterministic for a deterministic service: retry
-/// rounds re-submit failures in their original request order.
-pub fn submit_with_retry(
-    service: &dyn SpatialService,
-    requests: &[ServerRequest],
-    policy: &RetryPolicy,
-) -> Vec<RequestOutcome> {
-    let mut outcomes: Vec<RequestOutcome> =
-        requests.iter().map(|_| RequestOutcome::default()).collect();
-    if requests.is_empty() {
-        return outcomes;
-    }
-    // Indices (into `requests`) still awaiting an answer.
-    let mut open: Vec<usize> = (0..requests.len()).collect();
-    let mut round_batch: Vec<ServerRequest> = Vec::new();
-    let mut backoff = policy.backoff_base_ms;
-    let attempts = policy.max_attempts.max(1);
-    for attempt in 0..attempts {
-        if open.is_empty() {
-            break;
-        }
-        round_batch.clear();
-        round_batch.extend(open.iter().map(|&i| requests[i]));
-        if attempt > 0 {
-            for &i in &open {
-                outcomes[i].retries += 1;
-                outcomes[i].waited_ms += backoff;
-            }
-            backoff *= policy.backoff_factor;
-        }
-        let replies = service.submit(&round_batch);
-        debug_assert_eq!(replies.len(), round_batch.len(), "one reply per request");
-        let mut still_open = Vec::new();
-        for (&i, reply) in open.iter().zip(&replies) {
-            let out = &mut outcomes[i];
-            out.waited_ms += reply.latency_ms;
-            match reply.status {
-                ReplyStatus::Ok => out.response = reply.response.clone(),
-                ReplyStatus::TimedOut => {
-                    out.timeouts += 1;
-                    still_open.push(i);
-                }
-                ReplyStatus::Dropped => {
-                    out.drops += 1;
-                    still_open.push(i);
-                }
-            }
-        }
-        open = still_open;
-    }
-    // Graceful degradation: one unpruned attempt for whatever is left.
-    if !open.is_empty() && policy.degrade_unpruned {
-        round_batch.clear();
-        round_batch.extend(open.iter().map(|&i| requests[i].unpruned()));
-        for &i in &open {
-            outcomes[i].retries += 1;
-            outcomes[i].waited_ms += backoff;
-        }
-        let replies = service.submit(&round_batch);
-        let mut still_open = Vec::new();
-        for (&i, reply) in open.iter().zip(&replies) {
-            let out = &mut outcomes[i];
-            out.waited_ms += reply.latency_ms;
-            match reply.status {
-                ReplyStatus::Ok => {
-                    out.response = reply.response.clone();
-                    out.degraded = true;
-                }
-                ReplyStatus::TimedOut => {
-                    out.timeouts += 1;
-                    still_open.push(i);
-                }
-                ReplyStatus::Dropped => {
-                    out.drops += 1;
-                    still_open.push(i);
-                }
-            }
-        }
-        open = still_open;
-    }
-    for i in open {
-        outcomes[i].failed = true;
-    }
-    outcomes
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::server::RTreeServer;
+    use crate::transport::{submit_with_retry, RetryPolicy};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn server() -> RTreeServer {
@@ -360,19 +225,23 @@ mod tests {
     }
 
     #[test]
-    fn knn_one_routes_through_submit() {
+    fn single_query_is_a_batch_of_one() {
         let srv = server();
-        let resp = srv.knn_one(Point::new(10.2, 0.0), 3, SearchBounds::NONE);
-        assert_eq!(resp.pois.len(), 3);
-        assert_eq!(resp.pois[0].0.poi_id, 10);
+        let req = ServerRequest::plain(0u64, Point::new(10.2, 0.0), 3);
+        let replies = srv.submit(std::slice::from_ref(&req));
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].status, ReplyStatus::Ok);
+        assert_eq!(replies[0].id, req.id);
+        assert_eq!(replies[0].response.pois.len(), 3);
+        assert_eq!(replies[0].response.pois[0].0.poi_id, 10);
     }
 
     #[test]
     fn infallible_service_needs_no_retry() {
         let srv = server();
         let reqs = [
-            ServerRequest::plain(0, Point::new(3.4, 0.0), 2),
-            ServerRequest::plain(1, Point::new(20.0, 0.0), 1),
+            ServerRequest::plain(0u64, Point::new(3.4, 0.0), 2),
+            ServerRequest::plain(1u64, Point::new(20.0, 0.0), 1),
         ];
         let outs = submit_with_retry(&srv, &reqs, &RetryPolicy::default());
         assert_eq!(outs.len(), 2);
@@ -392,7 +261,7 @@ mod tests {
             calls: AtomicU64::new(0),
             drop_instead: false,
         };
-        let reqs = [ServerRequest::plain(9, Point::new(5.1, 0.0), 2)];
+        let reqs = [ServerRequest::plain(9u64, Point::new(5.1, 0.0), 2)];
         let outs = submit_with_retry(&svc, &reqs, &RetryPolicy::default());
         assert_eq!(outs[0].retries, 2);
         assert_eq!(outs[0].timeouts, 2);
@@ -414,7 +283,7 @@ mod tests {
             drop_instead: true,
         };
         let req = ServerRequest {
-            id: 0,
+            id: RequestId::new(0),
             query: Point::new(4.2, 0.0),
             count: 1,
             bounds: SearchBounds {
@@ -441,7 +310,7 @@ mod tests {
             calls: AtomicU64::new(0),
             drop_instead: false,
         };
-        let reqs = [ServerRequest::plain(0, Point::ORIGIN, 2)];
+        let reqs = [ServerRequest::plain(0u64, Point::ORIGIN, 2)];
         let outs = submit_with_retry(&svc, &reqs, &RetryPolicy::default());
         assert!(outs[0].failed);
         assert!(outs[0].response.pois.is_empty());
@@ -449,9 +318,37 @@ mod tests {
     }
 
     #[test]
+    fn shed_replies_are_terminal_for_the_blocking_ladder() {
+        // A service that sheds every request: the ladder must not retry.
+        struct Shedder;
+        impl SpatialService for Shedder {
+            fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerReply> {
+                batch
+                    .iter()
+                    .map(|r| ServerReply {
+                        id: r.id,
+                        status: ReplyStatus::Shed,
+                        response: ServerResponse::default(),
+                        latency_ms: 0.0,
+                    })
+                    .collect()
+            }
+            fn poi_count(&self) -> usize {
+                0
+            }
+        }
+        let reqs = [ServerRequest::plain(4u64, Point::ORIGIN, 2)];
+        let outs = submit_with_retry(&Shedder, &reqs, &RetryPolicy::default());
+        assert!(outs[0].failed);
+        assert_eq!(outs[0].shed, 1);
+        assert_eq!(outs[0].retries, 0, "shed is terminal, not retried");
+        assert_eq!(outs[0].timeouts, 0);
+    }
+
+    #[test]
     fn unpruned_form_is_self_contained() {
         let req = ServerRequest {
-            id: 3,
+            id: RequestId::new(3),
             query: Point::ORIGIN,
             count: 2,
             bounds: SearchBounds {
@@ -463,6 +360,6 @@ mod tests {
         let u = req.unpruned();
         assert!(u.bounds.is_none());
         assert_eq!(u.count, 6);
-        assert_eq!(u.id, 3);
+        assert_eq!(u.id.raw(), 3);
     }
 }

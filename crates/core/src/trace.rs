@@ -91,6 +91,10 @@ pub struct QueryTrace {
     pub server_timeouts: u32,
     /// Residual-request attempts the service (or network) dropped.
     pub server_drops: u32,
+    /// Residual requests the transport's admission control refused
+    /// (`ReplyStatus::Shed`) — terminal refusals under overload, `0` on
+    /// the blocking path or an uncongested transport.
+    pub server_shed: u32,
     /// True when at least one residual answer came from the degraded
     /// (unpruned) fallback of `submit_with_retry`.
     pub server_degraded: bool,
@@ -126,6 +130,7 @@ impl QueryTrace {
         self.server_retries = 0;
         self.server_timeouts = 0;
         self.server_drops = 0;
+        self.server_shed = 0;
         self.server_degraded = false;
         self.server_failed = false;
         self.lb_evals = 0;
@@ -165,6 +170,7 @@ impl QueryTrace {
         self.server_retries += round.server_retries;
         self.server_timeouts += round.server_timeouts;
         self.server_drops += round.server_drops;
+        self.server_shed += round.server_shed;
         self.server_degraded |= round.server_degraded;
         self.server_failed |= round.server_failed;
         self.lb_evals += round.lb_evals;
@@ -181,6 +187,7 @@ impl QueryTrace {
         self.server_retries += outcome.retries;
         self.server_timeouts += outcome.timeouts;
         self.server_drops += outcome.drops;
+        self.server_shed += outcome.shed;
         self.server_degraded |= outcome.degraded;
         self.server_failed |= outcome.failed;
     }
@@ -250,6 +257,7 @@ mod tests {
         t.server_retries = 2;
         t.server_timeouts = 1;
         t.server_drops = 1;
+        t.server_shed = 1;
         t.server_degraded = true;
         t.server_failed = true;
         t.lb_evals = 4;
@@ -276,9 +284,15 @@ mod tests {
             failed: true,
             ..Default::default()
         });
+        t.record_service_outcome(&RequestOutcome {
+            shed: 1,
+            failed: true,
+            ..Default::default()
+        });
         assert_eq!(t.server_retries, 3);
         assert_eq!(t.server_timeouts, 2);
         assert_eq!(t.server_drops, 1);
+        assert_eq!(t.server_shed, 1);
         assert!(t.server_degraded && t.server_failed);
         // Absorption carries the attribution along.
         let mut total = QueryTrace::new();

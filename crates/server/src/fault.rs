@@ -17,7 +17,7 @@
 //! service bare (regression-tested in `senn-sim`).
 //!
 //! Latencies are *virtual*: they are reported on the reply (and folded
-//! into retry accounting by `senn_core::service::submit_with_retry`), never
+//! into retry accounting by `senn_core::transport::submit_with_retry`), never
 //! slept. Timed-out requests still execute on the inner service — the
 //! server did the work, the client just stopped waiting — so per-shard
 //! counters keep ticking, while dropped requests never reach it.
@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use senn_core::service::{ReplyStatus, ServerReply, ServerRequest, SpatialService};
+use senn_core::transport::RequestId;
 
 /// Deterministic SplitMix64 stream (no external RNG dependency).
 #[derive(Clone, Debug)]
@@ -110,7 +111,7 @@ pub struct FaultyService<S> {
     config: FaultConfig,
     /// Per-request-id attempt counters: how many times each id has been
     /// submitted so far. Keys the per-attempt fault draws.
-    attempts: Mutex<HashMap<u64, u64>>,
+    attempts: Mutex<HashMap<RequestId, u64>>,
 }
 
 impl<S> FaultyService<S> {
@@ -163,7 +164,7 @@ impl<S: SpatialService> SpatialService for FaultyService<S> {
                     let key = mix64(
                         self.config
                             .seed
-                            .wrapping_add(mix64(req.id).wrapping_add(mix64(*ordinal))),
+                            .wrapping_add(mix64(req.id.raw()).wrapping_add(mix64(*ordinal))),
                     );
                     *ordinal += 1;
                     let mut rng = SplitMix64(key);
@@ -242,7 +243,7 @@ impl<S: SpatialService> SpatialService for FaultyService<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use senn_core::service::submit_with_retry;
+    use senn_core::transport::submit_with_retry;
     use senn_core::{RTreeServer, RetryPolicy};
     use senn_geom::Point;
     use senn_rtree::SearchBounds;

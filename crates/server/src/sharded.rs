@@ -461,6 +461,27 @@ impl SpatialService for ShardedService {
 mod tests {
     use super::*;
 
+    /// A single query as a batch of one through the service seam (the
+    /// trait has no single-query convenience).
+    fn knn_one(
+        svc: &ShardedService,
+        query: Point,
+        count: usize,
+        bounds: SearchBounds,
+    ) -> ServerResponse {
+        let req = ServerRequest {
+            id: 0u64.into(),
+            query,
+            count,
+            bounds,
+            full_count: count,
+        };
+        svc.submit(std::slice::from_ref(&req))
+            .pop()
+            .expect("one reply per request")
+            .response
+    }
+
     fn pois(n: usize, seed: u64) -> Vec<(u64, Point)> {
         let mut s = seed | 1;
         let mut next = move || {
@@ -491,7 +512,7 @@ mod tests {
     fn single_shard_degenerates_gracefully() {
         let world = pois(100, 0x77);
         let svc = ShardedService::new(world, 1);
-        let resp = svc.knn_one(Point::new(500.0, 500.0), 5, SearchBounds::NONE);
+        let resp = knn_one(&svc, Point::new(500.0, 500.0), 5, SearchBounds::NONE);
         assert_eq!(resp.pois.len(), 5);
         for w in resp.pois.windows(2) {
             assert!(w[0].1 <= w[1].1);
@@ -502,7 +523,7 @@ mod tests {
     fn more_shards_than_pois() {
         let svc = ShardedService::new(vec![(0, Point::new(1.0, 1.0))], 8);
         assert_eq!(svc.shard_count(), 8);
-        let resp = svc.knn_one(Point::ORIGIN, 3, SearchBounds::NONE);
+        let resp = knn_one(&svc, Point::ORIGIN, 3, SearchBounds::NONE);
         assert_eq!(resp.pois.len(), 1);
         assert_eq!(resp.pois[0].0.poi_id, 0);
     }
@@ -516,7 +537,7 @@ mod tests {
         // Move POI 0 from the leftmost strip to the far right.
         assert!(svc.relocate(0, Point::new(0.0, 50.0), Point::new(995.0, 50.0)));
         assert_eq!(svc.poi_count(), 100);
-        let resp = svc.knn_one(Point::new(996.0, 50.0), 2, SearchBounds::NONE);
+        let resp = knn_one(&svc, Point::new(996.0, 50.0), 2, SearchBounds::NONE);
         assert_eq!(resp.pois[0].0.poi_id, 0, "relocated POI now nearest");
         assert_eq!(resp.pois[1].0.poi_id, 99);
         // Stale old position: nothing moves.

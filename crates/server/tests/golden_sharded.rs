@@ -3,7 +3,8 @@
 //! single-tree `RTreeServer` on a fixed-seed workload — for every shard
 //! count, including through the fault wrapper and the retry layer.
 
-use senn_core::service::{submit_with_retry, RetryPolicy, ServerRequest, SpatialService};
+use senn_core::service::{ServerRequest, SpatialService};
+use senn_core::transport::{submit_with_retry, RetryPolicy};
 use senn_core::RTreeServer;
 use senn_geom::Point;
 use senn_rtree::SearchBounds;
@@ -58,7 +59,7 @@ fn workload(count: usize, seed: u64) -> Vec<ServerRequest> {
                 }
             };
             ServerRequest {
-                id: i as u64,
+                id: (i as u64).into(),
                 query,
                 count: k,
                 bounds,

@@ -32,6 +32,7 @@ mod query_step;
 pub mod report;
 pub mod simulator;
 mod store;
+mod transport_step;
 
 pub use experiments::{ExpOptions, MixPoint, MixSeries, ModeComparison, PageAccessPoint};
 pub use grid::HostGrid;
@@ -43,6 +44,7 @@ pub use simulator::{
 };
 
 // Service-seam knobs a simulation config can carry, re-exported so callers
-// configuring faults or retries need only this crate.
-pub use senn_core::service::RetryPolicy;
+// configuring faults, retries or the overlapped transport need only this
+// crate.
+pub use senn_core::transport::{RetryPolicy, TransportPolicy, TransportStats};
 pub use senn_server::{FaultConfig, ServiceMetrics, ShardMetrics};

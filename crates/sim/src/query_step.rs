@@ -28,7 +28,8 @@
 //! [`Metrics`](crate::metrics::Metrics).
 
 use senn_cache::{CacheEntry, CachedNn};
-use senn_core::service::{submit_with_retry, ServerRequest, SpatialService};
+use senn_core::service::ServerRequest;
+use senn_core::transport::submit_with_retry;
 use senn_core::{
     DistanceModel, EuclideanBound, LowerBoundOracle, QueryTrace, Resolution, SearchBounds,
     SennOutcome, SnnnExpansion,
@@ -61,7 +62,7 @@ pub(crate) struct PendingQuery {
 
 impl PendingQuery {
     /// True while the query still needs the service round-trip.
-    fn needs_server(&self) -> bool {
+    pub(crate) fn needs_server(&self) -> bool {
         self.outcome.resolution() == Resolution::Unresolved
     }
 }
@@ -309,7 +310,7 @@ impl Simulator {
             .collect();
         let mut results: Vec<Option<_>> = (0..pendings.len()).map(|_| None).collect();
         for (&i, result) in open.iter().zip(submit_with_retry(
-            &self.service,
+            self.service.residual_service(),
             &requests,
             &self.config.retry,
         )) {
@@ -494,7 +495,7 @@ impl Simulator {
                     let req = self.engine.residual_request(i as u64, q, kk, &round);
                     submissions += 1;
                     let result = submit_with_retry(
-                        &self.service,
+                        self.service.residual_service(),
                         std::slice::from_ref(&req),
                         &self.config.retry,
                     )
@@ -590,7 +591,11 @@ impl Simulator {
             // Submit pass: one service batch for the whole round.
             if !requests.is_empty() {
                 submissions += 1;
-                let results = submit_with_retry(&self.service, &requests, &self.config.retry);
+                let results = submit_with_retry(
+                    self.service.residual_service(),
+                    &requests,
+                    &self.config.retry,
+                );
                 for (&slot, result) in request_slots.iter().zip(results) {
                     let a = &active[slot];
                     pendings[a.idx]

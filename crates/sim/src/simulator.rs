@@ -40,7 +40,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use senn_core::multiple::RegionMethod;
-use senn_core::service::{RetryPolicy, ServerReply, ServerRequest, SpatialService};
+use senn_core::service::{ServerReply, ServerRequest, SpatialService};
+use senn_core::transport::{RetryPolicy, TransportPolicy};
 use senn_core::{RTreeServer, SennConfig, SennEngine, STAGE_COUNT};
 use senn_geom::{Point, Rect};
 use senn_mobility::{RoadMoverConfig, WaypointConfig};
@@ -132,6 +133,17 @@ pub enum SimConfigError {
     NetworkModelWithUncertainAnswers,
     /// `Alt { landmarks: 0 }` — the ALT index needs at least one landmark.
     AltWithoutLandmarks,
+    /// An overlapped transport was configured with a zero in-flight
+    /// window — the uplink could never dispatch a request.
+    ZeroInFlightWindow,
+    /// An overlapped transport was configured with a zero-capacity queue —
+    /// every request past the in-flight window would be shed on arrival.
+    ZeroQueueCapacity,
+    /// An overlapped transport was requested together with a network
+    /// distance model. SNNN expansion is round-synchronous (each round's
+    /// residual must resolve before the next round's `k` is known), so it
+    /// cannot ride the deferred-completion transport.
+    TransportWithNetworkModel,
 }
 
 impl std::fmt::Display for SimConfigError {
@@ -150,6 +162,21 @@ impl std::fmt::Display for SimConfigError {
             SimConfigError::AltWithoutLandmarks => {
                 write!(f, "the ALT model needs at least one landmark")
             }
+            SimConfigError::ZeroInFlightWindow => write!(
+                f,
+                "the overlapped transport needs an in-flight window of at \
+                 least one request (TransportPolicy::window)"
+            ),
+            SimConfigError::ZeroQueueCapacity => write!(
+                f,
+                "the overlapped transport needs a queue capacity of at \
+                 least one request (TransportPolicy::queue_cap)"
+            ),
+            SimConfigError::TransportWithNetworkModel => write!(
+                f,
+                "the overlapped transport cannot drive round-synchronous \
+                 SNNN expansion; disable distance_model or transport"
+            ),
         }
     }
 }
@@ -224,8 +251,26 @@ pub struct SimConfig {
     /// shard count, or how submissions are coalesced into batches.
     pub fault: Option<FaultConfig>,
     /// Client-side retry/backoff/degradation policy for residual batches
-    /// (inert when the service never fails).
+    /// (inert when the service never fails). In overlapped-transport mode
+    /// ([`SimConfig::transport`]) the policy embedded in the
+    /// [`TransportPolicy`] governs instead.
     pub retry: RetryPolicy,
+    /// Event-driven service transport: `None` (the default) submits each
+    /// interval's residual batch synchronously (`submit_with_retry`
+    /// blocks the interval until every ladder resolves, exactly the
+    /// pre-transport behavior — metrics are bit-identical to earlier
+    /// releases). `Some(policy)` routes residuals through
+    /// `senn_core::transport::AsyncClient`: requests are *enqueued* with a
+    /// globally unique id at the interval that issued them and their
+    /// completions are *polled* at later interval boundaries, so residual
+    /// round-trips overlap subsequent intervals instead of blocking.
+    /// Request ids — and therefore the keyed fault schedule and the
+    /// transport's own service-time draws — are a pure function of plan
+    /// order, so recorded [`Metrics`] stay bit-identical across
+    /// worker-thread counts and shard layouts. Rejected at build time when
+    /// combined with a [`NetworkModelKind`]
+    /// ([`SimConfigError::TransportWithNetworkModel`]).
+    pub transport: Option<TransportPolicy>,
     /// Target metric for network-mode queries: `None` (the default) runs
     /// plain Euclidean SENN; `Some(kind)` runs every query as SNNN
     /// (Algorithm 2) under that road metric — peer probe, verification
@@ -274,6 +319,7 @@ impl SimConfig {
             server_shards: 1,
             fault: None,
             retry: RetryPolicy::default(),
+            transport: None,
             distance_model: None,
             snnn_max_expansion: 256,
             expansion_batching: true,
@@ -295,6 +341,17 @@ impl SimConfig {
             }
             if let NetworkModelKind::Alt { landmarks: 0 } = kind {
                 return Err(SimConfigError::AltWithoutLandmarks);
+            }
+        }
+        if let Some(policy) = self.transport {
+            if policy.window == 0 {
+                return Err(SimConfigError::ZeroInFlightWindow);
+            }
+            if policy.queue_cap == 0 {
+                return Err(SimConfigError::ZeroQueueCapacity);
+            }
+            if self.distance_model.is_some() {
+                return Err(SimConfigError::TransportWithNetworkModel);
             }
         }
         Ok(())
@@ -439,6 +496,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Overlapped service transport: residuals are enqueued through the
+    /// event-driven `senn_core::transport` layer and their completions
+    /// polled at later interval boundaries (see [`SimConfig::transport`]).
+    pub fn transport(mut self, policy: TransportPolicy) -> Self {
+        self.config.transport = Some(policy);
+        self
+    }
+
     /// Target metric for network-mode (SNNN) queries.
     pub fn distance_model(mut self, kind: NetworkModelKind) -> Self {
         self.config.distance_model = Some(kind);
@@ -524,6 +589,42 @@ impl SpatialService for ServiceBackend {
     }
 }
 
+/// The submission discipline in front of the service seam — how an
+/// interval's residual requests travel to the backend and when their
+/// answers come back.
+pub(crate) enum ServiceHandle {
+    /// The pre-transport path: `submit_with_retry` blocks the interval
+    /// until every request's retry ladder resolves.
+    Blocking(Box<FaultyService<ServiceBackend>>),
+    /// The event-driven path ([`SimConfig::transport`]): requests are
+    /// enqueued into `senn_core::transport::AsyncClient` and completions
+    /// are polled at interval boundaries, so residual round-trips overlap
+    /// later intervals (state in [`crate::transport_step::OverlapState`]).
+    Overlapped(Box<crate::transport_step::OverlapState>),
+}
+
+impl ServiceHandle {
+    /// The fault-wrapped backend, in either mode. Synchronous callers
+    /// (the blocking residual batch, SNNN expansion rounds, POI-churn
+    /// mirroring) go through here; in overlapped mode this is the same
+    /// service instance the transport dispatches to.
+    pub(crate) fn residual_service(&self) -> &FaultyService<ServiceBackend> {
+        match self {
+            ServiceHandle::Blocking(s) => s,
+            ServiceHandle::Overlapped(o) => o.client.service(),
+        }
+    }
+
+    /// Mutable access to the fault-wrapped backend (POI churn mirrors
+    /// relocations into the live index in both modes).
+    pub(crate) fn residual_service_mut(&mut self) -> &mut FaultyService<ServiceBackend> {
+        match self {
+            ServiceHandle::Blocking(s) => s,
+            ServiceHandle::Overlapped(o) => o.client.service_mut(),
+        }
+    }
+}
+
 /// The simulator state.
 pub struct Simulator {
     pub(crate) config: SimConfig,
@@ -543,8 +644,9 @@ pub struct Simulator {
     /// shadow) always run here so metrics are invariant to the backend.
     pub(crate) server: RTreeServer,
     /// The service seam residual batches go through: the configured
-    /// backend behind the (possibly disabled) fault wrapper.
-    pub(crate) service: FaultyService<ServiceBackend>,
+    /// backend behind the (possibly disabled) fault wrapper, behind the
+    /// configured submission discipline (blocking or overlapped).
+    pub(crate) service: ServiceHandle,
     pub(crate) engine: SennEngine,
     /// Struct-of-arrays host substrate: position/mobility/rng columns, the
     /// movers visit list, and the sparse cache side table.
@@ -602,6 +704,21 @@ pub struct BatchStats {
     /// when no probe is installed. Observation only — smaller is better;
     /// the perf gate tracks it as the per-interval allocation budget.
     pub allocations: u64,
+    /// Overlapped mode only: peak queued residuals across uplink lanes
+    /// observed at any transport event (0 in blocking mode).
+    pub queue_depth_peak: u64,
+    /// Overlapped mode only: peak in-flight residuals across uplink lanes
+    /// (0 in blocking mode).
+    pub in_flight_peak: u64,
+    /// Overlapped mode only: residual requests refused by transport
+    /// admission control (`ReplyStatus::Shed`; 0 in blocking mode).
+    pub shed_count: u64,
+    /// Overlapped mode only: median end-to-end *virtual* latency (ms,
+    /// enqueue → completion) of completed residuals, from the transport's
+    /// log2 histogram (0 in blocking mode).
+    pub latency_p50_ms: f64,
+    /// Overlapped mode only: p99 end-to-end virtual latency, ms.
+    pub latency_p99_ms: f64,
 }
 
 impl BatchStats {
@@ -675,6 +792,12 @@ impl Simulator {
             ServiceBackend::Plain(RTreeServer::new(pois.clone()))
         };
         let service = FaultyService::new(backend, config.fault.unwrap_or_default());
+        let service = match config.transport {
+            None => ServiceHandle::Blocking(Box::new(service)),
+            Some(policy) => ServiceHandle::Overlapped(Box::new(
+                crate::transport_step::OverlapState::new(service, config.seed, policy),
+            )),
+        };
         let server = RTreeServer::new(pois);
 
         // Hosts: random start positions; `M_Percentage` of them move.
@@ -771,9 +894,21 @@ impl Simulator {
     /// Per-shard observability counters of the residual-query service —
     /// `Some` when the sharded backend is configured (`server_shards > 1`).
     pub fn service_metrics(&self) -> Option<ServiceMetrics> {
-        match self.service.inner() {
+        match self.service.residual_service().inner() {
             ServiceBackend::Sharded(s) => Some(s.metrics()),
             ServiceBackend::Plain(_) => None,
+        }
+    }
+
+    /// Observability counters of the overlapped transport — `Some` when
+    /// [`SimConfig::transport`] is configured. Queue-depth and in-flight
+    /// peaks, shed count and the end-to-end virtual latency histogram;
+    /// every quantity is virtual, so the snapshot is as deterministic as
+    /// the metrics themselves.
+    pub fn transport_stats(&self) -> Option<&senn_core::transport::TransportStats> {
+        match &self.service {
+            ServiceHandle::Blocking(_) => None,
+            ServiceHandle::Overlapped(o) => Some(o.client.stats()),
         }
     }
 
@@ -816,6 +951,10 @@ impl Simulator {
             self.run_query_batch(interval);
             self.batch_stats.allocations += alloc_probe::sample().saturating_sub(allocs_before);
         }
+        // Overlapped mode: residuals still in flight at the horizon are
+        // drained (their completions measured and folded) so every issued
+        // query is attributed exactly once. No-op in blocking mode.
+        self.drain_transport();
         self.metrics.clone()
     }
 
@@ -834,7 +973,11 @@ impl Simulator {
             let old = self.poi_positions[id];
             if self.server.relocate(id as u64, old, new_pos) {
                 // The service backend mirrors the truth server's index.
-                let mirrored = self.service.inner_mut().relocate(id as u64, old, new_pos);
+                let mirrored = self
+                    .service
+                    .residual_service_mut()
+                    .inner_mut()
+                    .relocate(id as u64, old, new_pos);
                 debug_assert!(mirrored, "service backend diverged from truth server");
                 self.poi_positions[id] = new_pos;
             }
@@ -851,6 +994,14 @@ impl Simulator {
     fn run_query_batch(&mut self, interval_secs: f64) {
         let lambda = self.config.params.lambda_query_per_min * interval_secs / 60.0;
         let n = poisson(lambda, &mut self.rng).min(self.store.len() as u64) as usize;
+        if matches!(self.service, ServiceHandle::Overlapped(_)) {
+            // Overlapped transport: plan/execute as below, but residuals
+            // are enqueued (not awaited) and earlier intervals' matured
+            // completions are polled and folded — even when n == 0, since
+            // the elapsed interval may have matured completions.
+            self.run_query_batch_overlapped(n);
+            return;
+        }
         if n == 0 {
             return;
         }
@@ -1049,6 +1200,76 @@ mod tests {
             cfg.distance_model,
             Some(NetworkModelKind::Alt { landmarks: 4 })
         );
+    }
+
+    #[test]
+    fn zero_transport_window_is_rejected() {
+        let err = SimConfig::builder()
+            .transport(TransportPolicy {
+                window: 0,
+                ..TransportPolicy::default()
+            })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, SimConfigError::ZeroInFlightWindow);
+        // The message names the knob to fix.
+        assert!(err.to_string().contains("window"));
+    }
+
+    #[test]
+    fn zero_transport_queue_capacity_is_rejected() {
+        let err = SimConfig::builder()
+            .transport(TransportPolicy {
+                queue_cap: 0,
+                ..TransportPolicy::default()
+            })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, SimConfigError::ZeroQueueCapacity);
+        assert!(err.to_string().contains("queue"));
+    }
+
+    #[test]
+    fn transport_with_network_model_is_rejected() {
+        let err = SimConfig::builder()
+            .transport(TransportPolicy::default())
+            .distance_model(NetworkModelKind::AStar)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, SimConfigError::TransportWithNetworkModel);
+        // A valid transport config still builds.
+        let cfg = SimConfig::builder()
+            .transport(TransportPolicy::default())
+            .try_build()
+            .unwrap();
+        assert!(cfg.transport.is_some());
+    }
+
+    #[test]
+    fn overlapped_transport_attributes_every_query() {
+        // Residuals complete in later intervals (or in the final drain),
+        // yet every issued query must still be attributed exactly once
+        // and travel through the transport's counters.
+        let cfg = tiny_config(17)
+            .to_builder()
+            .transport(TransportPolicy::default())
+            .build();
+        let mut sim = Simulator::new(cfg);
+        let m = sim.run();
+        assert!(m.queries > 0, "no queries issued");
+        assert_eq!(
+            m.queries,
+            m.single_peer + m.multi_peer + m.server + m.accepted_uncertain,
+            "every query is attributed exactly once"
+        );
+        let stats = sim.transport_stats().expect("overlapped mode");
+        assert!(stats.enqueued > 0, "residuals must ride the transport");
+        // After the final drain nothing is left in flight.
+        assert_eq!(stats.completed, stats.enqueued);
+        assert!(sim.batch_stats().in_flight_peak > 0);
+        // Transport counters span the whole run; `Metrics` reset at
+        // warm-up — the snapshot can only be larger.
+        assert!(sim.batch_stats().shed_count >= m.server_shed);
     }
 
     #[test]

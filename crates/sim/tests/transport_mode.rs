@@ -1,0 +1,111 @@
+//! Overlapped-transport determinism: with `SimConfig::transport`
+//! configured, residual completions arrive out of order across interval
+//! boundaries — yet recorded [`Metrics`] must stay a pure function of the
+//! seed and the plan order. Request ids are a global sequence, lane
+//! assignment hashes the id (never the shard), and the keyed fault/service
+//! draws depend only on `(seed, id, attempt)` — so worker-thread count and
+//! shard layout must not move a single bit.
+
+use senn_sim::metrics::Metrics;
+use senn_sim::{FaultConfig, ParamSet, SimConfig, SimParams, Simulator, TransportPolicy};
+
+fn tiny_params() -> SimParams {
+    let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+    params.t_execution_hours = 0.05; // 3 simulated minutes
+    params
+}
+
+fn run(cfg: SimConfig) -> Metrics {
+    let mut sim = Simulator::new(cfg);
+    sim.run()
+}
+
+/// Bit-identical metrics across 1/2 worker threads × 1/3 shards, with the
+/// default transport policy — fault-free and under the lossy fault
+/// config. The transport's event schedule (and therefore every deferred
+/// completion's interval) must be invariant to both knobs.
+#[test]
+fn overlapped_metrics_are_bit_identical_across_threads_and_shards() {
+    for fault in [None, Some(FaultConfig::lossy(5))] {
+        let mut reference: Option<Metrics> = None;
+        for threads in [1usize, 2] {
+            for shards in [1usize, 3] {
+                let mut b = SimConfig::new(tiny_params(), 99)
+                    .to_builder()
+                    .threads(threads)
+                    .server_shards(shards)
+                    .transport(TransportPolicy::default());
+                if let Some(f) = fault {
+                    b = b.fault(f);
+                }
+                let m = run(b.build());
+                assert!(m.queries > 0);
+                match &reference {
+                    None => reference = Some(m),
+                    Some(r) => assert_eq!(
+                        &m,
+                        r,
+                        "metrics diverged at threads={threads} shards={shards} \
+                         fault={:?}",
+                        fault.is_some()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// A starved transport (one-deep window and queue per lane) sheds part of
+/// every residual burst. Shed ladders are terminal: the query stays
+/// attributed (as server-bound/unresolved), the shed count flows into
+/// `Metrics::server_shed`, and the run still balances its books.
+#[test]
+fn tiny_queues_shed_under_burst_arrivals_and_stay_attributed() {
+    // A hotspot arrival spike: ~100 queries per interval burst into
+    // one-deep lanes.
+    let mut params = tiny_params();
+    params.lambda_query_per_min = 600.0;
+    let cfg = SimConfig::new(params, 7)
+        .to_builder()
+        .transport(TransportPolicy {
+            window: 1,
+            queue_cap: 1,
+            ..TransportPolicy::default()
+        })
+        .build();
+    let mut sim = Simulator::new(cfg);
+    let m = sim.run();
+    assert!(m.queries > 0);
+    assert!(
+        m.server_shed > 0,
+        "one-deep lanes must shed under burst arrivals"
+    );
+    assert_eq!(
+        m.queries,
+        m.single_peer + m.multi_peer + m.server + m.accepted_uncertain,
+        "shed queries are still attributed exactly once"
+    );
+    // A shed ladder never retried and never produced an answer.
+    assert!(m.server_failed >= m.server_shed);
+    // Transport counters span the whole run; `Metrics` reset at warm-up.
+    assert!(sim.batch_stats().shed_count >= m.server_shed);
+    let stats = sim.transport_stats().expect("overlapped mode");
+    assert!(stats.shed >= m.server_shed);
+    assert!(stats.queue_depth_peak <= 4, "queues are one-deep per lane");
+}
+
+/// The blocking path is untouched by the transport work: a `None`
+/// transport reproduces the exact metrics of the pre-transport engine
+/// (which the seed-determinism and golden tests elsewhere pin down), and
+/// its transport observability stays empty.
+#[test]
+fn blocking_mode_reports_no_transport_activity() {
+    let cfg = SimConfig::new(tiny_params(), 11).to_builder().build();
+    let mut sim = Simulator::new(cfg);
+    let m = sim.run();
+    assert!(m.queries > 0);
+    assert_eq!(m.server_shed, 0);
+    assert!(sim.transport_stats().is_none());
+    assert_eq!(sim.batch_stats().shed_count, 0);
+    assert_eq!(sim.batch_stats().in_flight_peak, 0);
+}

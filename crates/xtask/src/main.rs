@@ -29,12 +29,16 @@
 //! per query than A\*), and since v7 the host-substrate `scale` gauges
 //! (`grid_maintenance_speedup` of incremental grid maintenance over
 //! rebuild-per-interval, and `bytes_per_host`, the counting-allocator
-//! memory footprint of the host substrate). All but the last are
-//! bigger-is-better, so the budget fails when the current run's gauge
-//! drops below the baseline's divided by `max_ratio` — the counterpart
-//! of a stage share growing by `max_ratio`. `bytes_per_host` is the
-//! budget's first smaller-is-better gauge: it fails when the current
-//! value exceeds the baseline's times `max_ratio`.
+//! memory footprint of the host substrate), and since v8 the
+//! flash-crowd transport gauges (`overlap_speedup` — how many times
+//! more virtual interval throughput overlapped submission sustains than
+//! blocking per-interval drains — and `shed_fraction`, the spike
+//! fraction refused by one-deep admission queues). Bigger-is-better
+//! gauges fail when the current run drops below the baseline divided by
+//! `max_ratio` — the counterpart of a stage share growing by
+//! `max_ratio`; the smaller-is-better gauges (`bytes_per_host`,
+//! `shed_fraction`) fail when the current value exceeds the baseline's
+//! times `max_ratio`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -360,6 +364,49 @@ fn parse_scale_gauges(text: &str) -> (BTreeMap<String, f64>, BTreeMap<String, f6
     (bigger, smaller)
 }
 
+/// The flash-crowd transport gauges of a perf-gate JSON file (schema
+/// v8+), as (bigger-is-better, smaller-is-better) maps:
+/// `flashcrowd.overlap_speedup` (how many times more virtual interval
+/// throughput the overlapped transport sustains than blocking
+/// per-interval drains) is bigger-is-better; `flashcrowd.shed_fraction`
+/// (the fraction of the spike refused at the admission edge by the
+/// tightest one-deep queues) is smaller-is-better. The gate emits both
+/// gauges first inside the block, before the nested `shed_sweep`/`sim`
+/// arrays whose rows repeat the `shed_fraction` field name — so only
+/// the *first* occurrence of each gauge is taken. Empty for pre-v8
+/// files, so older baselines keep working.
+fn parse_flashcrowd_gauges(text: &str) -> (BTreeMap<String, f64>, BTreeMap<String, f64>) {
+    let mut bigger = BTreeMap::new();
+    let mut smaller = BTreeMap::new();
+    let mut in_flashcrowd = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if let Some(key) = line
+            .strip_suffix('{')
+            .and_then(|l| l.trim_end().strip_suffix(':'))
+            .and_then(|l| l.trim_end().strip_suffix('"'))
+            .and_then(|l| l.strip_prefix('"'))
+        {
+            in_flashcrowd = key == "flashcrowd";
+            continue;
+        }
+        if !in_flashcrowd {
+            continue;
+        }
+        if let Some(v) = json_num_field(line, "overlap_speedup") {
+            bigger
+                .entry("flashcrowd/overlap_speedup".to_string())
+                .or_insert(v);
+        }
+        if let Some(v) = json_num_field(line, "shed_fraction") {
+            smaller
+                .entry("flashcrowd/shed_fraction".to_string())
+                .or_insert(v);
+        }
+    }
+    (bigger, smaller)
+}
+
 /// The bigger-is-better search-effort gauge of a perf-gate JSON file
 /// (schema v6+): `metric.astar_vs_ch_relaxed_ratio`, the per-query edge
 /// relaxation advantage of the contraction-hierarchy oracle over A\*.
@@ -460,10 +507,16 @@ fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
     base_gauges.extend(parse_metric_gauges(&base_text));
     let mut cur_gauges = parse_expansion_gauges(&cur_text);
     cur_gauges.extend(parse_metric_gauges(&cur_text));
-    let (base_scale_big, base_scale_small) = parse_scale_gauges(&base_text);
-    let (cur_scale_big, cur_scale_small) = parse_scale_gauges(&cur_text);
+    let (base_scale_big, mut base_smaller) = parse_scale_gauges(&base_text);
+    let (cur_scale_big, mut cur_smaller) = parse_scale_gauges(&cur_text);
     base_gauges.extend(base_scale_big);
     cur_gauges.extend(cur_scale_big);
+    let (base_fc_big, base_fc_small) = parse_flashcrowd_gauges(&base_text);
+    let (cur_fc_big, cur_fc_small) = parse_flashcrowd_gauges(&cur_text);
+    base_gauges.extend(base_fc_big);
+    cur_gauges.extend(cur_fc_big);
+    base_smaller.extend(base_fc_small);
+    cur_smaller.extend(cur_fc_small);
     for (gauge, base_v) in &base_gauges {
         let Some(cur_v) = cur_gauges.get(gauge) else {
             continue; // gauge absent from the current run (older schema)
@@ -481,11 +534,12 @@ fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
             ));
         }
     }
-    // Smaller-is-better gauges (schema v7+, currently the substrate
-    // memory footprint): the mirror image again — the current gauge must
-    // not exceed the baseline's times `max_ratio`.
-    for (gauge, base_v) in &base_scale_small {
-        let Some(cur_v) = cur_scale_small.get(gauge) else {
+    // Smaller-is-better gauges (the substrate memory footprint since
+    // schema v7, the flash-crowd shed fraction since v8): the mirror
+    // image again — the current gauge must not exceed the baseline's
+    // times `max_ratio`.
+    for (gauge, base_v) in &base_smaller {
+        let Some(cur_v) = cur_smaller.get(gauge) else {
             continue; // gauge absent from the current run (older schema)
         };
         if *base_v <= 0.0 {
@@ -761,6 +815,64 @@ mod tests {
     fn v7_metric_gauge_still_parses() {
         let gauges = parse_metric_gauges(SAMPLE_V7);
         assert_eq!(gauges["metric/astar_vs_ch_relaxed_ratio"], 6.193);
+    }
+
+    const SAMPLE_V8: &str = r#"{
+  "schema": "senn-perf-gate-v8",
+  "flashcrowd": {
+    "overlap_speedup": 2.371,
+    "shed_fraction": 0.483,
+    "blocking_makespan_ms": 11616.0,
+    "overlapped_makespan_ms": 4907.0,
+    "requests": 1040,
+    "fates_identical": true,
+    "shed_sweep": [
+      { "queue_cap": 256, "shed_fraction": 0.000, "queue_depth_peak": 398, "p50_latency_ms": 64.0, "p99_latency_ms": 4096.0 },
+      { "queue_cap": 1, "shed_fraction": 0.981, "queue_depth_peak": 4, "p50_latency_ms": 64.0, "p99_latency_ms": 256.0 }
+    ],
+    "sim": [
+      { "queue_cap": 64, "window": 2, "sqrr": 0.296, "failed_request_rate": 0.000, "server_shed": 0, "queue_depth_peak": 57 },
+      { "queue_cap": 1, "window": 1, "sqrr": 0.769, "failed_request_rate": 0.892, "server_shed": 531, "queue_depth_peak": 4 }
+    ]
+  },
+  "scale": {
+    "grid_maintenance_speedup": 2.321,
+    "bytes_per_host": 220.312
+  }
+}
+"#;
+
+    #[test]
+    fn flashcrowd_gauges_split_by_polarity() {
+        let (bigger, smaller) = parse_flashcrowd_gauges(SAMPLE_V8);
+        assert_eq!(bigger.len(), 1, "exactly the overlap gauge: {bigger:?}");
+        assert_eq!(bigger["flashcrowd/overlap_speedup"], 2.371);
+        assert_eq!(smaller.len(), 1, "exactly the shed gauge: {smaller:?}");
+        assert_eq!(smaller["flashcrowd/shed_fraction"], 0.483);
+    }
+
+    #[test]
+    fn flashcrowd_gauges_take_the_first_occurrence_only() {
+        // The nested `shed_sweep` and `sim` rows repeat the
+        // `shed_fraction` field name; the block-level gauge emitted
+        // first must win, never a sweep row's value.
+        let (_, smaller) = parse_flashcrowd_gauges(SAMPLE_V8);
+        assert_eq!(smaller["flashcrowd/shed_fraction"], 0.483);
+    }
+
+    #[test]
+    fn flashcrowd_gauges_absent_from_pre_v8_schema() {
+        for sample in [SAMPLE, SAMPLE_V5, SAMPLE_V6, SAMPLE_V7] {
+            let (bigger, smaller) = parse_flashcrowd_gauges(sample);
+            assert!(bigger.is_empty() && smaller.is_empty());
+        }
+    }
+
+    #[test]
+    fn v8_scale_gauges_still_parse() {
+        let (bigger, smaller) = parse_scale_gauges(SAMPLE_V8);
+        assert_eq!(bigger["scale/grid_maintenance_speedup"], 2.321);
+        assert_eq!(smaller["scale/bytes_per_host"], 220.312);
     }
 
     #[test]
