@@ -13,7 +13,7 @@
 //! (blocking per-interval drains versus overlapped enqueue/poll), and
 //! writes the measurements as JSON.
 //!
-//! The JSON file (`BENCH_PR8.json` by default, schema `senn-perf-gate-v8`)
+//! The JSON file (`BENCH_PR9.json` by default, schema `senn-perf-gate-v9`)
 //! is committed alongside the code so every PR leaves a machine-readable
 //! perf trajectory behind: compare `queries_per_sec`, the per-stage
 //! `stages` breakdown, the `snnn` per-model legs, the `expansion`
@@ -65,7 +65,9 @@ use std::time::Instant;
 use senn_bench::{random_points, random_server, BenchRng};
 use senn_cache::CacheEntry;
 use senn_core::service::{RequestOutcome, ServerRequest, SpatialService};
-use senn_core::transport::{AsyncClient, RetryPolicy, Ticket, TransportPolicy, TransportStats};
+use senn_core::transport::{
+    AdaptivePolicy, AsyncClient, RetryPolicy, Ticket, TransportPolicy, TransportStats,
+};
 use senn_core::{
     snnn_query, snnn_query_pruned, DistanceModel, RTreeServer, SearchBounds, SennEngine,
     SnnnConfig, STAGE_COUNT, STAGE_NAMES,
@@ -129,7 +131,7 @@ fn parse_args() -> Args {
         quick: false,
         shards: 4,
         hosts: 1_000_000,
-        out: "BENCH_PR8.json".to_string(),
+        out: "BENCH_PR9.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -999,6 +1001,7 @@ fn fc_client(queue_cap: usize) -> FcClient {
             window: FC_WINDOW,
             queue_cap,
             shed: true,
+            adaptive: None,
         },
     )
     .with_mean_service_ms(FC_SERVICE_MS)
@@ -1090,9 +1093,41 @@ struct SimQueuePoint {
     queue_depth_peak: u64,
 }
 
+/// One side of the adaptive-control comparison: the end-to-end outcome
+/// of the flash-crowd simulator run plus the controller's window
+/// trajectory summary.
+struct AdaptivePoint {
+    sqrr: f64,
+    failed_request_rate: f64,
+    server_shed: u64,
+    retries_denied: u64,
+    window_min: u64,
+    window_max: u64,
+    window_final: u64,
+    window_grows: u64,
+    window_shrinks: u64,
+}
+
+impl AdaptivePoint {
+    fn of(m: &Metrics, b: &BatchStats, s: &TransportStats) -> Self {
+        AdaptivePoint {
+            sqrr: m.sqrr(),
+            failed_request_rate: m.failed_request_rate(),
+            server_shed: m.server_shed,
+            retries_denied: b.retries_denied,
+            window_min: s.window_min,
+            window_max: s.window_max,
+            window_final: s.window_final,
+            window_grows: s.window_grows,
+            window_shrinks: s.window_shrinks,
+        }
+    }
+}
+
 /// The flash-crowd leg's totals: blocking-vs-overlapped virtual makespan
 /// over the identical keyed fault schedule, the queue-cap shed sweep,
-/// and the simulator-level SQRR/PAR degradation sweep.
+/// the simulator-level SQRR/PAR degradation sweep, and the static-vs-
+/// adaptive transport-control comparison.
 struct FlashCrowdLeg {
     requests: usize,
     blocking_makespan_ms: f64,
@@ -1101,6 +1136,10 @@ struct FlashCrowdLeg {
     shed_fraction: f64,
     shed_sweep: Vec<ShedPoint>,
     sim_points: Vec<SimQueuePoint>,
+    /// The starved static shape the controller is compared against.
+    adaptive_static: AdaptivePoint,
+    /// The same admission queue driven by the AIMD controller.
+    adaptive: AdaptivePoint,
 }
 
 impl FlashCrowdLeg {
@@ -1109,9 +1148,28 @@ impl FlashCrowdLeg {
     fn overlap_speedup(&self) -> f64 {
         self.blocking_makespan_ms / self.overlapped_makespan_ms
     }
+
+    /// How much the AIMD controller lowers the server query request rate
+    /// versus the static window at the same admission queue — answered
+    /// residuals populate peer caches, so fewer later queries reach the
+    /// server. Bigger is better; a budget-tracked floor gauge.
+    fn adaptive_sqrr_gain(&self) -> f64 {
+        self.adaptive_static.sqrr / self.adaptive.sqrr
+    }
 }
 
-fn flashcrowd_sim_point(quick: bool, queue_cap: usize, window: usize) -> SimQueuePoint {
+/// One flash-crowd simulator run: the hotspot arrival schedule against a
+/// configured transport shape (optionally adaptive), at a given worker
+/// thread count and shard layout. Returns the recorded metrics plus both
+/// transport observability snapshots.
+fn flashcrowd_sim_run(
+    quick: bool,
+    queue_cap: usize,
+    window: usize,
+    adaptive: Option<AdaptivePolicy>,
+    threads: usize,
+    shards: usize,
+) -> (Metrics, BatchStats, TransportStats) {
     let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
     params.t_execution_hours = if quick { 0.02 } else { 0.05 };
     // The hotspot arrival spike: ~100-query interval bursts against a
@@ -1119,21 +1177,30 @@ fn flashcrowd_sim_point(quick: bool, queue_cap: usize, window: usize) -> SimQueu
     params.lambda_query_per_min = 600.0;
     let cfg = SimConfig::new(params, FC_SEED)
         .to_builder()
+        .threads(threads)
+        .server_shards(shards)
         .transport(TransportPolicy {
             retry: RetryPolicy::default(),
             window,
             queue_cap,
             shed: true,
+            adaptive,
         })
         .build();
     let mut sim = Simulator::new(cfg);
     let m = sim.run();
     let b = *sim.batch_stats();
+    let s = sim.transport_stats().expect("overlapped mode").clone();
     assert_eq!(
         m.queries,
         m.single_peer + m.multi_peer + m.server + m.accepted_uncertain,
         "flashcrowd sim: every query attributed exactly once at queue_cap {queue_cap}"
     );
+    (m, b, s)
+}
+
+fn flashcrowd_sim_point(quick: bool, queue_cap: usize, window: usize) -> SimQueuePoint {
+    let (m, b, _) = flashcrowd_sim_run(quick, queue_cap, window, None, 1, 1);
     SimQueuePoint {
         queue_cap,
         window,
@@ -1204,6 +1271,46 @@ fn flashcrowd_leg(quick: bool) -> FlashCrowdLeg {
         .map(|&(cap, window)| flashcrowd_sim_point(quick, cap, window))
         .collect();
 
+    // Adaptive-control comparison: the starved static shape (two-deep
+    // windows behind a four-deep admission queue) against the same queue
+    // driven by the AIMD controller starting at the same window.
+    let band = AdaptivePolicy {
+        window_min: 1,
+        window_start: 2,
+        window_max: 32,
+        ..AdaptivePolicy::default()
+    };
+    let (sm, sb, ss) = flashcrowd_sim_run(quick, 4, 2, None, 1, 1);
+    let (am, ab, astats) = flashcrowd_sim_run(quick, 4, 2, Some(band), 1, 1);
+    assert_eq!(
+        astats.priority_inversions, 0,
+        "strict-priority dispatch must never invert"
+    );
+    assert!(
+        astats.window_grows > 0,
+        "healthy completions must grow the adaptive window"
+    );
+    // The controller's value proposition, asserted in-gate: at the same
+    // admission queue it must lower SQRR, or shed strictly less at equal
+    // SQRR (answered residuals populate peer caches either way).
+    assert!(
+        am.sqrr() < sm.sqrr() || (am.sqrr() == sm.sqrr() && am.server_shed < sm.server_shed),
+        "adaptive control must beat the static window: \
+         sqrr {:.4} vs {:.4}, shed {} vs {}",
+        am.sqrr(),
+        sm.sqrr(),
+        am.server_shed,
+        sm.server_shed,
+    );
+    // In-gate layout invariance: the controller's whole trajectory and
+    // the recorded metrics survive a thread/shard reshuffle bit for bit.
+    let (am2, _, astats2) = flashcrowd_sim_run(quick, 4, 2, Some(band), 2, 3);
+    assert_eq!(am, am2, "adaptive metrics diverged across layouts");
+    assert_eq!(
+        astats, astats2,
+        "adaptive window trajectory diverged across layouts"
+    );
+
     FlashCrowdLeg {
         requests: total,
         blocking_makespan_ms: blocking_ms,
@@ -1211,6 +1318,8 @@ fn flashcrowd_leg(quick: bool) -> FlashCrowdLeg {
         shed_fraction: tightest.shed_fraction,
         shed_sweep,
         sim_points,
+        adaptive_static: AdaptivePoint::of(&sm, &sb, &ss),
+        adaptive: AdaptivePoint::of(&am, &ab, &astats),
     }
 }
 
@@ -1425,11 +1534,11 @@ fn scale_json(leg: &ScaleLeg) -> String {
     )
 }
 
-/// The `flashcrowd` JSON block. The two budget-tracked gauges
-/// (`overlap_speedup`, bigger is better, and `shed_fraction`, smaller is
-/// better) are emitted *first*, before the nested sweep arrays — `xtask
-/// perf-budget`'s line parser takes the first occurrence of each gauge
-/// inside the block.
+/// The `flashcrowd` JSON block. The three budget-tracked gauges
+/// (`overlap_speedup` and `adaptive_sqrr_gain`, bigger is better, and
+/// `shed_fraction`, smaller is better) are emitted *first*, before the
+/// nested sweep arrays and the `adaptive` object — `xtask perf-budget`'s
+/// line parser takes the first occurrence of each gauge inside the block.
 fn flashcrowd_json(leg: &FlashCrowdLeg) -> String {
     let sweep_rows: Vec<String> = leg
         .shed_sweep
@@ -1470,11 +1579,38 @@ fn flashcrowd_json(leg: &FlashCrowdLeg) -> String {
             )
         })
         .collect();
+    let adaptive_rows: Vec<String> = [
+        ("static", &leg.adaptive_static),
+        ("adaptive", &leg.adaptive),
+    ]
+    .iter()
+    .map(|(name, p)| {
+        format!(
+            concat!(
+                "      \"{}\": {{ \"sqrr\": {}, \"failed_request_rate\": {}, ",
+                "\"server_shed\": {}, \"retries_denied\": {}, ",
+                "\"window_min\": {}, \"window_max\": {}, \"window_final\": {}, ",
+                "\"window_grows\": {}, \"window_shrinks\": {} }}"
+            ),
+            name,
+            fmt_f64(p.sqrr),
+            fmt_f64(p.failed_request_rate),
+            p.server_shed,
+            p.retries_denied,
+            p.window_min,
+            p.window_max,
+            p.window_final,
+            p.window_grows,
+            p.window_shrinks,
+        )
+    })
+    .collect();
     format!(
         concat!(
             "{{\n",
             "    \"overlap_speedup\": {},\n",
             "    \"shed_fraction\": {},\n",
+            "    \"adaptive_sqrr_gain\": {},\n",
             "    \"blocking_makespan_ms\": {},\n",
             "    \"overlapped_makespan_ms\": {},\n",
             "    \"requests\": {},\n",
@@ -1488,11 +1624,13 @@ fn flashcrowd_json(leg: &FlashCrowdLeg) -> String {
             "    \"mean_service_ms\": {},\n",
             "    \"fates_identical\": true,\n",
             "    \"shed_sweep\": [\n{}\n    ],\n",
-            "    \"sim\": [\n{}\n    ]\n",
+            "    \"sim\": [\n{}\n    ],\n",
+            "    \"adaptive\": {{\n{}\n    }}\n",
             "  }}"
         ),
         fmt_f64(leg.overlap_speedup()),
         fmt_f64(leg.shed_fraction),
+        fmt_f64(leg.adaptive_sqrr_gain()),
         fmt_f64(leg.blocking_makespan_ms),
         fmt_f64(leg.overlapped_makespan_ms),
         leg.requests,
@@ -1506,6 +1644,7 @@ fn flashcrowd_json(leg: &FlashCrowdLeg) -> String {
         fmt_f64(FC_SERVICE_MS),
         sweep_rows.join(",\n"),
         sim_rows.join(",\n"),
+        adaptive_rows.join(",\n"),
     )
 }
 
@@ -1702,6 +1841,20 @@ fn main() {
             p.queue_cap, p.window, p.sqrr, p.failed_request_rate, p.server_shed
         );
     }
+    eprintln!(
+        "perf_gate: flashcrowd adaptive sqrr {:.3} vs static {:.3} (gain x{:.2}), \
+         shed {} vs {}, window [{}..{}] grows {} shrinks {} denied {}",
+        flashcrowd.adaptive.sqrr,
+        flashcrowd.adaptive_static.sqrr,
+        flashcrowd.adaptive_sqrr_gain(),
+        flashcrowd.adaptive.server_shed,
+        flashcrowd.adaptive_static.server_shed,
+        flashcrowd.adaptive.window_min,
+        flashcrowd.adaptive.window_max,
+        flashcrowd.adaptive.window_grows,
+        flashcrowd.adaptive.window_shrinks,
+        flashcrowd.adaptive.retries_denied,
+    );
 
     let scale = scale_leg(args.hosts);
     eprintln!(
@@ -1778,7 +1931,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"senn-perf-gate-v8\",\n",
+            "  \"schema\": \"senn-perf-gate-v9\",\n",
             "  \"quick\": {},\n",
             "  \"available_parallelism\": {},\n",
             "  \"parallel_threads\": {},\n",

@@ -63,8 +63,8 @@ pub use snnn::{
 };
 pub use trace::{QueryTrace, Resolution, Stage, STAGE_COUNT, STAGE_NAMES};
 pub use transport::{
-    submit_with_retry, AsyncClient, AsyncService, RequestId, RetryPolicy, Ticket, Transport,
-    TransportPolicy, TransportStats,
+    submit_budgeted, submit_with_retry, AdaptivePolicy, AsyncClient, AsyncService, Priority,
+    RequestId, RetryBudget, RetryPolicy, Ticket, Transport, TransportPolicy, TransportStats,
 };
 
 /// One-stop imports for typical users of the crate: the engines, the
@@ -94,7 +94,8 @@ pub mod prelude {
         ReplyStatus, RequestOutcome, ServerReply, ServerRequest, SpatialService,
     };
     pub use crate::transport::{
-        AsyncClient, AsyncService, RequestId, Ticket, Transport, TransportPolicy, TransportStats,
+        AdaptivePolicy, AsyncClient, AsyncService, Priority, RequestId, RetryBudget, Ticket,
+        Transport, TransportPolicy, TransportStats,
     };
 
     /// Deprecated location of [`crate::transport::RetryPolicy`], kept for

@@ -58,7 +58,11 @@
 //! system refused the work, retrying immediately would spin the overload
 //! loop tighter.
 
+pub mod adaptive;
+
 use std::collections::{HashMap, VecDeque};
+
+pub use adaptive::{AdaptivePolicy, Priority, RetryBudget};
 
 use crate::service::{ReplyStatus, RequestOutcome, ServerReply, ServerRequest, SpatialService};
 
@@ -172,6 +176,12 @@ pub struct TransportPolicy {
     /// advisory and queues without bound (the pre-backpressure behavior,
     /// kept for A/B runs).
     pub shed: bool,
+    /// Adaptive transport control ([`AdaptivePolicy`]): AIMD per-lane
+    /// windows (replacing the fixed `window`), probe aging for the
+    /// two-class scheduler, and a shed-aware token-bucket retry budget
+    /// (replacing the unconditional ladder). `None` keeps the exact
+    /// static behavior.
+    pub adaptive: Option<AdaptivePolicy>,
 }
 
 impl Default for TransportPolicy {
@@ -181,6 +191,7 @@ impl Default for TransportPolicy {
             window: 32,
             queue_cap: 256,
             shed: true,
+            adaptive: None,
         }
     }
 }
@@ -244,6 +255,25 @@ pub struct TransportStats {
     pub in_flight_peak: u64,
     /// Sum of end-to-end virtual latencies (enqueue → completion), ms.
     pub latency_sum_ms: f64,
+    /// Smallest per-lane in-flight window observed over the lifetime
+    /// (equals the static `window` when adaptive control is off).
+    pub window_min: u64,
+    /// Largest per-lane in-flight window observed over the lifetime.
+    pub window_max: u64,
+    /// Current sum of per-lane windows (the transport's total in-flight
+    /// budget right now).
+    pub window_final: u64,
+    /// AIMD additive-increase steps taken.
+    pub window_grows: u64,
+    /// AIMD multiplicative-decrease steps taken.
+    pub window_shrinks: u64,
+    /// Probes dispatched ahead of a waiting residual *without* aging
+    /// justification. The deterministic dequeue rule makes this
+    /// impossible; tests assert it stays zero.
+    pub priority_inversions: u64,
+    /// Probes promoted ahead of waiting residuals because they aged past
+    /// [`AdaptivePolicy::probe_aging_ms`].
+    pub aged_promotions: u64,
     /// Log2 buckets of end-to-end virtual latency: bucket `i` counts
     /// completions with latency in `[2^i, 2^(i+1))` ms (bucket 0 also
     /// holds everything below 1 ms).
@@ -260,6 +290,13 @@ impl Default for TransportStats {
             queue_depth_peak: 0,
             in_flight_peak: 0,
             latency_sum_ms: 0.0,
+            window_min: 0,
+            window_max: 0,
+            window_final: 0,
+            window_grows: 0,
+            window_shrinks: 0,
+            priority_inversions: 0,
+            aged_promotions: 0,
             hist: [0; LATENCY_BUCKETS],
         }
     }
@@ -344,12 +381,25 @@ struct InFlight {
 /// lane count is deliberately decoupled from `server_shards` so recorded
 /// metrics stay invariant to the backend's layout).
 struct Lane {
+    /// Residual-class admission queue ([`Priority::Residual`]) — strictly
+    /// first to dispatch.
     queue: VecDeque<Queued>,
+    /// Probe-class admission queue ([`Priority::Probe`]) — dispatches
+    /// when no residual waits, or after aging past the starvation bound.
+    probes: VecDeque<Queued>,
     /// Kept sorted ascending by `(completion_ms, ticket)`; the head is
     /// the lane's next event. Windows are small (tens), so ordered
     /// insertion beats a heap's constant factor and keeps iteration
     /// order obvious.
     in_flight: Vec<InFlight>,
+    /// Current AIMD in-flight window (pinned at `policy.window` when
+    /// adaptive control is off).
+    window: usize,
+    /// Virtual time of the last multiplicative decrease: at most one
+    /// shrink fires per distinct event time per lane (one decrease per
+    /// congestion epoch, the classic AIMD discipline), so a burst of
+    /// same-instant sheds does not collapse the window to the floor.
+    last_shrink_ms: f64,
 }
 
 /// The blanket adapter: wraps **any** [`SpatialService`] (the single
@@ -385,6 +435,27 @@ impl<S: SpatialService> Transport<S> {
         assert!(lanes >= 1, "the transport needs at least one lane");
         assert!(policy.window >= 1, "in-flight window must be at least 1");
         assert!(policy.queue_cap >= 1, "queue capacity must be at least 1");
+        if let Some(a) = policy.adaptive {
+            assert!(
+                a.window_min >= 1,
+                "adaptive window floor must be at least 1"
+            );
+            assert!(
+                a.window_min <= a.window_max,
+                "adaptive window band must be non-empty"
+            );
+            assert!(
+                a.shrink_den >= 1 && a.shrink_num < a.shrink_den,
+                "multiplicative decrease must genuinely decrease"
+            );
+        }
+        let start_window = policy.adaptive.map_or(policy.window, |a| a.start_window());
+        let stats = TransportStats {
+            window_min: start_window as u64,
+            window_max: start_window as u64,
+            window_final: (start_window * lanes) as u64,
+            ..TransportStats::default()
+        };
         Transport {
             inner,
             policy,
@@ -396,11 +467,14 @@ impl<S: SpatialService> Transport<S> {
             lanes: (0..lanes)
                 .map(|_| Lane {
                     queue: VecDeque::new(),
+                    probes: VecDeque::new(),
                     in_flight: Vec::new(),
+                    window: start_window,
+                    last_shrink_ms: f64::NEG_INFINITY,
                 })
                 .collect(),
             ready: Vec::new(),
-            stats: TransportStats::default(),
+            stats,
         }
     }
 
@@ -450,8 +524,14 @@ impl<S: SpatialService> Transport<S> {
             + self
                 .lanes
                 .iter()
-                .map(|l| l.queue.len() + l.in_flight.len())
+                .map(|l| l.queue.len() + l.probes.len() + l.in_flight.len())
                 .sum::<usize>()
+    }
+
+    /// Current AIMD windows, one per lane (each equals `policy.window`
+    /// when adaptive control is off).
+    pub fn lane_windows(&self) -> Vec<usize> {
+        self.lanes.iter().map(|l| l.window).collect()
     }
 
     /// Runs the clock past every outstanding event and returns the
@@ -465,19 +545,83 @@ impl<S: SpatialService> Transport<S> {
     }
 
     fn note_depths(&mut self) {
-        let queued: usize = self.lanes.iter().map(|l| l.queue.len()).sum();
+        let queued: usize = self
+            .lanes
+            .iter()
+            .map(|l| l.queue.len() + l.probes.len())
+            .sum();
         let in_flight: usize = self.lanes.iter().map(|l| l.in_flight.len()).sum();
         self.stats.queue_depth_peak = self.stats.queue_depth_peak.max(queued as u64);
         self.stats.in_flight_peak = self.stats.in_flight_peak.max(in_flight as u64);
+    }
+
+    /// Applies one AIMD step to `lane`'s window, maintaining the window
+    /// telemetry (`window_min`/`max`/`final`, grow/shrink counts).
+    fn set_lane_window(&mut self, lane: usize, new_window: usize) {
+        let old = self.lanes[lane].window;
+        if new_window == old {
+            return;
+        }
+        if new_window > old {
+            self.stats.window_grows += 1;
+        } else {
+            self.stats.window_shrinks += 1;
+        }
+        self.lanes[lane].window = new_window;
+        self.stats.window_final = self.stats.window_final + new_window as u64 - old as u64;
+        self.stats.window_min = self.stats.window_min.min(new_window as u64);
+        self.stats.window_max = self.stats.window_max.max(new_window as u64);
+    }
+
+    /// One multiplicative decrease for `lane` at virtual time `at_ms` —
+    /// rate-limited to one shrink per distinct event time (one decrease
+    /// per congestion epoch).
+    fn shrink_lane(&mut self, lane: usize, at_ms: f64) {
+        let Some(a) = self.policy.adaptive else {
+            return;
+        };
+        if at_ms <= self.lanes[lane].last_shrink_ms {
+            return;
+        }
+        self.lanes[lane].last_shrink_ms = at_ms;
+        let shrunk = a.shrunk(self.lanes[lane].window);
+        self.set_lane_window(lane, shrunk);
     }
 
     /// Dispatches from `lane`'s queue into its window at virtual time
     /// `at_ms` — on admission, or at the completion event that freed a
     /// slot.
     fn pump_lane(&mut self, lane: usize, at_ms: f64) {
-        while self.lanes[lane].in_flight.len() < self.policy.window {
-            let Some(next) = self.lanes[lane].queue.pop_front() else {
-                break;
+        let aging_ms = self
+            .policy
+            .adaptive
+            .map_or(f64::INFINITY, |a| a.probe_aging_ms);
+        while self.lanes[lane].in_flight.len() < self.lanes[lane].window {
+            // Deterministic two-class dequeue: residuals strictly first;
+            // a probe passes a waiting residual only by aging past the
+            // starvation bound (an *aged promotion*, never an inversion).
+            let l = &self.lanes[lane];
+            let probe_aged = l
+                .probes
+                .front()
+                .is_some_and(|p| at_ms - p.enqueued_ms >= aging_ms);
+            let residual_waiting = !l.queue.is_empty();
+            let take_probe = match (residual_waiting, l.probes.is_empty()) {
+                (false, true) => break,
+                (false, false) => true,
+                (true, true) => false,
+                (true, false) => probe_aged,
+            };
+            if take_probe && residual_waiting {
+                self.stats.aged_promotions += 1;
+                if !probe_aged {
+                    self.stats.priority_inversions += 1;
+                }
+            }
+            let next = if take_probe {
+                self.lanes[lane].probes.pop_front().expect("probe front")
+            } else {
+                self.lanes[lane].queue.pop_front().expect("residual front")
             };
             // Seeded service time, keyed by (seed, id, per-id dispatch
             // ordinal) — the same discipline as FaultyService's fate
@@ -531,17 +675,21 @@ impl<S: SpatialService> Transport<S> {
             .filter_map(|(i, l)| l.in_flight.first().map(|f| (i, f.completion_ms, f.ticket)))
             .min_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))
     }
-}
 
-impl<S: SpatialService> AsyncService for Transport<S> {
-    fn enqueue(&mut self, request: ServerRequest) -> Ticket {
+    /// [`AsyncService::enqueue`] with an explicit [`Priority`] class.
+    /// The trait method admits everything as [`Priority::Residual`], so
+    /// class-unaware callers see the historical single-queue behavior.
+    pub fn enqueue_prioritized(&mut self, request: ServerRequest, priority: Priority) -> Ticket {
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
         let lane = self.lane_of(request.id);
-        if self.policy.shed && self.lanes[lane].queue.len() >= self.policy.queue_cap {
+        let backlog = self.lanes[lane].queue.len() + self.lanes[lane].probes.len();
+        if self.policy.shed && backlog >= self.policy.queue_cap {
             // Admission control: refuse at the edge instead of letting
-            // the queue (and everyone's latency) grow without bound.
+            // the queue (and everyone's latency) grow without bound. A
+            // shed is the overload signal AIMD reacts to.
             self.stats.shed += 1;
+            self.shrink_lane(lane, self.clock_ms);
             let reply = ServerReply {
                 id: request.id,
                 status: ReplyStatus::Shed,
@@ -552,17 +700,25 @@ impl<S: SpatialService> AsyncService for Transport<S> {
             return ticket;
         }
         self.stats.enqueued += 1;
-        self.lanes[lane].queue.push_back(Queued {
+        let queued = Queued {
             ticket,
             request,
             enqueued_ms: self.clock_ms,
-        });
+        };
+        match priority {
+            Priority::Residual => self.lanes[lane].queue.push_back(queued),
+            Priority::Probe => self.lanes[lane].probes.push_back(queued),
+        }
         self.note_depths();
         self.pump_lane(lane, self.clock_ms);
         ticket
     }
 
-    fn poll(&mut self, now_ms: f64) -> Vec<(Ticket, ServerReply)> {
+    /// [`AsyncService::poll`] with each reply stamped with its virtual
+    /// completion time — the hook the budgeted retry ladder needs to
+    /// refill its token bucket at event times (never at poll boundaries,
+    /// which would leak poll granularity into the budget trajectory).
+    pub fn poll_timed(&mut self, now_ms: f64) -> Vec<(f64, Ticket, ServerReply)> {
         let mut due: Vec<(f64, Ticket, ServerReply)> = Vec::new();
         // Staged shed replies whose admission time has passed.
         let mut i = 0;
@@ -582,8 +738,21 @@ impl<S: SpatialService> AsyncService for Transport<S> {
             }
             let done = self.lanes[lane].in_flight.remove(0);
             self.stats.completed += 1;
-            self.stats
-                .record_latency(done.completion_ms - done.enqueued_ms);
+            let latency_ms = done.completion_ms - done.enqueued_ms;
+            self.stats.record_latency(latency_ms);
+            // AIMD, inside the (time, ticket)-ordered loop so the window
+            // trajectory is a pure function of the event schedule: grow
+            // on a healthy Ok, shrink on timeout, hold otherwise.
+            if let Some(a) = self.policy.adaptive {
+                match done.reply.status {
+                    ReplyStatus::Ok if latency_ms <= a.latency_target_ms => {
+                        let grown = a.grown(self.lanes[lane].window);
+                        self.set_lane_window(lane, grown);
+                    }
+                    ReplyStatus::TimedOut => self.shrink_lane(lane, at),
+                    _ => {}
+                }
+            }
             due.push((done.completion_ms, done.ticket, done.reply));
             self.pump_lane(lane, at);
         }
@@ -593,7 +762,20 @@ impl<S: SpatialService> AsyncService for Transport<S> {
             self.clock_ms = self.clock_ms.max(*t);
         }
         due.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        due.into_iter().map(|(_, t, r)| (t, r)).collect()
+        due
+    }
+}
+
+impl<S: SpatialService> AsyncService for Transport<S> {
+    fn enqueue(&mut self, request: ServerRequest) -> Ticket {
+        self.enqueue_prioritized(request, Priority::Residual)
+    }
+
+    fn poll(&mut self, now_ms: f64) -> Vec<(Ticket, ServerReply)> {
+        self.poll_timed(now_ms)
+            .into_iter()
+            .map(|(_, t, r)| (t, r))
+            .collect()
     }
 }
 
@@ -607,6 +789,8 @@ struct PendingRequest {
     /// True once the degraded (unpruned) attempt is in flight.
     degraded: bool,
     backoff_ms: f64,
+    /// Admission class; retries re-enqueue in the same class.
+    priority: Priority,
 }
 
 /// The asynchronous client: an event-driven [`Transport`] plus the retry
@@ -616,6 +800,9 @@ struct PendingRequest {
 pub struct AsyncClient<S> {
     transport: Transport<S>,
     retry: RetryPolicy,
+    /// Token-bucket retry budget: unlimited (the historical ladder) when
+    /// [`TransportPolicy::adaptive`] is `None`, shed-aware otherwise.
+    budget: RetryBudget,
     /// Keyed by the *latest attempt's* transport ticket.
     pending: HashMap<Ticket, PendingRequest>,
 }
@@ -626,6 +813,10 @@ impl<S: SpatialService> AsyncClient<S> {
         AsyncClient {
             transport: Transport::new(service, lanes, seed, policy),
             retry: policy.retry,
+            budget: policy
+                .adaptive
+                .as_ref()
+                .map_or_else(RetryBudget::unlimited, RetryBudget::from_policy),
             pending: HashMap::new(),
         }
     }
@@ -651,6 +842,22 @@ impl<S: SpatialService> AsyncClient<S> {
         self.transport.stats()
     }
 
+    /// The retry token bucket (always-granting when adaptive control is
+    /// off).
+    pub fn retry_budget(&self) -> &RetryBudget {
+        &self.budget
+    }
+
+    /// Retries refused by the budget so far (lifetime).
+    pub fn retries_denied(&self) -> u64 {
+        self.budget.denied()
+    }
+
+    /// The underlying transport (e.g. for AIMD window telemetry).
+    pub fn transport(&self) -> &Transport<S> {
+        &self.transport
+    }
+
     /// The current virtual time, milliseconds.
     pub fn clock_ms(&self) -> f64 {
         self.transport.clock_ms()
@@ -665,7 +872,14 @@ impl<S: SpatialService> AsyncClient<S> {
     /// later [`Self::poll`] (or [`Self::drain`]), matched by the returned
     /// ticket.
     pub fn submit(&mut self, request: ServerRequest) -> Ticket {
-        let ticket = self.transport.enqueue(request);
+        self.submit_prioritized(request, Priority::Residual)
+    }
+
+    /// [`Self::submit`] with an explicit admission class: `Residual`
+    /// (default) dispatches strictly ahead of `Probe` traffic; retries
+    /// keep their submission's class.
+    pub fn submit_prioritized(&mut self, request: ServerRequest, priority: Priority) -> Ticket {
+        let ticket = self.transport.enqueue_prioritized(request, priority);
         self.pending.insert(
             ticket,
             PendingRequest {
@@ -675,6 +889,7 @@ impl<S: SpatialService> AsyncClient<S> {
                 attempt: 0,
                 degraded: false,
                 backoff_ms: self.retry.backoff_base_ms,
+                priority,
             },
         );
         ticket
@@ -688,7 +903,11 @@ impl<S: SpatialService> AsyncClient<S> {
     /// [`RequestOutcome::waited_ms`]) and stay pending.
     pub fn poll(&mut self, now_ms: f64) -> Vec<(Ticket, RequestOutcome)> {
         let mut resolved: Vec<(Ticket, RequestOutcome)> = Vec::new();
-        for (ticket, reply) in self.transport.poll(now_ms) {
+        for (at_ms, ticket, reply) in self.transport.poll_timed(now_ms) {
+            // Budget refills are granted at each reply's own virtual
+            // completion time — never at the poll boundary — so the
+            // token trajectory is invariant to poll granularity.
+            self.budget.advance_to(at_ms);
             let mut p = self
                 .pending
                 .remove(&ticket)
@@ -701,7 +920,9 @@ impl<S: SpatialService> AsyncClient<S> {
                     resolved.push((p.client_ticket, p.outcome));
                 }
                 ReplyStatus::Shed => {
-                    // Terminal: the admission edge refused the work.
+                    // Terminal: the admission edge refused the work —
+                    // and the budget tightens its next refill.
+                    self.budget.note_shed();
                     p.outcome.shed += 1;
                     p.outcome.failed = true;
                     resolved.push((p.client_ticket, p.outcome));
@@ -748,17 +969,29 @@ impl<S: SpatialService> AsyncClient<S> {
         resolved: &mut Vec<(Ticket, RequestOutcome)>,
     ) {
         p.attempt += 1;
-        if !p.degraded && p.attempt < self.retry.max_attempts.max(1) {
+        let wants_retry = !p.degraded && p.attempt < self.retry.max_attempts.max(1);
+        let wants_degrade = !p.degraded && self.retry.degrade_unpruned;
+        if (wants_retry || wants_degrade) && !self.budget.try_debit() {
+            // Budget empty: the ladder ends here, the denial counted
+            // exactly once on the outcome.
+            p.outcome.retries_denied += 1;
+            p.outcome.failed = true;
+            resolved.push((p.client_ticket, p.outcome));
+            return;
+        }
+        if wants_retry {
             p.outcome.retries += 1;
             p.outcome.waited_ms += p.backoff_ms;
             p.backoff_ms *= self.retry.backoff_factor;
-            let ticket = self.transport.enqueue(p.request);
+            let ticket = self.transport.enqueue_prioritized(p.request, p.priority);
             self.pending.insert(ticket, p);
-        } else if !p.degraded && self.retry.degrade_unpruned {
+        } else if wants_degrade {
             p.degraded = true;
             p.outcome.retries += 1;
             p.outcome.waited_ms += p.backoff_ms;
-            let ticket = self.transport.enqueue(p.request.unpruned());
+            let ticket = self
+                .transport
+                .enqueue_prioritized(p.request.unpruned(), p.priority);
             self.pending.insert(ticket, p);
         } else {
             p.outcome.failed = true;
@@ -782,6 +1015,29 @@ pub fn submit_with_retry(
     requests: &[ServerRequest],
     policy: &RetryPolicy,
 ) -> Vec<RequestOutcome> {
+    // The historical unconditional ladder is the budgeted ladder with an
+    // always-granting bucket — one implementation, bit-identical
+    // dispositions (regression-tested in tests/transport_conformance.rs).
+    submit_budgeted(service, requests, policy, &mut RetryBudget::unlimited())
+}
+
+/// [`submit_with_retry`] under a [`RetryBudget`]: every re-submission
+/// (pruned retry round or the degraded unpruned round) debits one token
+/// per request; a denied request resolves `failed` with
+/// [`RequestOutcome::retries_denied`] counted exactly once. `Shed`
+/// replies feed the bucket's shed pressure. With
+/// [`RetryBudget::unlimited`] this is exactly the historical ladder.
+///
+/// The blocking form never advances the bucket's virtual clock (there is
+/// no event loop to anchor refills to): the budget passed in is spent,
+/// not refilled — callers running repeated batches refill by calling
+/// [`RetryBudget::advance_to`] between batches.
+pub fn submit_budgeted(
+    service: &dyn SpatialService,
+    requests: &[ServerRequest],
+    policy: &RetryPolicy,
+    budget: &mut RetryBudget,
+) -> Vec<RequestOutcome> {
     let mut outcomes: Vec<RequestOutcome> =
         requests.iter().map(|_| RequestOutcome::default()).collect();
     if requests.is_empty() {
@@ -796,15 +1052,28 @@ pub fn submit_with_retry(
         if open.is_empty() {
             break;
         }
+        if attempt > 0 {
+            // A retry round: each open request needs a token. Denied
+            // requests fail here, in request order, before the round.
+            let mut granted = Vec::with_capacity(open.len());
+            for &i in &open {
+                if budget.try_debit() {
+                    outcomes[i].retries += 1;
+                    outcomes[i].waited_ms += backoff;
+                    granted.push(i);
+                } else {
+                    outcomes[i].retries_denied += 1;
+                    outcomes[i].failed = true;
+                }
+            }
+            open = granted;
+            backoff *= policy.backoff_factor;
+            if open.is_empty() {
+                break;
+            }
+        }
         round_batch.clear();
         round_batch.extend(open.iter().map(|&i| requests[i]));
-        if attempt > 0 {
-            for &i in &open {
-                outcomes[i].retries += 1;
-                outcomes[i].waited_ms += backoff;
-            }
-            backoff *= policy.backoff_factor;
-        }
         let replies = service.submit(&round_batch);
         debug_assert_eq!(replies.len(), round_batch.len(), "one reply per request");
         let mut still_open = Vec::new();
@@ -824,6 +1093,7 @@ pub fn submit_with_retry(
                 ReplyStatus::Shed => {
                     // Terminal (see the module docs): retrying against a
                     // shedding admission edge would tighten the overload.
+                    budget.note_shed();
                     out.shed += 1;
                     out.failed = true;
                 }
@@ -831,15 +1101,28 @@ pub fn submit_with_retry(
         }
         open = still_open;
     }
-    // Graceful degradation: one unpruned attempt for whatever is left.
+    // Graceful degradation: one unpruned attempt for whatever is left —
+    // a re-submission like any other, so it needs a token too.
     if !open.is_empty() && policy.degrade_unpruned {
+        let mut granted = Vec::with_capacity(open.len());
+        for &i in &open {
+            if budget.try_debit() {
+                outcomes[i].retries += 1;
+                outcomes[i].waited_ms += backoff;
+                granted.push(i);
+            } else {
+                outcomes[i].retries_denied += 1;
+                outcomes[i].failed = true;
+            }
+        }
+        open = granted;
         round_batch.clear();
         round_batch.extend(open.iter().map(|&i| requests[i].unpruned()));
-        for &i in &open {
-            outcomes[i].retries += 1;
-            outcomes[i].waited_ms += backoff;
-        }
-        let replies = service.submit(&round_batch);
+        let replies = if round_batch.is_empty() {
+            Vec::new()
+        } else {
+            service.submit(&round_batch)
+        };
         let mut still_open = Vec::new();
         for (&i, reply) in open.iter().zip(&replies) {
             let out = &mut outcomes[i];
@@ -858,6 +1141,7 @@ pub fn submit_with_retry(
                     still_open.push(i);
                 }
                 ReplyStatus::Shed => {
+                    budget.note_shed();
                     out.shed += 1;
                     out.failed = true;
                 }
@@ -893,6 +1177,7 @@ mod tests {
             window,
             queue_cap,
             shed: true,
+            adaptive: None,
         }
     }
 
@@ -1070,6 +1355,7 @@ mod tests {
                 window: 4,
                 queue_cap: 1024,
                 shed: true,
+                adaptive: None,
             },
         );
         let tickets: Vec<Ticket> = reqs.iter().map(|r| client.submit(*r)).collect();
@@ -1107,6 +1393,7 @@ mod tests {
                 window: 1,
                 queue_cap: 1,
                 shed: true,
+                adaptive: None,
             },
         );
         for r in requests(6) {
@@ -1148,5 +1435,245 @@ mod tests {
         assert_eq!(u64::from(id), 7);
         assert_eq!(RequestId::from(7u64), id);
         assert_eq!(id.to_string(), "7");
+    }
+
+    /// A backend that records dispatch order and answers instantly — the
+    /// probe/residual scheduling oracle.
+    struct Recorder {
+        order: std::cell::RefCell<Vec<u64>>,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder {
+                order: std::cell::RefCell::new(Vec::new()),
+            }
+        }
+    }
+
+    impl SpatialService for Recorder {
+        fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerReply> {
+            batch
+                .iter()
+                .map(|r| {
+                    self.order.borrow_mut().push(r.id.raw());
+                    ServerReply {
+                        id: r.id,
+                        status: ReplyStatus::Ok,
+                        response: Default::default(),
+                        latency_ms: 1.0,
+                    }
+                })
+                .collect()
+        }
+
+        fn poi_count(&self) -> usize {
+            0
+        }
+    }
+
+    /// A backend that times out every attempt.
+    struct AlwaysTimesOut;
+
+    impl SpatialService for AlwaysTimesOut {
+        fn submit(&self, batch: &[ServerRequest]) -> Vec<ServerReply> {
+            batch
+                .iter()
+                .map(|r| ServerReply {
+                    id: r.id,
+                    status: ReplyStatus::TimedOut,
+                    response: Default::default(),
+                    latency_ms: 2.0,
+                })
+                .collect()
+        }
+
+        fn poi_count(&self) -> usize {
+            0
+        }
+    }
+
+    fn adaptive_policy(a: AdaptivePolicy, queue_cap: usize) -> TransportPolicy {
+        TransportPolicy {
+            retry: RetryPolicy::NONE,
+            window: a.start_window(),
+            queue_cap,
+            shed: true,
+            adaptive: Some(a),
+        }
+    }
+
+    #[test]
+    fn healthy_completions_grow_the_window_to_the_cap() {
+        let a = AdaptivePolicy {
+            window_min: 1,
+            window_start: 1,
+            window_max: 8,
+            latency_target_ms: 1e9,
+            ..AdaptivePolicy::default()
+        };
+        let mut t = Transport::new(server(), 1, 3, adaptive_policy(a, 64));
+        for r in requests(32) {
+            t.enqueue(r);
+        }
+        t.drain();
+        assert_eq!(t.lane_windows(), vec![8], "32 healthy Oks converge to max");
+        assert_eq!(t.stats().window_min, 1);
+        assert_eq!(t.stats().window_max, 8);
+        assert_eq!(t.stats().window_final, 8);
+        assert_eq!(t.stats().window_grows, 7);
+        assert_eq!(t.stats().window_shrinks, 0);
+        assert_eq!(t.stats().priority_inversions, 0);
+    }
+
+    #[test]
+    fn timeouts_shrink_the_window_to_the_floor() {
+        let a = AdaptivePolicy {
+            window_min: 1,
+            window_start: 8,
+            window_max: 8,
+            ..AdaptivePolicy::default()
+        };
+        let mut t = Transport::new(AlwaysTimesOut, 1, 3, adaptive_policy(a, 64));
+        for r in requests(32) {
+            t.enqueue(r);
+        }
+        t.drain();
+        assert_eq!(t.lane_windows(), vec![1], "timeouts halve 8 → 4 → 2 → 1");
+        assert_eq!(t.stats().window_min, 1);
+        assert!(t.stats().window_shrinks >= 3);
+        assert_eq!(t.stats().window_grows, 0);
+    }
+
+    #[test]
+    fn a_shed_burst_shrinks_once_per_congestion_epoch() {
+        let a = AdaptivePolicy {
+            window_min: 1,
+            window_start: 4,
+            window_max: 4,
+            latency_target_ms: 0.0,
+            ..AdaptivePolicy::default()
+        };
+        let mut t = Transport::new(server(), 1, 5, adaptive_policy(a, 1));
+        // 12 same-instant enqueues: 4 dispatch, 1 queues, 7 shed — all at
+        // virtual time 0, so exactly one multiplicative decrease fires.
+        for r in requests(12) {
+            t.enqueue(r);
+        }
+        assert_eq!(t.stats().shed, 7);
+        assert_eq!(t.stats().window_shrinks, 1, "one shrink per epoch");
+        assert_eq!(t.lane_windows(), vec![2]);
+        assert_eq!(t.stats().window_min, 2);
+        t.drain();
+    }
+
+    #[test]
+    fn clamped_adaptive_is_bit_identical_to_static() {
+        let run = |adaptive: Option<AdaptivePolicy>| {
+            let mut t = Transport::new(
+                server(),
+                2,
+                17,
+                TransportPolicy {
+                    retry: RetryPolicy::NONE,
+                    window: 3,
+                    queue_cap: 4,
+                    shed: true,
+                    adaptive,
+                },
+            );
+            for r in requests(40) {
+                t.enqueue(r);
+            }
+            let done: Vec<(u64, u64, u64)> = t
+                .drain()
+                .iter()
+                .map(|(ticket, r)| (ticket.seq(), r.id.raw(), r.latency_ms.to_bits()))
+                .collect();
+            (done, t.stats().clone())
+        };
+        let (static_done, static_stats) = run(None);
+        let (clamped_done, clamped_stats) = run(Some(AdaptivePolicy::clamped(3)));
+        assert_eq!(static_done, clamped_done);
+        assert_eq!(static_stats, clamped_stats);
+    }
+
+    #[test]
+    fn probes_yield_to_residuals_until_they_age() {
+        // Strict priority: a queued residual passes an older queued probe.
+        let a = AdaptivePolicy {
+            window_min: 1,
+            window_start: 1,
+            window_max: 1,
+            ..AdaptivePolicy::default()
+        };
+        let mut t =
+            Transport::new(Recorder::new(), 1, 9, adaptive_policy(a, 64)).with_mean_service_ms(0.0);
+        t.enqueue_prioritized(requests(3)[0], Priority::Residual); // id 0: dispatches
+        t.enqueue_prioritized(requests(3)[1], Priority::Probe); // id 1: queued probe
+        t.enqueue_prioritized(requests(3)[2], Priority::Residual); // id 2: queued residual
+        t.drain();
+        assert_eq!(
+            *t.inner().order.borrow(),
+            vec![0, 2, 1],
+            "the residual passes the earlier-queued probe"
+        );
+        assert_eq!(t.stats().priority_inversions, 0);
+        assert_eq!(t.stats().aged_promotions, 0);
+
+        // Aging: with a zero aging bound the probe is promoted instead.
+        let aged = AdaptivePolicy {
+            probe_aging_ms: 0.0,
+            ..a
+        };
+        let mut t = Transport::new(Recorder::new(), 1, 9, adaptive_policy(aged, 64))
+            .with_mean_service_ms(0.0);
+        t.enqueue_prioritized(requests(3)[0], Priority::Residual);
+        t.enqueue_prioritized(requests(3)[1], Priority::Probe);
+        t.enqueue_prioritized(requests(3)[2], Priority::Residual);
+        t.drain();
+        assert_eq!(
+            *t.inner().order.borrow(),
+            vec![0, 1, 2],
+            "an aged probe is promoted ahead of the residual"
+        );
+        assert!(t.stats().aged_promotions >= 1);
+        assert_eq!(t.stats().priority_inversions, 0);
+    }
+
+    #[test]
+    fn empty_budget_denies_retries_exactly_once_per_ladder() {
+        let a = AdaptivePolicy {
+            retry_tokens: 1,
+            retry_cap: 1,
+            retry_refill: 0,
+            ..AdaptivePolicy::default()
+        };
+        let mut client = AsyncClient::new(
+            AlwaysTimesOut,
+            1,
+            3,
+            TransportPolicy {
+                retry: RetryPolicy::default(),
+                window: 4,
+                queue_cap: 64,
+                shed: true,
+                adaptive: Some(a),
+            },
+        );
+        for r in requests(4) {
+            client.submit(r);
+        }
+        let resolved = client.drain();
+        assert_eq!(resolved.len(), 4);
+        let denied: u32 = resolved.iter().map(|(_, o)| o.retries_denied).sum();
+        let retried: u32 = resolved.iter().map(|(_, o)| o.retries).sum();
+        assert_eq!(retried, 1, "one token granted exactly one retry");
+        assert_eq!(denied, 4, "every ladder eventually hits the empty bucket");
+        assert_eq!(client.retries_denied(), 4);
+        for (_, o) in &resolved {
+            assert!(o.failed, "every ladder against AlwaysTimesOut fails");
+            assert!(o.retries_denied <= 1, "a denial is terminal — counted once");
+        }
     }
 }

@@ -126,6 +126,7 @@ fn client(seed: u64, window: usize, queue_cap: usize, flaky: bool) -> AsyncClien
             window,
             queue_cap,
             shed: true,
+            adaptive: None,
         },
     )
 }

@@ -109,6 +109,10 @@ pub struct Metrics {
     /// (`ReplyStatus::Shed`) — terminal for the retry ladder, so at most
     /// one per query. Always 0 without an overlapped transport.
     pub server_shed: u64,
+    /// Residual retries refused by the adaptive transport's token-bucket
+    /// budget — terminal per request, always 0 when adaptive control is
+    /// off (the budget is unlimited).
+    pub server_retries_denied: u64,
     /// Queries whose residual answer came from the degraded (unpruned)
     /// fallback after every pruned attempt failed.
     pub server_degraded: u64,
@@ -154,6 +158,7 @@ impl Metrics {
         self.server_timeouts += trace.server_timeouts as u64;
         self.server_drops += trace.server_drops as u64;
         self.server_shed += trace.server_shed as u64;
+        self.server_retries_denied += trace.server_retries_denied as u64;
         if trace.server_degraded {
             self.server_degraded += 1;
         }
@@ -266,6 +271,7 @@ impl Metrics {
         self.server_timeouts += other.server_timeouts;
         self.server_drops += other.server_drops;
         self.server_shed += other.server_shed;
+        self.server_retries_denied += other.server_retries_denied;
         self.server_degraded += other.server_degraded;
         self.server_failed += other.server_failed;
         self.lb_evals += other.lb_evals;
@@ -409,6 +415,7 @@ mod tests {
             server_timeouts: 20 + off,
             server_drops: 21 + off,
             server_shed: 26 + off,
+            server_retries_denied: 27 + off,
             server_degraded: 22 + off,
             server_failed: 23 + off,
             lb_evals: 24 + off,
@@ -447,6 +454,7 @@ mod tests {
         assert_eq!(a.server_timeouts, 20 + 1020);
         assert_eq!(a.server_drops, 21 + 1021);
         assert_eq!(a.server_shed, 26 + 1026);
+        assert_eq!(a.server_retries_denied, 27 + 1027);
         assert_eq!(a.server_degraded, 22 + 1022);
         assert_eq!(a.server_failed, 23 + 1023);
         assert_eq!(a.lb_evals, 24 + 1024);
@@ -504,6 +512,7 @@ mod tests {
             t.server_timeouts = i / 2;
             t.server_drops = i / 3;
             t.server_shed = i % 2;
+            t.server_retries_denied = i % 3;
             t.server_degraded = i % 5 == 0;
             t.server_failed = i % 7 == 0;
             t.lb_evals = (2 * i) as u64;

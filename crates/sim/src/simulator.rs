@@ -41,7 +41,7 @@ use rand::{Rng, SeedableRng};
 
 use senn_core::multiple::RegionMethod;
 use senn_core::service::{ServerReply, ServerRequest, SpatialService};
-use senn_core::transport::{RetryPolicy, TransportPolicy};
+use senn_core::transport::{AdaptivePolicy, RetryPolicy, TransportPolicy};
 use senn_core::{RTreeServer, SennConfig, SennEngine, STAGE_COUNT};
 use senn_geom::{Point, Rect};
 use senn_mobility::{RoadMoverConfig, WaypointConfig};
@@ -144,6 +144,14 @@ pub enum SimConfigError {
     /// residual must resolve before the next round's `k` is known), so it
     /// cannot ride the deferred-completion transport.
     TransportWithNetworkModel,
+    /// Adaptive transport control was configured with an empty or inverted
+    /// AIMD window band (`window_min` of zero, `window_min > window_max`,
+    /// or `window_start` outside the band).
+    InvalidAdaptiveWindow,
+    /// Adaptive transport control was configured with a multiplicative
+    /// decrease that does not decrease (`shrink_den` of zero or
+    /// `shrink_num ≥ shrink_den`).
+    InvalidAdaptiveShrink,
 }
 
 impl std::fmt::Display for SimConfigError {
@@ -176,6 +184,16 @@ impl std::fmt::Display for SimConfigError {
                 f,
                 "the overlapped transport cannot drive round-synchronous \
                  SNNN expansion; disable distance_model or transport"
+            ),
+            SimConfigError::InvalidAdaptiveWindow => write!(
+                f,
+                "adaptive transport control needs a non-empty AIMD window \
+                 band: 1 <= window_min <= window_start <= window_max"
+            ),
+            SimConfigError::InvalidAdaptiveShrink => write!(
+                f,
+                "adaptive transport control needs a genuine multiplicative \
+                 decrease: shrink_num < shrink_den, shrink_den >= 1"
             ),
         }
     }
@@ -353,6 +371,19 @@ impl SimConfig {
             if self.distance_model.is_some() {
                 return Err(SimConfigError::TransportWithNetworkModel);
             }
+            if let Some(a) = policy.adaptive {
+                let start = a.window_start;
+                if a.window_min == 0
+                    || a.window_min > a.window_max
+                    || start < a.window_min
+                    || start > a.window_max
+                {
+                    return Err(SimConfigError::InvalidAdaptiveWindow);
+                }
+                if a.shrink_den == 0 || a.shrink_num >= a.shrink_den {
+                    return Err(SimConfigError::InvalidAdaptiveShrink);
+                }
+            }
         }
         Ok(())
     }
@@ -500,6 +531,18 @@ impl SimConfigBuilder {
     /// event-driven `senn_core::transport` layer and their completions
     /// polled at later interval boundaries (see [`SimConfig::transport`]).
     pub fn transport(mut self, policy: TransportPolicy) -> Self {
+        self.config.transport = Some(policy);
+        self
+    }
+
+    /// Adaptive transport control (AIMD windows, probe aging, shed-aware
+    /// retry budget) on the overlapped transport. Attaches `adaptive` to
+    /// the already-configured [`TransportPolicy`], or to
+    /// `TransportPolicy::default()` when [`Self::transport`] was not
+    /// called first.
+    pub fn transport_adaptive(mut self, adaptive: AdaptivePolicy) -> Self {
+        let mut policy = self.config.transport.unwrap_or_default();
+        policy.adaptive = Some(adaptive);
         self.config.transport = Some(policy);
         self
     }
@@ -719,6 +762,20 @@ pub struct BatchStats {
     pub latency_p50_ms: f64,
     /// Overlapped mode only: p99 end-to-end virtual latency, ms.
     pub latency_p99_ms: f64,
+    /// Overlapped mode only: smallest per-lane in-flight window observed
+    /// over the run (the static window when adaptive control is off;
+    /// 0 in blocking mode).
+    pub window_min: u64,
+    /// Overlapped mode only: largest per-lane in-flight window observed
+    /// over the run (0 in blocking mode).
+    pub window_max: u64,
+    /// Overlapped mode only: final sum of per-lane windows — the
+    /// transport's total in-flight budget at run end (0 in blocking mode).
+    pub window_final: u64,
+    /// Overlapped mode only: residual retries refused by the adaptive
+    /// token-bucket budget across the whole run, warm-up included
+    /// (0 in blocking mode or with the unlimited budget).
+    pub retries_denied: u64,
 }
 
 impl BatchStats {
@@ -1230,6 +1287,50 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_adaptive_window_band_is_rejected() {
+        let err = SimConfig::builder()
+            .transport_adaptive(AdaptivePolicy {
+                window_min: 8,
+                window_start: 8,
+                window_max: 4,
+                ..AdaptivePolicy::default()
+            })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, SimConfigError::InvalidAdaptiveWindow);
+        assert!(err.to_string().contains("window"));
+        // A zero floor is equally rejected — the AIMD clamp needs ≥ 1.
+        let err = SimConfig::builder()
+            .transport_adaptive(AdaptivePolicy {
+                window_min: 0,
+                ..AdaptivePolicy::default()
+            })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, SimConfigError::InvalidAdaptiveWindow);
+    }
+
+    #[test]
+    fn non_contracting_adaptive_shrink_is_rejected() {
+        let err = SimConfig::builder()
+            .transport_adaptive(AdaptivePolicy {
+                shrink_num: 2,
+                shrink_den: 2,
+                ..AdaptivePolicy::default()
+            })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, SimConfigError::InvalidAdaptiveShrink);
+        assert!(err.to_string().contains("shrink"));
+        // The defaults themselves must build.
+        let cfg = SimConfig::builder()
+            .transport_adaptive(AdaptivePolicy::default())
+            .try_build()
+            .unwrap();
+        assert!(cfg.transport.unwrap().adaptive.is_some());
+    }
+
+    #[test]
     fn transport_with_network_model_is_rejected() {
         let err = SimConfig::builder()
             .transport(TransportPolicy::default())
@@ -1270,6 +1371,34 @@ mod tests {
         // Transport counters span the whole run; `Metrics` reset at
         // warm-up — the snapshot can only be larger.
         assert!(sim.batch_stats().shed_count >= m.server_shed);
+    }
+
+    #[test]
+    fn adaptive_transport_attributes_every_query_and_reports_windows() {
+        let cfg = tiny_config(17)
+            .to_builder()
+            .transport_adaptive(AdaptivePolicy::default())
+            .build();
+        let mut sim = Simulator::new(cfg);
+        let m = sim.run();
+        assert!(m.queries > 0, "no queries issued");
+        assert_eq!(
+            m.queries,
+            m.single_peer + m.multi_peer + m.server + m.accepted_uncertain,
+            "every query is attributed exactly once"
+        );
+        let stats = sim.transport_stats().expect("overlapped mode");
+        assert_eq!(stats.completed, stats.enqueued);
+        // Strict-priority dispatch never inverts: the counter is a
+        // defensive witness and must stay zero.
+        assert_eq!(stats.priority_inversions, 0);
+        // Window telemetry flows into BatchStats and respects the band.
+        let a = AdaptivePolicy::default();
+        let bs = sim.batch_stats();
+        assert!(bs.window_min >= 1);
+        assert!(bs.window_min <= bs.window_max);
+        assert!(bs.window_final >= 1);
+        assert!(bs.window_max as usize <= a.window_max);
     }
 
     #[test]

@@ -236,5 +236,9 @@ impl Simulator {
         self.batch_stats.shed_count = stats.shed;
         self.batch_stats.latency_p50_ms = stats.p50_latency_ms();
         self.batch_stats.latency_p99_ms = stats.p99_latency_ms();
+        self.batch_stats.window_min = stats.window_min;
+        self.batch_stats.window_max = stats.window_max;
+        self.batch_stats.window_final = stats.window_final;
+        self.batch_stats.retries_denied = state.client.retries_denied();
     }
 }

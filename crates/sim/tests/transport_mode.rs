@@ -7,7 +7,9 @@
 //! shard layout must not move a single bit.
 
 use senn_sim::metrics::Metrics;
-use senn_sim::{FaultConfig, ParamSet, SimConfig, SimParams, Simulator, TransportPolicy};
+use senn_sim::{
+    AdaptivePolicy, FaultConfig, ParamSet, SimConfig, SimParams, Simulator, TransportPolicy,
+};
 
 fn tiny_params() -> SimParams {
     let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
@@ -92,6 +94,129 @@ fn tiny_queues_shed_under_burst_arrivals_and_stay_attributed() {
     let stats = sim.transport_stats().expect("overlapped mode");
     assert!(stats.shed >= m.server_shed);
     assert!(stats.queue_depth_peak <= 4, "queues are one-deep per lane");
+}
+
+/// Adaptive golden pins: three seeds under the lossy fault config, with
+/// the default AIMD band, pinned down to the attribution split, the
+/// ladder counters and the whole window trajectory summary. Any change
+/// to the controller's arithmetic, the lane dequeue order or the keyed
+/// draw discipline moves at least one of these numbers.
+#[test]
+fn adaptive_goldens_are_pinned_for_three_seeds() {
+    // (seed, queries, single, multi, server, uncertain, shed, retries,
+    //  denied, window_min, window_max, window_final, grows, shrinks)
+    let goldens: [(u64, [u64; 13]); 3] = [
+        (3, [55, 15, 0, 40, 0, 0, 2, 0, 4, 18, 59, 43, 0]),
+        (41, [65, 14, 0, 51, 0, 0, 1, 0, 4, 21, 70, 54, 0]),
+        (2006, [68, 23, 0, 45, 0, 0, 3, 0, 4, 24, 79, 63, 0]),
+    ];
+    for (seed, want) in goldens {
+        let cfg = SimConfig::new(tiny_params(), seed)
+            .to_builder()
+            .fault(FaultConfig::lossy(5))
+            .transport_adaptive(AdaptivePolicy::default())
+            .build();
+        let mut sim = Simulator::new(cfg);
+        let m = sim.run();
+        let s = sim.transport_stats().expect("overlapped mode");
+        let got = [
+            m.queries,
+            m.single_peer,
+            m.multi_peer,
+            m.server,
+            m.accepted_uncertain,
+            m.server_shed,
+            m.server_retries,
+            m.server_retries_denied,
+            s.window_min,
+            s.window_max,
+            s.window_final,
+            s.window_grows,
+            s.window_shrinks,
+        ];
+        assert_eq!(got, want, "adaptive golden moved at seed {seed}");
+        assert_eq!(s.priority_inversions, 0, "seed {seed}");
+    }
+}
+
+/// `AdaptivePolicy::clamped(w)` pins the window band to a point and
+/// grants an unlimited retry budget — the controller becomes inert, and
+/// the whole run must be bit-identical to the plain static policy:
+/// every `Metrics` field and the transport/batch observability alike.
+#[test]
+fn clamped_adaptive_reproduces_the_static_run_bit_for_bit() {
+    let static_policy = TransportPolicy::default();
+    let runs: Vec<(Metrics, senn_core::transport::TransportStats, u64)> =
+        [None, Some(AdaptivePolicy::clamped(static_policy.window))]
+            .into_iter()
+            .map(|adaptive| {
+                let cfg = SimConfig::new(tiny_params(), 99)
+                    .to_builder()
+                    .fault(FaultConfig::lossy(5))
+                    .transport(TransportPolicy {
+                        adaptive,
+                        ..static_policy
+                    })
+                    .build();
+                let mut sim = Simulator::new(cfg);
+                let m = sim.run();
+                let s = sim.transport_stats().expect("overlapped mode").clone();
+                let denied = sim.batch_stats().retries_denied;
+                (m, s, denied)
+            })
+            .collect();
+    assert!(runs[0].0.queries > 0);
+    assert_eq!(runs[0].0, runs[1].0, "Metrics diverged");
+    assert_eq!(runs[0].1, runs[1].1, "TransportStats diverged");
+    assert_eq!(runs[0].2, 0, "static mode never denies a retry");
+    assert_eq!(runs[1].2, 0, "clamped adaptive never denies a retry");
+}
+
+/// The adaptive controller keeps the layout-invariance contract under
+/// burst arrivals: metrics, the AIMD window trajectory summary and the
+/// shed/denial counters are bit-identical across 1/2 worker threads ×
+/// 1/3 shards. Every controller decision keys off the virtual clock and
+/// the request id — never off thread or shard structure.
+#[test]
+fn adaptive_windows_are_bit_identical_across_threads_and_shards() {
+    let mut params = tiny_params();
+    params.lambda_query_per_min = 600.0;
+    let mut reference: Option<(Metrics, senn_core::transport::TransportStats)> = None;
+    for threads in [1usize, 2] {
+        for shards in [1usize, 3] {
+            let cfg = SimConfig::new(params, 7)
+                .to_builder()
+                .threads(threads)
+                .server_shards(shards)
+                .transport(TransportPolicy {
+                    queue_cap: 2,
+                    ..TransportPolicy::default()
+                })
+                .transport_adaptive(AdaptivePolicy::default())
+                .build();
+            let mut sim = Simulator::new(cfg);
+            let m = sim.run();
+            let s = sim.transport_stats().expect("overlapped mode").clone();
+            // The run must actually exercise the controller: sheds shrink
+            // the window, healthy completions grow it back to the cap.
+            assert!(m.server_shed > 0, "burst must shed through 2-deep queues");
+            assert!(s.window_shrinks > 0 && s.window_grows > 0);
+            assert_eq!(s.priority_inversions, 0);
+            match &reference {
+                None => reference = Some((m, s)),
+                Some((rm, rs)) => {
+                    assert_eq!(
+                        &m, rm,
+                        "metrics diverged at threads={threads} shards={shards}"
+                    );
+                    assert_eq!(
+                        &s, rs,
+                        "windows diverged at threads={threads} shards={shards}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// The blocking path is untouched by the transport work: a `None`

@@ -368,13 +368,17 @@ fn parse_scale_gauges(text: &str) -> (BTreeMap<String, f64>, BTreeMap<String, f6
 /// v8+), as (bigger-is-better, smaller-is-better) maps:
 /// `flashcrowd.overlap_speedup` (how many times more virtual interval
 /// throughput the overlapped transport sustains than blocking
-/// per-interval drains) is bigger-is-better; `flashcrowd.shed_fraction`
-/// (the fraction of the spike refused at the admission edge by the
-/// tightest one-deep queues) is smaller-is-better. The gate emits both
-/// gauges first inside the block, before the nested `shed_sweep`/`sim`
-/// arrays whose rows repeat the `shed_fraction` field name — so only
+/// per-interval drains) and `flashcrowd.adaptive_sqrr_gain` (schema v9+,
+/// how much the AIMD window controller lowers the server query request
+/// rate versus the static window at the same admission queue) are
+/// bigger-is-better; `flashcrowd.shed_fraction` (the fraction of the
+/// spike refused at the admission edge by the tightest one-deep queues)
+/// is smaller-is-better. The gate emits the gauges first inside the
+/// block, before the nested `shed_sweep`/`sim` arrays whose rows repeat
+/// the `shed_fraction` field name (and the `adaptive` object) — so only
 /// the *first* occurrence of each gauge is taken. Empty for pre-v8
-/// files, so older baselines keep working.
+/// files, so older baselines keep working; `adaptive_sqrr_gain` is
+/// simply absent from v8 baselines.
 fn parse_flashcrowd_gauges(text: &str) -> (BTreeMap<String, f64>, BTreeMap<String, f64>) {
     let mut bigger = BTreeMap::new();
     let mut smaller = BTreeMap::new();
@@ -396,6 +400,11 @@ fn parse_flashcrowd_gauges(text: &str) -> (BTreeMap<String, f64>, BTreeMap<Strin
         if let Some(v) = json_num_field(line, "overlap_speedup") {
             bigger
                 .entry("flashcrowd/overlap_speedup".to_string())
+                .or_insert(v);
+        }
+        if let Some(v) = json_num_field(line, "adaptive_sqrr_gain") {
+            bigger
+                .entry("flashcrowd/adaptive_sqrr_gain".to_string())
                 .or_insert(v);
         }
         if let Some(v) = json_num_field(line, "shed_fraction") {
@@ -842,6 +851,32 @@ mod tests {
 }
 "#;
 
+    const SAMPLE_V9: &str = r#"{
+  "schema": "senn-perf-gate-v9",
+  "flashcrowd": {
+    "overlap_speedup": 2.371,
+    "shed_fraction": 0.483,
+    "adaptive_sqrr_gain": 1.031,
+    "blocking_makespan_ms": 11616.0,
+    "requests": 1040,
+    "shed_sweep": [
+      { "queue_cap": 1, "shed_fraction": 0.981, "queue_depth_peak": 4, "p50_latency_ms": 64.0, "p99_latency_ms": 256.0 }
+    ],
+    "sim": [
+      { "queue_cap": 4, "window": 2, "sqrr": 0.580, "failed_request_rate": 0.735, "server_shed": 330, "queue_depth_peak": 16 }
+    ],
+    "adaptive": {
+      "static": { "sqrr": 0.580, "failed_request_rate": 0.735, "server_shed": 330, "retries_denied": 0, "window_min": 2, "window_max": 2, "window_final": 8, "window_grows": 0, "window_shrinks": 0 },
+      "adaptive": { "sqrr": 0.563, "failed_request_rate": 0.704, "server_shed": 292, "retries_denied": 0, "window_min": 1, "window_max": 32, "window_final": 35, "window_grows": 137, "window_shrinks": 8 }
+    }
+  },
+  "scale": {
+    "grid_maintenance_speedup": 2.321,
+    "bytes_per_host": 220.312
+  }
+}
+"#;
+
     #[test]
     fn flashcrowd_gauges_split_by_polarity() {
         let (bigger, smaller) = parse_flashcrowd_gauges(SAMPLE_V8);
@@ -849,6 +884,21 @@ mod tests {
         assert_eq!(bigger["flashcrowd/overlap_speedup"], 2.371);
         assert_eq!(smaller.len(), 1, "exactly the shed gauge: {smaller:?}");
         assert_eq!(smaller["flashcrowd/shed_fraction"], 0.483);
+    }
+
+    #[test]
+    fn v9_adaptive_gauge_parses_and_v8_baselines_lack_it() {
+        let (bigger, smaller) = parse_flashcrowd_gauges(SAMPLE_V9);
+        assert_eq!(bigger.len(), 2, "overlap + adaptive gauges: {bigger:?}");
+        assert_eq!(bigger["flashcrowd/overlap_speedup"], 2.371);
+        assert_eq!(bigger["flashcrowd/adaptive_sqrr_gain"], 1.031);
+        // The nested `adaptive` object repeats `sqrr` fields but never
+        // the gauge name, and the block gauge wins first-occurrence.
+        assert_eq!(smaller["flashcrowd/shed_fraction"], 0.483);
+        // A v8 baseline simply lacks the new gauge — the budget check
+        // skips gauges missing from the baseline, keeping it valid.
+        let (v8_bigger, _) = parse_flashcrowd_gauges(SAMPLE_V8);
+        assert!(!v8_bigger.contains_key("flashcrowd/adaptive_sqrr_gain"));
     }
 
     #[test]
