@@ -10,14 +10,18 @@
 //! counting-allocator memory-footprint gauge), runs a small
 //! microbenchmark suite over the query hot paths, drives a flash-crowd
 //! arrival spike through the async transport in both submission layouts
-//! (blocking per-interval drains versus overlapped enqueue/poll), and
-//! writes the measurements as JSON.
+//! (blocking per-interval drains versus overlapped enqueue/poll),
+//! quantifies the batch-shared frontier win at hotspot density, checks
+//! the reverse-kNN driver against its brute-force oracle, and writes
+//! the measurements as JSON.
 //!
-//! The JSON file (`BENCH_PR9.json` by default, schema `senn-perf-gate-v9`)
-//! is committed alongside the code so every PR leaves a machine-readable
-//! perf trajectory behind: compare `queries_per_sec`, the per-stage
-//! `stages` breakdown, the `snnn` per-model legs, the `expansion`
-//! pruning/batching gauges, the `flashcrowd` overlap/shedding gauges,
+//! The JSON file (`BENCH_PR10.json` by default, schema
+//! `senn-perf-gate-v10`) is committed alongside the code so every PR
+//! leaves a machine-readable perf trajectory behind: compare
+//! `queries_per_sec`, the per-stage `stages` breakdown, the `snnn`
+//! per-model legs, the `expansion` pruning/batching gauges, the
+//! `shared` frontier gauges, the `rknn` workload accounting, the
+//! `flashcrowd` overlap/shedding gauges,
 //! the `scale` substrate gauges, the `service` throughput block, the
 //! `metric` search-effort counters and the `ns_per_iter` entries across
 //! revisions to see whether a change paid
@@ -36,8 +40,12 @@
 //! work than A\* on the full-size grid, the flash-crowd leg must resolve
 //! bit-identical per-request fates in both submission layouts while the
 //! overlapped layout sustains at least 1.5× the blocking layout's
-//! virtual interval throughput — so a perf regression hunt can
-//! never silently trade away determinism.
+//! virtual interval throughput, the batch-shared frontiers must
+//! reproduce the per-query Metrics bit for bit (modulo the
+//! `shared_settles_saved` accounting) while settling at least 2× fewer
+//! nodes at hotspot density, and the reverse-kNN driver must match the
+//! brute-force oracle id for id across thread and shard layouts — so a
+//! perf regression hunt can never silently trade away determinism.
 //!
 //! Quick mode shrinks the metric grid to its 3000 m side, which also
 //! scales the CH preprocessing (tens of milliseconds instead of the
@@ -131,7 +139,7 @@ fn parse_args() -> Args {
         quick: false,
         shards: 4,
         hosts: 1_000_000,
-        out: "BENCH_PR9.json".to_string(),
+        out: "BENCH_PR10.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -658,6 +666,197 @@ fn expansion_batching_leg(quick: bool) -> BatchingLeg {
         leg.submissions_batched,
     );
     leg
+}
+
+/// The shared-frontier leg's totals: the hotspot-density scenario run
+/// with batch-shared frontiers on and off.
+struct SharedLeg {
+    queries: u64,
+    shared_groups: u64,
+    shared_solo_settles: u64,
+    shared_settles: u64,
+    settles_saved: u64,
+    wall_secs_shared: f64,
+    wall_secs_solo: f64,
+}
+
+impl SharedLeg {
+    /// How many times fewer nodes the shared frontiers settled than
+    /// fresh per-candidate searches would have paid for the same probes.
+    fn settles_saved_ratio(&self) -> f64 {
+        self.shared_solo_settles as f64 / self.shared_settles as f64
+    }
+}
+
+/// Shared-frontier leg: the golden SNNN scenario at hotspot density
+/// (4× the Table-3 arrival rate, so intervals carry many co-located
+/// queries) with `SimConfig::shared_expansion` on and off. The whole
+/// `Metrics` blocks must be bit-identical except the
+/// `shared_settles_saved` accounting — sharing is purely a
+/// search-schedule change — while the shared frontiers must settle at
+/// least 2× fewer nodes than the per-candidate searches they replace.
+fn shared_expansion_leg(quick: bool) -> SharedLeg {
+    let mk = |shared: bool| {
+        let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+        params.t_execution_hours = if quick { 0.02 } else { 0.05 };
+        params.lambda_query_per_min *= 4.0;
+        SimConfig::new(params, 20_060_402)
+            .to_builder()
+            .distance_model(NetworkModelKind::AStar)
+            .shared_expansion(shared)
+            .build()
+    };
+    let run = |cfg: SimConfig| {
+        let mut sim = Simulator::new(cfg);
+        let started = Instant::now();
+        let metrics = sim.run();
+        (metrics, *sim.batch_stats(), started.elapsed().as_secs_f64())
+    };
+    let (shared_m, shared_b, wall_shared) = run(mk(true));
+    let (solo_m, solo_b, wall_solo) = run(mk(false));
+    let mut normalized = shared_m.clone();
+    normalized.shared_settles_saved = 0;
+    assert_eq!(
+        normalized, solo_m,
+        "shared expansion changed an observable result"
+    );
+    assert_eq!(
+        solo_m.shared_settles_saved, 0,
+        "the per-query path must never report savings"
+    );
+    assert_eq!(
+        shared_b.snnn_rounds, solo_b.snnn_rounds,
+        "sharing changed the expansion round count"
+    );
+    let leg = SharedLeg {
+        queries: shared_m.queries,
+        shared_groups: shared_b.shared_groups,
+        shared_solo_settles: shared_b.shared_solo_settles,
+        shared_settles: shared_b.shared_settles,
+        settles_saved: shared_m.shared_settles_saved,
+        wall_secs_shared: wall_shared,
+        wall_secs_solo: wall_solo,
+    };
+    assert!(
+        leg.shared_settles > 0,
+        "the workload never probed a frontier"
+    );
+    assert!(
+        leg.settles_saved_ratio() >= 2.0,
+        "hotspot sharing settled only x{:.2} fewer nodes (need >= 2x): {} solo vs {} shared",
+        leg.settles_saved_ratio(),
+        leg.shared_solo_settles,
+        leg.shared_settles,
+    );
+    leg
+}
+
+/// The reverse-kNN leg's totals: the batched driver versus the
+/// brute-force oracle over every (layout) combination it must agree on.
+struct RknnLeg {
+    queries: u64,
+    hosts: u64,
+    pairs: u64,
+    cache_pruned: u64,
+    verified_hosts: u64,
+    members: u64,
+    layouts: u64,
+    wall_secs: f64,
+}
+
+/// Reverse-kNN leg: warm the golden scenario (the run populates the
+/// host caches whose kNN radii drive the prune), then ask every POI for
+/// its reverse k-NN members and check the batched driver against the
+/// brute-force oracle id for id — across 1/2 worker threads × 1/3
+/// server shards, which must all produce the same memberships and the
+/// same accounting.
+fn rknn_leg(quick: bool) -> RknnLeg {
+    use senn_sim::{rknn_bruteforce, RknnQuery};
+    let warmed = |threads: usize, shards: usize| {
+        let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+        params.t_execution_hours = if quick { 0.02 } else { 0.05 };
+        let cfg = SimConfig::new(params, 20_060_402)
+            .to_builder()
+            .threads(threads)
+            .server_shards(shards)
+            .build();
+        let mut sim = Simulator::new(cfg);
+        sim.run();
+        sim
+    };
+    let queries_for = |sim: &Simulator| -> Vec<RknnQuery> {
+        sim.poi_positions()
+            .iter()
+            .enumerate()
+            .map(|(id, &p)| RknnQuery {
+                id: id as u64,
+                poi_id: id as u64,
+                position: p,
+                k: 1 + id % 3,
+            })
+            .collect()
+    };
+    let started = Instant::now();
+    let mut reference = None;
+    let mut layouts = 0u64;
+    let mut host_count = 0u64;
+    for threads in [1usize, 2] {
+        for shards in [1usize, 3] {
+            let mut sim = warmed(threads, shards);
+            let queries = queries_for(&sim);
+            let hosts = sim.rknn_hosts();
+            let poi_world: Vec<_> = sim
+                .poi_positions()
+                .iter()
+                .enumerate()
+                .map(|(id, &p)| (id as u64, p))
+                .collect();
+            let batch = sim.run_rknn(&queries);
+            let oracle = rknn_bruteforce(&queries, &hosts, &poi_world);
+            assert_eq!(
+                batch.outcomes, oracle,
+                "reverse-kNN driver diverged from brute force at threads={threads} shards={shards}"
+            );
+            match &reference {
+                None => {
+                    host_count = hosts.len() as u64;
+                    reference = Some(batch);
+                }
+                Some(r) => {
+                    assert_eq!(
+                        batch.outcomes, r.outcomes,
+                        "memberships diverged at threads={threads} shards={shards}"
+                    );
+                    assert_eq!(
+                        batch.stats, r.stats,
+                        "accounting diverged at threads={threads} shards={shards}"
+                    );
+                }
+            }
+            layouts += 1;
+        }
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+    let stats = reference.expect("at least one layout ran").stats;
+    assert!(stats.members > 0, "nobody ranked anybody — vacuous leg");
+    assert!(
+        stats.cache_pruned > 0,
+        "warmed caches must prune some pairs, or the prune is unexercised"
+    );
+    assert!(
+        stats.verified_hosts < host_count * stats.queries,
+        "one request per host, never per pair"
+    );
+    RknnLeg {
+        queries: stats.queries,
+        hosts: host_count,
+        pairs: stats.pairs,
+        cache_pruned: stats.cache_pruned,
+        verified_hosts: stats.verified_hosts,
+        members: stats.members,
+        layouts,
+        wall_secs,
+    }
 }
 
 /// Search-effort totals of one counting search over the sampled pairs.
@@ -1479,6 +1678,64 @@ fn expansion_json(pruning: &PruningLeg, batching: &BatchingLeg) -> String {
     )
 }
 
+/// The `shared` JSON block: the budget-tracked `settles_saved_ratio`
+/// gauge (bigger is better) is emitted *first* — `xtask perf-budget`'s
+/// line parser attributes fields to the most recently opened block —
+/// followed by the raw frontier totals behind it.
+fn shared_json(leg: &SharedLeg) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"settles_saved_ratio\": {},\n",
+            "    \"queries\": {},\n",
+            "    \"groups\": {},\n",
+            "    \"solo_settles\": {},\n",
+            "    \"settles\": {},\n",
+            "    \"settles_saved\": {},\n",
+            "    \"wall_secs_shared\": {},\n",
+            "    \"wall_secs_solo\": {},\n",
+            "    \"metrics_identical\": true\n",
+            "  }}"
+        ),
+        fmt_f64(leg.settles_saved_ratio()),
+        leg.queries,
+        leg.shared_groups,
+        leg.shared_solo_settles,
+        leg.shared_settles,
+        leg.settles_saved,
+        fmt_f64(leg.wall_secs_shared),
+        fmt_f64(leg.wall_secs_solo),
+    )
+}
+
+/// The `rknn` JSON block: the reverse-kNN workload accounting, with the
+/// oracle-equality contract the gate re-asserted recorded as a flag.
+fn rknn_json(leg: &RknnLeg) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"queries\": {},\n",
+            "    \"hosts\": {},\n",
+            "    \"pairs\": {},\n",
+            "    \"cache_pruned\": {},\n",
+            "    \"verified_hosts\": {},\n",
+            "    \"members\": {},\n",
+            "    \"layouts\": {},\n",
+            "    \"wall_secs\": {},\n",
+            "    \"oracle_identical\": true\n",
+            "  }}"
+        ),
+        leg.queries,
+        leg.hosts,
+        leg.pairs,
+        leg.cache_pruned,
+        leg.verified_hosts,
+        leg.members,
+        leg.layouts,
+        fmt_f64(leg.wall_secs),
+    )
+}
+
 /// The `scale` JSON block: the million-host host-substrate gauges. The
 /// budget-tracked gauges (`bytes_per_host`, smaller is better, and
 /// `grid_maintenance_speedup`, bigger is better) are emitted *before*
@@ -1825,6 +2082,30 @@ fn main() {
         batching.snnn_rounds,
     );
 
+    let shared = shared_expansion_leg(args.quick);
+    eprintln!(
+        "perf_gate: shared frontiers settled x{:.2} fewer nodes ({} solo vs {}) \
+         over {} groups, saved {} settlements post-warm-up",
+        shared.settles_saved_ratio(),
+        shared.shared_solo_settles,
+        shared.shared_settles,
+        shared.shared_groups,
+        shared.settles_saved,
+    );
+    let rknn = rknn_leg(args.quick);
+    eprintln!(
+        "perf_gate: rknn {} queries x {} hosts: {} pairs, {} cache-pruned, \
+         {} verified, {} members, oracle-identical over {} layouts in {:.2}s",
+        rknn.queries,
+        rknn.hosts,
+        rknn.pairs,
+        rknn.cache_pruned,
+        rknn.verified_hosts,
+        rknn.members,
+        rknn.layouts,
+        rknn.wall_secs,
+    );
+
     let flashcrowd = flashcrowd_leg(args.quick);
     eprintln!(
         "perf_gate: flashcrowd overlap x{:.2} ({:.0}ms blocking vs {:.0}ms overlapped \
@@ -1931,7 +2212,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"senn-perf-gate-v9\",\n",
+            "  \"schema\": \"senn-perf-gate-v10\",\n",
             "  \"quick\": {},\n",
             "  \"available_parallelism\": {},\n",
             "  \"parallel_threads\": {},\n",
@@ -1956,6 +2237,8 @@ fn main() {
             "    \"ch_metrics_identical\": true\n",
             "  }},\n",
             "  \"expansion\": {},\n",
+            "  \"shared\": {},\n",
+            "  \"rknn\": {},\n",
             "  \"flashcrowd\": {},\n",
             "  \"scale\": {},\n",
             "  \"metric\": {},\n",
@@ -1985,6 +2268,8 @@ fn main() {
         sim_service_json,
         snnn_json.join(",\n"),
         expansion_json(&pruning, &batching),
+        shared_json(&shared),
+        rknn_json(&rknn),
         flashcrowd_json(&flashcrowd),
         scale_json(&scale),
         metric_json(&metric_leg),

@@ -22,6 +22,8 @@
 //! | [`trace`] | the unified [`QueryTrace`] outcome (attribution + accounting + stage timings) |
 //! | [`senn`] | Algorithm 1 — the SENN driver over the staged kernel |
 //! | [`snnn`] | Algorithm 2 — the SNNN/IER driver, generic over [`DistanceModel`] (§3.4) |
+//! | [`shared_expansion`] | batch-shared Dijkstra frontiers: one settle sweep per query group |
+//! | [`rknn`] | reverse-kNN ("which hosts rank me top-k?") over the service seam |
 //! | [`service`] | the batched request/reply service API |
 //! | [`transport`] | the event-driven async transport (virtual clock, admission control) and the retry/degradation client |
 //! | [`server`] | the R\*-tree reference backend of the service seam (§4.4) |
@@ -38,9 +40,11 @@ pub mod heap;
 pub mod multiple;
 pub mod pipeline;
 pub mod range;
+pub mod rknn;
 pub mod senn;
 pub mod server;
 pub mod service;
+pub mod shared_expansion;
 pub mod single;
 pub mod snnn;
 pub mod trace;
@@ -52,11 +56,15 @@ pub use distance::{DistanceModel, Euclidean, EuclideanBound, LowerBoundOracle, N
 pub use heap::{HeapEntry, HeapState, ResultHeap};
 pub use pipeline::{QueryContext, VerifyScratch};
 pub use range::{RangeOutcome, RangeServer};
+pub use rknn::{
+    rknn_batch, rknn_bruteforce, RknnBatch, RknnHost, RknnOutcome, RknnQuery, RknnStats,
+};
 pub use senn::{SennConfig, SennEngine, SennOutcome};
 pub use senn_cache::{CacheEntry as PeerCacheEntry, CachedNn};
 pub use senn_rtree::SearchBounds;
 pub use server::{RTreeServer, ServerResponse};
 pub use service::{ReplyStatus, RequestOutcome, ServerReply, ServerRequest, SpatialService};
+pub use shared_expansion::{FrontierPool, FrontierProbe, SharedFrontier, SharedStats};
 pub use snnn::{
     snnn_query, snnn_query_pruned, snnn_query_pruned_with, snnn_query_with, SnnnConfig,
     SnnnExpansion, SnnnNeighbor, SnnnOutcome,
@@ -88,42 +96,24 @@ pub mod prelude {
     };
     pub use crate::heap::{HeapEntry, HeapState};
     pub use crate::pipeline::QueryContext;
+    pub use crate::rknn::{
+        rknn_batch, rknn_bruteforce, RknnBatch, RknnHost, RknnOutcome, RknnQuery, RknnStats,
+    };
     pub use crate::senn::{SennConfig, SennEngine, SennOutcome};
     pub use crate::server::{RTreeServer, ServerResponse};
     pub use crate::service::{
         ReplyStatus, RequestOutcome, ServerReply, ServerRequest, SpatialService,
     };
-    pub use crate::transport::{
-        AdaptivePolicy, AsyncClient, AsyncService, Priority, RequestId, RetryBudget, Ticket,
-        Transport, TransportPolicy, TransportStats,
-    };
-
-    /// Deprecated location of [`crate::transport::RetryPolicy`], kept for
-    /// one release.
-    #[deprecated(
-        since = "0.8.0",
-        note = "RetryPolicy moved into senn_core::transport (TransportPolicy.retry); import it from there"
-    )]
-    pub type RetryPolicy = crate::transport::RetryPolicy;
-
-    /// Deprecated location of [`crate::transport::submit_with_retry`],
-    /// kept for one release.
-    #[deprecated(
-        since = "0.8.0",
-        note = "submit_with_retry moved into senn_core::transport; import it from there"
-    )]
-    pub fn submit_with_retry(
-        service: &dyn crate::service::SpatialService,
-        requests: &[crate::service::ServerRequest],
-        policy: &crate::transport::RetryPolicy,
-    ) -> Vec<crate::service::RequestOutcome> {
-        crate::transport::submit_with_retry(service, requests, policy)
-    }
+    pub use crate::shared_expansion::{FrontierPool, FrontierProbe, SharedFrontier, SharedStats};
     pub use crate::snnn::{
         snnn_query, snnn_query_pruned, snnn_query_pruned_with, snnn_query_with, SnnnConfig,
         SnnnNeighbor, SnnnOutcome,
     };
     pub use crate::trace::{QueryTrace, Resolution};
+    pub use crate::transport::{
+        AdaptivePolicy, AsyncClient, AsyncService, Priority, RequestId, RetryBudget, RetryPolicy,
+        Ticket, Transport, TransportPolicy, TransportStats,
+    };
     pub use senn_cache::{CacheEntry as PeerCacheEntry, CachedNn};
     pub use senn_rtree::SearchBounds;
 }

@@ -1,0 +1,423 @@
+//! Batch-shared frontier expansion: one resumable Dijkstra frontier per
+//! group of co-located queries, settling each graph node **at most once
+//! per group** instead of once per (query, candidate) distance call.
+//!
+//! PR 5 coalesced the expand pass's service *submissions* into one batch
+//! per interval; the searches behind them still ran independently — every
+//! `DistanceModel::distance` call re-settled the same neighborhood around
+//! the query's snap node. BRkNN-light-style sharing (PAPERS.md) exploits
+//! that co-located queries anchor at the *same* snap node: a single
+//! frontier expanded once serves every member's candidate re-ranking.
+//!
+//! The module is deliberately graph-free, like the rest of `senn-core`:
+//! [`SharedFrontier`] asks the caller for a node's out-edges through a
+//! closure, so `senn-network` can drive it over plain edge lengths or
+//! time-dependent congestion weights without this crate depending on the
+//! road-network representation. The contract is that the **same weight
+//! closure** backs every call against one frontier — the frontier caches
+//! settled distances, so changing weights mid-group would corrupt them.
+//!
+//! ## Bit-identity
+//!
+//! A resumable Dijkstra pause/continue never changes which relaxations
+//! reach a node before it settles: nodes still settle in globally
+//! non-decreasing distance order, and a node's final distance is the
+//! same `d(parent) + w` fold a fresh one-shot search computes. On unique
+//! shortest paths (the generic jittered networks the generator emits)
+//! that fold is bit-identical to the per-query A\*/ALT/CH models, which
+//! accumulate the identical prefix sums along the identical parent chain
+//! — the same argument the CH oracle's `lb.to_bits() == exact.to_bits()`
+//! suite already leans on. The *only* observable difference the shared
+//! path is allowed is the [`SharedStats`] accounting itself
+//! (`QueryTrace::shared_settles_saved`).
+//!
+//! ## Accounting
+//!
+//! Every probe records what a *fresh* search for the same target would
+//! have settled (`solo_settles`: the target's settle rank + 1, or the
+//! whole reachable component when the target is unreachable) against
+//! what the shared frontier actually settled (`new_settles`). The
+//! difference — summed in [`SharedStats::saved`] — is the work sharing
+//! avoided, and the justification the equivalence suite demands for
+//! every skipped settlement.
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Unsettled marker in [`SharedFrontier`]'s rank column.
+const UNSETTLED: u32 = u32::MAX;
+
+/// Heap entry of the shared frontier: min-ordered by tentative distance.
+#[derive(Clone, Copy, Debug)]
+struct HeapItem {
+    dist: f64,
+    node: u32,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.node == other.node
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest
+        // tentative distance first (ties broken by node id for a total
+        // order).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// What one [`SharedFrontier::probe`] observed: the distance (if the
+/// target is reachable), what a fresh one-shot search would have settled,
+/// and what this probe actually settled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrontierProbe {
+    /// Network distance from the frontier's origin to the target, or
+    /// `None` when the target is unreachable from the origin.
+    pub dist: Option<f64>,
+    /// Settlements a fresh search for this target would have performed:
+    /// the target's settle rank + 1, or the size of the origin's whole
+    /// reachable component for an unreachable target.
+    pub solo_settles: u64,
+    /// Nodes this probe newly settled (`0` when the target was already
+    /// settled by an earlier probe of the same frontier).
+    pub new_settles: u64,
+}
+
+/// One resumable Dijkstra frontier anchored at a single origin node.
+///
+/// The frontier never forgets: every settled node keeps its distance and
+/// its settle *rank* (0-based global settle order), so a later probe for
+/// an already-covered target costs zero settlements and still knows what
+/// a fresh search would have paid.
+#[derive(Clone, Debug)]
+pub struct SharedFrontier {
+    origin: u32,
+    dist: Vec<f64>,
+    rank: Vec<u32>,
+    heap: BinaryHeap<HeapItem>,
+    settled: u64,
+    exhausted: bool,
+}
+
+impl SharedFrontier {
+    /// A fresh frontier at `origin` over a graph of `node_count` nodes.
+    pub fn new(origin: u32, node_count: usize) -> Self {
+        assert!(
+            (origin as usize) < node_count,
+            "frontier origin {origin} out of range for {node_count} nodes"
+        );
+        let mut f = SharedFrontier {
+            origin,
+            dist: vec![f64::INFINITY; node_count],
+            rank: vec![UNSETTLED; node_count],
+            heap: BinaryHeap::new(),
+            settled: 0,
+            exhausted: false,
+        };
+        f.dist[origin as usize] = 0.0;
+        f.heap.push(HeapItem {
+            dist: 0.0,
+            node: origin,
+        });
+        f
+    }
+
+    /// The anchor node every distance is measured from.
+    pub fn origin(&self) -> u32 {
+        self.origin
+    }
+
+    /// Nodes settled so far across all probes of this frontier.
+    pub fn settle_count(&self) -> u64 {
+        self.settled
+    }
+
+    /// Distance to `target`, resuming the frontier as far as needed.
+    ///
+    /// `neighbors(node, relax)` must call `relax(to, weight)` once per
+    /// out-edge of `node`, with the same weights on every invocation.
+    pub fn probe<F>(&mut self, target: u32, mut neighbors: F) -> FrontierProbe
+    where
+        F: FnMut(u32, &mut dyn FnMut(u32, f64)),
+    {
+        let t = target as usize;
+        if self.rank[t] != UNSETTLED {
+            return FrontierProbe {
+                dist: Some(self.dist[t]),
+                solo_settles: self.rank[t] as u64 + 1,
+                new_settles: 0,
+            };
+        }
+        if self.exhausted {
+            return FrontierProbe {
+                dist: None,
+                solo_settles: self.settled,
+                new_settles: 0,
+            };
+        }
+        let before = self.settled;
+        while let Some(item) = self.heap.pop() {
+            let n = item.node as usize;
+            if self.rank[n] != UNSETTLED {
+                continue; // stale heap entry of an already-settled node
+            }
+            self.rank[n] = self.settled as u32;
+            self.settled += 1;
+            let d = item.dist;
+            let dist = &mut self.dist;
+            let heap = &mut self.heap;
+            neighbors(item.node, &mut |to, w| {
+                let nd = d + w;
+                if nd < dist[to as usize] {
+                    dist[to as usize] = nd;
+                    heap.push(HeapItem { dist: nd, node: to });
+                }
+            });
+            if item.node == target {
+                return FrontierProbe {
+                    dist: Some(self.dist[t]),
+                    solo_settles: self.rank[t] as u64 + 1,
+                    new_settles: self.settled - before,
+                };
+            }
+        }
+        // Heap drained without reaching the target: the origin's whole
+        // reachable component is settled, and a fresh search would have
+        // settled all of it before giving up too.
+        self.exhausted = true;
+        FrontierProbe {
+            dist: None,
+            solo_settles: self.settled,
+            new_settles: self.settled - before,
+        }
+    }
+}
+
+/// Cumulative accounting across every frontier of a [`FrontierPool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedStats {
+    /// Frontiers created — one per distinct origin (query group).
+    pub groups: u64,
+    /// Distance probes answered.
+    pub probes: u64,
+    /// Settlements the per-query path would have performed (sum of
+    /// per-probe `solo_settles`).
+    pub solo_settles: u64,
+    /// Settlements the shared frontiers actually performed.
+    pub settles: u64,
+}
+
+impl SharedStats {
+    /// Settlements sharing avoided: `solo_settles - settles`. Each probe
+    /// contributes `solo - new >= 0` (a resumed frontier never settles a
+    /// node a fresh search for the same target would have skipped), so
+    /// the subtraction cannot underflow.
+    pub fn saved(&self) -> u64 {
+        self.solo_settles - self.settles
+    }
+
+    /// How many times fewer nodes the shared frontiers settled than the
+    /// per-query searches would have (`>= 1.0`; `1.0` when nothing ran).
+    pub fn saved_ratio(&self) -> f64 {
+        if self.settles == 0 {
+            if self.solo_settles == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.solo_settles as f64 / self.settles as f64
+        }
+    }
+}
+
+/// A batch-scoped cache of [`SharedFrontier`]s keyed by origin node.
+///
+/// The expand pass interleaves queries with different snap anchors, so
+/// the pool keeps one frontier per distinct origin alive for the length
+/// of the batch; queries (and candidates) anchored at the same node reuse
+/// it. The pool only ever *looks up* by key — no iteration order leaks
+/// into results.
+#[derive(Debug, Default)]
+pub struct FrontierPool {
+    node_count: usize,
+    frontiers: HashMap<u32, SharedFrontier>,
+    stats: SharedStats,
+}
+
+impl FrontierPool {
+    /// An empty pool over a graph of `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        FrontierPool {
+            node_count,
+            frontiers: HashMap::new(),
+            stats: SharedStats::default(),
+        }
+    }
+
+    /// Distance from `origin` to `target`, sharing the frontier with
+    /// every earlier probe from the same origin. `neighbors` must present
+    /// the same weighted graph on every call into one pool.
+    pub fn distance<F>(&mut self, origin: u32, target: u32, neighbors: F) -> Option<f64>
+    where
+        F: FnMut(u32, &mut dyn FnMut(u32, f64)),
+    {
+        let node_count = self.node_count;
+        let stats = &mut self.stats;
+        let frontier = self.frontiers.entry(origin).or_insert_with(|| {
+            stats.groups += 1;
+            SharedFrontier::new(origin, node_count)
+        });
+        let probe = frontier.probe(target, neighbors);
+        stats.probes += 1;
+        stats.solo_settles += probe.solo_settles;
+        stats.settles += probe.new_settles;
+        probe.dist
+    }
+
+    /// Cumulative accounting so far.
+    pub fn stats(&self) -> SharedStats {
+        self.stats
+    }
+
+    /// Number of live frontiers (distinct origins probed).
+    pub fn group_count(&self) -> usize {
+        self.frontiers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny weighted digraph as adjacency lists, plus a reference
+    /// one-shot Dijkstra to compare the frontier against.
+    struct Graph {
+        adj: Vec<Vec<(u32, f64)>>,
+    }
+
+    impl Graph {
+        fn line(weights: &[f64]) -> Graph {
+            // 0 -w0-> 1 -w1-> 2 ... (and back, symmetric)
+            let n = weights.len() + 1;
+            let mut adj = vec![Vec::new(); n];
+            for (i, &w) in weights.iter().enumerate() {
+                adj[i].push((i as u32 + 1, w));
+                adj[i + 1].push((i as u32, w));
+            }
+            Graph { adj }
+        }
+
+        fn neighbors(&self) -> impl FnMut(u32, &mut dyn FnMut(u32, f64)) + '_ {
+            |node, relax| {
+                for &(to, w) in &self.adj[node as usize] {
+                    relax(to, w);
+                }
+            }
+        }
+
+        /// Fresh one-shot Dijkstra with early exit — what the per-query
+        /// model pays per distance call. Returns (dist, settles).
+        fn solo(&self, from: u32, to: u32) -> (Option<f64>, u64) {
+            let mut f = SharedFrontier::new(from, self.adj.len());
+            let p = f.probe(to, self.neighbors());
+            (p.dist, p.new_settles)
+        }
+    }
+
+    #[test]
+    fn resumed_probes_match_fresh_searches_bit_for_bit() {
+        let g = Graph::line(&[1.5, 0.25, 3.0, 0.125, 2.0]);
+        let mut f = SharedFrontier::new(0, 6);
+        // Probe far-to-near and near-to-far interleaved; every answer must
+        // equal a fresh search's bits.
+        for &t in &[4u32, 1, 5, 2, 0, 3] {
+            let shared = f.probe(t, g.neighbors());
+            let (solo, _) = g.solo(0, t);
+            match (shared.dist, solo) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits(), "target {t}"),
+                (a, b) => assert_eq!(a, b, "target {t}"),
+            }
+        }
+    }
+
+    #[test]
+    fn accounting_justifies_every_skip() {
+        let g = Graph::line(&[1.0, 1.0, 1.0, 1.0]);
+        let mut pool = FrontierPool::new(5);
+        // Two co-located queries probing overlapping candidate sets.
+        for &t in &[3u32, 4, 3, 1, 4, 2] {
+            let d = pool.distance(0, t, g.neighbors());
+            assert_eq!(d, Some(t as f64));
+        }
+        let s = pool.stats();
+        assert_eq!(s.groups, 1);
+        assert_eq!(s.probes, 6);
+        // A fresh search per probe settles rank+1 nodes: 4+5+4+2+5+3 = 23.
+        assert_eq!(s.solo_settles, 23);
+        // The shared frontier settles each of the 5 nodes exactly once.
+        assert_eq!(s.settles, 5);
+        assert_eq!(s.saved(), 18);
+        assert!((s.saved_ratio() - 23.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeat_probe_costs_no_settlements() {
+        let g = Graph::line(&[2.0, 2.0]);
+        let mut f = SharedFrontier::new(0, 3);
+        let first = f.probe(2, g.neighbors());
+        assert_eq!(first.new_settles, 3);
+        assert_eq!(first.solo_settles, 3);
+        let again = f.probe(2, g.neighbors());
+        assert_eq!(again.new_settles, 0);
+        assert_eq!(again.solo_settles, 3);
+        assert_eq!(again.dist, first.dist);
+    }
+
+    #[test]
+    fn unreachable_target_counts_the_whole_component() {
+        // Two disconnected line segments: 0-1 and 2-3.
+        let mut adj = vec![Vec::new(); 4];
+        adj[0].push((1u32, 1.0));
+        adj[1].push((0u32, 1.0));
+        adj[2].push((3u32, 1.0));
+        adj[3].push((2u32, 1.0));
+        let g = Graph { adj };
+        let mut pool = FrontierPool::new(4);
+        assert_eq!(pool.distance(0, 3, g.neighbors()), None);
+        let s = pool.stats();
+        // Both the solo and the shared search exhaust {0, 1}.
+        assert_eq!(s.solo_settles, 2);
+        assert_eq!(s.settles, 2);
+        assert_eq!(s.saved(), 0);
+        // A second unreachable probe is free but still "solo-costs" the
+        // component sweep.
+        assert_eq!(pool.distance(0, 2, g.neighbors()), None);
+        let s = pool.stats();
+        assert_eq!(s.solo_settles, 4);
+        assert_eq!(s.settles, 2);
+        assert_eq!(s.saved(), 2);
+    }
+
+    #[test]
+    fn distinct_origins_get_distinct_frontiers() {
+        let g = Graph::line(&[1.0, 1.0, 1.0]);
+        let mut pool = FrontierPool::new(4);
+        assert_eq!(pool.distance(0, 3, g.neighbors()), Some(3.0));
+        assert_eq!(pool.distance(3, 0, g.neighbors()), Some(3.0));
+        assert_eq!(pool.group_count(), 2);
+        assert_eq!(pool.stats().groups, 2);
+    }
+}

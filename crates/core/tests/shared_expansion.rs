@@ -1,0 +1,263 @@
+//! Shared-vs-solo equivalence suite for the batch-shared frontier
+//! (`senn_core::shared_expansion`).
+//!
+//! Property-tested over random weighted digraphs and random probe
+//! schedules:
+//!
+//! * every probe of a resumed [`SharedFrontier`] returns the **bit**
+//!   pattern a fresh one-shot search computes for the same target —
+//!   pause/continue never changes which relaxations reach a node before
+//!   it settles;
+//! * the accounting justifies every skipped settlement: per probe
+//!   `solo_settles - new_settles >= 0`, and the pool totals satisfy
+//!   `saved() == solo_settles - settles` exactly;
+//! * the **totals are probe-order invariant**: any permutation of the
+//!   same probe multiset against one frontier yields the same distances
+//!   and the same (solo, settled, saved) sums, because settle order is
+//!   the global ascending `(dist, node)` order regardless of which query
+//!   advances the frontier — the property that lets the lockstep and
+//!   per-query expand layouts report identical `Metrics`;
+//! * a [`FrontierPool`] groups by origin: per-origin answers equal
+//!   per-origin fresh searches, and interleaving origins never bleeds
+//!   state between groups.
+
+use proptest::prelude::*;
+use senn_core::shared_expansion::{FrontierPool, SharedFrontier};
+
+/// A random weighted digraph as adjacency lists.
+#[derive(Clone, Debug)]
+struct Graph {
+    adj: Vec<Vec<(u32, f64)>>,
+}
+
+impl Graph {
+    fn neighbors(&self) -> impl FnMut(u32, &mut dyn FnMut(u32, f64)) + '_ {
+        |node, relax| {
+            for &(to, w) in &self.adj[node as usize] {
+                relax(to, w);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// Reference one-shot Dijkstra with early exit — the cost model of the
+/// per-query path. Implemented independently of `SharedFrontier` (own
+/// heap, own relax loop) so the suite does not test the code against
+/// itself. Same tie-break: ascending `(dist, node)`.
+fn solo_dijkstra(g: &Graph, from: u32, to: u32) -> (Option<f64>, u64) {
+    /// Finite f64 with a total order, for the reference min-heap.
+    #[derive(PartialEq)]
+    struct Ordered(f64);
+    impl Eq for Ordered {}
+    impl PartialOrd for Ordered {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ordered {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0
+                .partial_cmp(&other.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }
+    }
+    let n = g.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut settled = vec![false; n];
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(Ordered, u32)>> =
+        std::collections::BinaryHeap::new();
+    dist[from as usize] = 0.0;
+    heap.push(std::cmp::Reverse((Ordered(0.0), from)));
+    let mut settles = 0u64;
+    while let Some(std::cmp::Reverse((Ordered(d), node))) = heap.pop() {
+        let u = node as usize;
+        if settled[u] {
+            continue;
+        }
+        settled[u] = true;
+        settles += 1;
+        for &(v, w) in &g.adj[u] {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(std::cmp::Reverse((Ordered(nd), v)));
+            }
+        }
+        if node == to {
+            return (Some(dist[to as usize]), settles);
+        }
+    }
+    (None, settles)
+}
+
+/// Builds a digraph of `n` nodes from raw (from, to, weight) triples
+/// (node indices folded mod `n`; self-loops allowed — they can never
+/// relax anything), plus a probe schedule of (origin, target) pairs.
+fn build_world(
+    n: usize,
+    edges: &[(u32, u32, f64)],
+    probes: &[(u32, u32)],
+) -> (Graph, Vec<(u32, u32)>) {
+    let mut adj = vec![Vec::new(); n];
+    for &(from, to, w) in edges {
+        adj[from as usize % n].push((to % n as u32, w));
+    }
+    let probes = probes
+        .iter()
+        .map(|&(o, t)| (o % n as u32, t % n as u32))
+        .collect();
+    (Graph { adj }, probes)
+}
+
+/// The raw strategies `build_world` consumes (the vendored proptest has
+/// no `prop_flat_map`, so the node count folds the indices instead).
+fn raw_edges() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec((any::<u32>(), any::<u32>(), 0.5f64..100.0), 0..96)
+}
+
+fn raw_probes() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((any::<u32>(), any::<u32>()), 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Shared answers are bit-identical to fresh searches, probe by
+    /// probe, and every skip is justified by the accounting.
+    #[test]
+    fn shared_probes_equal_solo_searches_bit_for_bit(
+        n in 2usize..=24,
+        edges in raw_edges(),
+        probes in raw_probes(),
+    ) {
+        let (g, probes) = build_world(n, &edges, &probes);
+        let mut pool = FrontierPool::new(g.len());
+        let mut solo_total = 0u64;
+        for &(origin, target) in &probes {
+            let shared = pool.distance(origin, target, g.neighbors());
+            let (solo, solo_settles) = solo_dijkstra(&g, origin, target);
+            match (shared, solo) {
+                (Some(a), Some(b)) => prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "diverged on {} -> {}", origin, target
+                ),
+                (a, b) => prop_assert_eq!(a, b, "reachability diverged on {} -> {}", origin, target),
+            }
+            solo_total += solo_settles;
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.probes, probes.len() as u64);
+        // The accounting's solo-cost model is exactly what the reference
+        // searches paid, and saved() is exactly the difference.
+        prop_assert_eq!(s.solo_settles, solo_total);
+        prop_assert!(s.settles <= s.solo_settles, "sharing can never settle extra nodes");
+        prop_assert_eq!(s.saved(), s.solo_settles - s.settles);
+        prop_assert!(s.saved_ratio() >= 1.0);
+    }
+
+    /// Per-probe invariant behind the pool totals: a resumed frontier
+    /// never settles a node a fresh search for the same target would
+    /// have skipped.
+    #[test]
+    fn per_probe_new_settles_never_exceed_solo(
+        n in 2usize..=24,
+        edges in raw_edges(),
+        probes in raw_probes(),
+    ) {
+        let (g, probes) = build_world(n, &edges, &probes);
+        // All probes from one origin so the frontier actually resumes.
+        let origin = probes[0].0;
+        let mut f = SharedFrontier::new(origin, g.len());
+        for &(_, target) in &probes {
+            let p = f.probe(target, g.neighbors());
+            prop_assert!(
+                p.new_settles <= p.solo_settles,
+                "probe {} settled {} but a fresh search pays {}",
+                target, p.new_settles, p.solo_settles
+            );
+            if p.dist.is_some() {
+                // Reachable targets: solo cost is the settle rank + 1,
+                // which never shrinks and never exceeds the node count.
+                prop_assert!(p.solo_settles >= 1);
+                prop_assert!(p.solo_settles <= g.len() as u64);
+            }
+        }
+    }
+
+    /// Group-composition invariance: any permutation of the probe
+    /// schedule yields the same distances and the same accounting totals
+    /// — the reason the lockstep and per-query expand layouts agree on
+    /// `Metrics` even though they interleave probes differently.
+    #[test]
+    fn totals_are_probe_order_invariant(
+        n in 2usize..=24,
+        edges in raw_edges(),
+        probes in raw_probes(),
+        rot in 0usize..19,
+    ) {
+        let (g, probes) = build_world(n, &edges, &probes);
+        let run = |order: &[(u32, u32)]| {
+            let mut pool = FrontierPool::new(g.len());
+            let dists: Vec<Option<u64>> = order
+                .iter()
+                .map(|&(o, t)| pool.distance(o, t, g.neighbors()).map(f64::to_bits))
+                .collect();
+            (dists, pool.stats())
+        };
+        let (base_dists, base) = run(&probes);
+        let mut rotated = probes.clone();
+        rotated.rotate_left(rot % probes.len());
+        let (rot_dists, rot_stats) = run(&rotated);
+        // Distances follow their probe; totals are schedule-invariant.
+        let mut sorted_a = base_dists.clone();
+        let mut sorted_b = rot_dists.clone();
+        sorted_a.sort();
+        sorted_b.sort();
+        prop_assert_eq!(sorted_a, sorted_b);
+        prop_assert_eq!(base.groups, rot_stats.groups);
+        prop_assert_eq!(base.probes, rot_stats.probes);
+        prop_assert_eq!(base.solo_settles, rot_stats.solo_settles);
+        prop_assert_eq!(base.settles, rot_stats.settles);
+        prop_assert_eq!(base.saved(), rot_stats.saved());
+    }
+
+    /// Origin groups are independent: interleaving probes of several
+    /// origins through one pool answers exactly like one pool per origin.
+    #[test]
+    fn origin_groups_never_bleed(
+        n in 2usize..=24,
+        edges in raw_edges(),
+        probes in raw_probes(),
+    ) {
+        let (g, probes) = build_world(n, &edges, &probes);
+        let mut interleaved = FrontierPool::new(g.len());
+        let mut per_origin: std::collections::BTreeMap<u32, FrontierPool> =
+            std::collections::BTreeMap::new();
+        for &(origin, target) in &probes {
+            let a = interleaved.distance(origin, target, g.neighbors());
+            let b = per_origin
+                .entry(origin)
+                .or_insert_with(|| FrontierPool::new(g.len()))
+                .distance(origin, target, g.neighbors());
+            prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+        }
+        let whole = interleaved.stats();
+        let mut groups = 0;
+        let mut solo = 0;
+        let mut settles = 0;
+        for pool in per_origin.values() {
+            let s = pool.stats();
+            groups += s.groups;
+            solo += s.solo_settles;
+            settles += s.settles;
+        }
+        prop_assert_eq!(whole.groups, groups);
+        prop_assert_eq!(whole.solo_settles, solo);
+        prop_assert_eq!(whole.settles, settles);
+        prop_assert_eq!(interleaved.group_count() as u64, groups);
+    }
+}

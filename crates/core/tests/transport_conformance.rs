@@ -24,7 +24,7 @@
 //! budget never goes negative and every denial is counted exactly once
 //! on its outcome (and therefore in the downstream metrics); window
 //! trajectories are bit-identical across backend shard layouts; and the
-//! deprecated unconditional ladder is bit-identical to the budgeted one
+//! unconditional convenience ladder is bit-identical to the budgeted one
 //! under an unlimited budget.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -504,22 +504,18 @@ proptest! {
         );
     }
 
-    /// The deprecated unconditional entry points are the budgeted ladder
-    /// with an unlimited bucket: bit-identical outcomes and traces.
+    /// The unconditional entry point is the budgeted ladder with an
+    /// unlimited bucket: bit-identical outcomes and traces. (The prelude
+    /// shim of the same name is gone — `senn_core::transport` keeps the
+    /// canonical convenience wrapper.)
     #[test]
-    fn deprecated_ladder_equals_budgeted_with_unlimited_bucket(
+    fn unconditional_ladder_equals_budgeted_with_unlimited_bucket(
         seed in any::<u64>(),
         n in 1usize..24,
         flaky in any::<bool>(),
     ) {
         let reqs = requests(n);
         let policy = RetryPolicy::default();
-        #[allow(deprecated)]
-        let via_prelude = senn_core::prelude::submit_with_retry(
-            &ShardedFlaky::new(1, seed, flaky),
-            &reqs,
-            &policy,
-        );
         let via_transport =
             submit_with_retry(&ShardedFlaky::new(1, seed, flaky), &reqs, &policy);
         let mut budget = RetryBudget::unlimited();
@@ -530,7 +526,7 @@ proptest! {
             &mut budget,
         );
         prop_assert_eq!(budget.denied(), 0);
-        for paths in [&via_prelude, &via_transport] {
+        for paths in [&via_transport] {
             let mut trace_a = QueryTrace::new();
             let mut trace_b = QueryTrace::new();
             for (a, b) in paths.iter().zip(&budgeted) {

@@ -1,0 +1,222 @@
+//! The road-network driver of `senn_core::shared_expansion`: a
+//! [`DistanceModel`] whose searches run over a batch-scoped
+//! [`FrontierPool`] instead of a private per-call scratch.
+//!
+//! [`SharedNetworkModel`] keeps the exact snap-leg convention of the
+//! per-query models — `|query → snap(query)| + core + |snap(p) → p|` —
+//! but answers the core distance from a resumable Dijkstra frontier
+//! keyed by the query's snap node. Co-located queries (and the many
+//! candidates of a single query) anchored at the same node therefore
+//! share one settle sweep per batch, and `rebase` deliberately keeps the
+//! pool alive: re-anchoring *is* the sharing.
+//!
+//! The edge weights come from [`SharedEdgeCost`]: plain lengths
+//! reproduce [`NetworkDistance`]/[`AltDistance`]/[`ChDistance`] bit for
+//! bit on unique shortest paths (all are exact searches folding the same
+//! `d(parent) + w` prefix sums), and the time-of-day variant computes
+//! `e.length * time_cost_multiplier(e.class, hour)` with the identical
+//! expression shape [`TimeDependentCost`]'s inline A\* uses, so the
+//! relaxation values match bit for bit there too.
+//!
+//! [`NetworkDistance`]: crate::distance::NetworkDistance
+//! [`AltDistance`]: crate::distance::AltDistance
+//! [`ChDistance`]: crate::distance::ChDistance
+//! [`TimeDependentCost`]: crate::distance::TimeDependentCost
+
+use senn_core::shared_expansion::{FrontierPool, SharedStats};
+use senn_core::DistanceModel;
+use senn_geom::Point;
+
+use crate::distance::time_cost_multiplier;
+use crate::graph::{NodeId, RoadNetwork};
+use crate::locator::NodeLocator;
+
+/// Which edge weight a shared frontier expands over.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SharedEdgeCost {
+    /// Plain edge lengths — the metric of the A\*/ALT/CH models.
+    Length,
+    /// Congestion-weighted lengths at a fixed hour of day — the metric of
+    /// [`TimeDependentCost`](crate::distance::TimeDependentCost) with its
+    /// clock at that hour.
+    TimeOfDay(f64),
+}
+
+impl SharedEdgeCost {
+    /// The weight of one half-edge under this cost.
+    #[inline]
+    fn weight(self, length: f64, class: crate::graph::RoadClass) -> f64 {
+        match self {
+            SharedEdgeCost::Length => length,
+            SharedEdgeCost::TimeOfDay(hour) => length * time_cost_multiplier(class, hour),
+        }
+    }
+}
+
+/// A [`DistanceModel`] answering from batch-shared Dijkstra frontiers:
+/// one frontier per distinct snap node, resumed across every distance
+/// call of the batch.
+pub struct SharedNetworkModel<'a> {
+    net: &'a RoadNetwork,
+    locator: &'a NodeLocator,
+    cost: SharedEdgeCost,
+    query_node: NodeId,
+    pool: FrontierPool,
+}
+
+impl<'a> SharedNetworkModel<'a> {
+    /// Anchors the model at the network node nearest to `query`. Returns
+    /// `None` when the network has no nodes.
+    pub fn new(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        cost: SharedEdgeCost,
+        query: Point,
+    ) -> Option<Self> {
+        let query_node = locator.nearest(query)?;
+        Some(Self::anchored(net, locator, cost, query_node))
+    }
+
+    /// Anchors the model at an explicit query node.
+    pub fn anchored(
+        net: &'a RoadNetwork,
+        locator: &'a NodeLocator,
+        cost: SharedEdgeCost,
+        query_node: NodeId,
+    ) -> Self {
+        SharedNetworkModel {
+            net,
+            locator,
+            cost,
+            query_node,
+            pool: FrontierPool::new(net.node_count()),
+        }
+    }
+
+    /// The node the query point is anchored to.
+    pub fn query_node(&self) -> NodeId {
+        self.query_node
+    }
+
+    /// Re-anchors the model for a new query point, **keeping the frontier
+    /// pool** — queries snapping to an already-probed node reuse its
+    /// frontier, which is the whole point of sharing. Returns false
+    /// (leaving the anchor unchanged) when the locator finds no node.
+    pub fn rebase(&mut self, query: Point) -> bool {
+        match self.locator.nearest(query) {
+            Some(n) => {
+                self.query_node = n;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Cumulative sharing accounting across the pool's lifetime.
+    pub fn stats(&self) -> SharedStats {
+        self.pool.stats()
+    }
+}
+
+impl DistanceModel for SharedNetworkModel<'_> {
+    /// `|query → snap(query)| + frontier(snap(query) → snap(p)) +
+    /// |snap(p) → p|`, or `None` when `p` cannot be snapped or no path
+    /// exists — the same fold, in the same float-op order, as the
+    /// per-query models.
+    fn distance(&mut self, query: Point, p: Point) -> Option<f64> {
+        let pn = self.locator.nearest(p)?;
+        let (net, cost) = (self.net, self.cost);
+        let core = self.pool.distance(self.query_node, pn, |node, relax| {
+            for e in net.neighbors(node) {
+                relax(e.to, cost.weight(e.length, e.class));
+            }
+        })?;
+        Some(query.dist(net.position(self.query_node)) + core + net.position(pn).dist(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{NetworkDistance, TimeDependentCost};
+    use crate::generator::{generate_network, GeneratorConfig};
+
+    fn probe_points(side: f64) -> Vec<Point> {
+        // A deterministic scatter of query/candidate points.
+        (0..24)
+            .map(|i| {
+                let t = i as f64;
+                Point::new((t * 373.17 + 41.0) % side, (t * 219.41 + 97.0) % side)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_network_distance_bit_for_bit() {
+        let net = generate_network(&GeneratorConfig::city(2500.0, 11));
+        let locator = NodeLocator::new(&net);
+        let points = probe_points(2500.0);
+        let q = points[0];
+        let mut shared = SharedNetworkModel::new(&net, &locator, SharedEdgeCost::Length, q)
+            .expect("non-empty network");
+        let mut plain = NetworkDistance::new(&net, &locator, q).expect("non-empty network");
+        for &p in &points[1..] {
+            let a = shared.distance(q, p);
+            let b = plain.distance(q, p);
+            match (a, b) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits(), "diverged at {p:?}"),
+                (a, b) => assert_eq!(a, b, "reachability diverged at {p:?}"),
+            }
+        }
+        let s = shared.stats();
+        assert!(s.saved() > 0, "repeat candidates must share settlements");
+        assert_eq!(s.groups, 1, "one anchor, one frontier");
+    }
+
+    #[test]
+    fn matches_time_dependent_cost_bit_for_bit() {
+        let net = generate_network(&GeneratorConfig::city(2500.0, 11));
+        let locator = NodeLocator::new(&net);
+        let points = probe_points(2500.0);
+        let q = points[0];
+        for hour in [3.25, 8.0, 12.5, 17.75] {
+            let mut shared =
+                SharedNetworkModel::new(&net, &locator, SharedEdgeCost::TimeOfDay(hour), q)
+                    .expect("non-empty network");
+            let mut plain =
+                TimeDependentCost::new(&net, &locator, q, hour).expect("non-empty network");
+            for &p in &points[1..] {
+                let a = shared.distance(q, p);
+                let b = plain.distance(q, p);
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.to_bits(), b.to_bits(), "diverged at {p:?} hour {hour}")
+                    }
+                    (a, b) => assert_eq!(a, b, "reachability diverged at {p:?} hour {hour}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebase_keeps_the_pool() {
+        let net = generate_network(&GeneratorConfig::city(2500.0, 11));
+        let locator = NodeLocator::new(&net);
+        let points = probe_points(2500.0);
+        let mut shared = SharedNetworkModel::new(&net, &locator, SharedEdgeCost::Length, points[0])
+            .expect("non-empty network");
+        let _ = shared.distance(points[0], points[5]);
+        let groups_before = shared.stats().groups;
+        // Rebase to a far point and back: the original frontier survives.
+        assert!(shared.rebase(points[9]));
+        let _ = shared.distance(points[9], points[5]);
+        assert!(shared.rebase(points[0]));
+        let _ = shared.distance(points[0], points[6]);
+        let s = shared.stats();
+        assert!(s.groups >= groups_before, "pool must never shrink");
+        assert!(
+            s.groups <= 2,
+            "re-anchoring at a seen node must reuse its frontier"
+        );
+    }
+}

@@ -12,8 +12,8 @@
 //!    [`Resolution::Unresolved`].
 //! 2. **submit** (main thread) — all unresolved queries of the interval
 //!    become one [`ServerRequest`] batch, submitted through the service
-//!    seam via [`submit_with_retry`] (retries, backoff and unpruned
-//!    degradation included), then completed with
+//!    seam via [`submit_budgeted`] with an unlimited bucket (retries,
+//!    backoff and unpruned degradation included), then completed with
 //!    `SennEngine::complete_residual`. Batch composition is fixed by plan
 //!    order, so seeded fault schedules are reproducible and independent of
 //!    worker-thread count.
@@ -29,14 +29,16 @@
 
 use senn_cache::{CacheEntry, CachedNn};
 use senn_core::service::ServerRequest;
-use senn_core::transport::submit_with_retry;
+use senn_core::shared_expansion::SharedStats;
+use senn_core::transport::{submit_budgeted, RetryBudget};
 use senn_core::{
     DistanceModel, EuclideanBound, LowerBoundOracle, QueryTrace, Resolution, SearchBounds,
     SennOutcome, SnnnExpansion,
 };
 use senn_geom::Point;
 use senn_network::{
-    AltBound, AltDistance, ChBound, ChDistance, NetworkDistance, TimeDependentCost,
+    AltBound, AltDistance, ChBound, ChDistance, NetworkDistance, SharedEdgeCost,
+    SharedNetworkModel, TimeDependentCost,
 };
 
 use crate::comms::WorkerScratch;
@@ -127,6 +129,10 @@ enum ActiveModel<'a> {
     Alt(AltDistance<'a>),
     Time(TimeDependentCost<'a>),
     Ch(ChDistance<'a>),
+    /// Batch-shared frontiers (`SimConfig::shared_expansion`): the same
+    /// distances as the per-kind models, answered from one resumable
+    /// Dijkstra sweep per snap-node group.
+    Shared(SharedNetworkModel<'a>),
 }
 
 impl ActiveModel<'_> {
@@ -138,6 +144,26 @@ impl ActiveModel<'_> {
             ActiveModel::Alt(m) => m.rebase(query),
             ActiveModel::Time(m) => m.rebase(query),
             ActiveModel::Ch(m) => m.rebase(query),
+            ActiveModel::Shared(m) => m.rebase(query),
+        }
+    }
+
+    /// Settlements the shared frontiers have avoided so far (monotone);
+    /// `0` for the per-query models. Sampled around `begin`/`offer` calls
+    /// to attribute the saving to the query that triggered it.
+    fn shared_saved(&self) -> u64 {
+        match self {
+            ActiveModel::Shared(m) => m.stats().saved(),
+            _ => 0,
+        }
+    }
+
+    /// The shared pool's cumulative accounting; `None` for the per-query
+    /// models.
+    fn shared_stats(&self) -> Option<SharedStats> {
+        match self {
+            ActiveModel::Shared(m) => Some(m.stats()),
+            _ => None,
         }
     }
 }
@@ -149,6 +175,7 @@ impl DistanceModel for ActiveModel<'_> {
             ActiveModel::Alt(m) => m.distance(query, p),
             ActiveModel::Time(m) => m.distance(query, p),
             ActiveModel::Ch(m) => m.distance(query, p),
+            ActiveModel::Shared(m) => m.distance(query, p),
         }
     }
 }
@@ -192,6 +219,32 @@ impl LowerBoundOracle for ActiveOracle<'_> {
 struct ActiveExpansion {
     idx: usize,
     exp: SnnnExpansion,
+}
+
+/// What one expand pass cost: the round/submission counts the interval
+/// batching divides, plus the shared-frontier settle accounting when
+/// `SimConfig::shared_expansion` is on (all zero otherwise).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ExpandStats {
+    pub(crate) rounds: u64,
+    pub(crate) submissions: u64,
+    /// Shared frontiers created (distinct snap-node groups).
+    pub(crate) shared_groups: u64,
+    /// Settlements the per-query searches would have performed.
+    pub(crate) shared_solo_settles: u64,
+    /// Settlements the shared frontiers actually performed.
+    pub(crate) shared_settles: u64,
+}
+
+impl ExpandStats {
+    /// Folds the shared pool's end-of-batch accounting in.
+    fn absorb_shared(&mut self, model: &ActiveModel<'_>) {
+        if let Some(s) = model.shared_stats() {
+            self.shared_groups += s.groups;
+            self.shared_solo_settles += s.solo_settles;
+            self.shared_settles += s.settles;
+        }
+    }
 }
 
 impl Simulator {
@@ -309,10 +362,11 @@ impl Simulator {
             })
             .collect();
         let mut results: Vec<Option<_>> = (0..pendings.len()).map(|_| None).collect();
-        for (&i, result) in open.iter().zip(submit_with_retry(
+        for (&i, result) in open.iter().zip(submit_budgeted(
             self.service.residual_service(),
             &requests,
             &self.config.retry,
+            &mut RetryBudget::unlimited(),
         )) {
             results[i] = Some(result);
         }
@@ -375,53 +429,75 @@ impl Simulator {
     /// budget (or a failed round residual) ended the expansion
     /// unconfirmed.
     ///
-    /// Returns `(pendings, rounds_total, submissions)` where
-    /// `submissions` counts the expand pass's `submit_with_retry` calls —
-    /// the number the interval batching divides.
+    /// Returns `(pendings, stats)` where [`ExpandStats::submissions`]
+    /// counts the expand pass's service submissions — the number the
+    /// interval batching divides — and the `shared_*` fields carry the
+    /// frontier pool's settle accounting under shared expansion.
     pub(crate) fn expand_network_batch(
         &self,
         plans: &[QueryPlan],
         pendings: Vec<PendingQuery>,
-    ) -> (Vec<PendingQuery>, u64, u64) {
+    ) -> (Vec<PendingQuery>, ExpandStats) {
+        let none = ExpandStats::default();
         let Some(kind) = self.config.distance_model else {
-            return (pendings, 0, 0);
+            return (pendings, none);
         };
         let net = self
             .network
             .as_ref()
             .expect("validated at build time: network mode keeps the road network");
-        let model = match kind {
-            NetworkModelKind::AStar => {
-                match NetworkDistance::new(net, &self.locator, Point::ORIGIN) {
-                    Some(m) => ActiveModel::AStar(m),
-                    None => return (pendings, 0, 0), // empty graph: nothing to rank with
+        let model = if self.config.shared_expansion {
+            // One batch-scoped frontier pool answers every kind's metric:
+            // plain lengths reproduce the A*/ALT/CH distances bit for bit
+            // (all exact searches over the same metric), the weighted
+            // cost reproduces the time-dependent model's. The paired
+            // oracle below still follows `kind`, so the candidate stream
+            // and the pruning counters stay identical to the per-query
+            // path.
+            let cost = match kind {
+                NetworkModelKind::TimeDependent { start_hour } => {
+                    SharedEdgeCost::TimeOfDay(start_hour + self.time / 3600.0)
                 }
+                _ => SharedEdgeCost::Length,
+            };
+            match SharedNetworkModel::new(net, &self.locator, cost, Point::ORIGIN) {
+                Some(m) => ActiveModel::Shared(m),
+                None => return (pendings, none), // empty graph: nothing to rank with
             }
-            NetworkModelKind::Alt { .. } => {
-                let index = self
-                    .alt_index
-                    .as_ref()
-                    .expect("ALT index is built with the world");
-                match AltDistance::new(net, &self.locator, index, Point::ORIGIN) {
-                    Some(m) => ActiveModel::Alt(m),
-                    None => return (pendings, 0, 0),
+        } else {
+            match kind {
+                NetworkModelKind::AStar => {
+                    match NetworkDistance::new(net, &self.locator, Point::ORIGIN) {
+                        Some(m) => ActiveModel::AStar(m),
+                        None => return (pendings, none), // empty graph: nothing to rank with
+                    }
                 }
-            }
-            NetworkModelKind::TimeDependent { start_hour } => {
-                let hour = start_hour + self.time / 3600.0;
-                match TimeDependentCost::new(net, &self.locator, Point::ORIGIN, hour) {
-                    Some(m) => ActiveModel::Time(m),
-                    None => return (pendings, 0, 0),
+                NetworkModelKind::Alt { .. } => {
+                    let index = self
+                        .alt_index
+                        .as_ref()
+                        .expect("ALT index is built with the world");
+                    match AltDistance::new(net, &self.locator, index, Point::ORIGIN) {
+                        Some(m) => ActiveModel::Alt(m),
+                        None => return (pendings, none),
+                    }
                 }
-            }
-            NetworkModelKind::Ch => {
-                let index = self
-                    .ch_index
-                    .as_ref()
-                    .expect("CH index is built with the world");
-                match ChDistance::new(net, &self.locator, index, Point::ORIGIN) {
-                    Some(m) => ActiveModel::Ch(m),
-                    None => return (pendings, 0, 0),
+                NetworkModelKind::TimeDependent { start_hour } => {
+                    let hour = start_hour + self.time / 3600.0;
+                    match TimeDependentCost::new(net, &self.locator, Point::ORIGIN, hour) {
+                        Some(m) => ActiveModel::Time(m),
+                        None => return (pendings, none),
+                    }
+                }
+                NetworkModelKind::Ch => {
+                    let index = self
+                        .ch_index
+                        .as_ref()
+                        .expect("CH index is built with the world");
+                    match ChDistance::new(net, &self.locator, index, Point::ORIGIN) {
+                        Some(m) => ActiveModel::Ch(m),
+                        None => return (pendings, none),
+                    }
                 }
             }
         };
@@ -460,18 +536,17 @@ impl Simulator {
     }
 
     /// The per-query submission layout: each eligible query runs all its
-    /// expansion rounds before the next query starts, one
-    /// `submit_with_retry` call per round that needs the server.
+    /// expansion rounds before the next query starts, one service
+    /// submission per round that needs the server.
     fn expand_per_query(
         &self,
         plans: &[QueryPlan],
         mut pendings: Vec<PendingQuery>,
         mut model: ActiveModel<'_>,
         mut oracle: ActiveOracle<'_>,
-    ) -> (Vec<PendingQuery>, u64, u64) {
+    ) -> (Vec<PendingQuery>, ExpandStats) {
         let mut scratch = WorkerScratch::new();
-        let mut rounds_total = 0u64;
-        let mut submissions = 0u64;
+        let mut stats = ExpandStats::default();
         for (i, (plan, pending)) in plans.iter().zip(pendings.iter_mut()).enumerate() {
             if !Self::expansion_eligible(pending) {
                 continue;
@@ -480,9 +555,14 @@ impl Simulator {
             if !model.rebase(q) || !oracle.rebase(q) {
                 continue;
             }
+            // Everything this query asks the model — the initial ranking
+            // in `begin` and every candidate offer below — lands between
+            // these two samples, so the delta is the query's share of the
+            // pool's saved settlements.
+            let saved_before = model.shared_saved();
             let mut exp = SnnnExpansion::begin(q, plan.k, &pending.outcome.results, &mut model);
             while exp.needs_round() && exp.rounds() < self.config.snnn_max_expansion {
-                rounds_total += 1;
+                stats.rounds += 1;
                 let kk = exp.next_k();
                 self.gather_peers(plan, &mut scratch.comms);
                 let round = self.engine.query_peers_only_with(
@@ -493,11 +573,12 @@ impl Simulator {
                 );
                 let round = if round.resolution() == Resolution::Unresolved {
                     let req = self.engine.residual_request(i as u64, q, kk, &round);
-                    submissions += 1;
-                    let result = submit_with_retry(
+                    stats.submissions += 1;
+                    let result = submit_budgeted(
                         self.service.residual_service(),
                         std::slice::from_ref(&req),
                         &self.config.retry,
+                        &mut RetryBudget::unlimited(),
                     )
                     .pop()
                     .expect("one request, one outcome");
@@ -520,9 +601,11 @@ impl Simulator {
                 }
                 exp.offer_pruned(&round.results, &mut model, &mut oracle);
             }
+            pending.outcome.trace.shared_settles_saved += model.shared_saved() - saved_before;
             Self::finish_expansion(pending, &exp);
         }
-        (pendings, rounds_total, submissions)
+        stats.absorb_shared(&model);
+        (pendings, stats)
     }
 
     /// The interval-batched layout: every eligible query advances one
@@ -536,15 +619,19 @@ impl Simulator {
         mut pendings: Vec<PendingQuery>,
         mut model: ActiveModel<'_>,
         mut oracle: ActiveOracle<'_>,
-    ) -> (Vec<PendingQuery>, u64, u64) {
+    ) -> (Vec<PendingQuery>, ExpandStats) {
         let mut scratch = WorkerScratch::new();
-        let mut rounds_total = 0u64;
-        let mut submissions = 0u64;
+        let mut stats = ExpandStats::default();
 
         // Start every eligible query's expansion (plan order). Queries
         // whose expansion is already settled at begin time — the world
         // holds fewer than `k` POIs, or a zero round budget — finalize
-        // immediately, exactly like the per-query layout.
+        // immediately, exactly like the per-query layout. The shared-
+        // saved deltas sampled around each `begin`/`offer` attribute the
+        // pool's savings to the query that triggered them; the *totals*
+        // are layout-invariant (frontiers settle in global distance
+        // order no matter which query advances them), so Metrics match
+        // the per-query layout bit for bit.
         let mut active: Vec<ActiveExpansion> = Vec::new();
         for (i, plan) in plans.iter().enumerate() {
             if !Self::expansion_eligible(&pendings[i]) {
@@ -554,7 +641,9 @@ impl Simulator {
             if !model.rebase(q) || !oracle.rebase(q) {
                 continue;
             }
+            let saved_before = model.shared_saved();
             let exp = SnnnExpansion::begin(q, plan.k, &pendings[i].outcome.results, &mut model);
+            pendings[i].outcome.trace.shared_settles_saved += model.shared_saved() - saved_before;
             if exp.needs_round() && self.config.snnn_max_expansion > 0 {
                 active.push(ActiveExpansion { idx: i, exp });
             } else {
@@ -572,7 +661,7 @@ impl Simulator {
             for a in active.iter() {
                 let plan = &plans[a.idx];
                 let q = self.store.position(plan.querier);
-                rounds_total += 1;
+                stats.rounds += 1;
                 let kk = a.exp.next_k();
                 self.gather_peers(plan, &mut scratch.comms);
                 let round = self.engine.query_peers_only_with(
@@ -590,11 +679,12 @@ impl Simulator {
 
             // Submit pass: one service batch for the whole round.
             if !requests.is_empty() {
-                submissions += 1;
-                let results = submit_with_retry(
+                stats.submissions += 1;
+                let results = submit_budgeted(
                     self.service.residual_service(),
                     &requests,
                     &self.config.retry,
+                    &mut RetryBudget::unlimited(),
                 );
                 for (&slot, result) in request_slots.iter().zip(results) {
                     let a = &active[slot];
@@ -635,7 +725,9 @@ impl Simulator {
                 // re-anchor for this query (it succeeded at begin time).
                 model.rebase(q);
                 oracle.rebase(q);
+                let saved_before = model.shared_saved();
                 a.exp.offer_pruned(&round.results, &mut model, &mut oracle);
+                pending.outcome.trace.shared_settles_saved += model.shared_saved() - saved_before;
                 if a.exp.needs_round() && a.exp.rounds() < self.config.snnn_max_expansion {
                     still_active.push(a);
                 } else {
@@ -644,7 +736,8 @@ impl Simulator {
             }
             active = still_active;
         }
-        (pendings, rounds_total, submissions)
+        stats.absorb_shared(&model);
+        (pendings, stats)
     }
 
     /// Phase 3c — measure: grading and PAR shadow searches for every

@@ -40,8 +40,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use senn_core::multiple::RegionMethod;
+use senn_core::rknn::{rknn_batch, RknnBatch, RknnHost, RknnQuery};
 use senn_core::service::{ServerReply, ServerRequest, SpatialService};
-use senn_core::transport::{AdaptivePolicy, RetryPolicy, TransportPolicy};
+use senn_core::transport::{AdaptivePolicy, RetryBudget, RetryPolicy, TransportPolicy};
 use senn_core::{RTreeServer, SennConfig, SennEngine, STAGE_COUNT};
 use senn_geom::{Point, Rect};
 use senn_mobility::{RoadMoverConfig, WaypointConfig};
@@ -307,6 +308,18 @@ pub struct SimConfig {
     /// (`BatchStats::snnn_submissions`; proven in
     /// `tests/batched_expansion.rs`).
     pub expansion_batching: bool,
+    /// Candidate re-ranking strategy of the SNNN expand pass: `false`
+    /// (the default) runs one private network search per (query,
+    /// candidate) via the configured model's scratch; `true` answers
+    /// every exact distance of the batch from shared resumable Dijkstra
+    /// frontiers ([`senn_core::shared_expansion`]) keyed by snap node, so
+    /// co-anchored queries and repeat candidates settle each node at most
+    /// once per group. Results and [`Metrics`] are bit-identical either
+    /// way except for [`Metrics::shared_settles_saved`], which counts the
+    /// settlements the sharing skipped (proven in
+    /// `tests/shared_expansion.rs`). Inert without a
+    /// [`Self::distance_model`].
+    pub shared_expansion: bool,
     /// How the peer-discovery grid tracks host movement:
     /// [`GridMaintenance::Incremental`] (the default) applies move-only
     /// edits during the movement pass, [`GridMaintenance::Rebuild`]
@@ -341,6 +354,7 @@ impl SimConfig {
             distance_model: None,
             snnn_max_expansion: 256,
             expansion_batching: true,
+            shared_expansion: false,
             grid_maintenance: GridMaintenance::Incremental,
         }
     }
@@ -567,6 +581,16 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Candidate re-ranking strategy of the SNNN expand pass: `true`
+    /// answers exact distances from batch-shared Dijkstra frontiers
+    /// (one settle sweep per snap-node group), `false` (default) runs a
+    /// private search per (query, candidate). Results are identical
+    /// either way modulo `Metrics::shared_settles_saved`.
+    pub fn shared_expansion(mut self, shared: bool) -> Self {
+        self.config.shared_expansion = shared;
+        self
+    }
+
     /// How the peer-discovery grid tracks host movement (incremental
     /// move-only edits vs rebuild-per-batch). Metrics are identical
     /// either way.
@@ -735,6 +759,19 @@ pub struct BatchStats {
     /// round that needed the server, without it one per query-round —
     /// the denominator of the batching win tracked by `perf_gate`.
     pub snnn_submissions: u64,
+    /// Shared-expansion mode only: frontier groups (distinct snap nodes)
+    /// the expand pass opened across all batches (0 with
+    /// [`SimConfig::shared_expansion`] off).
+    pub shared_groups: u64,
+    /// Shared-expansion mode only: settlements a fresh per-probe search
+    /// would have performed — the solo-cost numerator of the sharing
+    /// win tracked by `perf_gate` (0 with sharing off).
+    pub shared_solo_settles: u64,
+    /// Shared-expansion mode only: settlements the shared frontiers
+    /// actually performed — the denominator of the sharing win; the
+    /// difference is `Metrics::shared_settles_saved` summed over the run
+    /// (0 with sharing off).
+    pub shared_settles: u64,
     /// Wall time of the movement pass (host stepping + incremental grid
     /// maintenance) across the whole run, seconds.
     pub move_secs: f64,
@@ -1015,6 +1052,78 @@ impl Simulator {
         self.metrics.clone()
     }
 
+    /// Current POI positions, indexed by POI id — the ground-truth mirror
+    /// reverse-kNN oracles rank against.
+    pub fn poi_positions(&self) -> &[Point] {
+        &self.poi_positions
+    }
+
+    /// The reverse-kNN candidate set the driver verifies: every host at
+    /// its current position, with the cached-kNN prune radii its NN cache
+    /// proves — distances from the host's *current* position to the
+    /// distinct POIs it has cached, sorted ascending. Cached radii are
+    /// only used on churn-free worlds (a relocated POI would invalidate
+    /// the cached positions the radii are computed from); under churn
+    /// every host gets an empty radius list, so every pair verifies.
+    pub fn rknn_hosts(&self) -> Vec<RknnHost> {
+        let use_caches = self.config.poi_churn_per_hour <= 0.0;
+        (0..self.store.len() as u32)
+            .map(|h| {
+                let position = self.store.position(h);
+                let mut seen: Vec<u64> = Vec::new();
+                let mut cached_dists: Vec<f64> = Vec::new();
+                if use_caches {
+                    if let Some(cache) = self.store.cache(h) {
+                        for entry in cache.iter() {
+                            for nn in &entry.neighbors {
+                                if !seen.contains(&nn.poi_id) {
+                                    seen.push(nn.poi_id);
+                                    cached_dists.push(position.dist(nn.position));
+                                }
+                            }
+                        }
+                    }
+                }
+                cached_dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+                RknnHost {
+                    host_id: h as u64,
+                    position,
+                    cached_dists,
+                }
+            })
+            .collect()
+    }
+
+    /// Answers a batch of reverse-kNN queries ("which hosts rank this POI
+    /// top-k?") against the configured service backend — the same
+    /// sharded/fault-wrapped seam residual queries go through — spending
+    /// at most one kNN verification request per host (pairs the hosts'
+    /// cached-kNN radii prove non-members are pruned for free). Folds the
+    /// batch's accounting into [`Metrics`]: the `rknn_*` counters plus
+    /// the service dispositions (retries/timeouts/drops) of the
+    /// verification requests. Membership is invariant to thread count and
+    /// shard layout like every other query type (proven in
+    /// `tests/rknn.rs`).
+    pub fn run_rknn(&mut self, queries: &[RknnQuery]) -> RknnBatch {
+        let hosts = self.rknn_hosts();
+        let batch = rknn_batch(
+            self.service.residual_service(),
+            &self.config.retry,
+            &mut RetryBudget::unlimited(),
+            queries,
+            &hosts,
+        );
+        self.metrics.record_rknn(&batch.stats);
+        // Service dispositions only — an RkNN batch is not a kNN query,
+        // so the attribution counters (queries/server/...) stay untouched.
+        self.metrics.server_retries += batch.trace.server_retries as u64;
+        self.metrics.server_timeouts += batch.trace.server_timeouts as u64;
+        self.metrics.server_drops += batch.trace.server_drops as u64;
+        self.metrics.server_shed += batch.trace.server_shed as u64;
+        self.metrics.server_retries_denied += batch.trace.server_retries_denied as u64;
+        batch
+    }
+
     /// Relocates a Poisson-distributed number of POIs for the elapsed
     /// interval (uniform new positions near the road network).
     fn apply_poi_churn(&mut self, interval_secs: f64) {
@@ -1090,10 +1199,13 @@ impl Simulator {
         // driven candidate pruning (round residuals go through the
         // configured service; the keyed fault schedule is invariant to
         // threads, shards and batch layout).
-        let (pendings, rounds, submissions) = self.expand_network_batch(&plans, pendings);
+        let (pendings, expand) = self.expand_network_batch(&plans, pendings);
         let measures = self.measure_batch(&plans, &pendings);
-        self.batch_stats.snnn_rounds += rounds;
-        self.batch_stats.snnn_submissions += submissions;
+        self.batch_stats.snnn_rounds += expand.rounds;
+        self.batch_stats.snnn_submissions += expand.submissions;
+        self.batch_stats.shared_groups += expand.shared_groups;
+        self.batch_stats.shared_solo_settles += expand.shared_solo_settles;
+        self.batch_stats.shared_settles += expand.shared_settles;
         self.batch_stats
             .record(started.elapsed().as_secs_f64(), n as u64);
 

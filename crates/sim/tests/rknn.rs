@@ -1,0 +1,158 @@
+//! Reverse-kNN workload equivalence: the batched [`Simulator::run_rknn`]
+//! driver versus the brute-force oracle, id for id.
+//!
+//! The driver answers "which hosts rank POI `p` in their top-k?" with at
+//! most one service request per host, pruning (query, host) pairs the
+//! hosts' cached-kNN radii prove non-members. This suite pins:
+//!
+//! * membership lists **identical to [`rknn_bruteforce`]** — a linear
+//!   scan over the ground-truth POI mirror — on a freshly warmed world,
+//!   with the cache prune demonstrably engaged;
+//! * invariance across 1/2 worker threads × 1/3 server shards (the
+//!   verification requests ride the same keyed service seam as every
+//!   residual);
+//! * three-seed golden pins of the whole accounting, in the style of
+//!   `transport_mode.rs`.
+
+use senn_sim::{
+    rknn_bruteforce, NetworkModelKind, ParamSet, RknnQuery, SimConfig, SimParams, Simulator,
+};
+
+fn tiny_params() -> SimParams {
+    let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+    params.t_execution_hours = 0.05; // 3 simulated minutes
+    params
+}
+
+/// A warmed simulator: the run populates host caches, which is what makes
+/// the cache-radius prune bite.
+fn warmed(seed: u64, threads: usize, shards: usize) -> Simulator {
+    let cfg = SimConfig::new(tiny_params(), seed)
+        .to_builder()
+        .threads(threads)
+        .server_shards(shards)
+        .build();
+    let mut sim = Simulator::new(cfg);
+    sim.run();
+    sim
+}
+
+/// Every POI asks for its reverse k-NN members, k cycling over 1..=3.
+fn queries_for(sim: &Simulator) -> Vec<RknnQuery> {
+    sim.poi_positions()
+        .iter()
+        .enumerate()
+        .map(|(id, &p)| RknnQuery {
+            id: id as u64,
+            poi_id: id as u64,
+            position: p,
+            k: 1 + id % 3,
+        })
+        .collect()
+}
+
+fn poi_world(sim: &Simulator) -> Vec<(u64, senn_geom::Point)> {
+    sim.poi_positions()
+        .iter()
+        .enumerate()
+        .map(|(id, &p)| (id as u64, p))
+        .collect()
+}
+
+#[test]
+fn batched_driver_matches_bruteforce_oracle() {
+    let mut sim = warmed(42, 1, 1);
+    let queries = queries_for(&sim);
+    let hosts = sim.rknn_hosts();
+    let batch = sim.run_rknn(&queries);
+    let oracle = rknn_bruteforce(&queries, &hosts, &poi_world(&sim));
+    assert_eq!(batch.outcomes, oracle, "driver diverged from brute force");
+    assert!(batch.stats.members > 0, "nobody ranked anybody — vacuous");
+    assert!(
+        batch.stats.cache_pruned > 0,
+        "warmed caches must prune some pairs, or the prune is untested"
+    );
+    assert!(
+        batch.stats.verified_hosts < hosts.len() as u64 * queries.len() as u64,
+        "one request per host, never per pair"
+    );
+    assert_eq!(batch.stats.failed_hosts, 0, "fault-free service");
+}
+
+#[test]
+fn memberships_are_invariant_to_threads_and_shards() {
+    let reference = {
+        let mut sim = warmed(7, 1, 1);
+        let queries = queries_for(&sim);
+        sim.run_rknn(&queries)
+    };
+    for threads in [1usize, 2] {
+        for shards in [1usize, 3] {
+            let mut sim = warmed(7, threads, shards);
+            let queries = queries_for(&sim);
+            let batch = sim.run_rknn(&queries);
+            assert_eq!(
+                batch.outcomes, reference.outcomes,
+                "members diverged at threads={threads} shards={shards}"
+            );
+            assert_eq!(
+                batch.stats, reference.stats,
+                "accounting diverged at threads={threads} shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rknn_works_in_network_mode_too() {
+    // The driver is mode-agnostic: a road-network SNNN world answers the
+    // same bichromatic question over the same service seam.
+    let cfg = SimConfig::new(tiny_params(), 42)
+        .to_builder()
+        .distance_model(NetworkModelKind::AStar)
+        .build();
+    let mut sim = Simulator::new(cfg);
+    sim.run();
+    let queries = queries_for(&sim);
+    let hosts = sim.rknn_hosts();
+    let batch = sim.run_rknn(&queries);
+    let oracle = rknn_bruteforce(&queries, &hosts, &poi_world(&sim));
+    assert_eq!(batch.outcomes, oracle);
+}
+
+#[test]
+fn rknn_metrics_counters_fold_the_batch() {
+    let mut sim = warmed(42, 1, 1);
+    let queries = queries_for(&sim);
+    let batch = sim.run_rknn(&queries);
+    let m = sim.metrics();
+    assert_eq!(m.rknn_queries, batch.stats.queries);
+    assert_eq!(m.rknn_pairs, batch.stats.pairs);
+    assert_eq!(m.rknn_cache_pruned, batch.stats.cache_pruned);
+    assert_eq!(m.rknn_verified_hosts, batch.stats.verified_hosts);
+    assert_eq!(m.rknn_failed_hosts, batch.stats.failed_hosts);
+    assert_eq!(m.rknn_members, batch.stats.members);
+}
+
+#[test]
+fn rknn_goldens_are_pinned_for_three_seeds() {
+    // (seed, [queries, pairs, cache_pruned, verified_hosts, members]).
+    let goldens: [(u64, [u64; 5]); 3] = [
+        (1, [16, 7408, 899, 463, 1065]),
+        (2, [16, 7408, 762, 463, 877]),
+        (3, [16, 7408, 751, 463, 863]),
+    ];
+    for (seed, want) in goldens {
+        let mut sim = warmed(seed, 1, 1);
+        let queries = queries_for(&sim);
+        let batch = sim.run_rknn(&queries);
+        let got = [
+            batch.stats.queries,
+            batch.stats.pairs,
+            batch.stats.cache_pruned,
+            batch.stats.verified_hosts,
+            batch.stats.members,
+        ];
+        assert_eq!(got, want, "reverse-kNN golden moved at seed {seed}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Shared-vs-solo equivalence at the whole-simulation level.
+//!
+//! `SimConfig::shared_expansion` swaps the expand pass's per-(query,
+//! candidate) network searches for batch-shared resumable Dijkstra
+//! frontiers. The contract this suite pins: recorded [`Metrics`] are
+//! **bit-identical** to the per-query path in every field except
+//! [`Metrics::shared_settles_saved`] — the accounting that justifies each
+//! skipped settlement — across model kinds, submission layouts, worker
+//! threads, server shards, and seeded fault schedules. The savings
+//! themselves are cross-checked against [`BatchStats`]' frontier totals:
+//! `saved == solo_settles - settles`, exactly.
+
+use senn_sim::{
+    BatchStats, FaultConfig, Metrics, NetworkModelKind, ParamSet, SimConfig, SimParams, Simulator,
+};
+
+fn base(seed: u64) -> SimConfig {
+    let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+    params.t_execution_hours = 0.05; // 3 simulated minutes
+    SimConfig::new(params, seed)
+}
+
+fn run(cfg: SimConfig) -> (Metrics, BatchStats) {
+    let mut sim = Simulator::new(cfg);
+    let m = sim.run();
+    let stats = *sim.batch_stats();
+    (m, stats)
+}
+
+/// The shared run's metrics with the one permitted difference zeroed.
+fn normalized(m: &Metrics) -> Metrics {
+    let mut m = m.clone();
+    m.shared_settles_saved = 0;
+    m
+}
+
+#[test]
+fn shared_and_solo_metrics_agree_modulo_saved_for_every_kind() {
+    for kind in [
+        NetworkModelKind::AStar,
+        NetworkModelKind::Alt { landmarks: 4 },
+        NetworkModelKind::TimeDependent { start_hour: 8.0 },
+        NetworkModelKind::Ch,
+    ] {
+        let mk = |shared: bool| {
+            base(42)
+                .to_builder()
+                .distance_model(kind)
+                .shared_expansion(shared)
+                .build()
+        };
+        let (shared, shared_stats) = run(mk(true));
+        let (solo, solo_stats) = run(mk(false));
+        assert_eq!(
+            solo.shared_settles_saved, 0,
+            "{kind:?}: the per-query path must never report savings"
+        );
+        assert_eq!(
+            normalized(&shared),
+            solo,
+            "{kind:?}: shared expansion changed an observable result"
+        );
+        assert!(
+            shared.shared_settles_saved > 0,
+            "{kind:?}: the golden workload has co-located queries — sharing must save"
+        );
+        // The frontier totals cover the whole run (warm-up included),
+        // Metrics only the post-warm-up batches — so the totals bound
+        // the recorded savings from above. Exact equality is pinned in
+        // `every_skip_is_justified_by_the_frontier_accounting`.
+        assert!(
+            shared.shared_settles_saved
+                <= shared_stats.shared_solo_settles - shared_stats.shared_settles,
+            "{kind:?}: Metrics report more savings than the frontiers produced"
+        );
+        assert!(shared_stats.shared_groups > 0, "{kind:?}");
+        assert_eq!(
+            (
+                solo_stats.shared_groups,
+                solo_stats.shared_solo_settles,
+                solo_stats.shared_settles
+            ),
+            (0, 0, 0),
+            "{kind:?}: per-query runs must not touch the frontier counters"
+        );
+        // The submission schedule is untouched by the model swap.
+        assert_eq!(shared_stats.snnn_rounds, solo_stats.snnn_rounds, "{kind:?}");
+        assert_eq!(
+            shared_stats.snnn_submissions, solo_stats.snnn_submissions,
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn every_skip_is_justified_by_the_frontier_accounting() {
+    // With warm-up disabled, Metrics and BatchStats cover exactly the
+    // same batches, so the recorded savings must equal the frontier
+    // totals' `solo - settles` to the last settlement.
+    let cfg = base(42)
+        .to_builder()
+        .warmup_frac(0.0)
+        .distance_model(NetworkModelKind::AStar)
+        .shared_expansion(true)
+        .build();
+    let (m, stats) = run(cfg);
+    assert!(m.shared_settles_saved > 0);
+    assert_eq!(
+        m.shared_settles_saved,
+        stats.shared_solo_settles - stats.shared_settles,
+        "Metrics savings diverged from the frontier accounting"
+    );
+}
+
+#[test]
+fn shared_equality_holds_under_a_lossy_service() {
+    // The keyed fault schedule sees the same per-id request stream either
+    // way — sharing only changes how distances are computed, never which
+    // requests are sent.
+    let mk = |shared: bool| {
+        base(7)
+            .to_builder()
+            .distance_model(NetworkModelKind::AStar)
+            .fault(FaultConfig::lossy(99))
+            .shared_expansion(shared)
+            .build()
+    };
+    let (shared, _) = run(mk(true));
+    let (solo, _) = run(mk(false));
+    assert!(
+        shared.server_retries > 0,
+        "lossy config exercised no retries — the test proves nothing"
+    );
+    assert_eq!(normalized(&shared), solo, "fault schedules diverged");
+    assert!(shared.shared_settles_saved > 0);
+}
+
+#[test]
+fn shared_equality_holds_across_layouts_threads_and_shards() {
+    // 2 submission layouts x 2 worker threads x {1,3} shards, all under a
+    // mildly lossy service: every combination must agree with the 1x1
+    // reference bit for bit — shared_settles_saved included, because the
+    // frontier totals depend only on the probe multiset, which is fixed
+    // by the plan order.
+    let mk = |batched: bool, threads: usize, shards: usize| {
+        base(11)
+            .to_builder()
+            .distance_model(NetworkModelKind::Alt { landmarks: 4 })
+            .fault(FaultConfig::lossy(5))
+            .threads(threads)
+            .server_shards(shards)
+            .expansion_batching(batched)
+            .shared_expansion(true)
+            .build()
+    };
+    let (reference, _) = run(mk(true, 1, 1));
+    assert!(reference.shared_settles_saved > 0);
+    for batched in [true, false] {
+        for threads in [1usize, 2] {
+            for shards in [1usize, 3] {
+                let (m, _) = run(mk(batched, threads, shards));
+                assert_eq!(
+                    m, reference,
+                    "diverged at batching={batched} threads={threads} shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hotspot_density_saves_at_least_two_fold() {
+    // The perf-gate claim at test scale: with many co-located queries per
+    // interval (a dense arrival spike on the golden world), the shared
+    // frontiers settle at least 2x fewer nodes than fresh per-candidate
+    // searches would.
+    let mut params = SimParams::two_by_two(ParamSet::LosAngeles);
+    params.t_execution_hours = 0.05;
+    params.lambda_query_per_min *= 4.0;
+    let cfg = SimConfig::new(params, 42)
+        .to_builder()
+        .distance_model(NetworkModelKind::AStar)
+        .shared_expansion(true)
+        .build();
+    let (m, stats) = run(cfg);
+    assert!(m.queries > 0);
+    assert!(stats.shared_settles > 0, "the workload reaches the model");
+    let ratio = stats.shared_solo_settles as f64 / stats.shared_settles as f64;
+    assert!(
+        ratio >= 2.0,
+        "hotspot sharing ratio {ratio:.2} below the 2x floor \
+         ({} solo vs {} shared settles)",
+        stats.shared_solo_settles,
+        stats.shared_settles
+    );
+}
+
+#[test]
+fn golden_attribution_is_pinned_under_sharing() {
+    // Same pin as batched_expansion.rs / network_mode.rs: seed 42, LA
+    // 2x2, A*. Sharing must not move a single query between resolution
+    // classes or change a single page access.
+    for shared in [true, false] {
+        let (m, stats) = run(base(42)
+            .to_builder()
+            .distance_model(NetworkModelKind::AStar)
+            .shared_expansion(shared)
+            .build());
+        let golden = [
+            ("queries", m.queries),
+            ("single_peer", m.single_peer),
+            ("multi_peer", m.multi_peer),
+            ("server", m.server),
+            ("einn_accesses", m.einn_accesses),
+            ("inn_accesses", m.inn_accesses),
+            ("snnn_rounds", stats.snnn_rounds),
+        ];
+        assert_eq!(
+            golden,
+            [
+                ("queries", 65),
+                ("single_peer", 17),
+                ("multi_peer", 0),
+                ("server", 48),
+                ("einn_accesses", 193),
+                ("inn_accesses", 194),
+                ("snnn_rounds", 200),
+            ],
+            "golden drifted with shared_expansion({shared})"
+        );
+    }
+}

@@ -416,6 +416,38 @@ fn parse_flashcrowd_gauges(text: &str) -> (BTreeMap<String, f64>, BTreeMap<Strin
     (bigger, smaller)
 }
 
+/// The bigger-is-better shared-frontier gauge of a perf-gate JSON file
+/// (schema v10+): `shared.settles_saved_ratio`, how many times fewer
+/// nodes the batch-shared Dijkstra frontiers settle at hotspot density
+/// than the fresh per-candidate searches they replace. The gate emits
+/// the gauge first inside the `shared` block, before the raw frontier
+/// totals (`solo_settles`, `settles`, `settles_saved`) that derive it —
+/// those stay informational. Empty for pre-v10 files, so older
+/// baselines keep working.
+fn parse_shared_gauges(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut in_shared = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if let Some(key) = line
+            .strip_suffix('{')
+            .and_then(|l| l.trim_end().strip_suffix(':'))
+            .and_then(|l| l.trim_end().strip_suffix('"'))
+            .and_then(|l| l.strip_prefix('"'))
+        {
+            in_shared = key == "shared";
+            continue;
+        }
+        if !in_shared {
+            continue;
+        }
+        if let Some(v) = json_num_field(line, "settles_saved_ratio") {
+            out.insert("shared/settles_saved_ratio".to_string(), v);
+        }
+    }
+    out
+}
+
 /// The bigger-is-better search-effort gauge of a perf-gate JSON file
 /// (schema v6+): `metric.astar_vs_ch_relaxed_ratio`, the per-query edge
 /// relaxation advantage of the contraction-hierarchy oracle over A\*.
@@ -448,8 +480,8 @@ fn parse_metric_gauges(text: &str) -> BTreeMap<String, f64> {
 
 /// Fails (exit 1) when any stage's share of its leg grew by more than
 /// `max_ratio` between the baseline and the current perf-gate output,
-/// or any bigger-is-better expansion or metric gauge shrank by more
-/// than `max_ratio` against the baseline.
+/// or any bigger-is-better expansion, metric or shared-frontier gauge
+/// shrank by more than `max_ratio` against the baseline.
 fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -508,14 +540,17 @@ fn task_perf_budget(baseline: &str, current: &str, max_ratio: f64) {
             }
         }
     }
-    // Expansion (schema v5+) and metric (v6+) gauges: bigger is better,
+    // Expansion (schema v5+), metric (v6+) and shared-frontier (v10+)
+    // gauges: bigger is better,
     // so the budget is the mirror image of the stage-share check — the
     // current gauge must not fall below the baseline's divided by
     // `max_ratio`.
     let mut base_gauges = parse_expansion_gauges(&base_text);
     base_gauges.extend(parse_metric_gauges(&base_text));
+    base_gauges.extend(parse_shared_gauges(&base_text));
     let mut cur_gauges = parse_expansion_gauges(&cur_text);
     cur_gauges.extend(parse_metric_gauges(&cur_text));
+    cur_gauges.extend(parse_shared_gauges(&cur_text));
     let (base_scale_big, mut base_smaller) = parse_scale_gauges(&base_text);
     let (cur_scale_big, mut cur_smaller) = parse_scale_gauges(&cur_text);
     base_gauges.extend(base_scale_big);
@@ -876,6 +911,56 @@ mod tests {
   }
 }
 "#;
+
+    const SAMPLE_V10: &str = r#"{
+  "schema": "senn-perf-gate-v10",
+  "shared": {
+    "settles_saved_ratio": 4.214,
+    "queries": 237,
+    "groups": 109,
+    "solo_settles": 53938,
+    "settles": 12800,
+    "settles_saved": 41138,
+    "metrics_identical": true
+  },
+  "rknn": {
+    "queries": 16,
+    "pairs": 7408,
+    "cache_pruned": 311,
+    "oracle_identical": true
+  },
+  "scale": {
+    "grid_maintenance_speedup": 2.321,
+    "bytes_per_host": 220.312
+  }
+}
+"#;
+
+    #[test]
+    fn shared_gauge_parses_from_v10_and_is_absent_before() {
+        let gauges = parse_shared_gauges(SAMPLE_V10);
+        assert_eq!(gauges.len(), 1, "exactly the ratio gauge: {gauges:?}");
+        assert_eq!(gauges["shared/settles_saved_ratio"], 4.214);
+        for sample in [
+            SAMPLE, SAMPLE_V5, SAMPLE_V6, SAMPLE_V7, SAMPLE_V8, SAMPLE_V9,
+        ] {
+            assert!(
+                parse_shared_gauges(sample).is_empty(),
+                "pre-v10 baselines have no shared block"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_block_does_not_leak_into_sibling_parsers() {
+        // The raw frontier totals behind the gauge stay informational,
+        // and the `rknn` sibling block opening ends the shared scan.
+        let gauges = parse_shared_gauges(SAMPLE_V10);
+        assert!(!gauges.contains_key("shared/solo_settles"));
+        let (bigger, smaller) = parse_scale_gauges(SAMPLE_V10);
+        assert_eq!(bigger["scale/grid_maintenance_speedup"], 2.321);
+        assert_eq!(smaller["scale/bytes_per_host"], 220.312);
+    }
 
     #[test]
     fn flashcrowd_gauges_split_by_polarity() {
